@@ -1,0 +1,19 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Every benchmark prints a paper-shaped table and also writes it under
+``benchmarks/results/`` so EXPERIMENTS.md can quote the latest run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def publish(name: str, text: str) -> None:
+    """Print a rendered table and persist it for the experiment log."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

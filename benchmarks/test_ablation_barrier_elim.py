@@ -1,0 +1,149 @@
+"""Ablation: redundant barrier elimination and its interaction with
+inlining (Section 5.1).
+
+The paper implements "an intraprocedural, flow-sensitive data-flow
+analysis that identifies redundant barriers and removes them", and notes
+that the compiler's inlining "increas[es] the scope of redundancy
+elimination".  This ablation quantifies both on the workload suite:
+
+* static barrier count before/after elimination, with and without
+  inlining;
+* dynamic barrier *executions* with and without elimination (the number
+  of checks actually saved at run time);
+* end-to-end correctness: optimized and unoptimized programs compute the
+  same results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import publish
+from repro.baselines import vanilla_kernel
+from repro.bench import ALL_WORKLOADS
+from repro.jit import Compiler, Interpreter, JITConfig
+from repro.runtime import LaminarVM
+
+
+def _compile(name: str, optimize: bool, inline: bool):
+    compiler = Compiler(
+        JITConfig.DYNAMIC, optimize_barriers=optimize, inline=inline
+    )
+    return compiler.compile(ALL_WORKLOADS[name]())
+
+
+def _execute(program):
+    vm = LaminarVM(vanilla_kernel())
+    interp = Interpreter(program, vm)
+    result = interp.run("main")
+    return result, vm.barriers.stats.total
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    rows = {}
+    for name in ALL_WORKLOADS:
+        unopt_prog, unopt_rep = _compile(name, optimize=False, inline=False)
+        opt_prog, opt_rep = _compile(name, optimize=True, inline=False)
+        opt_inl_prog, opt_inl_rep = _compile(name, optimize=True, inline=True)
+        unopt_result, unopt_execs = _execute(unopt_prog)
+        opt_result, opt_execs = _execute(opt_prog)
+        opt_inl_result, opt_inl_execs = _execute(opt_inl_prog)
+        assert unopt_result == opt_result == opt_inl_result, name
+        rows[name] = {
+            "static_before": unopt_rep.barriers_final,
+            "static_after": opt_rep.barriers_final,
+            "static_after_inline": opt_inl_rep.barriers_final,
+            "exec_before": unopt_execs,
+            "exec_after": opt_execs,
+            "exec_after_inline": opt_inl_execs,
+        }
+    return rows
+
+
+def test_elimination_report(sweep):
+    lines = [
+        "Ablation — redundant barrier elimination (dynamic config)",
+        "=" * 70,
+        f"{'workload':<11}{'static pre':>11}{'post':>6}{'post+inl':>9}"
+        f"{'exec pre':>12}{'post':>12}{'post+inl':>12}",
+        "-" * 73,
+    ]
+    for name, row in sweep.items():
+        lines.append(
+            f"{name:<11}{row['static_before']:>11}{row['static_after']:>6}"
+            f"{row['static_after_inline']:>9}{row['exec_before']:>12}"
+            f"{row['exec_after']:>12}{row['exec_after_inline']:>12}"
+        )
+    total_before = sum(r["exec_before"] for r in sweep.values())
+    total_after = sum(r["exec_after_inline"] for r in sweep.values())
+    lines.append(
+        f"\nruntime checks saved by elimination+inlining: "
+        f"{100 * (1 - total_after / max(total_before, 1)):.1f}%"
+    )
+    publish("ablation_barrier_elim", "\n".join(lines))
+
+
+def test_elimination_never_adds_barriers(sweep):
+    for name, row in sweep.items():
+        assert row["static_after"] <= row["static_before"], name
+        assert row["exec_after"] <= row["exec_before"], name
+
+
+def test_elimination_saves_checks_overall(sweep):
+    total_before = sum(r["exec_before"] for r in sweep.values())
+    total_after = sum(r["exec_after"] for r in sweep.values())
+    assert total_after < total_before, "elimination saved nothing"
+
+
+def test_inlining_widens_scope_overall(sweep):
+    """Across the suite, inlining must enable at least as much (and
+    somewhere strictly more) runtime saving as elimination alone."""
+    saved_plain = sum(
+        r["exec_before"] - r["exec_after"] for r in sweep.values()
+    )
+    saved_inline = sum(
+        r["exec_before"] - r["exec_after_inline"] for r in sweep.values()
+    )
+    assert saved_inline >= saved_plain
+    strictly_better = [
+        name
+        for name, r in sweep.items()
+        if r["exec_after_inline"] < r["exec_after"]
+    ]
+    assert strictly_better, "inlining never widened elimination's scope"
+
+
+def test_fresh_allocation_pattern_fully_eliminated():
+    """The canonical win: initializing stores to a freshly allocated
+    object need no write barriers at all."""
+    src = """
+    class Rec { a, b, c }
+    method main() {
+    entry:
+      new r, Rec
+      const one, 1
+      putfield r, a, one
+      putfield r, b, one
+      putfield r, c, one
+      getfield x, r, a
+      ret x
+    }
+    """
+    program, report = Compiler(JITConfig.DYNAMIC).compile(src)
+    # 1 alloc barrier survives; all 3 write + 1 read barriers are redundant.
+    assert report.barriers_inserted == 5
+    assert report.barriers_final == 1
+
+
+def test_elim_benchmark(benchmark):
+    """pytest-benchmark hook: optimized listsum under dynamic barriers."""
+    program, _ = Compiler(JITConfig.DYNAMIC).compile(
+        ALL_WORKLOADS["listsum"]()
+    )
+
+    def run():
+        vm = LaminarVM(vanilla_kernel())
+        return Interpreter(program, vm).run("main")
+
+    benchmark(run)

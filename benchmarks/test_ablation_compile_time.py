@@ -1,0 +1,102 @@
+"""Ablation: compilation-time overhead (Section 6.1).
+
+"We also measure compilation time and find that, on average, static
+barriers double it, and dynamic barriers triple it ... in large part
+because we instruct the compiler to inline the barriers aggressively,
+which bloats the code and slows downstream optimizations."
+
+Reproduction: compile the whole workload suite under the three configs and
+compare (a) real compile seconds and (b) deterministic lowered-code size
+(pseudo-machine ops).  Asserted shape: baseline < static < dynamic on
+both measures, with static ≥ ~1.5x and dynamic strictly above static.
+
+A second sweep measures cloning (the production alternative): cloning
+compiles two variants per method, so its code size doubles relative to
+single-variant static compilation — the tradeoff the paper describes.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import pytest
+
+from conftest import publish
+from repro.bench import ALL_WORKLOADS
+from repro.jit import Compiler, JITConfig
+
+TRIALS = 5
+
+
+def _compile_suite(config: JITConfig, clone: bool = False):
+    seconds = []
+    ops = 0
+    for trial in range(TRIALS + 1):
+        total_ops = 0
+        start = time.perf_counter()
+        for gen in ALL_WORKLOADS.values():
+            compiler = Compiler(config, clone=clone)
+            _, report = compiler.compile(gen())
+            total_ops += report.machine_ops
+        elapsed = time.perf_counter() - start
+        if trial > 0:
+            seconds.append(elapsed)
+        ops = total_ops
+    return statistics.median(seconds), ops
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    results = {}
+    for config in JITConfig:
+        results[config.value] = _compile_suite(config)
+    results["static+clone"] = _compile_suite(JITConfig.STATIC, clone=True)
+    return results
+
+
+def test_compile_time_report(sweep):
+    base_s, base_ops = sweep["baseline"]
+    lines = [
+        "Ablation — compilation time (paper: static 2x, dynamic 3x)",
+        "=" * 62,
+        f"{'config':<14}{'seconds':>10}{'vs base':>9}{'machine ops':>13}"
+        f"{'vs base':>9}",
+        "-" * 55,
+    ]
+    for name, (secs, ops) in sweep.items():
+        lines.append(
+            f"{name:<14}{secs:>10.4f}{secs / base_s:>8.2f}x{ops:>13}"
+            f"{ops / base_ops:>8.2f}x"
+        )
+    publish("ablation_compile_time", "\n".join(lines))
+
+
+def test_compile_cost_ordering(sweep):
+    base_s, base_ops = sweep["baseline"]
+    static_s, static_ops = sweep["static"]
+    dynamic_s, dynamic_ops = sweep["dynamic"]
+    # deterministic measure: lowered code size
+    assert base_ops < static_ops < dynamic_ops
+    # the dynamic barrier body is the dispatch plus *both* variants, so
+    # its expansion dominates static's (the 2x-vs-3x gap's mechanism)
+    assert dynamic_ops / static_ops > 1.5
+    # wall-clock: same ordering, with tolerance for timer noise on the
+    # cheap baseline
+    assert static_s > base_s
+    assert dynamic_s > static_s * 0.95
+
+
+def test_cloning_doubles_static_code(sweep):
+    _, static_ops = sweep["static"]
+    _, cloned_ops = sweep["static+clone"]
+    ratio = cloned_ops / static_ops
+    assert 1.6 < ratio < 2.4, (
+        f"cloning should ~double compiled code, got {ratio:.2f}x"
+    )
+
+
+def test_compile_benchmark(benchmark):
+    """pytest-benchmark hook: dynamic-config compilation of treebuild."""
+    src = ALL_WORKLOADS["treebuild"]()
+    benchmark(lambda: Compiler(JITConfig.DYNAMIC).compile(src))

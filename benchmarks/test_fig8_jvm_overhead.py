@@ -1,0 +1,130 @@
+"""Figure 8: VM overhead on programs without security regions.
+
+The paper runs DaCapo + pseudojbb under three JVM configurations and
+reports normalized run time: **static barriers ≈ +6% average, dynamic
+barriers ≈ +17% average** over the unmodified JVM.
+
+Reproduction: the synthetic workload suite runs under the mini-JIT's three
+configurations on the IR interpreter.  Trials are interleaved round-robin
+(machine drift on a shared box otherwise dwarfs the effect) and the medians
+feed a paper-shaped table.  Asserted shape:
+
+* every configuration computes identical results (enforcement is
+  behavior-preserving on barrier-clean programs);
+* geometric-mean overhead: baseline < static < dynamic;
+* the no-heap workload (``arith``) shows negligible overhead in both
+  configurations — barriers only tax heap traffic.
+"""
+
+from __future__ import annotations
+
+import gc
+import statistics
+import time
+
+import pytest
+
+from conftest import publish
+from repro.baselines import vanilla_kernel
+from repro.bench import ALL_WORKLOADS, Row, geometric_mean, render_table
+from repro.jit import Interpreter, JITConfig, compile_source
+from repro.runtime import LaminarVM
+
+TRIALS = 3
+#: The paper's averages, for the report column.
+PAPER_STATIC_PCT = 6.0
+PAPER_DYNAMIC_PCT = 17.0
+
+
+def _measure_all() -> dict[str, dict[JITConfig, float]]:
+    programs: dict[str, dict[JITConfig, object]] = {}
+    results: dict[str, dict[JITConfig, object]] = {}
+    for name, gen in ALL_WORKLOADS.items():
+        programs[name] = {
+            cfg: compile_source(gen(), cfg)[0] for cfg in JITConfig
+        }
+        results[name] = {}
+    samples: dict[str, dict[JITConfig, list[float]]] = {
+        name: {cfg: [] for cfg in JITConfig} for name in ALL_WORKLOADS
+    }
+    # warmup + interleaved trials
+    for trial in range(TRIALS + 1):
+        for name in ALL_WORKLOADS:
+            for cfg in JITConfig:
+                vm = LaminarVM(vanilla_kernel())
+                interp = Interpreter(programs[name][cfg], vm)
+                gc.collect()
+                start = time.perf_counter()
+                result = interp.run("main")
+                elapsed = time.perf_counter() - start
+                if trial > 0:
+                    samples[name][cfg].append(elapsed)
+                results[name][cfg] = result
+    for name in ALL_WORKLOADS:
+        values = set(results[name].values())
+        assert len(values) == 1, (
+            f"{name}: configurations disagree on the result: {results[name]}"
+        )
+    return {
+        name: {
+            cfg: statistics.median(samples[name][cfg]) for cfg in JITConfig
+        }
+        for name in ALL_WORKLOADS
+    }
+
+
+@pytest.fixture(scope="module")
+def medians():
+    return _measure_all()
+
+
+def test_fig8_report_and_shape(medians):
+    static_rows, dynamic_rows = [], []
+    for name, times in medians.items():
+        base = times[JITConfig.BASELINE]
+        static_rows.append(Row(name, base, times[JITConfig.STATIC]))
+        dynamic_rows.append(Row(name, base, times[JITConfig.DYNAMIC]))
+    static_g = geometric_mean(r.measured / r.baseline for r in static_rows)
+    dynamic_g = geometric_mean(r.measured / r.baseline for r in dynamic_rows)
+    text = render_table(
+        "Figure 8 — JVM overhead, static barriers (paper avg: +6%)",
+        static_rows, "baseline", "static",
+    )
+    text += "\n\n" + render_table(
+        "Figure 8 — JVM overhead, dynamic barriers (paper avg: +17%)",
+        dynamic_rows, "baseline", "dynamic",
+    )
+    text += (
+        f"\n\ngeomean: static +{(static_g - 1) * 100:.1f}% "
+        f"(paper +{PAPER_STATIC_PCT:.0f}%), "
+        f"dynamic +{(dynamic_g - 1) * 100:.1f}% "
+        f"(paper +{PAPER_DYNAMIC_PCT:.0f}%)"
+    )
+    publish("fig8_jvm_overhead", text)
+    # Shape assertions (noise tolerance: gmeans over the whole suite).
+    assert static_g > 1.0, "static barriers should cost something"
+    assert dynamic_g > static_g, (
+        "dynamic barriers must cost more than static (the paper's 17% vs 6%)"
+    )
+
+
+def test_fig8_no_heap_workload_unaffected(medians):
+    times = medians["arith"]
+    base = times[JITConfig.BASELINE]
+    for cfg in (JITConfig.STATIC, JITConfig.DYNAMIC):
+        overhead = times[cfg] / base - 1
+        assert overhead < 0.10, (
+            f"arith has no heap accesses; {cfg.value} overhead "
+            f"{overhead:.1%} must be noise-level"
+        )
+
+
+def test_fig8_benchmark_representative(benchmark):
+    """pytest-benchmark hook: the static-barrier listsum workload."""
+    program, _ = compile_source(ALL_WORKLOADS["listsum"](), JITConfig.STATIC)
+
+    def run():
+        vm = LaminarVM(vanilla_kernel())
+        return Interpreter(program, vm).run("main")
+
+    assert benchmark(run) == 3192000

@@ -1,0 +1,161 @@
+"""Table 3: application details — code size, protected data, retrofit
+size, and time in security regions.
+
+Paper rows::
+
+    App         LOC     Protected data          LOC added   % time in SRs
+    GradeSheet  900     student grades          92  (10%)    6%
+    Battleship  1,700   ship locations          95  (6%)    54%
+    Calendar    6,200   schedules              290  (5%)     1%
+    FreeCS      22,000  membership properties 1,200 (6%)    <1%
+
+The reproduction's analog: source lines of each app module, the fraction
+of lines that belong to the Laminar variant beyond the unmodified one, and
+the measured region-time fraction of the benchmark workload.  The paper's
+claim under test is *structural*: the retrofit is a small, bounded slice
+of each application (≤ 10% in the paper; the reproduction's variants are
+deliberately parallel implementations, so we assert the Laminar variant
+stays within a small multiple of its unmodified twin), and region time
+varies by orders of magnitude across apps with Battleship on top.
+"""
+
+from __future__ import annotations
+
+import gc
+import inspect
+import time
+
+import pytest
+
+from conftest import publish
+from repro.apps import battleship, calendar_app, freecs, gradesheet
+from repro.apps import (
+    LaminarBattleship,
+    LaminarCalendar,
+    LaminarFreeCS,
+    LaminarGradeSheet,
+    UnmodifiedBattleship,
+    UnmodifiedCalendar,
+    UnmodifiedFreeCS,
+    UnmodifiedGradeSheet,
+    run_request_mix,
+)
+
+PAPER_ROWS = {
+    "GradeSheet": ("student grades", 10, 6.0),
+    "Battleship": ("ship locations", 6, 54.0),
+    "Calendar": ("schedules", 5, 1.0),
+    "FreeCS": ("membership properties", 6, 1.0),
+}
+
+
+def _loc(obj) -> int:
+    source = inspect.getsource(obj)
+    return sum(
+        1
+        for line in source.splitlines()
+        if line.strip() and not line.strip().startswith("#")
+    )
+
+
+def _region_fraction(app, run) -> float:
+    app.vm.reset_stats()  # exclude construction-time regions
+    gc.collect()
+    start = time.perf_counter()
+    run(app)
+    total = time.perf_counter() - start
+    return min(app.vm.stats.region_seconds / total, 1.0) if total else 0.0
+
+
+@pytest.fixture(scope="module")
+def table():
+    rows = {}
+    rows["GradeSheet"] = {
+        "unmodified_loc": _loc(UnmodifiedGradeSheet),
+        "laminar_loc": _loc(LaminarGradeSheet),
+        "region_fraction": _region_fraction(
+            LaminarGradeSheet(students=20, projects=4),
+            lambda app: app.run_query_mix(200),
+        ),
+    }
+    rows["Battleship"] = {
+        "unmodified_loc": _loc(UnmodifiedBattleship),
+        "laminar_loc": _loc(LaminarBattleship),
+        "region_fraction": _region_fraction(
+            LaminarBattleship(seed=5), lambda app: app.play()
+        ),
+    }
+    cal = LaminarCalendar(seed=17)
+    cal.add_user("alice")
+    cal.add_user("bob")
+    rows["Calendar"] = {
+        "unmodified_loc": _loc(UnmodifiedCalendar),
+        "laminar_loc": _loc(LaminarCalendar),
+        "region_fraction": _region_fraction(
+            cal,
+            lambda app: [app.schedule_meeting("alice", "bob") for _ in range(30)],
+        ),
+    }
+    rows["FreeCS"] = {
+        "unmodified_loc": _loc(UnmodifiedFreeCS),
+        "laminar_loc": _loc(LaminarFreeCS),
+        "region_fraction": _region_fraction(
+            LaminarFreeCS(), lambda app: run_request_mix(app, users=250)
+        ),
+    }
+    return rows
+
+
+def test_table3_report(table):
+    lines = [
+        "Table 3 — application details",
+        "=" * 62,
+        f"{'app':<12}{'unmod LOC':>10}{'laminar LOC':>12}{'delta':>8}"
+        f"{'%time in SRs':>14}{'paper %SR':>10}",
+        "-" * 66,
+    ]
+    for name, row in table.items():
+        delta = row["laminar_loc"] - row["unmodified_loc"]
+        lines.append(
+            f"{name:<12}{row['unmodified_loc']:>10}{row['laminar_loc']:>12}"
+            f"{delta:>+8}{row['region_fraction'] * 100:>13.1f}%"
+            f"{PAPER_ROWS[name][2]:>9.1f}%"
+        )
+    publish("table3_app_stats", "\n".join(lines))
+
+
+def test_table3_retrofit_is_bounded(table):
+    """The paper adds ≤10% LOC; our parallel variants must stay within a
+    small constant factor of their unmodified twins (the retrofit is a
+    bounded slice, not a rewrite)."""
+    for name, row in table.items():
+        ratio = row["laminar_loc"] / row["unmodified_loc"]
+        # The paper's ≤10% deltas divide by full 900-22,000-line apps; the
+        # reproduction's unmodified twins are minimal, so the same bounded
+        # retrofit shows up as a small constant factor, not a percentage.
+        assert ratio < 4.0, (
+            f"{name}: Laminar variant is {ratio:.1f}x the original — "
+            f"no longer a retrofit"
+        )
+
+
+def test_table3_battleship_dominates_region_time(table):
+    """Paper: Battleship 54% — by far the most region-bound app.  Calendar
+    is excluded from the comparison: our Calendar *workload* is the
+    scheduling operation itself, which is region work end to end, whereas
+    the paper's 1% divides by a full desktop application's run time (a
+    documented deviation; see EXPERIMENTS.md)."""
+    fractions = {name: row["region_fraction"] for name, row in table.items()}
+    assert fractions["Battleship"] > 0.30  # paper: 54%
+    assert fractions["Battleship"] > fractions["GradeSheet"]
+    assert fractions["Battleship"] > fractions["FreeCS"]
+
+
+def test_table3_low_region_apps(table):
+    """GradeSheet 6% and FreeCS <1% in the paper: both far below
+    Battleship.  (Python region entry is ~100x costlier relative to app
+    work than the paper's, so the absolute fractions run higher here.)"""
+    for name in ("GradeSheet", "FreeCS"):
+        assert table[name]["region_fraction"] < \
+            table["Battleship"]["region_fraction"] * 0.9, name
+    assert table["FreeCS"]["region_fraction"] < 0.10  # paper: <1%

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Calendar scheduling: the Section 7.3 case study as a runnable scenario.
+
+Three users share a scheduling service.  Each calendar — the ``.ics`` file
+*and* everything parsed from it — carries the owner's secrecy tag; the
+scheduler thread holds read capabilities for the two participants and a
+declassification capability for just one of them, and writes the agreed
+slot to an output file labeled for the other.
+
+Also demonstrates the integrity half of the Section 3.3 story: the
+service only loads "plugin" files endorsed with the service's integrity
+tag, so a tampered plugin is rejected at ``open`` time.
+
+Run with::
+
+    python examples/calendar_scheduling.py
+"""
+
+from repro import (
+    CapabilitySet,
+    IFCViolation,
+    Kernel,
+    Label,
+    LabelPair,
+    LaminarAPI,
+    LaminarVM,
+    SyscallError,
+)
+from repro.apps.calendar_app import LaminarCalendar
+
+
+def scheduling_demo() -> None:
+    print("== multi-user scheduling ==")
+    cal = LaminarCalendar(seed=2024)
+    for user in ("alice", "bob", "carol"):
+        cal.add_user(user)
+        print(f"  {user}: calendar created, labeled with tag {cal.tags[user]}")
+
+    slot = cal.schedule_meeting("alice", "bob")
+    print(f"  alice+bob meeting: {slot}")
+    slot = cal.schedule_meeting("alice", "carol")
+    print(f"  alice+carol meeting: {slot}")
+    print(f"  alice's inbox: {cal.read_meetings('alice')}")
+
+    # Privacy: bob cannot view alice's calendar, even though the same
+    # server process holds both (heterogeneous labels in one address
+    # space — the thing address-space DIFC cannot do).
+    try:
+        cal.view_calendar("bob", "alice")
+        raise AssertionError("bob read alice's calendar!")
+    except IFCViolation:
+        print("  bob denied access to alice's calendar ✓")
+
+
+def plugin_integrity_demo() -> None:
+    print("\n== plugin integrity (Section 3.3) ==")
+    kernel = Kernel()
+    vm = LaminarVM(kernel)
+    api = LaminarAPI(vm)
+
+    # The service mints an integrity tag; addons.example.org vouches for
+    # plugins by endorsing them with it.
+    vouch = api.create_and_add_capability("vouched")
+    endorsed = LabelPair(Label.EMPTY, Label.of(vouch))
+
+    # The relative-path discipline of Section 5.2: grab the plugin
+    # directory *before* raising integrity (a high-integrity task may not
+    # re-read unlabeled directories — no read down — but holding the
+    # directory is the authorization, openat-style).
+    vm.syscall("mkdir", "/tmp/plugins")
+    vm.syscall("chdir", "/tmp/plugins")
+
+    # Publishing a high-integrity file requires *being* high-integrity:
+    # the publisher endorses by running in a region carrying the tag.
+    with vm.region(integrity=endorsed.integrity,
+                   caps=CapabilitySet.dual(vouch), name="publish"):
+        fd = api.create_file_labeled("plugin-good.py", endorsed)
+        api.write(fd, b"def find_slot(cal): ...")
+        api.close(fd)
+    print("  endorsed plugin published with", endorsed)
+
+    # An attacker drops an unendorsed plugin next to it.
+    evil_fd = api.open("plugin-evil.py", "w")
+    api.write(evil_fd, b"def find_slot(cal): exfiltrate(cal)")
+    api.close(evil_fd)
+
+    # The service runs with the integrity label {I(vouched)} and therefore
+    # cannot even read the unendorsed file (no read down).
+    service = vm.create_thread(name="service",
+                               caps_subset=CapabilitySet.plus(vouch))
+    vm.kernel.sys_chdir(service.task, "/tmp/plugins")
+    with vm.running(service):
+        with vm.region(integrity=Label.of(vouch),
+                       caps=CapabilitySet.plus(vouch), name="load-plugins"):
+            fd = api.open("plugin-good.py", "r")
+            print(f"  endorsed plugin loads: {api.read(fd)[:24]!r}...")
+            api.close(fd)
+            try:
+                api.open("plugin-evil.py", "r")
+                raise AssertionError("unendorsed plugin loaded!")
+            except SyscallError as exc:
+                print(f"  unendorsed plugin rejected ({exc})")
+
+
+if __name__ == "__main__":
+    scheduling_demo()
+    plugin_integrity_demo()
+    print("\ncalendar scenario complete.")

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""FreeCS-style chat server: roles as integrity tags (Section 7.4).
+
+Spins up the retrofitted chat server, walks through the paper's headline
+policy — "a user who is in the role of a VIP and has superuser power on a
+group can ban another user" — and shows that the DIFC write rule, not a
+conditional, is what rejects everyone else.
+
+Run with::
+
+    python examples/chat_server.py
+"""
+
+from repro.apps.freecs import ChatDenied, LaminarFreeCS
+
+
+def show(server, action: str, *args) -> None:
+    user, command, group, *rest = args
+    arg = rest[0] if rest else ""
+    try:
+        result = server.command(user, command, group, arg)
+        suffix = f" -> {result}" if result is not None else ""
+        print(f"  {action:<34} allowed{suffix}")
+    except ChatDenied as exc:
+        print(f"  {action:<34} DENIED ({exc})")
+
+
+def main() -> None:
+    server = LaminarFreeCS()
+    server.login("root", vip=True)          # VIP; superuser of groups it creates
+    server.create_group("root", "general")
+    server.login("mallory")                  # ordinary user
+    server.login("vicky", vip=True)          # VIP but *not* superuser here
+
+    print("policy: ban requires VIP role AND group superuser power\n")
+    show(server, "mallory joins #general", "mallory", "join", "general")
+    show(server, "mallory chats", "mallory", "say", "general", "hi all")
+    show(server, "mallory tries to ban root", "mallory", "ban", "general", "root")
+    show(server, "vicky (VIP, not su) tries to ban", "vicky", "ban", "general", "mallory")
+    show(server, "root bans mallory", "root", "ban", "general", "mallory")
+    show(server, "mallory tries to rejoin", "mallory", "join", "general")
+    show(server, "root checks who is present", "root", "who", "general")
+    show(server, "root unbans mallory", "root", "unban", "general", "mallory")
+    show(server, "mallory rejoins", "mallory", "join", "general")
+    show(server, "mallory tries to set the theme", "mallory", "theme", "general", "pink")
+    show(server, "root sets the theme", "root", "theme", "general", "dark")
+
+    print(f"\nserver stats: {server.vm.stats.region_entries} regions, "
+          f"{server.vm.barriers.stats.total} barriers, "
+          f"{len(server.messages)} chat messages delivered")
+
+
+if __name__ == "__main__":
+    main()

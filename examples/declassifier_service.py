@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Declassifier modules + the audit trail: the §3.3 service, extended.
+
+A scheduling service hosts *user-supplied declassifier modules*.  The host
+is completely DIFC-ignorant — it invokes modules by name and ships
+whatever they release.  Alice's module releases only her free slots;
+Bob's buggier module tries to release everything, and gets stopped by his
+own capability set.  Everything lands in the audit log.
+
+Run with::
+
+    python examples/declassifier_service.py
+"""
+
+from repro import CapabilitySet, Kernel, Label, LabelPair, LaminarAPI, LaminarVM
+from repro.runtime import Declassifier, DeclassifierRegistry
+
+
+def main() -> None:
+    kernel = Kernel()
+    vm = LaminarVM(kernel)
+    api = LaminarAPI(vm)
+
+    alice = api.create_and_add_capability("alice")
+    bob = api.create_and_add_capability("bob")
+
+    # Each user's calendar: a labeled heap object.
+    with vm.region(secrecy=Label.of(alice), caps=CapabilitySet.dual(alice)):
+        alice_cal = vm.alloc(
+            {"mon": ["9 dentist", "10 free"], "tue": ["14 free", "15 therapy"]},
+            name="alice-cal",
+        )
+    with vm.region(secrecy=Label.of(bob), caps=CapabilitySet.dual(bob)):
+        bob_cal = vm.alloc(
+            {"mon": ["10 free"], "tue": ["14 interview at rival corp"]},
+            name="bob-cal",
+        )
+
+    registry = DeclassifierRegistry(vm)
+
+    # Alice ships a careful module with her full capabilities: it filters
+    # before releasing.
+    registry.register(Declassifier(
+        "alice-free-slots",
+        CapabilitySet.dual(alice),
+        lambda fields: {
+            day: [slot for slot in slots if slot.endswith("free")]
+            for day, slots in fields.items()
+        },
+    ))
+    # Bob's module releases everything — but he only granted it bob+ (he
+    # kept bob- to himself), so the release is impossible.
+    registry.register(Declassifier(
+        "bob-dump-all",
+        CapabilitySet.plus(bob),
+        lambda fields: dict(fields),
+    ))
+
+    # The DIFC-ignorant host thread runs both modules.
+    host = vm.create_thread(
+        "scheduler-host",
+        caps_subset=CapabilitySet.dual(alice).union(CapabilitySet.plus(bob)),
+    )
+    with vm.running(host):
+        released = registry.run("alice-free-slots", alice_cal)
+        print("alice's module released:", released.raw_fields())
+        declined = registry.run("bob-dump-all", bob_cal)
+        print("bob's module released:", declined)
+
+    print("\n=== audit trail (what the auditor reads) ===")
+    print(kernel.audit.render())
+    print(f"\n{len(kernel.audit.declassifications())} declassification(s), "
+          f"{len(kernel.audit.denials())} denial(s) — every release "
+          f"traceable to a named module.")
+
+
+if __name__ == "__main__":
+    main()

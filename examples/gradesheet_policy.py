@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""GradeSheet: Table 4's policy demonstrated cell by cell.
+
+Prints the access matrix the labels induce — professor, TAs, students —
+and shows the information leak Laminar found in the original policy
+(students computing class averages) being blocked.
+
+Run with::
+
+    python examples/gradesheet_policy.py
+"""
+
+from repro.apps.gradesheet import (
+    AccessDenied,
+    LaminarGradeSheet,
+    UnmodifiedGradeSheet,
+)
+
+STUDENTS = 4
+PROJECTS = 3
+
+
+def attempt(fn, *args) -> str:
+    try:
+        result = fn(*args)
+        return "✓" if result is None else f"✓({result})"
+    except AccessDenied:
+        return "✗"
+
+
+def main() -> None:
+    sheet = LaminarGradeSheet(students=STUDENTS, projects=PROJECTS)
+
+    print("Read-access matrix (rows: principals, columns: cells):")
+    principals = (
+        ["professor"]
+        + [f"ta{j}" for j in range(PROJECTS)]
+        + [f"student{i}" for i in range(STUDENTS)]
+    )
+    header = "".join(
+        f"  c{i}{j}" for i in range(STUDENTS) for j in range(PROJECTS)
+    )
+    print(f"{'':<10}{header}")
+    for who in principals:
+        row = ""
+        for i in range(STUDENTS):
+            for j in range(PROJECTS):
+                ok = attempt(sheet.read_grade, who, i, j)
+                row += f"  {'R' if ok.startswith('✓') else '.':>3}"
+        print(f"{who:<10}{row}")
+
+    print("\nWrite access (TA j may only grade project j):")
+    for who in ("professor", "ta0", "ta1", "student0"):
+        marks = [
+            attempt(sheet.write_grade, who, 0, j, 77) for j in range(PROJECTS)
+        ]
+        print(f"  {who:<10} projects 0..{PROJECTS-1}: {marks}")
+
+    print("\nThe leak Laminar found — class averages:")
+    print(f"  professor average(project 0): "
+          f"{attempt(sheet.project_average, 'professor', 0)}")
+    print(f"  student0 average(project 0):  "
+          f"{attempt(sheet.project_average, 'student0', 0)}  <- blocked")
+
+    legacy = UnmodifiedGradeSheet(students=STUDENTS, projects=PROJECTS)
+    print(f"  (original ad-hoc policy leaked it: "
+          f"{legacy.project_average('student0', 0):.1f})")
+
+    stats = sheet.vm.barriers.stats
+    print(f"\nVM work: {stats.total} barriers "
+          f"({stats.label_checks} label checks, "
+          f"{stats.space_checks} space checks), "
+          f"{sheet.vm.stats.region_entries} region entries")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Laminar: practical fine-grained decentralized information flow control.
+
+A from-scratch Python reproduction of Roy, Porter, Bond, McKinley, and
+Witchel's PLDI 2009 system: a DIFC model enforced by a unified pair of
+trusted components — a managed-runtime VM (:mod:`repro.runtime` plus the
+:mod:`repro.jit` mini-compiler) and an operating system security module
+(:mod:`repro.osim`) — with comparison baselines (:mod:`repro.baselines`),
+the paper's four application case studies (:mod:`repro.apps`), and the
+benchmark substrate (:mod:`repro.bench`).
+
+Quickstart::
+
+    from repro import (
+        Kernel, LaminarVM, LaminarAPI, Label, LabelPair, CapabilitySet,
+    )
+
+    kernel = Kernel()
+    vm = LaminarVM(kernel)
+    api = LaminarAPI(vm)
+    secret_tag = api.create_and_add_capability("secret")
+    with vm.region(secrecy=Label.of(secret_tag),
+                   caps=CapabilitySet.dual(secret_tag)):
+        diary = vm.alloc({"entry": "met Bob at 10"},
+                         labels=LabelPair(Label.of(secret_tag)))
+        ...
+
+See README.md for the architecture tour and DESIGN.md for the
+paper-to-module map.
+"""
+
+from .core import (
+    Capability,
+    CapabilitySet,
+    CapType,
+    IFCViolation,
+    IntegrityViolation,
+    Label,
+    LabelChangeViolation,
+    LabelPair,
+    LabelType,
+    LaminarError,
+    Principal,
+    RegionViolation,
+    SecrecyViolation,
+    StaticCheckError,
+    Tag,
+    TagAllocator,
+    can_flow,
+    check_flow,
+)
+from .osim import Kernel, LaminarSecurityModule, NullSecurityModule, SyscallError
+from .runtime import (
+    BarrierMode,
+    LabeledArray,
+    LabeledObject,
+    LaminarAPI,
+    LaminarVM,
+    SecurityRegion,
+    SimThread,
+    laminar_api,
+    secure_method,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BarrierMode",
+    "Capability",
+    "CapabilitySet",
+    "CapType",
+    "IFCViolation",
+    "IntegrityViolation",
+    "Kernel",
+    "Label",
+    "LabelChangeViolation",
+    "LabelPair",
+    "LabelType",
+    "LabeledArray",
+    "LabeledObject",
+    "LaminarAPI",
+    "LaminarError",
+    "LaminarSecurityModule",
+    "LaminarVM",
+    "NullSecurityModule",
+    "Principal",
+    "RegionViolation",
+    "SecrecyViolation",
+    "SecurityRegion",
+    "SimThread",
+    "StaticCheckError",
+    "SyscallError",
+    "Tag",
+    "TagAllocator",
+    "can_flow",
+    "check_flow",
+    "laminar_api",
+    "secure_method",
+    "__version__",
+]

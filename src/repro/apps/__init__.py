@@ -1,0 +1,42 @@
+"""The four case-study applications of Section 7.
+
+Each app exists in two variants that run the same deterministic workload:
+
+* *Unmodified* — the original's ad-hoc security (scattered conditionals,
+  direct data inspection, including the flaws the paper calls out);
+* *Laminar* — the retrofit: labels on the key data structures, security
+  regions around the narrow interfaces that touch them.
+
+============  ====================  ===============================  =========
+App           Protected data        Policy mechanism                 Paper §
+============  ====================  ===============================  =========
+GradeSheet    student grades        per-student secrecy tags +       7.1
+                                    per-project integrity tags
+Battleship    ship locations        per-player secrecy tag,          7.2
+                                    owner-only declassification
+Calendar      schedules             per-user secrecy tags on files   7.3
+                                    and parsed data; scheduler
+                                    declassifies selectively
+FreeCS        membership props      roles as integrity tags on the   7.4
+                                    ban list and group state
+============  ====================  ===============================  =========
+"""
+
+from .battleship import LaminarBattleship, UnmodifiedBattleship
+from .calendar_app import LaminarCalendar, UnmodifiedCalendar
+from .freecs import ChatDenied, LaminarFreeCS, UnmodifiedFreeCS, run_request_mix
+from .gradesheet import AccessDenied, LaminarGradeSheet, UnmodifiedGradeSheet
+
+__all__ = [
+    "AccessDenied",
+    "ChatDenied",
+    "LaminarBattleship",
+    "LaminarCalendar",
+    "LaminarFreeCS",
+    "LaminarGradeSheet",
+    "UnmodifiedBattleship",
+    "UnmodifiedCalendar",
+    "UnmodifiedFreeCS",
+    "UnmodifiedGradeSheet",
+    "run_request_mix",
+]

@@ -1,0 +1,410 @@
+"""FreeCS chat server (Section 7.4): role checks become integrity labels.
+
+The original FreeCS implements its security policy as an authorization
+framework of ``if..then`` role checks scattered over 47 commands ("a user
+who is in the role of a VIP and has superuser power on a group can ban
+another user").  The paper's retrofit localizes all checks in the ``Group``
+and ``User`` classes:
+
+* a role maps onto an integrity tag — ``vip`` for the server-wide VIP role
+  and one ``su(g)`` tag per group for that group's superuser power;
+* sensitive group state (the ban list, the theme) is protected by those
+  integrity tags, so only a principal that can *endorse* with both tags can
+  write the ban list — the role conditionals disappear into the DIFC
+  write rule;
+* the authentication module grants users their role capabilities at login.
+
+Both variants implement the same command set (a representative subset of
+FreeCS's 47), and the benchmark drives the paper's workload: "requests
+from 4,000 users, each invoking three different commands."
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..core import (
+    CapabilitySet,
+    IFCViolation,
+    Label,
+    LabelPair,
+    Tag,
+)
+from ..osim.kernel import Kernel
+from ..runtime.api import LaminarAPI
+from ..runtime.barriers import BarrierMode
+from ..runtime.objects import LabeledObject
+from ..runtime.vm import LaminarVM
+
+
+class ChatDenied(Exception):
+    """Command rejected (both variants raise this)."""
+
+
+#: The command names both variants understand.
+COMMANDS = (
+    "say", "whisper", "join", "leave", "theme", "ban", "unban", "invite",
+    "who", "topic",
+)
+
+
+class UnmodifiedFreeCS:
+    """The original server: authorization as scattered role conditionals.
+
+    Runs on the same simulated OS as the Laminar variant (Null security
+    module): each login is a connection handled by its own kernel thread,
+    and each command costs one request/response round trip — the common
+    substrate the Fig. 9 normalization divides out."""
+
+    def __init__(self, kernel: Optional[Kernel] = None) -> None:
+        from ..osim.lsm import NullSecurityModule
+
+        self.users: dict[str, dict] = {}
+        self.groups: dict[str, dict] = {}
+        self.messages: list[tuple[str, str, str]] = []
+        self.kernel = kernel if kernel is not None else Kernel(NullSecurityModule())
+        self._server = self.kernel.spawn_task("freecs-server")
+        self._zero = self.kernel.sys_open(self._server, "/dev/zero", "r")
+        self._null = self.kernel.sys_open(self._server, "/dev/null", "w")
+
+    def _serve_io(self) -> None:
+        self.kernel.sys_read(self._server, self._zero, 64)
+        self.kernel.sys_write(self._server, self._null, b"x" * 64)
+
+    # -- accounts ----------------------------------------------------------------
+
+    def login(self, user: str, vip: bool = False) -> None:
+        self.kernel.sys_spawn_thread(self._server)
+        self.users[user] = {"vip": vip, "groups": set(), "su": set()}
+
+    def create_group(self, owner: str, group: str) -> None:
+        self.groups[group] = {
+            "members": {owner},
+            "banned": set(),
+            "theme": "default",
+            "topic": "",
+        }
+        self.users[owner]["groups"].add(group)
+        self.users[owner]["su"].add(group)
+
+    # -- commands -------------------------------------------------------------------
+
+    def command(self, user: str, name: str, group: str, arg: str = "") -> Optional[str]:
+        self._serve_io()
+        u = self.users[user]
+        g = self.groups[group]
+        if name == "say":
+            if group not in u["groups"]:
+                raise ChatDenied(f"{user} not in {group}")
+            self.messages.append((user, group, arg))
+            return None
+        if name == "whisper":
+            self.messages.append((user, group, f"(whisper) {arg}"))
+            return None
+        if name == "join":
+            if user in g["banned"]:
+                raise ChatDenied(f"{user} is banned from {group}")
+            g["members"].add(user)
+            u["groups"].add(group)
+            return None
+        if name == "leave":
+            g["members"].discard(user)
+            u["groups"].discard(group)
+            return None
+        if name == "theme":
+            # if..then role check: superuser only.
+            if group not in u["su"]:
+                raise ChatDenied(f"{user} lacks superuser on {group}")
+            g["theme"] = arg
+            return None
+        if name == "ban":
+            # The policy of the paper's example: VIP *and* superuser.
+            if not (u["vip"] and group in u["su"]):
+                raise ChatDenied(f"{user} may not ban in {group}")
+            g["banned"].add(arg)
+            g["members"].discard(arg)
+            return None
+        if name == "unban":
+            if not (u["vip"] and group in u["su"]):
+                raise ChatDenied(f"{user} may not unban in {group}")
+            g["banned"].discard(arg)
+            return None
+        if name == "invite":
+            if group not in u["groups"]:
+                raise ChatDenied(f"{user} not in {group}")
+            if arg in g["banned"]:
+                raise ChatDenied(f"{arg} is banned from {group}")
+            g["members"].add(arg)
+            self.users[arg]["groups"].add(group)
+            return None
+        if name == "who":
+            return ",".join(sorted(g["members"]))
+        if name == "topic":
+            g["topic"] = arg
+            return None
+        raise ChatDenied(f"unknown command {name}")
+
+
+class LaminarFreeCS:
+    """The retrofitted server: membership state in labeled objects, role
+    power expressed as integrity-tag capabilities."""
+
+    def __init__(
+        self,
+        kernel: Optional[Kernel] = None,
+        mode: BarrierMode = BarrierMode.STATIC,
+    ) -> None:
+        self.kernel = kernel if kernel is not None else Kernel()
+        self.vm = LaminarVM(self.kernel, mode=mode, name="freecs")
+        self.api = LaminarAPI(self.vm)
+        #: The server-wide VIP role tag.
+        self.vip_tag: Tag = self.api.create_and_add_capability("vip")
+        #: group -> its superuser tag.
+        self.su_tags: dict[str, Tag] = {}
+        self.users: dict[str, dict] = {}
+        self.groups: dict[str, LabeledObject] = {}
+        #: Unprotected chat traffic (say/whisper write here, label-free).
+        self.messages: list[tuple[str, str, str]] = []
+        #: The server's own worker thread: it performs membership updates
+        #: on users' behalf, so it accumulates su+ for every group (but is
+        #: never VIP — it cannot touch ban lists).
+        self.server_thread = self.vm.create_thread(name="server-worker")
+        self._zero = self.kernel.sys_open(self.vm.main_task, "/dev/zero", "r")
+        self._null = self.kernel.sys_open(self.vm.main_task, "/dev/null", "w")
+
+    def _serve_io(self) -> None:
+        self.kernel.sys_read(self.vm.main_task, self._zero, 64)
+        self.kernel.sys_write(self.vm.main_task, self._null, b"x" * 64)
+
+    # -- authentication: capability grants at login (Section 7.4) ------------------
+
+    def login(self, user: str, vip: bool = False) -> None:
+        caps = CapabilitySet.plus(self.vip_tag) if vip else CapabilitySet.EMPTY
+        thread = self.vm.create_thread(name=user, caps_subset=caps)
+        self.users[user] = {"thread": thread, "vip": vip, "groups": set()}
+
+    def _grant_su(self, user: str, group: str) -> None:
+        """Give a user superuser power on a group: the kernel-mediated
+        capability grant replaces the role bit."""
+        tag = self.su_tags[group]
+        self.users[user]["thread"].gain_capabilities(CapabilitySet.plus(tag))
+
+    def create_group(self, owner: str, group: str) -> None:
+        su_tag = self.api.create_and_add_capability(f"su:{group}")
+        self.su_tags[group] = su_tag
+        # The ban list and theme are protected by {I(vip), I(su_g)}: a write
+        # must be endorsed with both tags, so only VIP+superuser can ban —
+        # the paper's exact example.  Membership/topic carry only I(su_g).
+        admin_pair = LabelPair(
+            Label.EMPTY, Label.of(self.vip_tag, su_tag)
+        )
+        member_pair = LabelPair(Label.EMPTY, Label.of(su_tag))
+        with self.vm.region(
+            integrity=admin_pair.integrity,
+            caps=CapabilitySet.plus(self.vip_tag, su_tag),
+            name=f"mkgroup-{group}",
+        ):
+            banlist = self.vm.alloc(
+                {"banned": set()}, labels=admin_pair, name=f"ban:{group}"
+            )
+        with self.vm.region(
+            integrity=member_pair.integrity,
+            caps=CapabilitySet.plus(su_tag),
+            name=f"mkgroup2-{group}",
+        ):
+            state = self.vm.alloc(
+                {
+                    "members": {owner},
+                    "theme": "default",
+                    "topic": "",
+                    "banlist": banlist,
+                },
+                labels=member_pair,
+                name=f"group:{group}",
+            )
+        self.groups[group] = state
+        self.users[owner]["groups"].add(group)
+        self._grant_su(owner, group)
+        # The server worker maintains membership for this group.
+        self.server_thread.gain_capabilities(CapabilitySet.plus(su_tag))
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _read_group(self, user: str, group: str, field: str):
+        """Reading group state needs no endorsement (integrity reads flow
+        *down* to the unlabeled thread)."""
+        state = self.groups[group]
+        thread = self.users[user]["thread"]
+        out = {}
+        with self.vm.running(thread):
+            with self.vm.region(caps=thread.capabilities, name=f"read-{group}"):
+                out["value"] = state.get(field)
+        return out["value"]
+
+    def _write_group(self, thread, group: str, field: str, value) -> None:
+        """Write a su-protected field of the group state as ``thread``.
+        Entering the region requires the ``su+`` capability; the role
+        conditional of the original is gone."""
+        state = self.groups[group]
+        su_tag = self.su_tags[group]
+        wrote = {}
+        try:
+            with self.vm.running(thread):
+                with self.vm.region(
+                    integrity=Label.of(su_tag),
+                    caps=thread.capabilities,
+                    name=f"write-{group}",
+                ):
+                    state.set(field, value)
+                    wrote["ok"] = True
+        except IFCViolation as exc:
+            raise ChatDenied(str(exc)) from exc
+        if not wrote:
+            raise ChatDenied(f"{thread.name} may not write {field} of {group}")
+
+    def _write_banlist(self, user: str, group: str, banned: set) -> None:
+        """Write the ban list as ``user``: the region needs endorsement
+        with *both* the VIP tag and the group's superuser tag, so only a
+        VIP superuser can ban — the paper's headline example.
+
+        The banlist object reference is fetched in an unlabeled region
+        first (the admin region may not read the lower-integrity group
+        state: no read down)."""
+        state = self.groups[group]
+        su_tag = self.su_tags[group]
+        thread = self.users[user]["thread"]
+        box = {}
+        wrote = {}
+        try:
+            with self.vm.running(thread):
+                with self.vm.region(caps=thread.capabilities, name="fetch"):
+                    box["banlist"] = state.get("banlist")
+                with self.vm.region(
+                    integrity=Label.of(self.vip_tag, su_tag),
+                    caps=thread.capabilities,
+                    name=f"admin-{group}",
+                ):
+                    box["banlist"].set("banned", banned)
+                    wrote["ok"] = True
+        except IFCViolation as exc:
+            raise ChatDenied(str(exc)) from exc
+        if not wrote:
+            raise ChatDenied(f"{user} may not administer {group}")
+
+    # -- commands ----------------------------------------------------------------------
+
+    def command(self, user: str, name: str, group: str, arg: str = "") -> Optional[str]:
+        self._serve_io()
+        u = self.users[user]
+        if name == "say":
+            if group not in u["groups"]:
+                raise ChatDenied(f"{user} not in {group}")
+            self.messages.append((user, group, arg))
+            return None
+        if name == "whisper":
+            self.messages.append((user, group, f"(whisper) {arg}"))
+            return None
+        if name == "join":
+            banlist = self._read_banlist(user, group)
+            if user in banlist:
+                raise ChatDenied(f"{user} is banned from {group}")
+            members = self._read_group(user, group, "members")
+            members.add(user)
+            # Membership is maintained by the server worker on the user's
+            # behalf (it holds su+ for every group); the *policy* check —
+            # the ban list — already happened above through labeled data.
+            self._write_group(self.server_thread, group, "members", members)
+            u["groups"].add(group)
+            return None
+        if name == "leave":
+            members = self._read_group(user, group, "members")
+            members.discard(user)
+            self._write_group(self.server_thread, group, "members", members)
+            u["groups"].discard(group)
+            return None
+        if name == "theme":
+            # Superuser-only: the user's own thread must endorse with su.
+            self._write_group(u["thread"], group, "theme", arg)
+            return None
+        if name == "ban":
+            banned = self._read_banlist(user, group)
+            banned.add(arg)
+            self._write_banlist(user, group, banned)
+            members = self._read_group(user, group, "members")
+            if arg in members:
+                members.discard(arg)
+                self._write_group(self.server_thread, group, "members", members)
+            if arg in self.users:
+                self.users[arg]["groups"].discard(group)
+            return None
+        if name == "unban":
+            banned = self._read_banlist(user, group)
+            banned.discard(arg)
+            self._write_banlist(user, group, banned)
+            return None
+        if name == "invite":
+            if group not in u["groups"]:
+                raise ChatDenied(f"{user} not in {group}")
+            banlist = self._read_banlist(user, group)
+            if arg in banlist:
+                raise ChatDenied(f"{arg} is banned from {group}")
+            members = self._read_group(user, group, "members")
+            members.add(arg)
+            self._write_group(self.server_thread, group, "members", members)
+            self.users[arg]["groups"].add(group)
+            return None
+        if name == "who":
+            return ",".join(sorted(self._read_group(user, group, "members")))
+        if name == "topic":
+            self._write_group(self.server_thread, group, "topic", arg)
+            return None
+        raise ChatDenied(f"unknown command {name}")
+
+    def _read_banlist(self, user: str, group: str) -> set:
+        state = self.groups[group]
+        thread = self.users[user]["thread"]
+        out = {}
+        with self.vm.running(thread):
+            with self.vm.region(caps=thread.capabilities, name=f"radm-{group}"):
+                out["value"] = set(state.get("banlist").get("banned"))
+        return out["value"]
+
+
+def run_request_mix(
+    server, users: int, commands_per_user: int = 3, seed: int = 41
+) -> dict[str, int]:
+    """The paper's workload: ``users`` users each invoking
+    ``commands_per_user`` commands.  VIP+superuser users sprinkle in
+    administrative commands; everyone else chats.  Works on either
+    variant (same driver, Fig. 9 methodology)."""
+    rng = random.Random(seed)
+    server.login("root", vip=True)
+    server.create_group("root", "lobby")
+    outcomes = {"ok": 0, "denied": 0}
+    for i in range(users):
+        name = f"user{i}"
+        vip = i % 50 == 0
+        server.login(name, vip=vip)
+        try:
+            server.command(name, "join", "lobby")
+            outcomes["ok"] += 1
+        except ChatDenied:
+            outcomes["denied"] += 1
+        for c in range(commands_per_user - 1):
+            roll = rng.random()
+            try:
+                if roll < 0.6:
+                    server.command(name, "say", "lobby", f"hello {c}")
+                elif roll < 0.8:
+                    server.command(name, "who", "lobby")
+                elif roll < 0.9:
+                    server.command(name, "whisper", "lobby", "psst")
+                elif roll < 0.97:
+                    server.command(name, "theme", "lobby", "dark")
+                else:
+                    server.command(name, "ban", "lobby", f"user{(i + 1) % users}")
+                outcomes["ok"] += 1
+            except ChatDenied:
+                outcomes["denied"] += 1
+    return outcomes

@@ -1,0 +1,334 @@
+"""GradeSheet (Section 7.1): grade management under the Table 4 policy.
+
+The data structure is a two-dimensional array ``GradeCell``; cell (i, j)
+holds student *i*'s mark for project *j* and is guarded by secrecy tag
+``s_i`` and integrity tag ``p_j``.  Table 4's security sets:
+
+====================  ==========================================
+Principal             Capabilities
+====================  ==========================================
+Student *i*           ``s_i+``, ``s_i-``
+TA *j*                ``s_i+`` for all *i*; ``p_j+``, ``p_j-``
+Professor             everything
+====================  ==========================================
+
+The policy this encodes: (1) the professor reads/writes any cell; (2) a TA
+reads all marks but modifies only cells of the project she grades (the
+integrity tag blocks other writes); (3) a student views only her own marks,
+for any project.
+
+"Interestingly, Laminar found an information leak in the original policy":
+letting a student compute a class average over a project reveals the other
+students' marks.  In :class:`LaminarGradeSheet`, only the professor — who
+holds every ``s_i-`` — can compute and declassify the average; a student
+attempting it fails at region entry.
+
+Two implementations share :class:`GradeSheetBase`'s workload driver:
+
+* :class:`UnmodifiedGradeSheet` — the original ad-hoc ``if role ==``
+  checks (including the leaky average).
+* :class:`LaminarGradeSheet` — labels and security regions on the Laminar
+  runtime.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..core import (
+    CapabilitySet,
+    IFCViolation,
+    Label,
+    LabelPair,
+    Tag,
+)
+from ..osim.kernel import Kernel
+from ..runtime.api import LaminarAPI
+from ..runtime.barriers import BarrierMode
+from ..runtime.objects import LabeledObject
+from ..runtime.vm import LaminarVM
+
+
+class AccessDenied(Exception):
+    """The unmodified application's ad-hoc denial (so both variants raise a
+    common type for the drivers; Laminar raises it from catch blocks)."""
+
+
+class GradeSheetBase:
+    """Shared workload driver: a deterministic query mix over the sheet."""
+
+    def __init__(self, students: int, projects: int) -> None:
+        self.students = students
+        self.projects = projects
+
+    # subclasses implement:
+    def read_grade(self, who: str, student: int, project: int) -> Optional[int]:
+        raise NotImplementedError
+
+    def write_grade(self, who: str, student: int, project: int, mark: int) -> None:
+        raise NotImplementedError
+
+    def project_average(self, who: str, project: int) -> float:
+        raise NotImplementedError
+
+    def serve_request(self) -> None:
+        """Per-query connection handling (request parse + response write),
+        identical in both variants so the Fig. 9 comparison divides out the
+        serving substrate the way the paper's same-JVM setup does."""
+
+    # -- the benchmark query mix -------------------------------------------------
+
+    def run_query_mix(self, queries: int, seed: int = 11) -> dict[str, int]:
+        """The server's query stream: mostly student reads, some TA grading,
+        occasional professor activity.  Returns outcome counts."""
+        rng = random.Random(seed)
+        outcomes = {"reads": 0, "writes": 0, "averages": 0, "denied": 0}
+        for q in range(queries):
+            student = rng.randrange(self.students)
+            project = rng.randrange(self.projects)
+            roll = rng.random()
+            self.serve_request()
+            try:
+                if roll < 0.70:
+                    self.read_grade(f"student{student}", student, project)
+                    outcomes["reads"] += 1
+                elif roll < 0.90:
+                    ta = project  # TA j grades project j
+                    self.write_grade(
+                        f"ta{ta}", student, ta, rng.randrange(0, 101)
+                    )
+                    outcomes["writes"] += 1
+                elif roll < 0.97:
+                    self.read_grade(f"ta{project}", student, project)
+                    outcomes["reads"] += 1
+                else:
+                    self.project_average("professor", project)
+                    outcomes["averages"] += 1
+            except AccessDenied:
+                outcomes["denied"] += 1
+        return outcomes
+
+
+class UnmodifiedGradeSheet(GradeSheetBase):
+    """The original program: roles checked with sprinkled conditionals.
+
+    Faithfully includes the leak Laminar found — any student may call
+    :meth:`project_average`, which reads every student's mark.
+    """
+
+    def __init__(self, students: int = 30, projects: int = 4) -> None:
+        from ..osim.lsm import NullSecurityModule
+
+        super().__init__(students, projects)
+        self.cells = [[0] * projects for _ in range(students)]
+        rng = random.Random(7)
+        for i in range(students):
+            for j in range(projects):
+                self.cells[i][j] = rng.randrange(0, 101)
+        self.kernel = Kernel(NullSecurityModule())
+        self._task = self.kernel.spawn_task("gradesheet-server")
+        self._zero = self.kernel.sys_open(self._task, "/dev/zero", "r")
+        self._null = self.kernel.sys_open(self._task, "/dev/null", "w")
+
+    def serve_request(self) -> None:
+        self.kernel.sys_read(self._task, self._zero, 64)
+        self.kernel.sys_write(self._task, self._null, b"x" * 64)
+
+    @staticmethod
+    def _role(who: str) -> str:
+        if who.startswith("student"):
+            return "student"
+        if who.startswith("ta"):
+            return "ta"
+        return "professor"
+
+    def read_grade(self, who: str, student: int, project: int) -> Optional[int]:
+        role = self._role(who)
+        if role == "student" and who != f"student{student}":
+            raise AccessDenied(f"{who} may not read student{student}'s marks")
+        return self.cells[student][project]
+
+    def write_grade(self, who: str, student: int, project: int, mark: int) -> None:
+        role = self._role(who)
+        if role == "student":
+            raise AccessDenied("students may not write marks")
+        if role == "ta" and who != f"ta{project}":
+            raise AccessDenied(f"{who} did not grade project {project}")
+        self.cells[student][project] = mark
+
+    def project_average(self, who: str, project: int) -> float:
+        # The original policy allowed *anyone* to compute this — the leak.
+        total = sum(self.cells[i][project] for i in range(self.students))
+        return total / self.students
+
+
+class LaminarGradeSheet(GradeSheetBase):
+    """The retrofitted program: ~10% of the code is labels + regions."""
+
+    def __init__(
+        self,
+        students: int = 30,
+        projects: int = 4,
+        kernel: Optional[Kernel] = None,
+        mode: BarrierMode = BarrierMode.STATIC,
+    ) -> None:
+        super().__init__(students, projects)
+        self.kernel = kernel if kernel is not None else Kernel()
+        self.vm = LaminarVM(self.kernel, mode=mode, name="gradesheet")
+        self.api = LaminarAPI(self.vm)
+        # The professor principal bootstraps all tags (it owns everything).
+        self.student_tags: list[Tag] = [
+            self.api.create_and_add_capability(f"s{i}") for i in range(students)
+        ]
+        self.project_tags: list[Tag] = [
+            self.api.create_and_add_capability(f"p{j}") for j in range(projects)
+        ]
+        # Table 4 capability sets.
+        self.principal_caps: dict[str, CapabilitySet] = {"professor": (
+            CapabilitySet.dual(*self.student_tags, *self.project_tags)
+        )}
+        for i in range(students):
+            self.principal_caps[f"student{i}"] = CapabilitySet.dual(
+                self.student_tags[i]
+            )
+        for j in range(projects):
+            self.principal_caps[f"ta{j}"] = CapabilitySet.plus(
+                *self.student_tags
+            ).union(CapabilitySet.dual(self.project_tags[j]))
+        # One kernel thread per principal, holding exactly its Table 4
+        # capabilities — region entry checks run against the entering
+        # *thread's* capabilities, so the policy is enforced by the entry
+        # rules, not by the application.
+        self.threads = {
+            who: self.vm.create_thread(name=who, caps_subset=caps)
+            for who, caps in self.principal_caps.items()
+        }
+        # GradeCell: heterogeneously labeled matrix of labeled objects —
+        # exactly the structure Section 7.5 says OS-granularity systems
+        # cannot express.
+        self._task = self.vm.main_task
+        self._zero = self.kernel.sys_open(self._task, "/dev/zero", "r")
+        self._null = self.kernel.sys_open(self._task, "/dev/null", "w")
+        self.cells: list[list[LabeledObject]] = []
+        rng = random.Random(7)
+        creator_caps = self.principal_caps["professor"]
+        for i in range(students):
+            row = []
+            for j in range(projects):
+                pair = LabelPair(
+                    Label.of(self.student_tags[i]),
+                    Label.of(self.project_tags[j]),
+                )
+                with self.vm.region(
+                    secrecy=pair.secrecy, integrity=pair.integrity,
+                    caps=creator_caps, name=f"init-cell-{i}-{j}",
+                ):
+                    cell = self.vm.alloc(
+                        {"marks": rng.randrange(0, 101)},
+                        labels=pair,
+                        name=f"cell{i}.{j}",
+                    )
+                row.append(cell)
+            self.cells.append(row)
+
+    def serve_request(self) -> None:
+        self.kernel.sys_read(self._task, self._zero, 64)
+        self.kernel.sys_write(self._task, self._null, b"x" * 64)
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _caps(self, who: str) -> CapabilitySet:
+        try:
+            return self.principal_caps[who]
+        except KeyError:
+            raise AccessDenied(f"unknown principal {who!r}") from None
+
+    def _thread(self, who: str):
+        try:
+            return self.threads[who]
+        except KeyError:
+            raise AccessDenied(f"unknown principal {who!r}") from None
+
+    def _cell_pair(self, student: int, project: int) -> LabelPair:
+        return LabelPair(
+            Label.of(self.student_tags[student]),
+            Label.of(self.project_tags[project]),
+        )
+
+    # -- operations ----------------------------------------------------------------
+
+    def read_grade(self, who: str, student: int, project: int) -> Optional[int]:
+        caps = self._caps(who)
+        pair = self._cell_pair(student, project)
+        out: dict[str, int] = {}
+        # Reading requires tainting with s_i; anyone lacking s_i+ is
+        # rejected at region entry — the Table 4 policy falls out of the
+        # entry rules, with no role conditionals anywhere.
+        try:
+            with self.vm.running(self._thread(who)):
+                with self.vm.region(
+                    secrecy=pair.secrecy, caps=caps, name=f"read-{who}"
+                ):
+                    out["marks"] = self.cells[student][project].get("marks")
+        except IFCViolation as exc:
+            raise AccessDenied(str(exc)) from exc
+        if "marks" not in out:
+            raise AccessDenied(f"{who} could not read cell {student},{project}")
+        return out["marks"]
+
+    def write_grade(self, who: str, student: int, project: int, mark: int) -> None:
+        caps = self._caps(who)
+        pair = self._cell_pair(student, project)
+        wrote: dict[str, bool] = {}
+        # Writing needs the cell's integrity tag p_j: the write flows from
+        # the thread to the cell, so I_cell ⊆ I_thread must hold.
+        try:
+            with self.vm.running(self._thread(who)):
+                with self.vm.region(
+                    secrecy=pair.secrecy,
+                    integrity=pair.integrity,
+                    caps=caps,
+                    name=f"write-{who}",
+                ):
+                    self.cells[student][project].set("marks", mark)
+                    wrote["ok"] = True
+        except IFCViolation as exc:
+            raise AccessDenied(str(exc)) from exc
+        if not wrote:
+            raise AccessDenied(f"{who} could not write cell {student},{project}")
+
+    def project_average(self, who: str, project: int) -> float:
+        caps = self._caps(who)
+        all_secrecy = Label.of(*self.student_tags)
+        result: dict[str, float] = {}
+        failure: list[BaseException] = []
+
+        def catch(exc: BaseException) -> None:
+            failure.append(exc)
+
+        try:
+            # Reading every student's cell taints the thread with every
+            # s_i; declassifying the average then needs every s_i-.  Only
+            # the professor can even *enter* this region (needs all s_i+).
+            with self.vm.running(self._thread(who)):
+                with self.vm.region(
+                    secrecy=all_secrecy, caps=caps, catch=catch,
+                    name=f"average-{who}",
+                ):
+                    total = 0
+                    for i in range(self.students):
+                        total += self.cells[i][project].get("marks")
+                    summed = self.vm.alloc(
+                        {"value": total / self.students}, name="avg"
+                    )
+                    with self.vm.region(caps=caps, name="declassify-average"):
+                        declassified = self.api.copy_and_label(summed)
+                        result["avg"] = declassified.get("value")
+        except IFCViolation as exc:
+            raise AccessDenied(str(exc)) from exc
+        if failure or "avg" not in result:
+            raise AccessDenied(
+                f"{who} may not declassify the project {project} average"
+            )
+        return result["avg"]

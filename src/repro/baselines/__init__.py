@@ -1,0 +1,53 @@
+"""Comparison systems.
+
+* **vanilla** — unmodified Linux + unmodified JVM: a kernel with the
+  :class:`~repro.osim.lsm.NullSecurityModule` and a VM in
+  :class:`~repro.runtime.barriers.BarrierMode` ``NONE``.  The
+  normalization denominator for Table 2 and Figure 8.
+* **Flume** (:mod:`.flume`) — user-level reference monitor with
+  address-space labels and endpoints; the 4-35× syscall-latency and
+  granularity comparison of Sections 6.2 and 7.5.
+* **page-level** (:mod:`.pagelevel`) — HiStar-style page-granularity
+  enforcement; the fragmentation/label-switch ablation behind Table 1's
+  "inefficient because of page table mechanisms" row.
+"""
+
+from ..osim.kernel import Kernel
+from ..osim.lsm import NullSecurityModule
+from ..runtime.barriers import BarrierMode
+from ..runtime.vm import LaminarVM
+from .flume import FlatNamespace, FlumeEndpoint, FlumeMonitor, FlumeProcess
+from .pagelevel import (
+    DEFAULT_PAGE_SLOTS,
+    Page,
+    PagedHeap,
+    PagedObject,
+    PagedThread,
+    PageStats,
+)
+
+
+def vanilla_kernel() -> Kernel:
+    """A kernel with no DIFC enforcement (unmodified Linux)."""
+    return Kernel(NullSecurityModule())
+
+
+def vanilla_vm(kernel: Kernel | None = None) -> LaminarVM:
+    """A VM with no barriers (unmodified JVM) on a vanilla kernel."""
+    return LaminarVM(kernel or vanilla_kernel(), mode=BarrierMode.NONE, name="vanilla")
+
+
+__all__ = [
+    "DEFAULT_PAGE_SLOTS",
+    "FlatNamespace",
+    "FlumeEndpoint",
+    "FlumeMonitor",
+    "FlumeProcess",
+    "Page",
+    "PagedHeap",
+    "PagedObject",
+    "PagedThread",
+    "PageStats",
+    "vanilla_kernel",
+    "vanilla_vm",
+]

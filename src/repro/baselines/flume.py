@@ -1,0 +1,219 @@
+"""A Flume-style baseline: user-level reference monitor, per-address-space
+labels, endpoints.
+
+Flume (Krohn et al., SOSP 2007) is the OS-level comparison point the paper
+uses twice:
+
+* **Granularity** — "Flume tracks information flow at the granularity of an
+  entire address space"; it cannot enforce DIFC on heterogeneously labeled
+  objects inside one process (Section 7.5).  :class:`FlumeProcess` has
+  exactly one label pair for everything it holds.
+* **Cost** — "Flume adds a factor of 4-35× to the latency of system calls
+  relative to unmodified Linux" (Section 6.2) because every mediated call
+  leaves the kernel for a user-space monitor over an RPC.
+  :class:`FlumeMonitor` models that path faithfully enough to measure: each
+  intercepted syscall serializes its arguments, crosses into the monitor
+  (a message queue hop), re-parses, label-checks, and only then performs
+  the underlying operation on a vanilla kernel.
+
+The monitor sits on top of an *unmodified* kernel
+(:class:`~repro.osim.lsm.NullSecurityModule`), exactly like the real Flume.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections import deque
+from typing import Any, Optional
+
+from ..core import (
+    CapabilitySet,
+    Label,
+    LabelPair,
+    Tag,
+    can_flow,
+    check_flow,
+    check_label_change,
+)
+from ..osim.kernel import Kernel
+from ..osim.lsm import NullSecurityModule
+from ..osim.task import EACCES, SyscallError, Task
+
+
+class FlumeProcess:
+    """A confined process: one label pair for the whole address space."""
+
+    def __init__(self, name: str, task: Task) -> None:
+        self.name = name
+        self.task = task
+        self.labels = LabelPair.EMPTY
+        self.caps = CapabilitySet.EMPTY
+        self.endpoints: list["FlumeEndpoint"] = []
+
+    def raise_label(self, secrecy: Label) -> None:
+        """Self-tainting to read secret data taints *everything* the
+        process holds — the whole-address-space granularity."""
+        check_label_change(
+            self.labels.secrecy,
+            self.labels.secrecy.union(secrecy),
+            self.caps,
+            context=f"{self.name} raise",
+        )
+        self.labels = LabelPair(
+            self.labels.secrecy.union(secrecy), self.labels.integrity
+        )
+
+
+class FlumeEndpoint:
+    """A communication endpoint with its own label; Flume checks flows at
+    endpoint granularity so a process can hold endpoints it is not
+    currently allowed to use."""
+
+    def __init__(self, labels: LabelPair) -> None:
+        self.labels = labels
+        self.queue: deque[bytes] = deque()
+
+
+class FlatNamespace:
+    """Flume's flat namespace for labeled data (referenced in §5.2).
+
+    Hierarchical filesystems entangle a file's integrity with every
+    directory on its path (creating a name writes the parent; resolving a
+    name reads it).  Flume side-steps the whole problem with a flat store:
+    objects are named by opaque ids, there are no directories, so the only
+    labels in play are the object's own.  A high-integrity task can store
+    and retrieve endorsed data with no administrator trust and no
+    relative-path gymnastics — at the cost of giving up names entirely.
+    """
+
+    def __init__(self) -> None:
+        self._objects: dict[int, tuple[LabelPair, bytes]] = {}
+        self._next_id = 1
+
+    def put(self, process: "FlumeProcess", labels: LabelPair, data: bytes) -> int:
+        """Store a labeled object; the write must flow from the process."""
+        check_flow(process.labels, labels, context="flatns put")
+        handle = self._next_id
+        self._next_id += 1
+        self._objects[handle] = (labels, bytes(data))
+        return handle
+
+    def get(self, process: "FlumeProcess", handle: int) -> bytes:
+        """Fetch by id; the read must flow to the process.  Unknown and
+        unreadable handles are indistinguishable (no name channel)."""
+        entry = self._objects.get(handle)
+        if entry is None:
+            raise KeyError("no such object")
+        labels, data = entry
+        if not can_flow(labels, process.labels):
+            raise KeyError("no such object")
+        return data
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+
+class FlumeMonitor:
+    """The user-level reference monitor.
+
+    Every mediated operation pays the RPC round trip:
+    ``_rpc`` pickles the request, hops it through the monitor's message
+    queue, unpickles, and dispatches — the structural source of the 4-35×
+    syscall latency factor the comparison benchmark measures.
+    """
+
+    def __init__(self, kernel: Optional[Kernel] = None) -> None:
+        self.kernel = kernel if kernel is not None else Kernel(NullSecurityModule())
+        self.processes: dict[str, FlumeProcess] = {}
+        self.flatns = FlatNamespace()
+        self._inbox: deque[bytes] = deque()
+        self.rpc_count = 0
+
+    # -- process management --------------------------------------------------------
+
+    def spawn(self, name: str) -> FlumeProcess:
+        task = self.kernel.spawn_task(f"flume-{name}")
+        process = FlumeProcess(name, task)
+        self.processes[name] = process
+        return process
+
+    def create_tag(self, process: FlumeProcess, name: str = "") -> Tag:
+        request = self._rpc("create_tag", process.name, name)
+        tag = self.kernel.tags.alloc(request[2])
+        process.caps = process.caps.union(CapabilitySet.dual(tag))
+        return tag
+
+    # -- the RPC path ----------------------------------------------------------------
+
+    #: Simulated cost of the monitor round trip (two context switches plus
+    #: IPC copies), in the same loop-iteration currency as
+    #: :attr:`repro.osim.kernel.Kernel.SYSCALL_WORK`.  Real Flume pays
+    #: ~10-30 µs against ~0.13 µs null syscalls; the simulated kernel's
+    #: time scale is ~60x, so the hop is scaled to match (this is what
+    #: makes the 4-35x factor of Section 6.2 reproducible).
+    MONITOR_HOP_WORK = 25_000
+
+    def _rpc(self, op: str, *args: Any) -> tuple:
+        """One user-level monitor round trip: serialize, enqueue, cross
+        into the monitor (simulated context switches), dequeue,
+        deserialize."""
+        self.rpc_count += 1
+        wire = pickle.dumps((op, *args))
+        self._inbox.append(wire)
+        for _ in range(self.MONITOR_HOP_WORK):
+            pass
+        received = self._inbox.popleft()
+        return pickle.loads(received)
+
+    # -- mediated filesystem operations ----------------------------------------------
+
+    def open(self, process: FlumeProcess, path: str, mode: str = "r") -> int:
+        self._rpc("open", process.name, path, mode)
+        inode = self.kernel.fs.resolve(path, process.task.cwd)
+        if "r" in mode and not can_flow(inode.labels, process.labels):
+            raise SyscallError(EACCES, f"flume: {process.name} may not read {path}")
+        if ("w" in mode or "a" in mode) and not can_flow(process.labels, inode.labels):
+            raise SyscallError(EACCES, f"flume: {process.name} may not write {path}")
+        return self.kernel.sys_open(process.task, path, mode)
+
+    def read(self, process: FlumeProcess, fd: int, count: int = -1) -> bytes:
+        self._rpc("read", process.name, fd, count)
+        file = process.task.lookup_fd(fd)
+        check_flow(file.inode.labels, process.labels, context="flume read")
+        return self.kernel.sys_read(process.task, fd, count)
+
+    def write(self, process: FlumeProcess, fd: int, data: bytes) -> int:
+        self._rpc("write", process.name, fd, len(data))
+        file = process.task.lookup_fd(fd)
+        check_flow(process.labels, file.inode.labels, context="flume write")
+        return self.kernel.sys_write(process.task, fd, data)
+
+    def stat(self, process: FlumeProcess, path: str) -> dict[str, Any]:
+        self._rpc("stat", process.name, path)
+        inode = self.kernel.fs.resolve(path, process.task.cwd)
+        check_flow(inode.labels, process.labels, context="flume stat")
+        return self.kernel.sys_stat(process.task, path)
+
+    # -- endpoints ---------------------------------------------------------------------
+
+    def create_endpoint(
+        self, process: FlumeProcess, labels: Optional[LabelPair] = None
+    ) -> FlumeEndpoint:
+        self._rpc("create_endpoint", process.name)
+        endpoint = FlumeEndpoint(labels if labels is not None else process.labels)
+        process.endpoints.append(endpoint)
+        return endpoint
+
+    def send(self, process: FlumeProcess, endpoint: FlumeEndpoint, data: bytes) -> None:
+        """Flume checks the *endpoint* labels; a process may only use an
+        endpoint whose labels its own labels allow."""
+        self._rpc("send", process.name, len(data))
+        check_flow(process.labels, endpoint.labels, context="flume send")
+        endpoint.queue.append(bytes(data))
+
+    def receive(self, process: FlumeProcess, endpoint: FlumeEndpoint) -> bytes:
+        self._rpc("receive", process.name)
+        check_flow(endpoint.labels, process.labels, context="flume receive")
+        if not endpoint.queue:
+            return b""
+        return endpoint.queue.popleft()

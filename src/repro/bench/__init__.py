@@ -1,0 +1,38 @@
+"""Benchmark substrate: workload generators, lmbench rows, and the
+measurement/normalization harness.  The actual table/figure benchmarks
+live in the top-level ``benchmarks/`` directory; this package is the
+library they share."""
+
+from .harness import (
+    DEFAULT_TRIALS,
+    Row,
+    geometric_mean,
+    median_seconds,
+    overhead_pct,
+    render_breakdown,
+    render_table,
+)
+from .lmbench import (
+    LMBENCH_EXTENDED_ROWS,
+    LMBENCH_ROWS,
+    PAPER_TABLE2_OVERHEAD_PCT,
+    setup_tree,
+)
+from .workloads import ALL_WORKLOADS, DACAPO_LIKE, PSEUDOJBB
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "DACAPO_LIKE",
+    "DEFAULT_TRIALS",
+    "LMBENCH_EXTENDED_ROWS",
+    "LMBENCH_ROWS",
+    "PAPER_TABLE2_OVERHEAD_PCT",
+    "PSEUDOJBB",
+    "Row",
+    "geometric_mean",
+    "median_seconds",
+    "overhead_pct",
+    "render_breakdown",
+    "render_table",
+    "setup_tree",
+]

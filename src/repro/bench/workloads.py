@@ -1,0 +1,646 @@
+"""Synthetic IR workloads standing in for DaCapo and pseudojbb (Fig. 8).
+
+The paper measures its JVM overhead on the DaCapo suite plus a fixed-work
+SPECjbb2000 (pseudojbb) — programs *without security regions*, so all
+cost comes from barriers on ordinary heap traffic.  The suite here spans
+the same axis that determines barrier overhead: heap-access density (heap
+operations per instruction).
+
+=============  ====================================  ===================
+Workload       Shape                                 Heap density
+=============  ====================================  ===================
+``listsum``    build + traverse a linked list        high (field-heavy)
+``sortbench``  insertion-sort an int array           high (array-heavy)
+``treebuild``  build + sum a binary search tree      medium
+``hashchurn``  open-addressing hash table churn      medium
+``matmul``     dense matrix multiply on arrays       high (array-heavy)
+``objgraph``   pointer-chasing over an object graph  high (field-heavy)
+``arith``      scalar arithmetic loop                near zero
+``txnmix``     order-processing transactions          medium (pseudojbb)
+=============  ====================================  ===================
+
+Each generator returns IR assembler text parameterized by a size knob so
+benchmarks can scale run time; ``main`` returns a checksum so tests can
+verify all three JIT configurations compute identical results.
+"""
+
+from __future__ import annotations
+
+LISTSUM = """
+class Node {{ value, next }}
+
+method main() {{
+entry:
+  const n, {n}
+  call head, build, n
+  const total, 0
+  const k, 0
+  const reps, {reps}
+  jmp outer
+outer:
+  binop c, lt, k, reps
+  br c, inner, done
+inner:
+  call s, total, head
+  binop total, add, total, s
+  const one, 1
+  binop k, add, k, one
+  jmp outer
+done:
+  ret total
+}}
+
+method build(n) {{
+entry:
+  const i, 0
+  const head, null
+  jmp loop
+loop:
+  binop cond, lt, i, n
+  br cond, body, done
+body:
+  new node, Node
+  putfield node, value, i
+  putfield node, next, head
+  mov head, node
+  const one, 1
+  binop i, add, i, one
+  jmp loop
+done:
+  ret head
+}}
+
+method total(head) {{
+entry:
+  const sum, 0
+  mov cur, head
+  jmp loop
+loop:
+  const nullv, null
+  binop cond, ne, cur, nullv
+  br cond, body, done
+body:
+  getfield v, cur, value
+  binop sum, add, sum, v
+  getfield cur, cur, next
+  jmp loop
+done:
+  ret sum
+}}
+"""
+
+
+SORTBENCH = """
+method main() {{
+entry:
+  const n, {n}
+  newarray a, n
+  call _, fill, a
+  call _, isort, a
+  call chk, checksum, a
+  ret chk
+}}
+
+method fill(a) {{
+entry:
+  arraylen n, a
+  const i, 0
+  const seed, 12345
+  jmp loop
+loop:
+  binop c, lt, i, n
+  br c, body, done
+body:
+  const m, 1103515245
+  const inc, 12345
+  const mask, 2147483647
+  binop seed, mul, seed, m
+  binop seed, add, seed, inc
+  binop seed, band, seed, mask
+  astore a, i, seed
+  const one, 1
+  binop i, add, i, one
+  jmp loop
+done:
+  ret
+}}
+
+method isort(a) {{
+entry:
+  arraylen n, a
+  const i, 1
+  jmp outer
+outer:
+  binop c, lt, i, n
+  br c, load, done
+load:
+  aload key, a, i
+  const one, 1
+  binop j, sub, i, one
+  jmp inner
+inner:
+  const zero, 0
+  binop ge, ge, j, zero
+  br ge, check, place
+check:
+  aload v, a, j
+  binop gtv, gt, v, key
+  br gtv, shift, place
+shift:
+  const one, 1
+  binop j1, add, j, one
+  astore a, j1, v
+  binop j, sub, j, one
+  jmp inner
+place:
+  const one, 1
+  binop j1, add, j, one
+  astore a, j1, key
+  binop i, add, i, one
+  jmp outer
+done:
+  ret
+}}
+
+method checksum(a) {{
+entry:
+  arraylen n, a
+  const i, 0
+  const sum, 0
+  jmp loop
+loop:
+  binop c, lt, i, n
+  br c, body, done
+body:
+  aload v, a, i
+  binop sum, bxor, sum, v
+  binop sum, add, sum, i
+  const one, 1
+  binop i, add, i, one
+  jmp loop
+done:
+  ret sum
+}}
+"""
+
+
+TREEBUILD = """
+class Tree {{ key, left, right }}
+
+method main() {{
+entry:
+  const n, {n}
+  const root, null
+  const i, 0
+  const seed, 777
+  jmp loop
+loop:
+  binop c, lt, i, n
+  br c, body, sum
+body:
+  const m, 48271
+  const mod, 2147483647
+  binop seed, mul, seed, m
+  binop seed, mod, seed, mod
+  call root, insert, root, seed
+  const one, 1
+  binop i, add, i, one
+  jmp loop
+sum:
+  call total, sumtree, root
+  ret total
+}}
+
+method insert(node, key) {{
+entry:
+  const nullv, null
+  binop isnull, eq, node, nullv
+  br isnull, fresh, descend
+fresh:
+  new t, Tree
+  putfield t, key, key
+  putfield t, left, nullv
+  putfield t, right, nullv
+  ret t
+descend:
+  getfield k, node, key
+  binop less, lt, key, k
+  br less, goleft, goright
+goleft:
+  getfield l, node, left
+  call l2, insert, l, key
+  putfield node, left, l2
+  ret node
+goright:
+  getfield r, node, right
+  call r2, insert, r, key
+  putfield node, right, r2
+  ret node
+}}
+
+method sumtree(node) {{
+entry:
+  const nullv, null
+  binop isnull, eq, node, nullv
+  br isnull, zero, walk
+zero:
+  const z, 0
+  ret z
+walk:
+  getfield k, node, key
+  getfield l, node, left
+  call ls, sumtree, l
+  getfield r, node, right
+  call rs, sumtree, r
+  binop s, add, ls, rs
+  binop s, add, s, k
+  const mask, 1073741823
+  binop s, band, s, mask
+  ret s
+}}
+"""
+
+
+HASHCHURN = """
+method main() {{
+entry:
+  const cap, {cap}
+  newarray keys, cap
+  newarray vals, cap
+  const n, {n}
+  const i, 0
+  const seed, 31
+  const hits, 0
+  jmp loop
+loop:
+  binop c, lt, i, n
+  br c, body, done
+body:
+  const m, 1103515245
+  const inc, 12345
+  const mask, 2147483647
+  binop seed, mul, seed, m
+  binop seed, add, seed, inc
+  binop seed, band, seed, mask
+  call h, probe, keys, seed
+  aload existing, keys, h
+  binop hit, eq, existing, seed
+  br hit, count, store
+count:
+  const one, 1
+  binop hits, add, hits, one
+  jmp next
+store:
+  astore keys, h, seed
+  astore vals, h, i
+  jmp next
+next:
+  const one, 1
+  binop i, add, i, one
+  jmp loop
+done:
+  binop out, shl, hits, i
+  ret out
+}}
+
+method probe(keys, key) {{
+entry:
+  arraylen cap, keys
+  binop h, mod, key, cap
+  const tries, 0
+  jmp loop
+loop:
+  aload slot, keys, h
+  const empty, 0
+  binop isempty, eq, slot, empty
+  br isempty, found, checkkey
+checkkey:
+  binop same, eq, slot, key
+  br same, found, advance
+advance:
+  const one, 1
+  binop h, add, h, one
+  binop h, mod, h, cap
+  binop tries, add, tries, one
+  binop full, ge, tries, cap
+  br full, found, loop
+found:
+  ret h
+}}
+"""
+
+
+MATMUL = """
+method main() {{
+entry:
+  const n, {n}
+  binop nn, mul, n, n
+  newarray a, nn
+  newarray b, nn
+  newarray c, nn
+  call _, fill, a
+  call _, fill, b
+  call _, mul, a, b, c
+  call chk, checksum, c
+  ret chk
+}}
+
+method fill(m) {{
+entry:
+  arraylen nn, m
+  const i, 0
+  jmp loop
+loop:
+  binop cnd, lt, i, nn
+  br cnd, body, done
+body:
+  const seven, 7
+  binop v, mul, i, seven
+  const mask, 1023
+  binop v, band, v, mask
+  astore m, i, v
+  const one, 1
+  binop i, add, i, one
+  jmp loop
+done:
+  ret
+}}
+
+method mul(a, b, c) {{
+entry:
+  arraylen nn, a
+  const i, 0
+  jmp guessn
+guessn:
+  const n, {n}
+  jmp rows
+rows:
+  binop cnd, lt, i, n
+  br cnd, cols_init, done
+cols_init:
+  const j, 0
+  jmp cols
+cols:
+  binop cnd2, lt, j, n
+  br cnd2, inner_init, next_row
+inner_init:
+  const k, 0
+  const acc, 0
+  jmp inner
+inner:
+  binop cnd3, lt, k, n
+  br cnd3, body, store
+body:
+  binop ai, mul, i, n
+  binop ai, add, ai, k
+  aload av, a, ai
+  binop bi, mul, k, n
+  binop bi, add, bi, j
+  aload bv, b, bi
+  binop p, mul, av, bv
+  binop acc, add, acc, p
+  const one, 1
+  binop k, add, k, one
+  jmp inner
+store:
+  binop ci, mul, i, n
+  binop ci, add, ci, j
+  astore c, ci, acc
+  const one, 1
+  binop j, add, j, one
+  jmp cols
+next_row:
+  const one, 1
+  binop i, add, i, one
+  jmp rows
+done:
+  ret
+}}
+
+method checksum(m) {{
+entry:
+  arraylen nn, m
+  const i, 0
+  const sum, 0
+  jmp loop
+loop:
+  binop cnd, lt, i, nn
+  br cnd, body, done
+body:
+  aload v, m, i
+  binop sum, bxor, sum, v
+  const one, 1
+  binop i, add, i, one
+  jmp loop
+done:
+  ret sum
+}}
+"""
+
+
+OBJGRAPH = """
+class Vertex {{ id, weight, a, b }}
+
+method main() {{
+entry:
+  const n, {n}
+  call start, buildring, n
+  const steps, {steps}
+  call w, walk, start, steps
+  ret w
+}}
+
+method buildring(n) {{
+entry:
+  new first, Vertex
+  const zero, 0
+  putfield first, id, zero
+  putfield first, weight, zero
+  mov prev, first
+  const i, 1
+  jmp loop
+loop:
+  binop c, lt, i, n
+  br c, body, close
+body:
+  new v, Vertex
+  putfield v, id, i
+  const three, 3
+  binop w, mul, i, three
+  putfield v, weight, w
+  putfield prev, a, v
+  putfield v, b, prev
+  mov prev, v
+  const one, 1
+  binop i, add, i, one
+  jmp loop
+close:
+  putfield prev, a, first
+  putfield first, b, prev
+  ret first
+}}
+
+method walk(start, steps) {{
+entry:
+  mov cur, start
+  const acc, 0
+  const i, 0
+  jmp loop
+loop:
+  binop c, lt, i, steps
+  br c, body, done
+body:
+  getfield w, cur, weight
+  binop acc, add, acc, w
+  const two, 2
+  binop parity, band, i, two
+  br parity, fwd, back
+fwd:
+  getfield cur, cur, a
+  jmp next
+back:
+  getfield cur, cur, b
+  jmp next
+next:
+  const one, 1
+  binop i, add, i, one
+  jmp loop
+done:
+  ret acc
+}}
+"""
+
+
+ARITH = """
+method main() {{
+entry:
+  const n, {n}
+  const i, 0
+  const acc, 1
+  jmp loop
+loop:
+  binop c, lt, i, n
+  br c, body, done
+body:
+  const k, 2654435761
+  binop acc, mul, acc, k
+  const mask, 4294967295
+  binop acc, band, acc, mask
+  binop acc, bxor, acc, i
+  const one, 1
+  binop i, add, i, one
+  jmp loop
+done:
+  ret acc
+}}
+"""
+
+
+TXNMIX = """
+class Order {{ id, qty, price, total, status }}
+class Account {{ id, balance, orders }}
+
+method main() {{
+entry:
+  const n, {n}
+  new acct, Account
+  const zero, 0
+  putfield acct, id, zero
+  const opening, 1000000
+  putfield acct, balance, opening
+  putfield acct, orders, zero
+  const i, 0
+  jmp loop
+loop:
+  binop c, lt, i, n
+  br c, body, done
+body:
+  call _, txn, acct, i
+  const one, 1
+  binop i, add, i, one
+  jmp loop
+done:
+  getfield bal, acct, balance
+  getfield cnt, acct, orders
+  binop out, bxor, bal, cnt
+  ret out
+}}
+
+method txn(acct, i) {{
+entry:
+  new order, Order
+  putfield order, id, i
+  const seven, 7
+  binop q, mod, i, seven
+  const one, 1
+  binop q, add, q, one
+  putfield order, qty, q
+  const base, 99
+  binop p, mul, q, base
+  putfield order, price, p
+  getfield qq, order, qty
+  getfield pp, order, price
+  binop tot, mul, qq, pp
+  putfield order, total, tot
+  const filled, 1
+  putfield order, status, filled
+  getfield bal, acct, balance
+  binop bal, sub, bal, tot
+  putfield acct, balance, bal
+  getfield cnt, acct, orders
+  binop cnt, add, cnt, one
+  putfield acct, orders, cnt
+  ret
+}}
+"""
+
+
+def listsum(n: int = 400, reps: int = 40) -> str:
+    return LISTSUM.format(n=n, reps=reps)
+
+
+def sortbench(n: int = 220) -> str:
+    return SORTBENCH.format(n=n)
+
+
+def treebuild(n: int = 700) -> str:
+    return TREEBUILD.format(n=n)
+
+
+def hashchurn(n: int = 2000, cap: int = 8192) -> str:
+    # n well below cap: open addressing degrades to full-table scans near
+    # saturation, which would measure the probe loop, not barrier cost.
+    return HASHCHURN.format(n=n, cap=cap)
+
+
+def matmul(n: int = 18) -> str:
+    return MATMUL.format(n=n)
+
+
+def objgraph(n: int = 300, steps: int = 20000) -> str:
+    return OBJGRAPH.format(n=n, steps=steps)
+
+
+def arith(n: int = 30000) -> str:
+    return ARITH.format(n=n)
+
+
+def txnmix(n: int = 2500) -> str:
+    return TXNMIX.format(n=n)
+
+
+#: name -> zero-argument source generator with paper-bench default sizes.
+DACAPO_LIKE = {
+    "listsum": listsum,
+    "sortbench": sortbench,
+    "treebuild": treebuild,
+    "hashchurn": hashchurn,
+    "matmul": matmul,
+    "objgraph": objgraph,
+    "arith": arith,
+}
+
+#: The pseudojbb stand-in.
+PSEUDOJBB = {"txnmix": txnmix}
+
+ALL_WORKLOADS = {**DACAPO_LIKE, **PSEUDOJBB}

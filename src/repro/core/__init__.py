@@ -1,0 +1,77 @@
+"""The Laminar DIFC model: tags, labels, capabilities, and flow rules.
+
+This package is the formal heart of the reproduction (Section 3 of the
+paper).  Everything else — the VM runtime, the mini-JIT, the simulated OS,
+the baselines, the applications — consults these rules and never
+reimplements them.
+"""
+
+from .audit import AuditEntry, AuditKind, AuditLog
+from .capabilities import Capability, CapabilitySet, CapType
+from .errors import (
+    CapabilityViolation,
+    IFCViolation,
+    IntegrityViolation,
+    LabelChangeViolation,
+    LaminarError,
+    LaminarUsageError,
+    ProcessExit,
+    RegionExitViolation,
+    RegionViolation,
+    SecrecyViolation,
+    StaticCheckError,
+    VMPanic,
+)
+from .labels import Label, LabelPair, LabelType
+from .principal import Principal
+from .rules import (
+    can_change_label,
+    can_flow,
+    check_flow,
+    check_label_change,
+    check_pair_change,
+    integrity_allows,
+    labeled_create_allowed,
+    region_entry_allowed,
+    secrecy_allows,
+)
+from .tags import Tag, TagAllocator, TagExhaustedError, TAG_BITS, TAG_UNIVERSE
+
+__all__ = [
+    "AuditEntry",
+    "AuditKind",
+    "AuditLog",
+    "Capability",
+    "CapabilitySet",
+    "CapType",
+    "CapabilityViolation",
+    "IFCViolation",
+    "IntegrityViolation",
+    "Label",
+    "LabelChangeViolation",
+    "LabelPair",
+    "LabelType",
+    "LaminarError",
+    "LaminarUsageError",
+    "Principal",
+    "ProcessExit",
+    "RegionExitViolation",
+    "RegionViolation",
+    "SecrecyViolation",
+    "StaticCheckError",
+    "VMPanic",
+    "Tag",
+    "TagAllocator",
+    "TagExhaustedError",
+    "TAG_BITS",
+    "TAG_UNIVERSE",
+    "can_change_label",
+    "can_flow",
+    "check_flow",
+    "check_label_change",
+    "check_pair_change",
+    "integrity_allows",
+    "labeled_create_allowed",
+    "region_entry_allowed",
+    "secrecy_allows",
+]

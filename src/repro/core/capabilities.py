@@ -1,0 +1,182 @@
+"""Capabilities: the privilege to add or remove tags.
+
+For each tag ``t`` the model defines two capabilities (Section 3.1):
+
+* ``t+`` — the *plus* capability: classify data with secrecy tag ``t`` (add
+  ``t`` to one's secrecy label) or endorse data with integrity tag ``t``.
+* ``t-`` — the *minus* capability: declassify (remove ``t`` from a secrecy
+  label) or drop an endorsement.
+
+A principal's capability set ``Cp`` is defined on tags, not on labels: the
+same tag could in principle appear in both a secrecy and an integrity label,
+though in practice a tag is rarely used for both purposes.  ``Cp+`` is the
+set of tags the principal may add, ``Cp-`` the set it may remove.
+
+DIFC capabilities are *not* the pointers-with-access-rights of
+capability-based operating systems like EROS; they are transferable,
+kernel-mediated privileges over tags (Section 2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from .labels import Label
+from .tags import Tag
+
+
+class CapType(enum.Enum):
+    """Which capability an operation refers to (Fig. 2's CapType)."""
+
+    PLUS = "+"
+    MINUS = "-"
+    BOTH = "+-"
+
+
+@dataclass(frozen=True)
+class Capability:
+    """A single capability: a (tag, plus-or-minus) pair such as ``a+``."""
+
+    tag: Tag
+    kind: CapType
+
+    def sort_key(self) -> tuple[Tag, str]:
+        return (self.tag, self.kind.value)
+
+    def __post_init__(self) -> None:
+        if self.kind is CapType.BOTH:
+            raise ValueError(
+                "a concrete Capability is either PLUS or MINUS; "
+                "use CapabilitySet.dual() for both"
+            )
+
+    def __repr__(self) -> str:
+        return f"{self.tag}{self.kind.value}"
+
+
+class CapabilitySet:
+    """An immutable set of capabilities.
+
+    Immutability matches the style of the label objects: threads and
+    security regions hold references to capability sets, and every
+    drop/grant produces a new set, so save/restore at region boundaries is a
+    pointer swap (Section 4.4's "the VM restores the labels and capabilities
+    it had just before it entered the region").
+    """
+
+    __slots__ = ("_caps", "_hash")
+
+    EMPTY: "CapabilitySet"
+
+    def __init__(self, caps: Iterable[Capability] = ()) -> None:
+        caps = frozenset(caps)
+        for cap in caps:
+            if not isinstance(cap, Capability):
+                raise TypeError(
+                    f"capability sets contain Capabilities, not {type(cap).__name__}"
+                )
+        self._caps = caps
+        self._hash = hash(caps)
+
+    # -- factories --------------------------------------------------------
+
+    @classmethod
+    def dual(cls, *tags: Tag) -> "CapabilitySet":
+        """Both ``t+`` and ``t-`` for every tag — what ``alloc_tag`` grants
+        the allocating principal (the owner of the tag)."""
+        caps = []
+        for tag in tags:
+            caps.append(Capability(tag, CapType.PLUS))
+            caps.append(Capability(tag, CapType.MINUS))
+        return cls(caps)
+
+    @classmethod
+    def plus(cls, *tags: Tag) -> "CapabilitySet":
+        return cls(Capability(t, CapType.PLUS) for t in tags)
+
+    @classmethod
+    def minus(cls, *tags: Tag) -> "CapabilitySet":
+        return cls(Capability(t, CapType.MINUS) for t in tags)
+
+    # -- queries ----------------------------------------------------------
+
+    def can_add(self, tag: Tag) -> bool:
+        """True iff the set holds ``tag+`` (classify/endorse)."""
+        return Capability(tag, CapType.PLUS) in self._caps
+
+    def can_remove(self, tag: Tag) -> bool:
+        """True iff the set holds ``tag-`` (declassify/un-endorse)."""
+        return Capability(tag, CapType.MINUS) in self._caps
+
+    def can_add_all(self, label: Label) -> bool:
+        return all(self.can_add(tag) for tag in label)
+
+    def can_remove_all(self, label: Label) -> bool:
+        return all(self.can_remove(tag) for tag in label)
+
+    def plus_tags(self) -> Label:
+        """``Cp+`` as a label: the set of tags this principal may add."""
+        return Label(c.tag for c in self._caps if c.kind is CapType.PLUS)
+
+    def minus_tags(self) -> Label:
+        """``Cp-`` as a label: the set of tags this principal may remove."""
+        return Label(c.tag for c in self._caps if c.kind is CapType.MINUS)
+
+    def is_subset_of(self, other: "CapabilitySet") -> bool:
+        return self._caps <= other._caps
+
+    # -- algebra ----------------------------------------------------------
+
+    def union(self, other: "CapabilitySet") -> "CapabilitySet":
+        if self._caps >= other._caps:
+            return self
+        if other._caps >= self._caps:
+            return other
+        return CapabilitySet(self._caps | other._caps)
+
+    def intersection(self, other: "CapabilitySet") -> "CapabilitySet":
+        return CapabilitySet(self._caps & other._caps)
+
+    def with_capability(self, cap: Capability) -> "CapabilitySet":
+        if cap in self._caps:
+            return self
+        return CapabilitySet(self._caps | {cap})
+
+    def without(self, tag: Tag, kind: CapType) -> "CapabilitySet":
+        """Drop ``tag``'s plus, minus, or both capabilities."""
+        if kind is CapType.BOTH:
+            doomed = {Capability(tag, CapType.PLUS), Capability(tag, CapType.MINUS)}
+        else:
+            doomed = {Capability(tag, kind)}
+        return CapabilitySet(self._caps - doomed)
+
+    def without_all(self, other: "CapabilitySet") -> "CapabilitySet":
+        return CapabilitySet(self._caps - other._caps)
+
+    # -- dunder -------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Capability]:
+        return iter(sorted(self._caps, key=Capability.sort_key))
+
+    def __len__(self) -> int:
+        return len(self._caps)
+
+    def __contains__(self, cap: Capability) -> bool:
+        return cap in self._caps
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CapabilitySet):
+            return NotImplemented
+        return self._caps == other._caps
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ",".join(repr(c) for c in sorted(self._caps, key=Capability.sort_key))
+        return f"C({inner})"
+
+
+CapabilitySet.EMPTY = CapabilitySet()

@@ -1,0 +1,79 @@
+"""Exception hierarchy for DIFC violations and misuse.
+
+Two families:
+
+* :class:`IFCViolation` — an information-flow rule would be broken.  The VM
+  raises these from barriers; the OS security module returns them from LSM
+  hooks (the simulated kernel surfaces them as ``-EPERM``-style errors).
+  Inside a security region an uncaught ``IFCViolation`` transfers control to
+  the region's catch block (Section 4.3.3).
+* :class:`LaminarUsageError` — the program misused the API (e.g. tried to
+  relabel in place, or exited a region abnormally).  These indicate bugs in
+  the application, not flows.
+"""
+
+from __future__ import annotations
+
+
+class LaminarError(Exception):
+    """Base class for everything this library raises deliberately."""
+
+
+class IFCViolation(LaminarError):
+    """An information-flow control rule was (or would be) violated."""
+
+
+class SecrecyViolation(IFCViolation):
+    """The Bell-LaPadula secrecy rule ``S_x ⊆ S_y`` failed: information
+    would flow from a more-secret source to a less-secret destination."""
+
+
+class IntegrityViolation(IFCViolation):
+    """The Biba integrity rule ``I_y ⊆ I_x`` failed: a destination would
+    accept data from a source of lower integrity."""
+
+
+class LabelChangeViolation(IFCViolation):
+    """A principal attempted a label change it lacks capabilities for
+    (``(L2-L1) ⊆ Cp+ ∧ (L1-L2) ⊆ Cp-`` failed)."""
+
+
+class CapabilityViolation(IFCViolation):
+    """A capability operation (grant, transfer, use) was not permitted."""
+
+
+class RegionViolation(IFCViolation):
+    """A security-region rule failed: illegal initialization labels
+    (Section 4.3.2), access to labeled data outside any region, or an
+    attempt to change the region's labels mid-flight."""
+
+
+class LaminarUsageError(LaminarError):
+    """The Laminar API was used incorrectly (a programming error, not a
+    blocked flow)."""
+
+
+class RegionExitViolation(LaminarUsageError):
+    """A security region tried to exit by a non-fall-through path (break,
+    return-with-value, continue) which could leak via implicit flow."""
+
+
+class StaticCheckError(LaminarUsageError):
+    """A static restriction on security-region code failed (Section 5.1's
+    rules on locals, statics, parameters, and return values)."""
+
+
+class ProcessExit(SystemExit):
+    """The process terminated through :meth:`LaminarVM.exit_process`.
+
+    Subclasses ``SystemExit`` so security regions pass it through (a
+    permitted exit must actually end the process, not be suppressed); the
+    *permission* to raise it inside a region is what the restrictive
+    termination model of Section 4.3.3 checks."""
+
+
+class VMPanic(BaseException):
+    """The trusted runtime detected its own invariant broken (e.g. a
+    miscompiled barrier).  Derives from BaseException and is never
+    suppressed by security regions: a broken TCB must stop the world, not
+    be hidden by the very mechanism it implements."""

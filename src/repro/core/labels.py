@@ -1,0 +1,201 @@
+"""Immutable labels: sets of tags forming a lattice under subset ordering.
+
+A *label* is a set of tags (Section 3.1).  Every data object and principal
+carries two labels: a secrecy label ``S`` and an integrity label ``I``.  The
+partial order imposed by the subset relation forms a lattice (Denning 1976);
+at the bottom sit unlabeled resources, which carry the empty label for both
+secrecy and integrity.  The implicit empty label is what makes Laminar
+incrementally deployable: neither every object in the heap nor every file in
+the filesystem needs an explicit label.
+
+The paper's implementation encapsulates labels in immutable, opaque objects
+of type ``Labels`` that support ``isSubsetOf()`` and ``union()``; internally
+a sorted array of 64-bit integers holds the tags, and because the objects
+are immutable they can be freely shared between objects, security regions,
+and threads (Section 5.1).  This module mirrors that design: a
+:class:`Label` wraps a sorted tuple of tags, is hashable, interns the empty
+label, and exposes only set-algebraic operations so applications can use
+labels without observing raw tag values (avoiding a covert channel).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Iterator
+
+from .tags import Tag
+
+
+class LabelType(enum.Enum):
+    """Which of the two labels an operation refers to (Fig. 2's LabelType)."""
+
+    SECRECY = "secrecy"
+    INTEGRITY = "integrity"
+
+
+class Label:
+    """An immutable set of tags.
+
+    Supports the operations the paper's ``Labels`` type exposes —
+    ``is_subset_of`` and ``union`` — plus difference and intersection, which
+    the label-change rule and the security-region entry rules need.  All
+    mutating-style operations return a (possibly shared) new ``Label``.
+    """
+
+    __slots__ = ("_tags", "_hash")
+
+    #: Interned empty label, shared by all unlabeled resources.
+    EMPTY: "Label"
+
+    def __init__(self, tags: Iterable[Tag] = ()) -> None:
+        tags = tuple(sorted(set(tags)))
+        for tag in tags:
+            if not isinstance(tag, Tag):
+                raise TypeError(f"labels contain Tags, not {type(tag).__name__}")
+        self._tags = tags
+        self._hash = hash(tags)
+
+    # -- factory helpers ------------------------------------------------
+
+    @classmethod
+    def of(cls, *tags: Tag) -> "Label":
+        """Build a label from individual tags: ``Label.of(a, b)``."""
+        return cls(tags)
+
+    @classmethod
+    def empty(cls) -> "Label":
+        return cls.EMPTY
+
+    # -- set algebra ----------------------------------------------------
+
+    def is_subset_of(self, other: "Label") -> bool:
+        """True iff every tag in ``self`` is also in ``other``."""
+        return set(self._tags) <= set(other._tags)
+
+    def union(self, other: "Label") -> "Label":
+        """Least upper bound in the lattice."""
+        if self.is_subset_of(other):
+            return other
+        if other.is_subset_of(self):
+            return self
+        return Label(self._tags + other._tags)
+
+    def intersection(self, other: "Label") -> "Label":
+        """Greatest lower bound in the lattice."""
+        mine = set(self._tags)
+        return Label(tag for tag in other._tags if tag in mine)
+
+    def difference(self, other: "Label") -> "Label":
+        """Tags in ``self`` but not ``other`` (used by the label-change rule)."""
+        theirs = set(other._tags)
+        return Label(tag for tag in self._tags if tag not in theirs)
+
+    def with_tag(self, tag: Tag) -> "Label":
+        """Return a label extended with ``tag``."""
+        if tag in self:
+            return self
+        return Label(self._tags + (tag,))
+
+    def without_tag(self, tag: Tag) -> "Label":
+        """Return a label with ``tag`` removed (no-op if absent)."""
+        if tag not in self:
+            return self
+        return Label(t for t in self._tags if t != tag)
+
+    # -- inspection -----------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._tags
+
+    def tags(self) -> tuple[Tag, ...]:
+        """The tags, as a sorted tuple.
+
+        Only trusted code (the VM, the OS security module, tests) should
+        inspect raw tags; the application-facing API in
+        :mod:`repro.runtime.api` never exposes them.
+        """
+        return self._tags
+
+    def __iter__(self) -> Iterator[Tag]:
+        return iter(self._tags)
+
+    def __len__(self) -> int:
+        return len(self._tags)
+
+    def __contains__(self, tag: Tag) -> bool:
+        return tag in set(self._tags)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Label):
+            return NotImplemented
+        return self._tags == other._tags
+
+    def __le__(self, other: "Label") -> bool:
+        return self.is_subset_of(other)
+
+    def __lt__(self, other: "Label") -> bool:
+        return self.is_subset_of(other) and self != other
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ",".join(str(t) for t in self._tags)
+        return f"{{{inner}}}"
+
+
+Label.EMPTY = Label()
+
+
+class LabelPair:
+    """A (secrecy, integrity) pair, written ``{S(s), I(i)}`` in the paper.
+
+    Every principal and data object carries one of these.  The pair is
+    immutable, like its component labels.
+    """
+
+    __slots__ = ("secrecy", "integrity")
+
+    EMPTY: "LabelPair"
+
+    def __init__(
+        self,
+        secrecy: Label = Label.EMPTY,
+        integrity: Label = Label.EMPTY,
+    ) -> None:
+        if not isinstance(secrecy, Label) or not isinstance(integrity, Label):
+            raise TypeError("LabelPair components must be Labels")
+        object.__setattr__(self, "secrecy", secrecy)
+        object.__setattr__(self, "integrity", integrity)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("LabelPair is immutable")
+
+    def get(self, label_type: LabelType) -> Label:
+        if label_type is LabelType.SECRECY:
+            return self.secrecy
+        return self.integrity
+
+    def replacing(self, label_type: LabelType, label: Label) -> "LabelPair":
+        if label_type is LabelType.SECRECY:
+            return LabelPair(label, self.integrity)
+        return LabelPair(self.secrecy, label)
+
+    @property
+    def is_empty(self) -> bool:
+        return self.secrecy.is_empty and self.integrity.is_empty
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LabelPair):
+            return NotImplemented
+        return self.secrecy == other.secrecy and self.integrity == other.integrity
+
+    def __hash__(self) -> int:
+        return hash((self.secrecy, self.integrity))
+
+    def __repr__(self) -> str:
+        return f"{{S{self.secrecy!r},I{self.integrity!r}}}"
+
+
+LabelPair.EMPTY = LabelPair()

@@ -1,0 +1,165 @@
+"""The information-flow rules of Section 3.2.
+
+Information flow is defined from a source ``x`` to a destination ``y``, at
+least one of which is a principal.  Both carry a secrecy label ``S`` and an
+integrity label ``I``:
+
+* **Secrecy** (Bell–LaPadula simple security + *-property):
+  flow from ``x`` to ``y`` preserves secrecy iff ``S_x ⊆ S_y``
+  ("no read up, no write down").
+* **Integrity** (Biba): flow preserves integrity iff ``I_y ⊆ I_x``
+  ("no read down, no write up") — the source must be at least as
+  high-integrity as the destination requires.
+* **Label change**: a principal ``p`` may change its label from ``L1`` to
+  ``L2`` iff ``(L2 − L1) ⊆ Cp+`` and ``(L1 − L2) ⊆ Cp−``.  Laminar requires
+  label changes to be explicit; implicit changes would form a covert storage
+  channel (Zeldovich et al.).
+
+These functions are the single source of truth: the VM barriers, the OS
+security module, the Flume baseline, and the applications all call into
+here, which is how the paper achieves "a single set of abstractions for OS
+resources and heap-allocated objects".
+"""
+
+from __future__ import annotations
+
+from .capabilities import CapabilitySet
+from .errors import (
+    IntegrityViolation,
+    LabelChangeViolation,
+    SecrecyViolation,
+)
+from .labels import Label, LabelPair
+
+
+def secrecy_allows(source: Label, dest: Label) -> bool:
+    """``S_x ⊆ S_y``: the destination must be at least as secret."""
+    return source.is_subset_of(dest)
+
+
+def integrity_allows(source: Label, dest: Label) -> bool:
+    """``I_y ⊆ I_x``: the source must be at least as high-integrity."""
+    return dest.is_subset_of(source)
+
+
+def can_flow(source: LabelPair, dest: LabelPair) -> bool:
+    """True iff information may flow from ``source`` to ``dest`` under both
+    the secrecy and the integrity rule."""
+    return secrecy_allows(source.secrecy, dest.secrecy) and integrity_allows(
+        source.integrity, dest.integrity
+    )
+
+
+def check_flow(source: LabelPair, dest: LabelPair, context: str = "") -> None:
+    """Raise the precise violation if the flow ``source -> dest`` is illegal.
+
+    ``context`` is a human-readable description (e.g. ``"write to /etc/cal"``)
+    included in the exception message for auditability.
+    """
+    suffix = f" ({context})" if context else ""
+    if not secrecy_allows(source.secrecy, dest.secrecy):
+        leaked = source.secrecy.difference(dest.secrecy)
+        raise SecrecyViolation(
+            f"secrecy rule S_x ⊆ S_y failed: tags {leaked!r} of source "
+            f"{source!r} missing from destination {dest!r}{suffix}"
+        )
+    if not integrity_allows(source.integrity, dest.integrity):
+        missing = dest.integrity.difference(source.integrity)
+        raise IntegrityViolation(
+            f"integrity rule I_y ⊆ I_x failed: destination {dest!r} requires "
+            f"tags {missing!r} the source {source!r} does not carry{suffix}"
+        )
+
+
+def can_change_label(old: Label, new: Label, caps: CapabilitySet) -> bool:
+    """The explicit label-change rule:
+    ``(new − old) ⊆ Cp+`` and ``(old − new) ⊆ Cp−``."""
+    added = new.difference(old)
+    removed = old.difference(new)
+    return caps.can_add_all(added) and caps.can_remove_all(removed)
+
+
+def check_label_change(
+    old: Label, new: Label, caps: CapabilitySet, context: str = ""
+) -> None:
+    """Raise :class:`LabelChangeViolation` if ``old -> new`` is not permitted
+    by ``caps``."""
+    suffix = f" ({context})" if context else ""
+    added = new.difference(old)
+    removed = old.difference(new)
+    if not caps.can_add_all(added):
+        lacking = Label(t for t in added if not caps.can_add(t))
+        raise LabelChangeViolation(
+            f"label change {old!r} -> {new!r} adds tags {lacking!r} without "
+            f"the plus capability{suffix}"
+        )
+    if not caps.can_remove_all(removed):
+        lacking = Label(t for t in removed if not caps.can_remove(t))
+        raise LabelChangeViolation(
+            f"label change {old!r} -> {new!r} drops tags {lacking!r} without "
+            f"the minus capability{suffix}"
+        )
+
+
+def check_pair_change(
+    old: LabelPair, new: LabelPair, caps: CapabilitySet, context: str = ""
+) -> None:
+    """Apply the label-change rule independently to secrecy and integrity."""
+    check_label_change(old.secrecy, new.secrecy, caps, context=f"secrecy {context}".strip())
+    check_label_change(old.integrity, new.integrity, caps, context=f"integrity {context}".strip())
+
+
+def region_entry_allowed(
+    region_secrecy: Label,
+    region_integrity: Label,
+    region_caps: CapabilitySet,
+    thread_pair: LabelPair,
+    thread_caps: CapabilitySet,
+) -> bool:
+    """Security-region initialization rules (Section 4.3.2):
+
+    1. ``S_R ⊆ (Cp+ ∪ S_P)`` and ``I_R ⊆ (Cp+ ∪ I_P)`` — the entering
+       principal must hold either the add capability or the label itself for
+       every tag the region will carry.
+    2. ``C_R ⊆ C_P`` — the region retains only a subset of the principal's
+       capabilities.
+    """
+    plus = thread_caps.plus_tags()
+    if not region_secrecy.is_subset_of(plus.union(thread_pair.secrecy)):
+        return False
+    if not region_integrity.is_subset_of(plus.union(thread_pair.integrity)):
+        return False
+    return region_caps.is_subset_of(thread_caps)
+
+
+def labeled_create_allowed(
+    principal: LabelPair,
+    principal_caps: CapabilitySet,
+    file_pair: LabelPair,
+    parent_writable: bool,
+) -> bool:
+    """The labeled file/directory creation rule of Section 5.2.
+
+    A principal with non-empty labels ``{S_p, I_p}`` may create a file with
+    labels ``{S_f, I_f}`` iff
+
+    1. ``S_p ⊆ S_f`` and ``I_f ⊆ I_p`` (the creation itself is a flow from
+       principal to file);
+    2. the principal has the capabilities to acquire its current labels
+       (so the labels are legitimate, not inherited by accident); and
+    3. the principal can write the parent directory with its current label
+       (a new directory entry is a write to the parent, and the file *name*
+       is protected by the parent's label).
+    """
+    if not principal.secrecy.is_subset_of(file_pair.secrecy):
+        return False
+    if not file_pair.integrity.is_subset_of(principal.integrity):
+        return False
+    # "has capabilities to acquire labels {Sp, Ip}": every tag the principal
+    # currently carries must be one it could have added itself.
+    plus = principal_caps.plus_tags()
+    if not principal.secrecy.is_subset_of(plus):
+        return False
+    if not principal.integrity.is_subset_of(plus):
+        return False
+    return parent_writable

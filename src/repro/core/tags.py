@@ -1,0 +1,111 @@
+"""Tags: the atoms of the Laminar DIFC model.
+
+Tags are short, arbitrary tokens drawn from a large universe of possible
+values (Section 3.1 of the paper).  A tag has no inherent meaning; meaning
+comes from where the tag appears (a secrecy label, an integrity label, or a
+capability set).  The paper represents tags as 64-bit integers allocated by
+the trusted OS security module, which guarantees uniqueness; tag exhaustion
+is a non-issue because the space has 2**64 values (Section 4.4).
+
+In this reproduction the :class:`TagAllocator` plays the role of the trusted
+allocator.  The simulated kernel owns one allocator instance and hands out
+tags through the ``alloc_tag`` system call; the in-process runtime uses the
+same allocator so the VM and OS share one namespace, exactly as the paper
+requires ("Alice's program uses the same label namespace present in the file
+system").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+#: Size of the tag universe.  Tags are 64-bit integers in the paper.
+TAG_BITS = 64
+TAG_UNIVERSE = 1 << TAG_BITS
+
+
+@dataclass(frozen=True, order=True)
+class Tag:
+    """A single opaque tag.
+
+    Tags compare and hash by value so they can live in frozensets and sorted
+    arrays (the paper's ``Labels`` objects store a sorted array of 64-bit
+    integers).  The optional ``name`` exists purely for debugging and is
+    excluded from equality so that renaming a tag cannot create a covert
+    channel or change label semantics.
+    """
+
+    value: int
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value < TAG_UNIVERSE:
+            raise ValueError(
+                f"tag value {self.value!r} outside the {TAG_BITS}-bit universe"
+            )
+
+    def __repr__(self) -> str:
+        if self.name:
+            return f"Tag({self.value}, {self.name!r})"
+        return f"Tag({self.value})"
+
+    def __str__(self) -> str:
+        return self.name or f"t{self.value}"
+
+
+class TagExhaustedError(RuntimeError):
+    """Raised if the allocator runs out of tag values (cannot happen with
+    64-bit tags in practice; present for completeness and for tests that
+    shrink the universe)."""
+
+
+class TagAllocator:
+    """Allocates unique tags, mimicking the trusted OS security module.
+
+    The paper states that "the OS security module that allocates tags is
+    trusted and ensures that all tags are unique".  Allocation is sequential
+    rather than random: uniqueness, not unpredictability, is the security
+    property (labels are opaque to applications, so tag values never leak).
+
+    Parameters
+    ----------
+    first:
+        First value to hand out.  Values below ``first`` can be used by
+        tests as well-known tags without colliding with the allocator.
+    limit:
+        Exclusive upper bound of the universe; defaults to 2**64.
+    """
+
+    def __init__(self, first: int = 1, limit: int = TAG_UNIVERSE) -> None:
+        if not 0 <= first < limit <= TAG_UNIVERSE:
+            raise ValueError("invalid tag allocator range")
+        self._limit = limit
+        self._counter = itertools.count(first)
+        self._allocated: dict[int, Tag] = {}
+
+    def alloc(self, name: str = "") -> Tag:
+        """Return a fresh, never-before-seen tag."""
+        value = next(self._counter)
+        if value >= self._limit:
+            raise TagExhaustedError(
+                f"tag universe of {self._limit} values exhausted"
+            )
+        tag = Tag(value, name)
+        self._allocated[value] = tag
+        return tag
+
+    def lookup(self, value: int) -> Tag | None:
+        """Return the allocated tag with ``value``, or ``None``.
+
+        Used by the simulated filesystem when re-hydrating labels from
+        persisted extended attributes.
+        """
+        return self._allocated.get(value)
+
+    @property
+    def allocated_count(self) -> int:
+        return len(self._allocated)
+
+    def __contains__(self, tag: Tag) -> bool:
+        return self._allocated.get(tag.value) is not None

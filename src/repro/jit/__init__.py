@@ -1,0 +1,81 @@
+"""The mini-JIT: IR, compiler passes, and interpreter.
+
+Reproduces the compiler half of Section 5.1: barrier insertion with static
+and dynamic variants (:mod:`.barrier_insertion`), intraprocedural
+flow-sensitive redundant-barrier elimination (:mod:`.barrier_elim`) on a
+generic dataflow framework (:mod:`.dataflow`), inlining that widens the
+elimination's scope (:mod:`.inline`), method cloning for dual contexts
+(:mod:`.cloning`), static region-method checks (:mod:`.region_checker`),
+a text assembler for workloads (:mod:`.parser`), and an interpreter that
+executes instrumented programs against the Laminar VM (:mod:`.interpreter`).
+"""
+
+from .barrier_elim import (
+    count_barriers,
+    eliminate_redundant_barriers,
+    eliminate_redundant_barriers_method,
+)
+from .barrier_insertion import (
+    CompileContext,
+    insert_barriers,
+    insert_barriers_method,
+)
+from .cfg import CFG
+from .cloning import IN_SUFFIX, clone_count, clone_for_contexts
+from .compiler import CompileReport, Compiler, JITConfig, compile_source
+from .copyprop import propagate_copies, propagate_copies_method
+from .dataflow import ForwardMustAnalysis
+from .inline import DEFAULT_INLINE_THRESHOLD, inline_program
+from .interpreter import Interpreter, IRArray, IRObject, StaleCompilationError
+from .ir import (
+    BarrierFlavor,
+    BasicBlock,
+    Instr,
+    Method,
+    Opcode,
+    Program,
+    RegionSpec,
+)
+from .parser import IRSyntaxError, parse_program
+from .region_checker import check_program_regions, check_region_method
+from .verifier import VerificationError, verify_method, verify_program
+
+__all__ = [
+    "BarrierFlavor",
+    "BasicBlock",
+    "CFG",
+    "CompileContext",
+    "CompileReport",
+    "Compiler",
+    "DEFAULT_INLINE_THRESHOLD",
+    "ForwardMustAnalysis",
+    "IN_SUFFIX",
+    "IRArray",
+    "IRObject",
+    "IRSyntaxError",
+    "Instr",
+    "Interpreter",
+    "JITConfig",
+    "Method",
+    "Opcode",
+    "Program",
+    "RegionSpec",
+    "StaleCompilationError",
+    "check_program_regions",
+    "check_region_method",
+    "clone_count",
+    "clone_for_contexts",
+    "compile_source",
+    "propagate_copies",
+    "propagate_copies_method",
+    "count_barriers",
+    "eliminate_redundant_barriers",
+    "eliminate_redundant_barriers_method",
+    "insert_barriers",
+    "insert_barriers_method",
+    "inline_program",
+    "parse_program",
+    "VerificationError",
+    "verify_method",
+    "verify_program",
+]

@@ -1,0 +1,153 @@
+"""Barrier insertion: the instrumentation pass of Section 5.1.
+
+"The JVM adds instrumentation called *barriers* at every object read and
+write" — concretely, this pass rewrites every method so that
+
+* each heap read (``getfield``/``aload``/``arraylen``) is preceded by a
+  ``readbar`` on the accessed object register,
+* each heap write (``putfield``/``astore``) is preceded by a ``writebar``,
+* each allocation (``new``/``newarray``) is followed by an ``allocbar``
+  that labels the fresh object before "the constructor" (any later
+  initializing stores) runs, and
+* static accesses (``getstatic``/``putstatic``) are left intact here and
+  policed by the region checker, since the prototype forbids them in
+  regions altogether.
+
+The *flavor* of each inserted barrier models the compilation strategy:
+
+* ``CompileContext.IN_REGION`` / ``OUT_OF_REGION`` produce static barriers
+  specialized to one context — what the paper's prototype does when a
+  method is first compiled, and what method cloning achieves in general.
+* ``CompileContext.UNKNOWN`` produces dynamic barriers that test the
+  thread state at run time.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from .ir import (
+    ALLOC_OPS,
+    BarrierFlavor,
+    Instr,
+    Method,
+    Opcode,
+    Program,
+    READ_OPS,
+    WRITE_OPS,
+)
+
+
+class CompileContext(enum.Enum):
+    """What the compiler knows about the caller's region state."""
+
+    IN_REGION = "in"
+    OUT_OF_REGION = "out"
+    UNKNOWN = "unknown"
+
+    def flavor(self) -> BarrierFlavor:
+        if self is CompileContext.IN_REGION:
+            return BarrierFlavor.STATIC_IN
+        if self is CompileContext.OUT_OF_REGION:
+            return BarrierFlavor.STATIC_OUT
+        return BarrierFlavor.DYNAMIC
+
+
+def _accessed_register(instr: Instr) -> str:
+    """The register holding the object a heap access touches."""
+    if instr.op in (Opcode.GETFIELD, Opcode.ARRAYLEN):
+        return instr.operands[1]
+    if instr.op is Opcode.ALOAD:
+        return instr.operands[1]
+    if instr.op is Opcode.PUTFIELD:
+        return instr.operands[0]
+    if instr.op is Opcode.ASTORE:
+        return instr.operands[0]
+    raise ValueError(f"not a heap access: {instr!r}")
+
+
+BARRIER_OPS = (
+    Opcode.READBAR,
+    Opcode.WRITEBAR,
+    Opcode.ALLOCBAR,
+    Opcode.SREADBAR,
+    Opcode.SWRITEBAR,
+)
+
+
+def insert_barriers_method(
+    method: Method, context: CompileContext, labeled_statics: bool = False
+) -> int:
+    """Instrument one method in place; returns the number of barriers
+    inserted.  With ``labeled_statics`` the extension of Section 5.1's
+    closing remark is enabled: static accesses get their own barriers
+    (instead of being banned from regions outright), "with modest overhead
+    because static accesses are relatively infrequent compared to field
+    and array element accesses."
+
+    Idempotence guard: a method that already contains barrier instructions
+    is rejected (re-instrumentation would double-check)."""
+    flavor = context.flavor()
+    inserted = 0
+    for block in method.blocks.values():
+        for instr in block.instrs:
+            if instr.op in BARRIER_OPS:
+                raise ValueError(
+                    f"{method.name} already instrumented; refusing to "
+                    f"double-instrument"
+                )
+        new_instrs: list[Instr] = []
+        for instr in block.instrs:
+            if labeled_statics and instr.op is Opcode.GETSTATIC:
+                new_instrs.append(
+                    Instr(Opcode.SREADBAR, (instr.operands[1],), flavor)
+                )
+                inserted += 1
+                new_instrs.append(instr)
+            elif labeled_statics and instr.op is Opcode.PUTSTATIC:
+                new_instrs.append(
+                    Instr(Opcode.SWRITEBAR, (instr.operands[0],), flavor)
+                )
+                inserted += 1
+                new_instrs.append(instr)
+            elif instr.op in READ_OPS:
+                new_instrs.append(
+                    Instr(Opcode.READBAR, (_accessed_register(instr),), flavor)
+                )
+                inserted += 1
+                new_instrs.append(instr)
+            elif instr.op in WRITE_OPS:
+                new_instrs.append(
+                    Instr(Opcode.WRITEBAR, (_accessed_register(instr),), flavor)
+                )
+                inserted += 1
+                new_instrs.append(instr)
+            elif instr.op in ALLOC_OPS:
+                new_instrs.append(instr)
+                dst = instr.operands[0]
+                new_instrs.append(Instr(Opcode.ALLOCBAR, (dst,), flavor))
+                inserted += 1
+            else:
+                new_instrs.append(instr)
+        block.instrs = new_instrs
+    return inserted
+
+
+def insert_barriers(
+    program: Program,
+    context: CompileContext = CompileContext.UNKNOWN,
+    region_context: CompileContext = CompileContext.IN_REGION,
+    labeled_statics: bool = False,
+) -> int:
+    """Instrument every method of a program.
+
+    Region methods always execute inside a region, so their context is
+    statically known even when everything else compiles with dynamic
+    barriers — which is why the paper's "dynamic barriers" configuration
+    still pays only one test per barrier, not a full region lookup.
+    """
+    total = 0
+    for method in program.methods.values():
+        ctx = region_context if method.is_region else context
+        total += insert_barriers_method(method, ctx, labeled_statics)
+    return total

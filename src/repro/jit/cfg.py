@@ -1,0 +1,72 @@
+"""Control-flow graph utilities over IR methods.
+
+The redundant-barrier-elimination pass is a forward *must* dataflow
+analysis, so it needs predecessor maps and a reverse-postorder worklist
+seed; both live here, along with small structural helpers shared by the
+passes.
+"""
+
+from __future__ import annotations
+
+from .ir import BasicBlock, Method
+
+
+class CFG:
+    """Successor/predecessor view of one method."""
+
+    def __init__(self, method: Method) -> None:
+        self.method = method
+        self.succs: dict[str, tuple[str, ...]] = {}
+        self.preds: dict[str, list[str]] = {label: [] for label in method.blocks}
+        for label, block in method.blocks.items():
+            succs = block.successors()
+            self.succs[label] = succs
+            for succ in succs:
+                self.preds[succ].append(label)
+
+    @property
+    def entry(self) -> str:
+        assert self.method.entry is not None
+        return self.method.entry
+
+    def block(self, label: str) -> BasicBlock:
+        return self.method.blocks[label]
+
+    def reverse_postorder(self) -> list[str]:
+        """Reverse postorder from the entry; unreachable blocks come last
+        (they still get processed so the passes stay total)."""
+        seen: set[str] = set()
+        order: list[str] = []
+
+        def dfs(label: str) -> None:
+            # Iterative DFS with an explicit stack to survive deep CFGs.
+            stack: list[tuple[str, int]] = [(label, 0)]
+            seen.add(label)
+            while stack:
+                current, idx = stack.pop()
+                succs = self.succs[current]
+                if idx < len(succs):
+                    stack.append((current, idx + 1))
+                    nxt = succs[idx]
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        stack.append((nxt, 0))
+                else:
+                    order.append(current)
+
+        dfs(self.entry)
+        postorder = list(reversed(order))
+        for label in self.method.blocks:
+            if label not in seen:
+                postorder.append(label)
+        return postorder
+
+    def reachable(self) -> set[str]:
+        seen = {self.entry}
+        work = [self.entry]
+        while work:
+            for succ in self.succs[work.pop()]:
+                if succ not in seen:
+                    seen.add(succ)
+                    work.append(succ)
+        return seen

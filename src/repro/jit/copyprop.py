@@ -1,0 +1,110 @@
+"""Global copy propagation.
+
+Inlining introduces ``mov param$iN, arg`` copies; barrier-redundancy facts
+attach to register *names*, so without copy propagation a barrier on the
+renamed parameter register proves nothing about the caller's register that
+holds the same object.  This pass rewrites uses of copies back to their
+sources wherever the copy provably still holds, which is what lets the
+elimination pass see across inlined call boundaries — the "inlining
+increases the scope of redundancy elimination" interaction of Section 5.1.
+
+The analysis is a forward must-analysis over facts ``(dst, src)`` meaning
+"``dst`` currently holds the same value as ``src`` on every path".  A fact
+dies when either register is redefined.
+"""
+
+from __future__ import annotations
+
+from .cfg import CFG
+from .dataflow import ForwardMustAnalysis
+from .ir import Instr, Method, Opcode, Program
+
+
+def _transfer(instr: Instr, facts: frozenset) -> frozenset:
+    defined = instr.defined_register()
+    if instr.op is Opcode.MOV:
+        dst, src = instr.operands
+        if dst == src:
+            return facts
+        pruned = frozenset(
+            (d, s) for (d, s) in facts if d != dst and s != dst
+        )
+        # Chase the chain: if src is itself a live copy of r, record (dst, r)
+        # so rewriting lands on the oldest name in one step.
+        root = src
+        for (d, s) in pruned:
+            if d == src:
+                root = s
+                break
+        return pruned | {(dst, root)}
+    if defined is not None:
+        return frozenset((d, s) for (d, s) in facts if d != defined and s != defined)
+    return facts
+
+
+def _rewrite_uses(instr: Instr, mapping: dict[str, str]) -> Instr:
+    """Replace used registers per ``mapping``, leaving defined ones alone."""
+    if not mapping:
+        return instr
+    op, ops = instr.op, instr.operands
+
+    def r(name: str) -> str:
+        return mapping.get(name, name)
+
+    if op is Opcode.MOV:
+        return Instr(op, (ops[0], r(ops[1])), instr.flavor)
+    if op is Opcode.BINOP:
+        return Instr(op, (ops[0], ops[1], r(ops[2]), r(ops[3])), instr.flavor)
+    if op is Opcode.UNOP:
+        return Instr(op, (ops[0], ops[1], r(ops[2])), instr.flavor)
+    if op is Opcode.NEWARRAY:
+        return Instr(op, (ops[0], r(ops[1])), instr.flavor)
+    if op is Opcode.GETFIELD:
+        return Instr(op, (ops[0], r(ops[1]), ops[2]), instr.flavor)
+    if op is Opcode.PUTFIELD:
+        return Instr(op, (r(ops[0]), ops[1], r(ops[2])), instr.flavor)
+    if op is Opcode.ALOAD:
+        return Instr(op, (ops[0], r(ops[1]), r(ops[2])), instr.flavor)
+    if op is Opcode.ASTORE:
+        return Instr(op, (r(ops[0]), r(ops[1]), r(ops[2])), instr.flavor)
+    if op is Opcode.ARRAYLEN:
+        return Instr(op, (ops[0], r(ops[1])), instr.flavor)
+    if op is Opcode.PUTSTATIC:
+        return Instr(op, (ops[0], r(ops[1])), instr.flavor)
+    if op is Opcode.CALL:
+        return Instr(
+            op, (ops[0], ops[1], *(r(a) for a in ops[2:])), instr.flavor
+        )
+    if op is Opcode.RET:
+        value = None if ops[0] is None else r(ops[0])
+        return Instr(op, (value,), instr.flavor)
+    if op is Opcode.BR:
+        return Instr(op, (r(ops[0]), ops[1], ops[2]), instr.flavor)
+    if op is Opcode.PRINT:
+        return Instr(op, (r(ops[0]),), instr.flavor)
+    if op in (Opcode.READBAR, Opcode.WRITEBAR, Opcode.ALLOCBAR):
+        return Instr(op, (r(ops[0]),), instr.flavor)
+    return instr
+
+
+def propagate_copies_method(method: Method) -> int:
+    """Rewrite register uses through provable copies; returns rewrites."""
+    cfg = CFG(method)
+    analysis: ForwardMustAnalysis = ForwardMustAnalysis(cfg, _transfer)
+    analysis.solve()
+    rewrites = 0
+    for label, block in method.blocks.items():
+        facts_before = analysis.facts_before_each_instr(label)
+        new_instrs = []
+        for instr, facts in zip(block.instrs, facts_before):
+            mapping = {d: s for (d, s) in facts}
+            rewritten = _rewrite_uses(instr, mapping)
+            if rewritten.operands != instr.operands:
+                rewrites += 1
+            new_instrs.append(rewritten)
+        block.instrs = new_instrs
+    return rewrites
+
+
+def propagate_copies(program: Program) -> int:
+    return sum(propagate_copies_method(m) for m in program.methods.values())

@@ -1,0 +1,87 @@
+"""A small forward dataflow framework.
+
+The barrier-elimination pass needs a *must* (all-paths) forward analysis:
+facts hold at a point only if they hold along every incoming path, so the
+merge operator is set intersection and the entry fact set is empty.
+
+The framework is generic over the fact type so tests can instantiate it
+with toy transfer functions, and future passes (e.g. available-expressions
+for the inliner's cleanup) can reuse it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Hashable, TypeVar
+
+from .cfg import CFG
+from .ir import Instr
+
+Fact = TypeVar("Fact", bound=Hashable)
+
+#: Transfer function: (instruction, incoming facts) -> outgoing facts.
+Transfer = Callable[[Instr, frozenset], frozenset]
+
+
+class ForwardMustAnalysis(Generic[Fact]):
+    """Iterative worklist solver for forward must-analyses.
+
+    ``TOP`` (the "everything holds" value before a block is first visited)
+    is represented implicitly: blocks never yet computed are skipped during
+    merge, which is equivalent to meeting with the universal set.
+    """
+
+    def __init__(self, cfg: CFG, transfer: Transfer) -> None:
+        self.cfg = cfg
+        self.transfer = transfer
+        #: facts at block entry, after solving.
+        self.block_in: dict[str, frozenset] = {}
+        #: facts at block exit, after solving.
+        self.block_out: dict[str, frozenset] = {}
+
+    def solve(self) -> None:
+        order = self.cfg.reverse_postorder()
+        position = {label: i for i, label in enumerate(order)}
+        worklist = list(order)
+        in_worklist = set(order)
+        while worklist:
+            worklist.sort(key=lambda lbl: position[lbl], reverse=True)
+            label = worklist.pop()
+            in_worklist.discard(label)
+            preds = self.cfg.preds[label]
+            if label == self.cfg.entry or not preds:
+                incoming: frozenset = frozenset()
+            else:
+                computed = [
+                    self.block_out[p] for p in preds if p in self.block_out
+                ]
+                if computed:
+                    incoming = frozenset.intersection(*computed)
+                else:
+                    # All predecessors still at TOP: leave this block for a
+                    # later visit (it is on the worklist whenever a pred
+                    # changes); treat as empty to stay sound.
+                    incoming = frozenset()
+            outgoing = incoming
+            for instr in self.cfg.block(label).instrs:
+                outgoing = self.transfer(instr, outgoing)
+            changed = (
+                label not in self.block_out or self.block_out[label] != outgoing
+            )
+            self.block_in[label] = incoming
+            self.block_out[label] = outgoing
+            if changed:
+                for succ in self.cfg.succs[label]:
+                    if succ not in in_worklist:
+                        worklist.append(succ)
+                        in_worklist.add(succ)
+
+    def facts_before_each_instr(self, label: str) -> list[frozenset]:
+        """Replay the transfer function through ``label``, returning the
+        fact set holding immediately *before* each instruction.  Used by
+        passes that rewrite instructions based on the solved analysis."""
+        facts = self.block_in.get(label, frozenset())
+        result = []
+        for instr in self.cfg.block(label).instrs:
+            result.append(facts)
+            facts = self.transfer(instr, facts)
+        return result

@@ -1,0 +1,68 @@
+"""Disassembler: turn IR programs back into assembler text.
+
+Useful for debugging passes (the compiler tour example prints with it) and
+for golden tests: for programs containing no compiler-internal barrier
+instructions, ``parse_program(disassemble(p))`` reproduces ``p`` exactly
+(the round-trip property test in ``tests/test_jit_disasm.py``).
+
+Barrier pseudo-instructions render with a ``;`` comment flavor suffix and
+are *not* re-parseable by design — hand-written programs must not contain
+them.
+"""
+
+from __future__ import annotations
+
+from .ir import Instr, Method, Opcode, Program
+
+
+def _format_value(value: object) -> str:
+    if value is None:
+        return "null"
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    return repr(value)
+
+
+def format_instr(instr: Instr) -> str:
+    """One instruction as assembler text."""
+    op, ops = instr.op, instr.operands
+    if op is Opcode.CONST:
+        return f"const {ops[0]}, {_format_value(ops[1])}"
+    if op is Opcode.CALL:
+        dst = "_" if ops[0] is None else ops[0]
+        rest = ", ".join([ops[1], *ops[2:]])
+        return f"call {dst}, {rest}"
+    if op is Opcode.RET:
+        return "ret" if ops[0] is None else f"ret {ops[0]}"
+    if op in (Opcode.READBAR, Opcode.WRITEBAR, Opcode.ALLOCBAR,
+              Opcode.SREADBAR, Opcode.SWRITEBAR):
+        flavor = f"  ; {instr.flavor.value}" if instr.flavor else ""
+        return f"{op.value} {ops[0]}{flavor}"
+    rendered = ", ".join(str(o) for o in ops)
+    return f"{op.value} {rendered}"
+
+
+def disassemble_method(method: Method) -> str:
+    keyword = "region method" if method.is_region else "method"
+    lines = [f"{keyword} {method.name}({', '.join(method.params)}) {{"]
+    for label, block in method.blocks.items():
+        lines.append(f"{label}:")
+        for instr in block.instrs:
+            lines.append(f"  {format_instr(instr)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def disassemble(program: Program) -> str:
+    """The whole program as assembler text (classes first)."""
+    parts = []
+    for name, fields in program.classes.items():
+        parts.append(f"class {name} {{ {', '.join(fields)} }}")
+    for method in program.methods.values():
+        parts.append(disassemble_method(method))
+    return "\n\n".join(parts) + "\n"

@@ -1,0 +1,338 @@
+"""The IR interpreter: executes compiled programs against a Laminar VM.
+
+The interpreter plays the role of the Jikes RVM execution engine for the
+mini-JIT: it runs the (possibly instrumented) IR, executing barrier
+pseudo-instructions with exactly the semantics of
+:mod:`repro.runtime.barriers` and accounting them into the VM's
+:class:`~repro.runtime.barriers.BarrierStats`, so the Fig. 8 harness reads
+one set of counters regardless of which layer did the work.
+
+Barrier flavors at execution time:
+
+* ``STATIC_IN`` / ``STATIC_OUT`` run the single compiled-in variant.  If
+  the *actual* thread context disagrees with the compiled assumption the
+  interpreter raises :class:`StaleCompilationError` — this is the paper's
+  observation that the static-barrier prototype "fails if a method is
+  called from both within and without a security region" (method cloning
+  or dynamic barriers are the fixes).
+* ``DYNAMIC`` pays a context test (counted as a dynamic dispatch), then
+  runs the right variant.
+
+Region methods execute inside ``vm.region(...)`` built from the method's
+:class:`~repro.jit.ir.RegionSpec`; the static region checker has already
+guaranteed they return nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..core import LabelPair, RegionViolation, VMPanic, check_flow
+from ..runtime.vm import LaminarVM
+from .ir import BarrierFlavor, Instr, Method, Opcode, Program, RegionSpec
+
+
+class StaleCompilationError(VMPanic):
+    """A statically compiled barrier executed in the opposite context."""
+
+
+class IRObject:
+    """Heap object payload: header + named fields."""
+
+    __slots__ = ("header", "classname", "fields")
+
+    def __init__(self, header: Any, classname: str, fields: dict[str, Any]) -> None:
+        self.header = header
+        self.classname = classname
+        self.fields = fields
+
+    def __repr__(self) -> str:
+        return f"IRObject({self.classname}#{self.header.oid})"
+
+
+class IRArray:
+    """Heap array payload: header + items."""
+
+    __slots__ = ("header", "items")
+
+    def __init__(self, header: Any, items: list[Any]) -> None:
+        self.header = header
+        self.items = items
+
+    def __repr__(self) -> str:
+        return f"IRArray(#{self.header.oid}, len={len(self.items)})"
+
+
+_BINOPS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "div": lambda a, b: a // b if isinstance(a, int) and isinstance(b, int) else a / b,
+    "mod": lambda a, b: a % b,
+    "lt": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+    "gt": lambda a, b: a > b,
+    "ge": lambda a, b: a >= b,
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "band": lambda a, b: a & b,
+    "bor": lambda a, b: a | b,
+    "bxor": lambda a, b: a ^ b,
+    "shl": lambda a, b: a << b,
+    "shr": lambda a, b: a >> b,
+}
+
+_UNOPS = {
+    "neg": lambda a: -a,
+    "not": lambda a: not a,
+}
+
+
+class Interpreter:
+    """Executes one program on one VM."""
+
+    def __init__(
+        self, program: Program, vm: LaminarVM, verify_static: bool = False
+    ) -> None:
+        self.program = program
+        self.vm = vm
+        self.statics: dict[str, Any] = {}
+        #: Labeled-statics extension: per-static labels (default empty).
+        #: Immutable once declared, like object labels.
+        self.static_labels: dict[str, LabelPair] = {}
+        #: Output produced by ``print`` instructions (never actually printed).
+        self.output: list[Any] = []
+        #: Total IR instructions executed (the harness's work measure).
+        self.executed = 0
+        #: Debug mode: verify that static barriers execute in the context
+        #: they were compiled for (raises StaleCompilationError otherwise).
+        #: Off by default because a *production* static barrier does not
+        #: test the context — that absence is its whole advantage.
+        self.verify_static = verify_static
+
+    def declare_static(self, name: str, labels: LabelPair, value: Any = 0) -> None:
+        """Declare a labeled static (the labeled-statics extension).
+        Labels are assigned at declaration and immutable thereafter."""
+        if name in self.static_labels:
+            raise ValueError(f"static {name!r} already declared")
+        self.static_labels[name] = labels
+        self.statics[name] = value
+
+    # -- entry point ------------------------------------------------------------
+
+    def run(self, method_name: str = "main", *args: Any) -> Any:
+        method = self.program.method(method_name)
+        return self._call(method, list(args))
+
+    # -- calls -------------------------------------------------------------------
+
+    def _call(self, method: Method, args: list[Any]) -> Any:
+        if len(args) != len(method.params):
+            raise TypeError(
+                f"{method.name} expects {len(method.params)} args, got {len(args)}"
+            )
+        if method.is_region:
+            spec = method.region_spec or RegionSpec()
+            with self.vm.region(
+                secrecy=spec.secrecy,
+                integrity=spec.integrity,
+                caps=spec.caps,
+                name=method.name,
+            ):
+                self._execute(method, args)
+            return None
+        return self._execute(method, args)
+
+    # -- the dispatch loop ----------------------------------------------------------
+
+    def _execute(self, method: Method, args: list[Any]) -> Any:
+        regs: dict[str, Any] = dict(zip(method.params, args))
+        label = method.entry
+        assert label is not None
+        heap = self.vm.heap
+        barrier_stats = self.vm.barriers.stats
+        # Static barriers execute as straight-line code in the dispatch
+        # loop (the compiled-in variant); only dynamic barriers go through
+        # the dispatching helper.  This mirrors the machine-code shapes the
+        # two strategies produce.
+        # In verify_static mode the fast paths are disabled so every static
+        # barrier funnels through _barrier's context assertion.
+        static_in = None if self.verify_static else BarrierFlavor.STATIC_IN
+        static_out = None if self.verify_static else BarrierFlavor.STATIC_OUT
+        labeled = heap.is_labeled
+        thread = self.vm.current_thread
+        while True:
+            block = method.blocks[label]
+            jumped = False
+            for instr in block.instrs:
+                self.executed += 1
+                op = instr.op
+                ops = instr.operands
+                if op is Opcode.CONST:
+                    regs[ops[0]] = ops[1]
+                elif op is Opcode.MOV:
+                    regs[ops[0]] = regs[ops[1]]
+                elif op is Opcode.BINOP:
+                    regs[ops[0]] = _BINOPS[ops[1]](regs[ops[2]], regs[ops[3]])
+                elif op is Opcode.UNOP:
+                    regs[ops[0]] = _UNOPS[ops[1]](regs[ops[2]])
+                elif op is Opcode.NEW:
+                    fields = dict.fromkeys(self.program.classes[ops[1]], 0)
+                    header = heap.allocate_header(LabelPair.EMPTY)
+                    regs[ops[0]] = IRObject(header, ops[1], fields)
+                elif op is Opcode.NEWARRAY:
+                    header = heap.allocate_header(LabelPair.EMPTY)
+                    regs[ops[0]] = IRArray(header, [0] * regs[ops[1]])
+                elif op is Opcode.GETFIELD:
+                    regs[ops[0]] = regs[ops[1]].fields[ops[2]]
+                elif op is Opcode.PUTFIELD:
+                    regs[ops[0]].fields[ops[1]] = regs[ops[2]]
+                elif op is Opcode.ALOAD:
+                    regs[ops[0]] = regs[ops[1]].items[regs[ops[2]]]
+                elif op is Opcode.ASTORE:
+                    regs[ops[0]].items[regs[ops[1]]] = regs[ops[2]]
+                elif op is Opcode.ARRAYLEN:
+                    regs[ops[0]] = len(regs[ops[1]].items)
+                elif op is Opcode.GETSTATIC:
+                    regs[ops[0]] = self.statics.get(ops[1], 0)
+                elif op is Opcode.PUTSTATIC:
+                    self.statics[ops[0]] = regs[ops[1]]
+                elif op is Opcode.READBAR:
+                    barrier_stats.read_barriers += 1
+                    flavor = instr.flavor
+                    if flavor is static_out:
+                        # compiled-in out-of-region variant: one membership
+                        # test against the labeled object space.
+                        barrier_stats.space_checks += 1
+                        if labeled(regs[ops[0]].header):
+                            self._static_violation(flavor)
+                    elif flavor is static_in:
+                        # compiled-in in-region variant: label comparison.
+                        barrier_stats.label_checks += 1
+                        header = regs[ops[0]].header
+                        check_flow(header.labels, thread.labels,
+                                   context="IR read")
+                    else:
+                        self._barrier(instr, regs[ops[0]].header, is_read=True)
+                elif op is Opcode.WRITEBAR:
+                    barrier_stats.write_barriers += 1
+                    flavor = instr.flavor
+                    if flavor is static_out:
+                        barrier_stats.space_checks += 1
+                        if labeled(regs[ops[0]].header):
+                            self._static_violation(flavor)
+                    elif flavor is static_in:
+                        barrier_stats.label_checks += 1
+                        header = regs[ops[0]].header
+                        check_flow(thread.labels, header.labels,
+                                   context="IR write")
+                    else:
+                        self._barrier(instr, regs[ops[0]].header, is_read=False)
+                elif op is Opcode.ALLOCBAR:
+                    barrier_stats.alloc_barriers += 1
+                    flavor = instr.flavor
+                    if flavor is static_in:
+                        heap.label_fresh(regs[ops[0]].header, thread.labels)
+                    elif flavor is not static_out:
+                        self._alloc_barrier(instr, regs[ops[0]].header)
+                elif op is Opcode.SREADBAR:
+                    barrier_stats.read_barriers += 1
+                    self._static_barrier(instr, ops[0], is_read=True)
+                elif op is Opcode.SWRITEBAR:
+                    barrier_stats.write_barriers += 1
+                    self._static_barrier(instr, ops[0], is_read=False)
+                elif op is Opcode.CALL:
+                    dst, callee = ops[0], ops[1]
+                    call_args = [regs[a] for a in ops[2:]]
+                    result = self._call(self.program.method(callee), call_args)
+                    if dst is not None:
+                        regs[dst] = result
+                elif op is Opcode.PRINT:
+                    self.output.append(regs[ops[0]])
+                elif op is Opcode.RET:
+                    value = ops[0]
+                    return regs[value] if value is not None else None
+                elif op is Opcode.JMP:
+                    label = ops[0]
+                    jumped = True
+                    break
+                elif op is Opcode.BR:
+                    label = ops[1] if regs[ops[0]] else ops[2]
+                    jumped = True
+                    break
+                else:  # pragma: no cover - exhaustive
+                    raise AssertionError(f"unhandled opcode {op}")
+            if not jumped:
+                # normalize() guarantees a terminator, so this is unreachable
+                # unless a pass broke the method.
+                raise AssertionError(f"block {label} fell off the end")
+
+    # -- barrier semantics -------------------------------------------------------------
+
+    def _context_for(self, flavor: Optional[BarrierFlavor]) -> bool:
+        """Resolve 'is the thread in a region?' per the compiled flavor.
+
+        A dynamic barrier pays a real context test every execution — the
+        cost the Fig. 8 dynamic bars carry.  A static barrier trusts its
+        compile-time decision and does no test at all; ``verify_static``
+        adds the (non-production) assertion that catches miscompilation.
+        """
+        if flavor is BarrierFlavor.DYNAMIC:
+            self.vm.barriers.stats.dynamic_dispatches += 1
+            return self.vm.current_thread.in_region
+        expected = flavor is BarrierFlavor.STATIC_IN
+        if self.verify_static and expected != self.vm.current_thread.in_region:
+            raise StaleCompilationError(
+                f"barrier compiled {flavor.value} executed "
+                f"{'inside' if not expected else 'outside'} a region — the "
+                f"method needs cloning or dynamic barriers"
+            )
+        return expected
+
+    def _static_violation(self, flavor: Optional[BarrierFlavor]) -> None:
+        raise RegionViolation(
+            "IR access to labeled object outside any security region"
+        )
+
+    def _barrier(self, instr: Instr, header: Any, is_read: bool) -> None:
+        stats = self.vm.barriers.stats
+        in_region = self._context_for(instr.flavor)
+        if in_region:
+            stats.label_checks += 1
+            thread = self.vm.current_thread
+            if is_read:
+                check_flow(header.labels, thread.labels, context="IR read")
+            else:
+                check_flow(thread.labels, header.labels, context="IR write")
+        else:
+            stats.space_checks += 1
+            if self.vm.heap.is_labeled(header):
+                raise RegionViolation(
+                    "IR access to labeled object outside any security region"
+                )
+
+    def _alloc_barrier(self, instr: Instr, header: Any) -> None:
+        in_region = self._context_for(instr.flavor)
+        if in_region:
+            self.vm.heap.label_fresh(header, self.vm.current_thread.labels)
+
+    def _static_barrier(self, instr: Instr, name: str, is_read: bool) -> None:
+        """The labeled-statics extension: statics behave like objects whose
+        labels were fixed at declaration."""
+        stats = self.vm.barriers.stats
+        labels = self.static_labels.get(name, LabelPair.EMPTY)
+        in_region = self._context_for(instr.flavor)
+        thread = self.vm.current_thread
+        if in_region:
+            stats.label_checks += 1
+            if is_read:
+                check_flow(labels, thread.labels, context=f"static {name}")
+            else:
+                check_flow(thread.labels, labels, context=f"static {name}")
+        else:
+            stats.space_checks += 1
+            if not labels.is_empty:
+                raise RegionViolation(
+                    f"access to labeled static {name!r} outside any "
+                    f"security region"
+                )

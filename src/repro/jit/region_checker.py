@@ -1,0 +1,92 @@
+"""Static checks on IR region methods (Section 5.1).
+
+The prototype requires each security region to be its own method and
+verifies, at compile time, that:
+
+1. the method does not return a value (a returned value could carry secret
+   data out of the region through the caller's locals);
+2. the method takes only reference-type parameters and only *dereferences*
+   them — a parameter register may appear as the object operand of a heap
+   access or as a call argument, but never in arithmetic, comparisons,
+   moves, stores to it, or returns;
+3. the method does not read or write statics (the prototype forbids
+   static writes under secrecy labels and static reads under integrity
+   labels; "for simplicity our implementation requires both properties for
+   every security region").
+
+Violations are compile errors, raised as
+:class:`~repro.core.StaticCheckError` before the program runs.
+"""
+
+from __future__ import annotations
+
+from ..core import StaticCheckError
+from .ir import Instr, Method, Opcode, Program
+
+
+def _check_param_use(method: Method, instr: Instr, violations: list[str]) -> None:
+    params = set(method.params)
+    op, ops = instr.op, instr.operands
+    # Positions where a parameter may legally appear (dereferences).
+    allowed: set[str] = set()
+    if op in (Opcode.GETFIELD, Opcode.ARRAYLEN):
+        allowed = {ops[1]}
+    elif op is Opcode.ALOAD:
+        allowed = {ops[1]}  # the array; a parameter used as *index* is by-value
+    elif op is Opcode.PUTFIELD:
+        allowed = {ops[0]}
+    elif op is Opcode.ASTORE:
+        allowed = {ops[0]}
+    elif op is Opcode.CALL:
+        allowed = set(ops[2:])
+    elif op in (Opcode.READBAR, Opcode.WRITEBAR, Opcode.ALLOCBAR):
+        allowed = {ops[0]}
+    for reg in instr.used_registers():
+        if reg in params and reg not in allowed:
+            violations.append(
+                f"parameter {reg!r} used by value in '{instr!r}'"
+            )
+    defined = instr.defined_register()
+    if defined in params:
+        violations.append(f"parameter {defined!r} is written by '{instr!r}'")
+
+
+def check_region_method(method: Method, allow_statics: bool = False) -> None:
+    """Verify one region method; raises :class:`StaticCheckError` listing
+    every violation found.
+
+    ``allow_statics`` enables the labeled-statics extension: static
+    accesses are then permitted in regions because the compiler guards
+    them with static barriers instead (Section 5.1's "a production
+    implementation could support labeling statics")."""
+    violations: list[str] = []
+    for block in method.blocks.values():
+        for instr in block.instrs:
+            if instr.op is Opcode.RET and instr.operands[0] is not None:
+                violations.append(
+                    f"region method returns a value in '{instr!r}'"
+                )
+            if not allow_statics and instr.op in (
+                Opcode.GETSTATIC, Opcode.PUTSTATIC
+            ):
+                violations.append(
+                    f"static access in region method: '{instr!r}'"
+                )
+            _check_param_use(method, instr, violations)
+    if violations:
+        listing = "\n  ".join(violations)
+        raise StaticCheckError(
+            f"region method {method.name!r} violates static restrictions:\n"
+            f"  {listing}"
+        )
+
+
+def check_program_regions(program: Program, allow_statics: bool = False) -> int:
+    """Check every region method in the program; returns how many were
+    checked."""
+    checked = 0
+    for method in program.methods.values():
+        if method.is_region:
+            check_region_method(method, allow_statics)
+            checked += 1
+    return checked

@@ -1,0 +1,120 @@
+"""Bytecode verification for the mini-JIT.
+
+Section 5.1 closes its discussion of the method-granularity prototype
+with: "a production implementation of Laminar could decouple security
+regions from methods by enforcing local variable restrictions as part of
+bytecode verification."  This module is that verifier.  It runs before
+any other pass and rejects programs that could subvert the analyses the
+security passes rely on:
+
+1. **Definite assignment** — every register is defined on *every* path
+   before any use.  This is the foundation the local-variable restrictions
+   stand on: a region's writes cannot leak through a register the verifier
+   would have flagged as conditionally defined.  (A forward must-analysis,
+   reusing the dataflow framework.)
+2. **Call integrity** — every callee exists and is invoked with the right
+   arity, and region methods are only invoked via plain calls (their
+   return-value ban is already guaranteed by the region checker).
+3. **Block structure** — exactly one terminator per block, at the end
+   (a barrier smuggled after a ``ret`` would never execute but would fool
+   barrier accounting).
+
+Verification failures are :class:`VerificationError`; the compiler runs
+the verifier as its first pass, so unverifiable code never reaches barrier
+insertion or the interpreter.
+"""
+
+from __future__ import annotations
+
+from .cfg import CFG
+from .dataflow import ForwardMustAnalysis
+from .ir import Instr, Method, Opcode, Program, TERMINATORS
+
+
+class VerificationError(ValueError):
+    """The program failed bytecode verification."""
+
+
+def _defs_transfer(instr: Instr, facts: frozenset) -> frozenset:
+    defined = instr.defined_register()
+    if defined is not None:
+        return facts | {defined}
+    return facts
+
+
+def verify_method(method: Method, program: Program) -> list[str]:
+    """Return the list of verification errors for one method."""
+    errors: list[str] = []
+    # -- block structure ------------------------------------------------------
+    for label, block in method.blocks.items():
+        if not block.instrs:
+            errors.append(f"{method.name}/{label}: empty block")
+            continue
+        for i, instr in enumerate(block.instrs):
+            is_last = i == len(block.instrs) - 1
+            if instr.op in TERMINATORS and not is_last:
+                errors.append(
+                    f"{method.name}/{label}: instruction after terminator "
+                    f"'{instr!r}'"
+                )
+            if is_last and instr.op not in TERMINATORS:
+                errors.append(
+                    f"{method.name}/{label}: block does not end in a "
+                    f"terminator"
+                )
+    if errors:
+        return errors  # structural breakage invalidates the dataflow below
+
+    # -- call integrity ---------------------------------------------------------
+    for block in method.blocks.values():
+        for instr in block.instrs:
+            if instr.op is not Opcode.CALL:
+                continue
+            callee_name = instr.operands[1]
+            callee = program.methods.get(callee_name)
+            if callee is None:
+                errors.append(
+                    f"{method.name}: call to unknown method {callee_name!r}"
+                )
+                continue
+            arity = len(instr.operands) - 2
+            if arity != len(callee.params):
+                errors.append(
+                    f"{method.name}: call to {callee_name} with {arity} "
+                    f"args, expected {len(callee.params)}"
+                )
+            if callee.is_region and instr.operands[0] is not None:
+                errors.append(
+                    f"{method.name}: region method {callee_name} used as "
+                    f"an expression (regions produce no value)"
+                )
+
+    # -- definite assignment ------------------------------------------------------
+    cfg = CFG(method)
+    analysis: ForwardMustAnalysis = ForwardMustAnalysis(cfg, _defs_transfer)
+    analysis.solve()
+    params = frozenset(method.params)
+    reachable = cfg.reachable()
+    for label in reachable:
+        facts_list = analysis.facts_before_each_instr(label)
+        # entry block starts with the parameters defined
+        for instr, defined in zip(cfg.block(label).instrs, facts_list):
+            available = defined | params
+            for reg in instr.used_registers():
+                if reg not in available:
+                    errors.append(
+                        f"{method.name}/{label}: register {reg!r} may be "
+                        f"used before assignment in '{instr!r}'"
+                    )
+    return errors
+
+
+def verify_program(program: Program) -> None:
+    """Verify every method; raise :class:`VerificationError` with the full
+    error listing if anything fails."""
+    errors: list[str] = []
+    for method in program.methods.values():
+        errors.extend(verify_method(method, program))
+    if errors:
+        listing = "\n  ".join(errors)
+        raise VerificationError(f"bytecode verification failed:\n  {listing}")

@@ -1,0 +1,96 @@
+"""Simulated operating system: the Laminar OS half of the paper.
+
+(Named ``osim`` because ``os`` would shadow the standard library.)
+
+The package mirrors the Linux pieces Laminar touches: tasks with security
+fields (:mod:`.task`), a VFS-like filesystem with labeled inodes and xattr
+persistence (:mod:`.filesystem`), LSM hooks plus the Laminar security
+module (:mod:`.lsm`), unreliable labeled pipes (:mod:`.pipes`), sockets and
+the unlabeled network (:mod:`.sockets`), the syscall layer (:mod:`.kernel`),
+and persistent per-user capabilities with login (:mod:`.persistence`).
+"""
+
+from .filesystem import (
+    File,
+    Filesystem,
+    Inode,
+    InodeType,
+    OpenMode,
+    XATTR_INTEGRITY,
+    XATTR_SECRECY,
+    decode_label,
+    encode_label,
+)
+from .kernel import Kernel, Mapping, TCB_TAG
+from .lsm import LaminarSecurityModule, Mask, NullSecurityModule, SecurityModule
+from .pipes import DEFAULT_PIPE_CAPACITY, Pipe
+from .persistence import (
+    decode_capabilities,
+    encode_capabilities,
+    grant_persistent,
+    load_user_capabilities,
+    login,
+    revoke_by_relabel,
+    store_user_capabilities,
+)
+from .sockets import Network, Socket
+from .task import (
+    EACCES,
+    EAGAIN,
+    EBADF,
+    EEXIST,
+    EINVAL,
+    EISDIR,
+    ENOENT,
+    ENOTDIR,
+    ENOTEMPTY,
+    EPERM,
+    EPIPE,
+    ESRCH,
+    SyscallError,
+    Task,
+)
+
+__all__ = [
+    "DEFAULT_PIPE_CAPACITY",
+    "EACCES",
+    "EAGAIN",
+    "EBADF",
+    "EEXIST",
+    "EINVAL",
+    "EISDIR",
+    "ENOENT",
+    "ENOTDIR",
+    "ENOTEMPTY",
+    "EPERM",
+    "EPIPE",
+    "ESRCH",
+    "File",
+    "Filesystem",
+    "Inode",
+    "InodeType",
+    "Kernel",
+    "LaminarSecurityModule",
+    "Mapping",
+    "Mask",
+    "Network",
+    "NullSecurityModule",
+    "OpenMode",
+    "Pipe",
+    "SecurityModule",
+    "Socket",
+    "SyscallError",
+    "TCB_TAG",
+    "Task",
+    "XATTR_INTEGRITY",
+    "XATTR_SECRECY",
+    "decode_capabilities",
+    "decode_label",
+    "encode_capabilities",
+    "encode_label",
+    "grant_persistent",
+    "load_user_capabilities",
+    "login",
+    "revoke_by_relabel",
+    "store_user_capabilities",
+]

@@ -1,0 +1,304 @@
+"""An in-memory Unix-like filesystem with labeled inodes.
+
+Models the pieces of the Linux VFS that Laminar's security module hooks
+(Section 5.2):
+
+* **Inodes** carry the secrecy/integrity labels in their security field; for
+  regular filesystems the labels are *persisted* in extended attributes
+  (``security.laminar.secrecy`` / ``security.laminar.integrity``), as the
+  paper does for ext2/ext3/xfs/reiserfs.
+* The label of an inode protects its contents and metadata **except** the
+  name and the label themselves, which are protected by the label of the
+  parent directory — creating a file is a write to the parent.
+* Directory trees follow the paper's convention that secrecy increases from
+  root to leaves, and system directories get the administrator integrity
+  label at install time; users who distrust the administrator use relative
+  paths (resolution starting from an inode they already hold).
+
+The filesystem performs *no* DIFC checks itself: checks live in the LSM
+hooks invoked by the kernel's syscall layer, mirroring Linux's separation
+between the VFS and the security module.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Iterator, Optional
+
+from ..core import Label, LabelPair, Tag, TagAllocator
+from .task import (
+    EEXIST,
+    EINVAL,
+    EISDIR,
+    ENOENT,
+    ENOTDIR,
+    ENOTEMPTY,
+    SyscallError,
+)
+
+XATTR_SECRECY = "security.laminar.secrecy"
+XATTR_INTEGRITY = "security.laminar.integrity"
+
+
+class InodeType(enum.Enum):
+    REGULAR = "regular"
+    DIRECTORY = "directory"
+    PIPE = "pipe"
+    SOCKET = "socket"
+    DEVICE = "device"
+
+
+class Inode:
+    """One filesystem object.
+
+    ``labels`` is the LSM security field.  For regular files and directories
+    the same information is mirrored into ``xattrs`` so that labels survive
+    a simulated unmount/remount (see :meth:`Filesystem.remount`).
+    """
+
+    _ino_counter = itertools.count(1)
+
+    def __init__(
+        self,
+        itype: InodeType,
+        labels: LabelPair = LabelPair.EMPTY,
+        mode: int = 0o644,
+    ) -> None:
+        self.ino = next(self._ino_counter)
+        self.itype = itype
+        self.labels = labels
+        self.mode = mode
+        self.nlink = 1
+        self.data = bytearray()
+        #: name -> child inode; only meaningful for directories.
+        self.children: dict[str, "Inode"] = {}
+        self.xattrs: dict[str, bytes] = {}
+        if itype in (InodeType.REGULAR, InodeType.DIRECTORY):
+            self._persist_labels()
+
+    # -- label persistence (extended attributes) ----------------------------
+
+    def _persist_labels(self) -> None:
+        self.xattrs[XATTR_SECRECY] = encode_label(self.labels.secrecy)
+        self.xattrs[XATTR_INTEGRITY] = encode_label(self.labels.integrity)
+
+    def restore_labels(self, allocator: TagAllocator) -> None:
+        """Re-hydrate ``labels`` from xattrs after a simulated remount."""
+        secrecy = decode_label(self.xattrs.get(XATTR_SECRECY, b""), allocator)
+        integrity = decode_label(self.xattrs.get(XATTR_INTEGRITY, b""), allocator)
+        self.labels = LabelPair(secrecy, integrity)
+
+    # -- size/metadata -------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    @property
+    def is_dir(self) -> bool:
+        return self.itype is InodeType.DIRECTORY
+
+    def __repr__(self) -> str:
+        return f"Inode(ino={self.ino}, {self.itype.value}, labels={self.labels!r})"
+
+
+def encode_label(label: Label) -> bytes:
+    """Serialize a label into the xattr wire format: 8 bytes per tag,
+    big-endian, sorted — the on-disk layout of a sorted 64-bit array."""
+    return b"".join(tag.value.to_bytes(8, "big") for tag in label)
+
+
+def decode_label(blob: bytes, allocator: TagAllocator) -> Label:
+    """Inverse of :func:`encode_label`.  Unknown tag values are re-created
+    as anonymous tags (a remounted filesystem may carry tags allocated in a
+    previous boot)."""
+    if len(blob) % 8:
+        raise ValueError("corrupt label xattr")
+    tags = []
+    for offset in range(0, len(blob), 8):
+        value = int.from_bytes(blob[offset : offset + 8], "big")
+        tags.append(allocator.lookup(value) or Tag(value))
+    return Label(tags)
+
+
+class OpenMode(enum.Flag):
+    READ = enum.auto()
+    WRITE = enum.auto()
+    APPEND = enum.auto()
+    CREATE = enum.auto()
+
+    @classmethod
+    def parse(cls, mode: str) -> "OpenMode":
+        table = {
+            "r": cls.READ,
+            "w": cls.WRITE | cls.CREATE,
+            "a": cls.WRITE | cls.APPEND | cls.CREATE,
+            "r+": cls.READ | cls.WRITE,
+            "w+": cls.READ | cls.WRITE | cls.CREATE,
+        }
+        try:
+            return table[mode]
+        except KeyError:
+            raise SyscallError(EINVAL, f"bad open mode {mode!r}") from None
+
+
+class File:
+    """An open file description (the ``struct file`` analog): inode +
+    offset + mode.  File-descriptor-level hooks (``file_permission``) take
+    these, inode-level hooks take :class:`Inode`."""
+
+    def __init__(self, inode: Inode, mode: OpenMode) -> None:
+        self.inode = inode
+        self.mode = mode
+        self.offset = 0
+
+    def readable(self) -> bool:
+        return bool(self.mode & OpenMode.READ)
+
+    def writable(self) -> bool:
+        return bool(self.mode & OpenMode.WRITE)
+
+
+class Filesystem:
+    """A mounted tree of inodes with path resolution.
+
+    Path resolution supports absolute paths (from ``self.root``) and
+    relative paths (from a caller-supplied starting inode), which the paper
+    leans on for users who do not trust the administrator's integrity label
+    on system directories.
+    """
+
+    def __init__(self, root_labels: LabelPair = LabelPair.EMPTY) -> None:
+        self.root = Inode(InodeType.DIRECTORY, root_labels, mode=0o755)
+
+    # -- path handling --------------------------------------------------------
+
+    @staticmethod
+    def split(path: str) -> list[str]:
+        parts = [p for p in path.split("/") if p and p != "."]
+        return parts
+
+    def resolve(self, path: str, cwd: Optional[Inode] = None) -> Inode:
+        """Walk ``path`` and return the final inode.
+
+        Raises ``ENOENT``/``ENOTDIR``.  No permission checks happen here —
+        the kernel walks with LSM checks at each component via
+        :meth:`walk_components`.
+        """
+        inode, name = self.resolve_parent(path, cwd)
+        if name is None:
+            return inode
+        if not inode.is_dir:
+            raise SyscallError(ENOTDIR, path)
+        child = inode.children.get(name)
+        if child is None:
+            raise SyscallError(ENOENT, path)
+        return child
+
+    def resolve_parent(
+        self, path: str, cwd: Optional[Inode] = None
+    ) -> tuple[Inode, Optional[str]]:
+        """Resolve to ``(parent_inode, final_component)``.
+
+        ``final_component`` is ``None`` when the path denotes the start
+        inode itself (e.g. ``"/"``).
+        """
+        if path.startswith("/") or cwd is None:
+            current = self.root
+        else:
+            current = cwd
+        parts = self.split(path)
+        if not parts:
+            return current, None
+        for part in parts[:-1]:
+            current = self._step(current, part, path)
+        return current, parts[-1]
+
+    def walk_components(
+        self, path: str, cwd: Optional[Inode] = None
+    ) -> Iterator[Inode]:
+        """Yield every directory inode traversed while resolving ``path``
+        (excluding the final component).  The kernel runs the LSM
+        ``inode_permission`` (execute/search) hook on each."""
+        if path.startswith("/") or cwd is None:
+            current = self.root
+        else:
+            current = cwd
+        yield current
+        parts = self.split(path)
+        for part in parts[:-1]:
+            current = self._step(current, part, path)
+            yield current
+
+    @staticmethod
+    def _step(current: Inode, part: str, full_path: str) -> Inode:
+        if not current.is_dir:
+            raise SyscallError(ENOTDIR, full_path)
+        child = current.children.get(part)
+        if child is None:
+            raise SyscallError(ENOENT, full_path)
+        return child
+
+    # -- structural mutation (no DIFC checks; kernel hooks do those) -----------
+
+    def link_child(self, parent: Inode, name: str, child: Inode) -> None:
+        if not parent.is_dir:
+            raise SyscallError(ENOTDIR, name)
+        if name in parent.children:
+            raise SyscallError(EEXIST, name)
+        if not name or "/" in name:
+            raise SyscallError(EINVAL, name)
+        parent.children[name] = child
+
+    def unlink_child(self, parent: Inode, name: str) -> Inode:
+        if not parent.is_dir:
+            raise SyscallError(ENOTDIR, name)
+        child = parent.children.get(name)
+        if child is None:
+            raise SyscallError(ENOENT, name)
+        if child.is_dir and child.children:
+            raise SyscallError(ENOTEMPTY, name)
+        del parent.children[name]
+        child.nlink -= 1
+        return child
+
+    # -- data access (again: checks live in the kernel) ------------------------
+
+    @staticmethod
+    def read(file: File, count: int = -1) -> bytes:
+        inode = file.inode
+        if inode.is_dir:
+            raise SyscallError(EISDIR, "read of a directory")
+        end = inode.size if count < 0 else min(inode.size, file.offset + count)
+        data = bytes(inode.data[file.offset : end])
+        file.offset = end
+        return data
+
+    @staticmethod
+    def write(file: File, data: bytes) -> int:
+        inode = file.inode
+        if inode.is_dir:
+            raise SyscallError(EISDIR, "write of a directory")
+        if file.mode & OpenMode.APPEND:
+            file.offset = inode.size
+        end = file.offset + len(data)
+        if end > inode.size:
+            inode.data.extend(b"\0" * (end - inode.size))
+        inode.data[file.offset : end] = data
+        file.offset = end
+        return len(data)
+
+    # -- persistence round-trip -------------------------------------------------
+
+    def remount(self, allocator: TagAllocator) -> None:
+        """Simulate unmount + mount: drop all in-memory security fields and
+        re-read them from extended attributes.  Exercises the persistence
+        path the paper gets from ext3 xattrs."""
+        stack = [self.root]
+        while stack:
+            inode = stack.pop()
+            if inode.itype in (InodeType.REGULAR, InodeType.DIRECTORY):
+                inode.labels = LabelPair.EMPTY
+                inode.restore_labels(allocator)
+            stack.extend(inode.children.values())

@@ -1,0 +1,595 @@
+"""The simulated kernel: tasks, system calls, and LSM mediation.
+
+This module stands in for Linux 2.6.22 plus the ~500 lines of kernel
+modifications the paper adds for its new system calls (Fig. 3).  The design
+keeps Linux's layering: syscalls do the VFS/task work and call fixed LSM
+hook points; the installed :class:`~repro.osim.lsm.SecurityModule` decides.
+Swapping in the :class:`~repro.osim.lsm.NullSecurityModule` yields the
+vanilla-Linux baseline used to normalize Table 2.
+
+System-call surface
+-------------------
+Laminar's calls (Fig. 3): ``alloc_tag``, ``set_task_label``,
+``drop_label_tcb``, ``drop_capabilities``, ``write_capability`` (+ its
+receive side), ``create_file_labeled``, ``mkdir_labeled``.
+
+POSIX subset used by lmbench and the applications: ``open``, ``read``,
+``write``, ``close``, ``stat``, ``creat``, ``unlink``, ``mkdir``, ``fork``,
+``spawn_thread``, ``exec``, ``exit``, ``kill``, ``pipe``, ``socket`` /
+``connect`` / ``send`` / ``recv``, ``mmap`` + simulated protection faults.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter
+from typing import Iterable, Optional
+
+from ..core import (
+    AuditLog,
+    CapabilitySet,
+    Capability,
+    Label,
+    LabelPair,
+    LabelType,
+    Tag,
+    TagAllocator,
+    check_label_change,
+)
+from .filesystem import (
+    File,
+    Filesystem,
+    Inode,
+    InodeType,
+    OpenMode,
+)
+from .lsm import LaminarSecurityModule, Mask, SecurityModule
+from .pipes import Pipe
+from .sockets import Network, Socket
+from .task import (
+    EBADF,
+    EINVAL,
+    ENOENT,
+    EPERM,
+    ESRCH,
+    SyscallError,
+    Task,
+)
+
+#: Well-known tag value for the special ``tcb`` integrity tag (Section 4.4).
+TCB_TAG = Tag(0, "tcb")
+
+
+class Mapping:
+    """A simulated memory mapping, for the lmbench mmap / prot-fault rows."""
+
+    def __init__(self, file: File, mask: Mask) -> None:
+        self.file = file
+        self.mask = mask
+        self.valid = True
+
+
+class Kernel:
+    """One booted machine image.
+
+    Base costs: a real kernel's syscalls do vastly different amounts of
+    non-security work (lmbench: null I/O 0.13 µs, stat 0.92 µs, fork 96 µs,
+    exec 300 µs, mmap 6877 µs on the paper's testbed).  The simulator's
+    Python bodies are nearly uniform, which would make the security module's
+    fixed per-check cost look enormous on heavy calls and mild on light ones
+    — the opposite of Table 2.  ``SYSCALL_WORK`` therefore charges each
+    syscall a base amount of simulated kernel work (plain loop iterations)
+    roughly proportional to the real cost ratios, scaled down to keep the
+    suite fast.  Both security modules pay it identically; only the hook
+    cost differs between vanilla and Laminar kernels.
+    """
+
+    #: Simulated base work per syscall, in loop iterations (~25 ns each).
+    SYSCALL_WORK = {
+        "read": 160,
+        "write": 160,
+        "open": 1200,
+        "stat": 4000,
+        "creat": 8000,
+        "create_file_labeled": 8000,
+        "mkdir": 8000,
+        "mkdir_labeled": 8000,
+        "unlink": 3500,
+        "close": 80,
+        "fork": 60000,
+        "spawn_thread": 8000,
+        "exec": 120000,
+        "exit": 2000,
+        "kill": 800,
+        "pipe": 2000,
+        "mmap": 100000,
+        "prot_fault": 800,
+        "chdir": 1200,
+        "socket": 2000,
+        "send": 400,
+        "recv": 400,
+        "transmit": 400,
+    }
+
+    def __init__(self, security: Optional[SecurityModule] = None) -> None:
+        self.security = security if security is not None else LaminarSecurityModule()
+        self.tags = TagAllocator(first=1)
+        self.fs = Filesystem()
+        self.net = Network()
+        self.tasks: dict[int, Task] = {}
+        self._tid_counter = itertools.count(1)
+        self._pgid_counter = itertools.count(1)
+        self.syscall_counts: Counter[str] = Counter()
+        #: Machine-wide audit log (TCB-internal; see repro.core.audit).
+        self.audit = AuditLog()
+        self.security.audit = self.audit
+        self._install_base_tree()
+
+    # ------------------------------------------------------------------ boot
+
+    def _install_base_tree(self) -> None:
+        """Install-time layout (Section 5.2): system directories carry the
+        administrator integrity label; /dev gets the null/zero devices; the
+        persistent capability store lives under /etc/laminar."""
+        self.admin_integrity = self.tags.alloc("sysadmin")
+        admin = LabelPair(Label.EMPTY, Label.of(self.admin_integrity))
+        for path in ("etc", "home", "dev", "tmp"):
+            inode = Inode(InodeType.DIRECTORY, admin if path != "tmp" else LabelPair.EMPTY, mode=0o755)
+            self.fs.link_child(self.fs.root, path, inode)
+        self.fs.root.labels = admin
+        self.fs.root._persist_labels()
+        etc = self.fs.root.children["etc"]
+        laminar_dir = Inode(InodeType.DIRECTORY, admin, mode=0o755)
+        self.fs.link_child(etc, "laminar", laminar_dir)
+        caps_dir = Inode(InodeType.DIRECTORY, admin, mode=0o700)
+        self.fs.link_child(laminar_dir, "caps", caps_dir)
+        dev = self.fs.root.children["dev"]
+        for name in ("null", "zero", "console"):
+            self.fs.link_child(dev, name, Inode(InodeType.DEVICE, LabelPair.EMPTY))
+        #: init: the first task, fully trusted bootstrap principal.
+        self.init_task = self.spawn_task("init", user="root")
+
+    def spawn_task(
+        self,
+        name: str,
+        user: str = "root",
+        labels: LabelPair = LabelPair.EMPTY,
+        caps: CapabilitySet = CapabilitySet.EMPTY,
+        pgid: int | None = None,
+    ) -> Task:
+        """Create a task outside fork (boot, login, and test setup)."""
+        tid = next(self._tid_counter)
+        task = Task(tid, name=name, user=user, labels=labels, caps=caps)
+        task.pgid = pgid if pgid is not None else next(self._pgid_counter)
+        task.cwd = self.fs.root
+        self.tasks[tid] = task
+        return task
+
+    # --------------------------------------------------------- small helpers
+
+    def _count(self, name: str) -> None:
+        self.syscall_counts[name] += 1
+        for _ in range(self.SYSCALL_WORK.get(name, 0)):
+            pass
+
+    def _require_alive(self, task: Task) -> None:
+        if not task.alive:
+            raise SyscallError(ESRCH, f"{task.name} has exited")
+
+    def _walk_checked(self, task: Task, path: str) -> None:
+        """Run the search-permission hook on every traversed directory.
+
+        Relative walks do *not* re-check the starting directory — holding
+        it (as cwd / an open directory, openat-style) is the authorization,
+        checked when it was obtained.  This is what makes the paper's
+        relative-path discipline work for high-integrity tasks: a task at
+        ``{I(t)}`` cannot re-read an unlabeled or admin-labeled directory
+        (no read down), but it can keep resolving under a directory it
+        opened before raising its integrity (Section 5.2's alternative to
+        trusting the administrator's label on ``/``)."""
+        components = self.fs.walk_components(path, task.cwd)
+        relative = not path.startswith("/") and task.cwd is not None
+        first = next(components, None)
+        if first is not None and not relative:
+            self.security.inode_permission(task, first, Mask.EXEC)
+        for directory in components:
+            self.security.inode_permission(task, directory, Mask.EXEC)
+
+    def sys_chdir(self, task: Task, path: str) -> None:
+        """Change the working directory (the handle relative resolution
+        hangs off).  Acquiring it requires search permission now."""
+        self._count("chdir")
+        self._require_alive(task)
+        self._walk_checked(task, path)
+        inode = self.fs.resolve(path, task.cwd)
+        if not inode.is_dir:
+            raise SyscallError(EINVAL, f"{path} is not a directory")
+        self.security.inode_permission(task, inode, Mask.EXEC)
+        task.cwd = inode
+
+    # =============================================================== Fig. 3 =
+
+    def sys_alloc_tag(self, task: Task, name: str = "") -> tuple[Tag, CapabilitySet]:
+        """Allocate a fresh tag; the caller becomes its owner and receives
+        both capabilities (written into ``caps`` in the C signature)."""
+        self._count("alloc_tag")
+        self._require_alive(task)
+        tag = self.tags.alloc(name)
+        granted = CapabilitySet.dual(tag)
+        task.security.grant(granted)
+        return tag, granted
+
+    def sys_set_task_label(
+        self, task: Task, label_type: LabelType, new_label: Label
+    ) -> None:
+        """Set the secrecy or integrity label of the calling principal.
+
+        The kernel checks the explicit label-change rule against the task's
+        *kernel-resident* capabilities — this is the call the VM issues at
+        security-region entry/exit so the OS can mediate syscalls made
+        inside the region (Section 4.4)."""
+        self._count("set_task_label")
+        self._require_alive(task)
+        old = task.labels.get(label_type)
+        check_label_change(old, new_label, task.capabilities, context=task.name)
+        task.security.set_labels_unchecked(task.labels.replacing(label_type, new_label))
+
+    def sys_drop_label_tcb(self, caller: Task, target_tid: int) -> None:
+        """Drop the target thread's current labels without capability checks.
+
+        Callable only by a thread carrying the special ``tcb`` integrity tag,
+        and only on threads in the same address space (process group) — "the
+        VM cannot drop the labels on other applications" (Section 4.4)."""
+        self._count("drop_label_tcb")
+        self._require_alive(caller)
+        if TCB_TAG not in caller.labels.integrity:
+            raise SyscallError(EPERM, f"{caller.name} lacks the tcb integrity tag")
+        target = self.tasks.get(target_tid)
+        if target is None:
+            raise SyscallError(ESRCH, f"no task {target_tid}")
+        if getattr(target, "pgid", None) != getattr(caller, "pgid", None):
+            raise SyscallError(EPERM, "drop_label_tcb crosses address spaces")
+        target.security.set_labels_unchecked(LabelPair.EMPTY)
+
+    def sys_set_security_tcb(
+        self,
+        caller: Task,
+        target_tid: int,
+        labels: LabelPair,
+        caps: CapabilitySet,
+    ) -> None:
+        """Set a thread's kernel-resident labels *and* capabilities without
+        capability checks — the kernel half of the trusted VM thread's
+        security-region save/restore ("the VM restores the labels and
+        capabilities it had just before it entered the region",
+        Section 4.4).  Like ``drop_label_tcb`` it demands the special
+        ``tcb`` integrity tag and is confined to the caller's own address
+        space, so a VM can never rewrite another application's labels."""
+        self._count("set_security_tcb")
+        self._require_alive(caller)
+        if TCB_TAG not in caller.labels.integrity:
+            raise SyscallError(EPERM, f"{caller.name} lacks the tcb integrity tag")
+        target = self.tasks.get(target_tid)
+        if target is None:
+            raise SyscallError(ESRCH, f"no task {target_tid}")
+        if target.pgid != caller.pgid:
+            raise SyscallError(EPERM, "set_security_tcb crosses address spaces")
+        target.security.set_labels_unchecked(labels)
+        target.security.replace_capabilities(caps)
+
+    def sys_drop_capabilities(
+        self, task: Task, caps: Iterable[Capability]
+    ) -> None:
+        """Permanently drop capabilities from the calling principal.  (The
+        ``tmp`` flag of the C API — suspension for the scope of a security
+        region or a fork — is implemented by the VM's save/restore stack and
+        by ``sys_fork``'s subset argument, so the kernel side is only the
+        permanent drop.)"""
+        self._count("drop_capabilities")
+        self._require_alive(task)
+        for cap in caps:
+            task.security.drop_capability(cap.tag, cap.kind)
+
+    def sys_write_capability(self, task: Task, cap: Capability, fd: int) -> None:
+        """Send a capability to another thread via a pipe.
+
+        The sending side checks the flow from the sender into the pipe; the
+        receiving side (:meth:`sys_read_capability`) completes the
+        kernel-mediated transfer.  A capability the sender does not hold
+        cannot be sent."""
+        self._count("write_capability")
+        self._require_alive(task)
+        if not task.security.holds(cap):
+            raise SyscallError(EPERM, f"{task.name} does not hold {cap!r}")
+        file = task.lookup_fd(fd)
+        pipe: Pipe | None = getattr(file.inode, "pipe", None)
+        if pipe is None:
+            raise SyscallError(EINVAL, "write_capability requires a pipe fd")
+        if not self.security.pipe_write_allowed(task, pipe.inode):
+            # Same silent-drop semantics as pipe data.
+            pipe.dropped += 1
+            return
+        pipe.cap_messages = getattr(pipe, "cap_messages", [])
+        pipe.cap_messages.append((task, cap))
+
+    def sys_read_capability(self, task: Task, fd: int) -> Optional[Capability]:
+        """Receive a capability sent with ``write_capability``.  Returns
+        ``None`` when nothing is deliverable (indistinguishable from an
+        empty pipe, by design)."""
+        self._count("read_capability")
+        self._require_alive(task)
+        file = task.lookup_fd(fd)
+        pipe: Pipe | None = getattr(file.inode, "pipe", None)
+        if pipe is None:
+            raise SyscallError(EINVAL, "read_capability requires a pipe fd")
+        if not self.security.pipe_read_allowed(task, pipe.inode):
+            return None
+        queue = getattr(pipe, "cap_messages", [])
+        if not queue:
+            return None
+        sender, cap = queue[0]
+        try:
+            self.security.capability_transfer(sender, task)
+        except SyscallError:
+            return None
+        queue.pop(0)
+        task.security.grant(CapabilitySet([cap]))
+        return cap
+
+    def sys_create_file_labeled(
+        self, task: Task, path: str, labels: LabelPair, mode: int = 0o644
+    ) -> int:
+        """Create a labeled file (Fig. 3) and return an open fd."""
+        self._count("create_file_labeled")
+        return self._create_labeled(task, path, labels, mode, InodeType.REGULAR)
+
+    def sys_mkdir_labeled(
+        self, task: Task, path: str, labels: LabelPair, mode: int = 0o755
+    ) -> int:
+        """Create a labeled directory (Fig. 3).  Returns 0."""
+        self._count("mkdir_labeled")
+        self._create_labeled(task, path, labels, mode, InodeType.DIRECTORY)
+        return 0
+
+    def _create_labeled(
+        self,
+        task: Task,
+        path: str,
+        labels: LabelPair,
+        mode: int,
+        itype: InodeType,
+    ) -> int:
+        self._require_alive(task)
+        self._walk_checked(task, path)
+        parent, name = self.fs.resolve_parent(path, task.cwd)
+        if name is None:
+            raise SyscallError(EINVAL, path)
+        self.security.inode_create(task, parent, labels)
+        inode = Inode(itype, labels, mode)
+        self.fs.link_child(parent, name, inode)
+        if itype is InodeType.DIRECTORY:
+            return 0
+        file = File(inode, OpenMode.READ | OpenMode.WRITE)
+        return task.install_fd(file)
+
+    # ============================================================ POSIX-ish =
+
+    def sys_open(self, task: Task, path: str, mode: str = "r") -> int:
+        self._count("open")
+        self._require_alive(task)
+        flags = OpenMode.parse(mode)
+        self._walk_checked(task, path)
+        parent, name = self.fs.resolve_parent(path, task.cwd)
+        inode = parent if name is None else parent.children.get(name)
+        if inode is None:
+            if not flags & OpenMode.CREATE:
+                raise SyscallError(ENOENT, path)
+            # Plain creat: the new file takes the creating thread's labels
+            # (Section 4.5, "other system resources use the label of their
+            # creating thread").
+            labels = task.labels
+            self.security.inode_create(task, parent, labels)
+            inode = Inode(InodeType.REGULAR, labels)
+            self.fs.link_child(parent, name, inode)  # type: ignore[arg-type]
+        mask = Mask(0)
+        if flags & OpenMode.READ:
+            mask |= Mask.READ
+        if flags & OpenMode.WRITE:
+            mask |= Mask.WRITE
+        self.security.inode_permission(task, inode, mask)
+        file = File(inode, flags)
+        return task.install_fd(file)
+
+    def sys_creat(self, task: Task, path: str) -> int:
+        self._count("creat")
+        return self.sys_open(task, path, "w")
+
+    def sys_read(self, task: Task, fd: int, count: int = -1) -> bytes:
+        self._count("read")
+        self._require_alive(task)
+        file = task.lookup_fd(fd)
+        pipe: Pipe | None = getattr(file.inode, "pipe", None)
+        if pipe is not None:
+            return pipe.read(task, self.security)
+        self.security.file_permission(task, file, Mask.READ)
+        if not file.readable():
+            raise SyscallError(EBADF, "fd not open for reading")
+        if file.inode.itype is InodeType.DEVICE:
+            return b"\0" * max(count, 0)
+        return self.fs.read(file, count)
+
+    def sys_write(self, task: Task, fd: int, data: bytes) -> int:
+        self._count("write")
+        self._require_alive(task)
+        file = task.lookup_fd(fd)
+        pipe: Pipe | None = getattr(file.inode, "pipe", None)
+        if pipe is not None:
+            return pipe.write(task, data, self.security)
+        self.security.file_permission(task, file, Mask.WRITE)
+        if not file.writable():
+            raise SyscallError(EBADF, "fd not open for writing")
+        if file.inode.itype is InodeType.DEVICE:
+            return len(data)
+        return self.fs.write(file, data)
+
+    def sys_close(self, task: Task, fd: int) -> None:
+        self._count("close")
+        task.remove_fd(fd)
+
+    def sys_stat(self, task: Task, path: str) -> dict[str, object]:
+        self._count("stat")
+        self._require_alive(task)
+        self._walk_checked(task, path)
+        inode = self.fs.resolve(path, task.cwd)
+        self.security.inode_getattr(task, inode)
+        return {
+            "ino": inode.ino,
+            "type": inode.itype.value,
+            "size": inode.size,
+            "mode": inode.mode,
+            "nlink": inode.nlink,
+        }
+
+    def sys_unlink(self, task: Task, path: str) -> None:
+        self._count("unlink")
+        self._require_alive(task)
+        self._walk_checked(task, path)
+        parent, name = self.fs.resolve_parent(path, task.cwd)
+        if name is None:
+            raise SyscallError(EINVAL, path)
+        victim = parent.children.get(name)
+        if victim is None:
+            raise SyscallError(ENOENT, path)
+        self.security.inode_unlink(task, parent, victim)
+        self.fs.unlink_child(parent, name)
+
+    def sys_mkdir(self, task: Task, path: str, mode: int = 0o755) -> None:
+        self._count("mkdir")
+        self._create_labeled(task, path, task.labels, mode, InodeType.DIRECTORY)
+
+    # -- processes and threads -------------------------------------------------
+
+    def sys_fork(
+        self, parent: Task, caps_subset: Optional[CapabilitySet] = None
+    ) -> Task:
+        """Fork: the child inherits the parent's labels and a *subset* of its
+        capabilities (all of them by default) — "when a new principal is
+        created, its capabilities are a subset of its immediate parent"."""
+        self._count("fork")
+        self._require_alive(parent)
+        caps = parent.capabilities if caps_subset is None else caps_subset
+        if not caps.is_subset_of(parent.capabilities):
+            raise SyscallError(EPERM, "fork capability subset exceeds parent's")
+        child = self.spawn_task(
+            f"{parent.name}-child",
+            user=parent.user,
+            labels=parent.labels,
+            caps=caps,
+        )
+        child.parent = parent
+        child.cwd = parent.cwd
+        parent.children.append(child)
+        self.security.task_alloc(parent, child)
+        return child
+
+    def sys_spawn_thread(
+        self, parent: Task, caps_subset: Optional[CapabilitySet] = None
+    ) -> Task:
+        """Create a thread in the same address space (same pgid); labels and
+        capability subsetting work exactly like fork."""
+        self._count("spawn_thread")
+        child = self.sys_fork(parent, caps_subset)
+        child.pgid = parent.pgid
+        return child
+
+    def sys_exec(self, task: Task, path: str) -> None:
+        """Execute a program image: requires read+exec on the file, which in
+        particular enforces "the server cannot execute or read a plugin that
+        has an integrity label lower than its own" (Section 3.3)."""
+        self._count("exec")
+        self._require_alive(task)
+        self._walk_checked(task, path)
+        inode = self.fs.resolve(path, task.cwd)
+        self.security.inode_permission(task, inode, Mask.READ | Mask.EXEC)
+        # The image replaces the address space; fds and security state persist.
+        task.name = f"{task.name}!{path.rsplit('/', 1)[-1]}"
+
+    def sys_exit(self, task: Task, code: int = 0) -> None:
+        self._count("exit")
+        task.alive = False
+        task.exit_code = code
+        for fd in list(task.fd_table):
+            task.fd_table.pop(fd)
+        # Deliberately *no* notification of peers: suppressing termination
+        # notification is how OS DIFC systems close the termination channel.
+
+    def sys_kill(self, sender: Task, target_tid: int, signum: int) -> None:
+        self._count("kill")
+        self._require_alive(sender)
+        target = self.tasks.get(target_tid)
+        if target is None or not target.alive:
+            # ESRCH for a *visible* missing task would be fine, but a task
+            # the sender cannot observe must look identical to a missing
+            # one; the single error code guarantees that.
+            raise SyscallError(ESRCH, f"no task {target_tid}")
+        self.security.task_kill(sender, target, signum)
+        target.pending_signals.append((signum, sender.tid))
+
+    # -- pipes ---------------------------------------------------------------------
+
+    def sys_pipe(
+        self, task: Task, labels: Optional[LabelPair] = None
+    ) -> tuple[int, int]:
+        """Create a pipe labeled with the creating thread's labels (or an
+        explicit pair).  Returns (read_fd, write_fd)."""
+        self._count("pipe")
+        self._require_alive(task)
+        pipe = Pipe(labels if labels is not None else task.labels)
+        read_end = File(pipe.inode, OpenMode.READ)
+        write_end = File(pipe.inode, OpenMode.WRITE)
+        return task.install_fd(read_end), task.install_fd(write_end)
+
+    def share_fd(self, donor: Task, fd: int, recipient: Task) -> int:
+        """Duplicate an open fd into another task's table (what fork's fd
+        inheritance or SCM_RIGHTS passing would do).  The *use* of the fd is
+        still checked per-operation, so sharing grants nothing by itself —
+        the paper's argument for not needing Flume's endpoints."""
+        file = donor.lookup_fd(fd)
+        return recipient.install_fd(file)
+
+    # -- sockets ---------------------------------------------------------------------
+
+    def sys_socket(self, task: Task, labels: Optional[LabelPair] = None) -> Socket:
+        self._count("socket")
+        self._require_alive(task)
+        return Socket(labels if labels is not None else task.labels)
+
+    def sys_send(self, task: Task, socket: Socket, data: bytes) -> int:
+        self._count("send")
+        return socket.send(task, data, self.security)
+
+    def sys_recv(self, task: Task, socket: Socket) -> bytes:
+        self._count("recv")
+        return socket.recv(task, self.security)
+
+    def sys_transmit(self, task: Task, data: bytes) -> int:
+        """Send to the outside network (the unlabeled world)."""
+        self._count("transmit")
+        return self.net.transmit(task, data, self.security)
+
+    # -- memory (lmbench rows) ----------------------------------------------------------
+
+    def sys_mmap(self, task: Task, fd: int, mask: Mask = Mask.READ) -> Mapping:
+        self._count("mmap")
+        self._require_alive(task)
+        file = task.lookup_fd(fd)
+        self.security.mmap_file(task, file, mask)
+        return Mapping(file, mask)
+
+    def fault_protection(self, task: Task, mapping: Mapping) -> None:
+        """A protection fault re-validates the mapping against the (possibly
+        changed) task labels, the way HiStar-style page protections would."""
+        self._count("prot_fault")
+        if not mapping.valid:
+            raise SyscallError(EINVAL, "dead mapping")
+        self.security.mmap_file(task, mapping.file, mapping.mask)

@@ -1,0 +1,118 @@
+"""Persistent capabilities and login (Section 4.4).
+
+"The OS stores the persistent capabilities for each user in a file.  On
+login, the OS gives the login shell all of the user's persistent
+capabilities, just as it gives the shell access to the controlling
+terminal."
+
+The store lives at ``/etc/laminar/caps/<user>`` inside the simulated
+filesystem, written with administrator integrity.  The wire format is nine
+bytes per capability: 8 bytes of big-endian tag value + one kind byte
+(``+`` or ``-``), so the file round-trips through
+:meth:`~repro.osim.filesystem.Filesystem.remount` like any other data.
+
+Revocation has no special mechanism ("Laminar does not innovate any
+solutions"): to revoke, allocate a new tag and relabel the data; see
+:func:`revoke_by_relabel`, which packages that idiom.
+"""
+
+from __future__ import annotations
+
+from ..core import Capability, CapabilitySet, CapType, Label, LabelPair, Tag
+from .filesystem import File, Inode, InodeType, OpenMode
+from .kernel import Kernel
+from .task import ENOENT, SyscallError, Task
+
+_KIND_BYTES = {CapType.PLUS: b"+", CapType.MINUS: b"-"}
+_BYTE_KINDS = {b"+": CapType.PLUS, b"-": CapType.MINUS}
+
+
+def encode_capabilities(caps: CapabilitySet) -> bytes:
+    """Serialize a capability set (9 bytes per capability, sorted)."""
+    chunks = []
+    for cap in caps:
+        chunks.append(cap.tag.value.to_bytes(8, "big") + _KIND_BYTES[cap.kind])
+    return b"".join(chunks)
+
+
+def decode_capabilities(blob: bytes, kernel: Kernel) -> CapabilitySet:
+    """Inverse of :func:`encode_capabilities`."""
+    if len(blob) % 9:
+        raise ValueError("corrupt capability file")
+    caps = []
+    for offset in range(0, len(blob), 9):
+        value = int.from_bytes(blob[offset : offset + 8], "big")
+        kind = _BYTE_KINDS[blob[offset + 8 : offset + 9]]
+        tag = kernel.tags.lookup(value) or Tag(value)
+        caps.append(Capability(tag, kind))
+    return CapabilitySet(caps)
+
+
+def _caps_dir(kernel: Kernel) -> Inode:
+    return (
+        kernel.fs.root.children["etc"].children["laminar"].children["caps"]
+    )
+
+
+def store_user_capabilities(kernel: Kernel, user: str, caps: CapabilitySet) -> None:
+    """Write (or overwrite) a user's persistent capability file.  This is an
+    administrative operation performed by the trusted store, so it writes
+    through the filesystem directly rather than through a task's syscalls."""
+    directory = _caps_dir(kernel)
+    inode = directory.children.get(user)
+    if inode is None:
+        inode = Inode(InodeType.REGULAR, directory.labels, mode=0o600)
+        kernel.fs.link_child(directory, user, inode)
+    inode.data = bytearray(encode_capabilities(caps))
+
+
+def load_user_capabilities(kernel: Kernel, user: str) -> CapabilitySet:
+    directory = _caps_dir(kernel)
+    inode = directory.children.get(user)
+    if inode is None:
+        raise SyscallError(ENOENT, f"no capability file for {user}")
+    file = File(inode, OpenMode.READ)
+    return decode_capabilities(bytes(kernel.fs.read(file)), kernel)
+
+
+def login(kernel: Kernel, user: str) -> Task:
+    """Create a login shell holding all of the user's persistent
+    capabilities.  Unknown users get an empty capability set (they can still
+    run unlabeled programs)."""
+    try:
+        caps = load_user_capabilities(kernel, user)
+    except SyscallError:
+        caps = CapabilitySet.EMPTY
+    return kernel.spawn_task(f"{user}-shell", user=user, caps=caps)
+
+
+def grant_persistent(kernel: Kernel, user: str, caps: CapabilitySet) -> None:
+    """Add capabilities to a user's persistent store (union with existing)."""
+    try:
+        existing = load_user_capabilities(kernel, user)
+    except SyscallError:
+        existing = CapabilitySet.EMPTY
+    store_user_capabilities(kernel, user, existing.union(caps))
+
+
+def revoke_by_relabel(
+    kernel: Kernel,
+    owner: Task,
+    path: str,
+    old_tag: Tag,
+) -> Tag:
+    """The paper's revocation idiom: allocate a new tag, relabel the data.
+
+    The owner must hold both capabilities for the old tag (it needs ``-`` to
+    read/declassify its own file and ``+`` to have labeled it).  Returns the
+    new tag, whose capabilities the owner can now share selectively; holders
+    of the *old* capability lose access because the data no longer carries
+    the old tag.
+    """
+    owner.security.require_capability(old_tag, CapType.BOTH)
+    new_tag, _ = kernel.sys_alloc_tag(owner, name=f"{old_tag}'")
+    inode = kernel.fs.resolve(path, owner.cwd)
+    secrecy = inode.labels.secrecy.without_tag(old_tag).with_tag(new_tag)
+    inode.labels = LabelPair(secrecy, inode.labels.integrity)
+    inode._persist_labels()
+    return new_tag

@@ -1,0 +1,75 @@
+"""Label-mediated, unreliable pipes (Section 5.2, "Pipes").
+
+Laminar labels the inode associated with a pipe's message buffer.  A task
+may read or write the pipe only if its labels are compatible — but the
+failure semantics differ from every other object in the system:
+
+* **Silent drops.**  An error code due to an incorrect label, or to a full
+  buffer, can leak information, so undeliverable messages are silently
+  dropped and the write appears to succeed.  Unreliable pipes are standard
+  in OS DIFC implementations (Asbestos, Flume).
+* **Non-blocking reads, no EOF.**  Standard pipes deliver EOF when the
+  writer exits; if the exiting writer's labels forbid communication with
+  the reader, even that one bit violates DIFC.  Reads therefore never block
+  and never report end-of-file — pipelines with homogeneous labels can
+  approximate traditional behavior with a timeout.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from ..core import LabelPair
+from .filesystem import Inode, InodeType
+
+if TYPE_CHECKING:
+    from .lsm import SecurityModule
+    from .task import Task
+
+#: Default capacity in messages, standing in for the 64 KiB Linux pipe buffer.
+DEFAULT_PIPE_CAPACITY = 64
+
+
+class Pipe:
+    """One pipe: a labeled inode plus a bounded message queue."""
+
+    def __init__(
+        self,
+        labels: LabelPair = LabelPair.EMPTY,
+        capacity: int = DEFAULT_PIPE_CAPACITY,
+    ) -> None:
+        self.inode = Inode(InodeType.PIPE, labels)
+        self.inode.pipe = self  # type: ignore[attr-defined]
+        self.capacity = capacity
+        self.messages: deque[bytes] = deque()
+        #: Dropped-message count.  *Not* observable through any syscall —
+        #: exposing it would recreate the leak; it exists for tests and the
+        #: bench harness, which play the role of an omniscient observer.
+        self.dropped = 0
+
+    def write(self, task: "Task", data: bytes, lsm: "SecurityModule") -> int:
+        """Write a message.  Always appears to succeed (returns len(data));
+        the message is silently dropped when the label check fails or the
+        buffer is full."""
+        if not lsm.pipe_write_allowed(task, self.inode):
+            self.dropped += 1
+            return len(data)
+        if len(self.messages) >= self.capacity:
+            self.dropped += 1
+            return len(data)
+        self.messages.append(bytes(data))
+        return len(data)
+
+    def read(self, task: "Task", lsm: "SecurityModule") -> bytes:
+        """Non-blocking read of one message.  Returns ``b""`` when the pipe
+        is empty *or* when the task's labels forbid reading — the two cases
+        are indistinguishable by design."""
+        if not lsm.pipe_read_allowed(task, self.inode):
+            return b""
+        if not self.messages:
+            return b""
+        return self.messages.popleft()
+
+    def __len__(self) -> int:
+        return len(self.messages)

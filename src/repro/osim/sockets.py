@@ -1,0 +1,98 @@
+"""Sockets and the unlabeled network device.
+
+The paper's motivating guarantee: a thread tainted with a secrecy tag can
+no longer write to an unlabeled output "such as standard output or the
+network".  The simulated network therefore consists of:
+
+* :class:`Socket` — a labeled endpoint (a socket inode).  Like files,
+  sockets take the label of their creating thread unless created inside a
+  labeled security region.
+* :class:`Network` — the unlabeled outside world.  Sending to a remote host
+  is a flow from the task to an empty-labeled destination, so any secrecy
+  taint blocks it (unless declassified first).
+
+Loopback connections between two labeled sockets model trusted channels
+between labeled threads of different processes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Optional
+
+from ..core import LabelPair
+from .filesystem import Inode, InodeType
+from .task import ENOENT, EPIPE, SyscallError
+
+if TYPE_CHECKING:
+    from .lsm import SecurityModule
+    from .task import Task
+
+
+class Socket:
+    """A connected or listening socket endpoint."""
+
+    def __init__(self, labels: LabelPair = LabelPair.EMPTY) -> None:
+        self.inode = Inode(InodeType.SOCKET, labels)
+        self.inode.socket = self  # type: ignore[attr-defined]
+        self.peer: Optional["Socket"] = None
+        self.rx: deque[bytes] = deque()
+
+    def connect(self, other: "Socket") -> None:
+        self.peer = other
+        other.peer = self
+
+    def send(self, task: "Task", data: bytes, lsm: "SecurityModule") -> int:
+        """Send on a connected socket.  Unlike pipes, sockets report label
+        denials as errors (the LSM raises) because both endpoints are
+        labeled objects the sender already knows about."""
+        lsm.socket_sendmsg(task, self.inode)
+        if self.peer is None:
+            raise SyscallError(EPIPE, "socket not connected")
+        # Delivery into the peer is a flow from this socket to the peer
+        # socket's label; mismatched endpoint labels drop silently, like
+        # pipes, to avoid signaling.
+        from ..core import can_flow
+
+        if can_flow(self.inode.labels, self.peer.inode.labels):
+            self.peer.rx.append(bytes(data))
+        return len(data)
+
+    def recv(self, task: "Task", lsm: "SecurityModule") -> bytes:
+        lsm.socket_recvmsg(task, self.inode)
+        if not self.rx:
+            return b""
+        return self.rx.popleft()
+
+
+class Network:
+    """The world outside the machine: an unlabeled sink/source.
+
+    ``transmit`` is what the paper's examples mean by "broadcast on the
+    network": writing to the empty label.  The traffic log lets tests and
+    benchmarks assert that secret bytes never escaped.
+    """
+
+    def __init__(self) -> None:
+        self.inode = Inode(InodeType.DEVICE, LabelPair.EMPTY)
+        self.transmitted: list[bytes] = []
+        self._hosts: dict[str, deque[bytes]] = {}
+
+    def transmit(self, task: "Task", data: bytes, lsm: "SecurityModule") -> int:
+        """Send to an external host — a flow to the empty label."""
+        lsm.socket_sendmsg(task, self.inode)
+        self.transmitted.append(bytes(data))
+        return len(data)
+
+    def deliver_external(self, host: str, data: bytes) -> None:
+        """Queue inbound traffic from an (unlabeled, low-integrity) host."""
+        self._hosts.setdefault(host, deque()).append(bytes(data))
+
+    def receive(self, task: "Task", host: str, lsm: "SecurityModule") -> bytes:
+        """Receive from an external host — a flow from the empty label, so a
+        task holding any integrity label must first drop it (no read down)."""
+        lsm.socket_recvmsg(task, self.inode)
+        queue = self._hosts.get(host)
+        if not queue:
+            raise SyscallError(ENOENT, f"no data from {host}")
+        return queue.popleft()

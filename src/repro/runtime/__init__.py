@@ -1,0 +1,44 @@
+"""The Laminar VM runtime: heap, barriers, security regions, threads, API.
+
+This package is the Python analog of the paper's ~2,000-line Jikes RVM
+modification: a labeled object space (:mod:`.heap`), read/write/alloc
+barriers with static and dynamic modes (:mod:`.barriers`), lexically scoped
+security regions with catch semantics (:mod:`.regions`), thread principals
+with region frame stacks (:mod:`.threads`), labeled objects and arrays
+(:mod:`.objects`), the Fig. 2 library API (:mod:`.api`), the Section 5.1
+static restrictions as an AST checker and ``@secure_method`` decorator
+(:mod:`.static_check`), and the VM itself with the lazy VM↔OS label sync
+(:mod:`.vm`).
+"""
+
+from .api import LaminarAPI, laminar_api
+from .barriers import BarrierEngine, BarrierMode, BarrierStats
+from .declassifiers import Declassifier, DeclassifierRegistry
+from .heap import Heap, HeapStats, ObjectHeader
+from .objects import LabeledArray, LabeledObject
+from .regions import SecurityRegion
+from .static_check import check_region_function, secure_method
+from .threads import RegionFrame, SimThread
+from .vm import LaminarVM, VMStats
+
+__all__ = [
+    "BarrierEngine",
+    "BarrierMode",
+    "BarrierStats",
+    "Declassifier",
+    "DeclassifierRegistry",
+    "Heap",
+    "HeapStats",
+    "LabeledArray",
+    "LabeledObject",
+    "LaminarAPI",
+    "LaminarVM",
+    "ObjectHeader",
+    "RegionFrame",
+    "SecurityRegion",
+    "SimThread",
+    "VMStats",
+    "check_region_function",
+    "laminar_api",
+    "secure_method",
+]

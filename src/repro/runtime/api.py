@@ -1,0 +1,138 @@
+"""The Laminar application library API (Fig. 2 of the paper).
+
+The figure defines four library operations plus wrappers for the Fig. 3
+system calls::
+
+    Label  getCurrentLabel(LabelType t)
+    Tag    createAndAddCapability()
+    void   removeCapability(CapType c, Tag name, boolean global)
+    Object copyAndLabel(Object o, Label l)
+
+:class:`LaminarAPI` binds those names to a VM.  Applications hold one of
+these (usually via :func:`laminar_api`) and never touch the kernel or the
+barrier engine directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..core import (
+    CapabilitySet,
+    CapType,
+    Label,
+    LabelPair,
+    LabelType,
+    Tag,
+)
+from .objects import LabeledArray, LabeledObject
+from .threads import SimThread
+from .vm import LaminarVM
+
+
+class LaminarAPI:
+    """Application-facing facade over the trusted VM."""
+
+    def __init__(self, vm: LaminarVM) -> None:
+        self._vm = vm
+
+    # -- Fig. 2 -----------------------------------------------------------
+
+    def get_current_label(self, label_type: LabelType) -> Label:
+        """Return the current secrecy or integrity label of the security
+        region (the thread's current label; empty outside regions)."""
+        return self._vm.current_thread.labels.get(label_type)
+
+    def create_and_add_capability(self, name: str = "") -> Tag:
+        """Create a new tag and add both capabilities to the current
+        principal (wraps ``alloc_tag``; the gain propagates through the
+        region frame stack so it is retained on region exit)."""
+        tag, granted = self._vm.syscall("alloc_tag", name)
+        thread = self._vm.current_thread
+        # syscall() granted to the kernel task; mirror into the VM's caches.
+        for frame in thread.frames:
+            frame.caps = frame.caps.union(granted)
+            if frame.saved_kernel_caps is not None:
+                frame.saved_kernel_caps = frame.saved_kernel_caps.union(granted)
+        return tag
+
+    def remove_capability(
+        self, cap_type: CapType, tag: Tag, global_: bool = False
+    ) -> None:
+        """Drop a capability from the current principal.  With ``global_``
+        the drop is permanent; otherwise it lasts for the scope of the
+        current security region (Fig. 2)."""
+        thread = self._vm.current_thread
+        if global_:
+            thread.drop_capability_global(tag, cap_type)
+        else:
+            thread.drop_capability_scoped(tag, cap_type)
+
+    def copy_and_label(
+        self,
+        obj: LabeledObject | LabeledArray,
+        secrecy: Label = Label.EMPTY,
+        integrity: Label = Label.EMPTY,
+        name: str = "",
+    ) -> LabeledObject | LabeledArray:
+        """Return a copy of ``obj`` with new labels; see
+        :meth:`LaminarVM.copy_and_label`."""
+        return self._vm.copy_and_label(obj, secrecy, integrity, name=name)
+
+    # -- Fig. 3 wrappers ------------------------------------------------------
+
+    def create_file_labeled(
+        self, path: str, labels: LabelPair, mode: int = 0o644
+    ) -> int:
+        return self._vm.syscall("create_file_labeled", path, labels, mode)
+
+    def mkdir_labeled(self, path: str, labels: LabelPair, mode: int = 0o755) -> int:
+        return self._vm.syscall("mkdir_labeled", path, labels, mode)
+
+    def open(self, path: str, mode: str = "r") -> int:
+        return self._vm.syscall("open", path, mode)
+
+    def read(self, fd: int, count: int = -1) -> bytes:
+        return self._vm.syscall("read", fd, count)
+
+    def write(self, fd: int, data: bytes) -> int:
+        return self._vm.syscall("write", fd, data)
+
+    def close(self, fd: int) -> None:
+        self._vm.syscall("close", fd)
+
+    def pipe(self, labels: Optional[LabelPair] = None) -> tuple[int, int]:
+        return self._vm.syscall("pipe", labels)
+
+    def write_capability(self, cap: Any, fd: int) -> None:
+        self._vm.syscall("write_capability", cap, fd)
+
+    def read_capability(self, fd: int) -> Any:
+        received = self._vm.syscall("read_capability", fd)
+        if received is not None:
+            thread = self._vm.current_thread
+            granted = CapabilitySet([received])
+            for frame in thread.frames:
+                frame.caps = frame.caps.union(granted)
+                if frame.saved_kernel_caps is not None:
+                    frame.saved_kernel_caps = frame.saved_kernel_caps.union(granted)
+        return received
+
+    def transmit(self, data: bytes) -> int:
+        """Send to the unlabeled network."""
+        return self._vm.syscall("transmit", data)
+
+    # -- convenience ----------------------------------------------------------
+
+    @property
+    def vm(self) -> LaminarVM:
+        return self._vm
+
+    @property
+    def thread(self) -> SimThread:
+        return self._vm.current_thread
+
+
+def laminar_api(vm: LaminarVM) -> LaminarAPI:
+    """Build the application API facade for a VM."""
+    return LaminarAPI(vm)

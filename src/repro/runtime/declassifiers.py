@@ -1,0 +1,134 @@
+"""Declassifier modules: localized, auditable declassification (§3.3).
+
+The calendar walkthrough ends with the paper's key software-engineering
+claim: "Alice specifies a declassifier as a small code module that can be
+loaded into a larger server application, which can be completely ignorant
+of DIFC"; the declassification decision "is localized to a small piece of
+code that can be closely audited".
+
+This framework packages that idiom:
+
+* a :class:`Declassifier` couples a *filter function* (the audited policy:
+  which parts of the secret may leave) with the owner's capabilities (the
+  authority to let them leave);
+* a :class:`DeclassifierRegistry` lets a DIFC-ignorant host application
+  invoke declassifiers by name, never touching labels itself;
+* every invocation lands in the audit log with the declassifier's name, so
+  the auditor sees *which policy* released *what*.
+
+The filter runs inside a security region tainted with the source's labels
+(it reads the secret); the framework then copies the filter's output to
+the target label under the declassifier's capabilities.  A filter that
+tries to release something its capabilities cannot justify fails exactly
+like any other illegal ``copyAndLabel``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..core import (
+    AuditKind,
+    CapabilitySet,
+    LabelPair,
+    LaminarUsageError,
+)
+from .objects import LabeledObject
+from .vm import LaminarVM
+
+#: The audited policy: labeled payload fields in, releasable fields out.
+FilterFn = Callable[[dict[str, Any]], dict[str, Any]]
+
+
+class Declassifier:
+    """One loadable declassification module."""
+
+    def __init__(
+        self,
+        name: str,
+        caps: CapabilitySet,
+        filter_fn: FilterFn,
+        target: LabelPair = LabelPair.EMPTY,
+    ) -> None:
+        self.name = name
+        self.caps = caps
+        self.filter_fn = filter_fn
+        self.target = target
+        self.invocations = 0
+
+    def declassify(
+        self, vm: LaminarVM, source: LabeledObject
+    ) -> Optional[LabeledObject]:
+        """Run the filter over ``source`` and release the result at the
+        target label.  Returns the released object, or ``None`` when the
+        labels/capabilities forbid it (the host application learns only
+        that the module declined)."""
+        self.invocations += 1
+        thread = vm.current_thread
+        released: dict[str, LabeledObject] = {}
+
+        def audit_failure(exc: BaseException) -> None:
+            vm.audit.record(
+                AuditKind.DENIAL,
+                "declassifier",
+                thread.name,
+                f"{self.name}: {type(exc).__name__}: {exc}",
+            )
+
+        with vm.region(
+            secrecy=source.labels.secrecy,
+            integrity=source.labels.integrity,
+            caps=self.caps,
+            catch=audit_failure,
+            name=f"declassifier:{self.name}",
+        ):
+            filtered = self.filter_fn(source.snapshot())
+            staged = vm.alloc(dict(filtered), name=f"{self.name}:staged")
+            with vm.region(
+                secrecy=self.target.secrecy,
+                integrity=self.target.integrity,
+                caps=self.caps,
+                name=f"declassifier:{self.name}:emit",
+            ):
+                out = vm.copy_and_label(
+                    staged,
+                    secrecy=self.target.secrecy,
+                    integrity=self.target.integrity,
+                    name=f"{self.name}:released",
+                )
+                released["object"] = out
+        result = released.get("object")
+        if result is not None:
+            vm.audit.record(
+                AuditKind.DECLASSIFY,
+                "declassifier",
+                thread.name,
+                f"{self.name}: released fields "
+                f"{sorted(result.raw_fields())} at {self.target!r}",
+            )
+        return result
+
+
+class DeclassifierRegistry:
+    """The host application's view: named modules, no labels in sight."""
+
+    def __init__(self, vm: LaminarVM) -> None:
+        self.vm = vm
+        self._modules: dict[str, Declassifier] = {}
+
+    def register(self, declassifier: Declassifier) -> None:
+        if declassifier.name in self._modules:
+            raise LaminarUsageError(
+                f"declassifier {declassifier.name!r} already registered"
+            )
+        self._modules[declassifier.name] = declassifier
+
+    def run(self, name: str, source: LabeledObject) -> Optional[LabeledObject]:
+        try:
+            module = self._modules[name]
+        except KeyError:
+            raise LaminarUsageError(f"no declassifier {name!r}") from None
+        return module.declassify(self.vm, source)
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._modules))

@@ -1,0 +1,154 @@
+"""Labeled heap objects: the data the VM tracks at object granularity.
+
+Laminar tracks information flow for objects in the heap; labels are
+assigned at allocation time and are immutable — "to change an object's
+labels, our implementation provides an API call, ``copyAndLabel``, that
+clones an object with specified labels" (Section 5.1).  Immutability avoids
+the relabel/use race the paper describes in Section 4.5, with no extra
+synchronization.
+
+Every field and array-element access funnels through the VM's barrier
+engine, the Python analog of compiler-inserted read/write barriers.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable
+
+from ..core import LabelPair
+
+if TYPE_CHECKING:
+    from .heap import ObjectHeader
+    from .vm import LaminarVM
+
+
+class LabeledObject:
+    """An object with named fields, guarded by barriers.
+
+    Create through :meth:`repro.runtime.vm.LaminarVM.alloc`; the VM runs the
+    allocation barrier (assigning labels before "the constructor" — the
+    initial field population — executes).
+    """
+
+    __slots__ = ("_vm", "_header", "_fields", "_name")
+
+    def __init__(
+        self,
+        vm: "LaminarVM",
+        header: "ObjectHeader",
+        fields: dict[str, Any],
+        name: str = "",
+    ) -> None:
+        self._vm = vm
+        self._header = header
+        self._fields = dict(fields)
+        self._name = name or f"obj{header.oid}"
+
+    # -- barrier-mediated access ----------------------------------------------
+
+    def get(self, field: str) -> Any:
+        """Read a field (read barrier, then the load)."""
+        self._vm.barriers.read_barrier(
+            self._vm.current_thread, self._header, what=f"{self._name}.{field}"
+        )
+        return self._fields[field]
+
+    def set(self, field: str, value: Any) -> None:
+        """Write a field (write barrier, then the store)."""
+        self._vm.barriers.write_barrier(
+            self._vm.current_thread, self._header, what=f"{self._name}.{field}"
+        )
+        self._fields[field] = value
+
+    def fields(self) -> tuple[str, ...]:
+        """Field names are object *metadata* guarded like a read."""
+        self._vm.barriers.read_barrier(
+            self._vm.current_thread, self._header, what=f"{self._name}.<fields>"
+        )
+        return tuple(self._fields)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Barrier-checked copy of every field (one read barrier; the
+        object has a single label, so one check covers the snapshot)."""
+        self._vm.barriers.read_barrier(
+            self._vm.current_thread, self._header, what=f"{self._name}.*"
+        )
+        return dict(self._fields)
+
+    # -- trusted access (VM-internal; no barrier) --------------------------------
+
+    def raw_fields(self) -> dict[str, Any]:
+        """Unchecked snapshot for the VM itself (copyAndLabel, debuggers).
+        Application code must not call this; it is the moral equivalent of
+        reading memory from inside the TCB."""
+        return dict(self._fields)
+
+    @property
+    def header(self) -> "ObjectHeader":
+        return self._header
+
+    @property
+    def labels(self) -> LabelPair:
+        """Labels are opaque-but-queryable; exposing the pair (not the raw
+        tag values) matches the paper's opaque ``Labels`` objects."""
+        return self._header.labels
+
+    def __repr__(self) -> str:
+        return f"LabeledObject({self._name}, labels={self.labels!r})"
+
+
+class LabeledArray:
+    """A fixed-length array with per-element barrier checks.
+
+    The paper's fine granularity is per *object*, so one array has one
+    label; heterogeneous structures (like GradeSheet's GradeCell matrix)
+    are arrays of differently-labeled element objects.
+    """
+
+    __slots__ = ("_vm", "_header", "_items", "_name")
+
+    def __init__(
+        self,
+        vm: "LaminarVM",
+        header: "ObjectHeader",
+        items: Iterable[Any],
+        name: str = "",
+    ) -> None:
+        self._vm = vm
+        self._header = header
+        self._items = list(items)
+        self._name = name or f"arr{header.oid}"
+
+    def get(self, index: int) -> Any:
+        self._vm.barriers.read_barrier(
+            self._vm.current_thread, self._header, what=f"{self._name}[{index}]"
+        )
+        return self._items[index]
+
+    def set(self, index: int, value: Any) -> None:
+        self._vm.barriers.write_barrier(
+            self._vm.current_thread, self._header, what=f"{self._name}[{index}]"
+        )
+        self._items[index] = value
+
+    def length(self) -> int:
+        self._vm.barriers.read_barrier(
+            self._vm.current_thread, self._header, what=f"{self._name}.length"
+        )
+        return len(self._items)
+
+    def raw_items(self) -> list[Any]:
+        """Unchecked snapshot for the VM itself; see
+        :meth:`LabeledObject.raw_fields`."""
+        return list(self._items)
+
+    @property
+    def header(self) -> "ObjectHeader":
+        return self._header
+
+    @property
+    def labels(self) -> LabelPair:
+        return self._header.labels
+
+    def __repr__(self) -> str:
+        return f"LabeledArray({self._name}, labels={self.labels!r})"

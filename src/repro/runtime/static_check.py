@@ -1,0 +1,292 @@
+"""Static restrictions on security-region code (Section 5.1).
+
+Laminar's prototype requires each security region to be its own method and
+enforces, at JIT time, restrictions that keep *local variables* and
+*statics* from becoming uncontrolled channels:
+
+1. a local written inside a region with secrecy labels may not later be
+   read outside it (automatic when the region is its own method — locals
+   die at method exit);
+2. a region method returns no value when the region has secrecy labels;
+3. region methods take only reference-type parameters, and may dereference
+   them but not read or write the reference values themselves;
+4. regions with secrecy labels may not write statics, and regions with
+   integrity labels may not read statics;
+5. regions exit only by fall-through — no ``break``/``continue``/``return``
+   out of the region.
+
+Because a region's labels are dynamic, the prototype "requires both
+properties for every security region"; this checker does the same.
+
+This module is the Python analog: :func:`check_region_function` analyzes a
+function's AST and raises :class:`~repro.core.StaticCheckError` on any
+violation, and :func:`secure_method` packages the check plus the dynamic
+region wrapper into a decorator::
+
+    @secure_method
+    def sum_marks(vm, out, student1, student2):
+        total = student1.get("marks") + student2.get("marks")
+        out.set("value", total)
+
+    sum_marks(vm, out, s1, s2, secrecy=..., integrity=..., caps=...)
+
+The IR-level equivalent for mini-JIT programs lives in
+:mod:`repro.jit.region_checker`.
+"""
+
+from __future__ import annotations
+
+import ast
+import functools
+import inspect
+import textwrap
+from typing import Any, Callable, Optional
+
+from ..core import (
+    CapabilitySet,
+    Label,
+    LaminarUsageError,
+    StaticCheckError,
+)
+from .objects import LabeledArray, LabeledObject
+from .regions import CatchHandler
+
+#: Builtins region code may freely use (reading these is not a static read).
+_SAFE_BUILTINS = frozenset(
+    [
+        "abs", "all", "any", "bool", "bytes", "bytearray", "dict", "divmod",
+        "enumerate", "filter", "float", "frozenset", "hash", "int",
+        "isinstance", "iter", "len", "list", "map", "max", "min", "next",
+        "object", "ord", "chr", "print", "range", "repr", "reversed",
+        "round", "set", "sorted", "str", "sum", "tuple", "zip", "True",
+        "False", "None", "Exception", "ValueError", "KeyError", "TypeError",
+    ]
+)
+
+
+class _RegionVisitor(ast.NodeVisitor):
+    """Walks a region function's AST collecting violations."""
+
+    def __init__(self, func_def: ast.FunctionDef) -> None:
+        self.violations: list[str] = []
+        self.params = {a.arg for a in func_def.args.args}
+        self.params.update(a.arg for a in func_def.args.posonlyargs)
+        self.params.update(a.arg for a in func_def.args.kwonlyargs)
+        self.locals: set[str] = set(self.params)
+        self._collect_locals(func_def)
+        #: Names that count as dereference receivers in the current node.
+        self._deref_ok: set[int] = set()
+
+    def _collect_locals(self, func_def: ast.FunctionDef) -> None:
+        for node in ast.walk(func_def):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, (ast.Store, ast.Del)):
+                self.locals.add(node.id)
+            elif isinstance(node, (ast.For, ast.comprehension)):
+                target = node.target
+                for sub in ast.walk(target):
+                    if isinstance(sub, ast.Name):
+                        self.locals.add(sub.id)
+            elif isinstance(node, ast.ExceptHandler) and node.name:
+                self.locals.add(node.name)
+            elif isinstance(node, ast.withitem) and node.optional_vars is not None:
+                for sub in ast.walk(node.optional_vars):
+                    if isinstance(sub, ast.Name):
+                        self.locals.add(sub.id)
+
+    # -- rule 2 & 5: returns and region exits -----------------------------------
+
+    def visit_Return(self, node: ast.Return) -> None:
+        if node.value is not None:
+            self.violations.append(
+                f"line {node.lineno}: security-region method returns a value"
+            )
+        else:
+            self.violations.append(
+                f"line {node.lineno}: security region must exit by "
+                f"fall-through, not return"
+            )
+        self.generic_visit(node)
+
+    def visit_Global(self, node: ast.Global) -> None:
+        self.violations.append(
+            f"line {node.lineno}: security region declares 'global' "
+            f"(static write)"
+        )
+
+    def visit_Nonlocal(self, node: ast.Nonlocal) -> None:
+        self.violations.append(
+            f"line {node.lineno}: security region declares 'nonlocal' "
+            f"(enclosing-scope write leaks past the region)"
+        )
+
+    def visit_Yield(self, node: ast.Yield) -> None:
+        self.violations.append(
+            f"line {node.lineno}: security region may not be a generator"
+        )
+
+    def visit_YieldFrom(self, node: ast.YieldFrom) -> None:
+        self.violations.append(
+            f"line {node.lineno}: security region may not be a generator"
+        )
+
+    # -- rule 4: statics (module-level names) -------------------------------------
+
+    def visit_Name(self, node: ast.Name) -> None:
+        name = node.id
+        if isinstance(node.ctx, ast.Load):
+            if (
+                name not in self.locals
+                and name not in _SAFE_BUILTINS
+                and id(node) not in self._deref_ok
+            ):
+                self.violations.append(
+                    f"line {node.lineno}: read of static/global {name!r} "
+                    f"inside a security region (forbidden with integrity "
+                    f"labels; the prototype forbids it for every region)"
+                )
+            if name in self.params and id(node) not in self._deref_ok:
+                self.violations.append(
+                    f"line {node.lineno}: parameter {name!r} used by value; "
+                    f"region parameters may only be dereferenced"
+                )
+
+    # -- rule 3: parameter dereference-only -----------------------------------------
+
+    def _mark_deref(self, node: ast.expr) -> None:
+        """Allow ``param.attr`` / ``param[i]`` receivers and ``param`` as a
+        call argument (passing a reference into a callee)."""
+        if isinstance(node, ast.Name):
+            self._deref_ok.add(id(node))
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        self._mark_deref(node.value)
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        self._mark_deref(node.value)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        # Calling a function is not a static *data* read (Java static method
+        # calls are likewise not static accesses), so the function position
+        # is exempt.  *Local* references may be passed as arguments (the
+        # prototype's discipline permits handing references to callees);
+        # globals in argument position are still static data reads.
+        self._mark_deref(node.func)
+        for arg in node.args:
+            if isinstance(arg, ast.Name) and arg.id in self.locals:
+                self._mark_deref(arg)
+        for kw in node.keywords:
+            if isinstance(kw.value, ast.Name) and kw.value.id in self.locals:
+                self._mark_deref(kw.value)
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            for sub in ast.walk(target):
+                if isinstance(sub, ast.Name) and sub.id in self.params:
+                    self.violations.append(
+                        f"line {node.lineno}: parameter {sub.id!r} is "
+                        f"written; region parameters are read-only references"
+                    )
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        for operand in [node.left, *node.comparators]:
+            if isinstance(operand, ast.Name) and operand.id in self.params:
+                self.violations.append(
+                    f"line {node.lineno}: parameter {operand.id!r} compared "
+                    f"by value (e.g. 'obj == None' is disallowed; "
+                    f"dereference instead)"
+                )
+        self.generic_visit(node)
+
+
+def _function_ast(fn: Callable[..., Any]) -> ast.FunctionDef:
+    try:
+        source = textwrap.dedent(inspect.getsource(fn))
+    except (OSError, TypeError) as exc:
+        raise StaticCheckError(
+            f"cannot retrieve source of {fn!r} for region checking"
+        ) from exc
+    module = ast.parse(source)
+    for node in module.body:
+        if isinstance(node, ast.FunctionDef):
+            # Decorators run at definition time, outside the region; they
+            # are not region code and must not trip the static-read check.
+            node.decorator_list = []
+            return node
+    raise StaticCheckError(f"{fn!r} is not a plain function")
+
+
+def check_region_function(fn: Callable[..., Any]) -> None:
+    """Statically verify that ``fn`` obeys the Section 5.1 region-method
+    restrictions.  Raises :class:`StaticCheckError` listing every violation.
+    """
+    func_def = _function_ast(fn)
+    # The first parameter is the trusted VM/API handle, exempt from the
+    # reference-only discipline (it is the region's connection to the TCB).
+    visitor = _RegionVisitor(func_def)
+    if func_def.args.args:
+        visitor.params.discard(func_def.args.args[0].arg)
+    visitor.visit(func_def)
+    if visitor.violations:
+        listing = "\n  ".join(visitor.violations)
+        raise StaticCheckError(
+            f"security-region method {fn.__name__!r} violates static "
+            f"restrictions:\n  {listing}"
+        )
+
+
+_REFERENCE_TYPES = (LabeledObject, LabeledArray)
+
+
+def secure_method(fn: Callable[..., Any]) -> Callable[..., None]:
+    """Decorator: make ``fn`` a method security region.
+
+    The function is statically checked once, at decoration.  Calls take the
+    region parameters as keyword arguments::
+
+        fn(vm, *reference_args, secrecy=..., integrity=..., caps=..., catch=...)
+
+    and run the body inside ``vm.region(...)``.  Positional arguments after
+    the VM must be reference types (labeled objects/arrays or ``None``),
+    matching restriction (2) of the prototype.  The wrapper always returns
+    ``None``.
+    """
+    check_region_function(fn)
+
+    @functools.wraps(fn)
+    def wrapper(
+        vm: Any,
+        *refs: Any,
+        secrecy: Label = Label.EMPTY,
+        integrity: Label = Label.EMPTY,
+        caps: CapabilitySet = CapabilitySet.EMPTY,
+        catch: Optional[CatchHandler] = None,
+    ) -> None:
+        from .vm import LaminarVM  # runtime import to avoid a cycle
+
+        if not isinstance(vm, LaminarVM):
+            raise LaminarUsageError(
+                "first argument of a secure method is the LaminarVM"
+            )
+        for ref in refs:
+            if ref is not None and not isinstance(ref, _REFERENCE_TYPES):
+                raise LaminarUsageError(
+                    f"security-region parameters must be reference types, "
+                    f"got {type(ref).__name__}"
+                )
+        with vm.region(
+            secrecy=secrecy,
+            integrity=integrity,
+            caps=caps,
+            catch=catch,
+            name=fn.__name__,
+        ):
+            fn(vm, *refs)
+        # Fall-through exit; never a value.
+        return None
+
+    wrapper.__laminar_secure_method__ = True  # type: ignore[attr-defined]
+    return wrapper

@@ -1,0 +1,1 @@
+"""Command-line tools: ``lamc`` (the mini-JIT driver)."""

@@ -1,0 +1,173 @@
+"""``lamc`` — the Laminar mini-JIT command-line driver.
+
+A small compiler driver for IR files, the tool a downstream user reaches
+for when debugging a workload or a pass::
+
+    python -m repro.tools.lamc compile prog.ir --config dynamic --dump
+    python -m repro.tools.lamc run prog.ir --config static --entry main
+    python -m repro.tools.lamc verify prog.ir
+    python -m repro.tools.lamc disasm prog.ir
+
+``compile`` prints the pass pipeline and barrier accounting (optionally
+the instrumented program); ``run`` executes on a fresh VM over a vanilla
+kernel and reports the result plus barrier statistics; ``verify`` runs
+only the bytecode verifier; ``disasm`` parses and pretty-prints.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from ..baselines import vanilla_kernel
+from ..jit import (
+    Compiler,
+    Interpreter,
+    JITConfig,
+    VerificationError,
+    parse_program,
+    verify_program,
+)
+from ..jit.disasm import disassemble
+from ..jit.parser import IRSyntaxError
+from ..runtime import LaminarVM
+
+
+def _read_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _build_compiler(args: argparse.Namespace) -> Compiler:
+    return Compiler(
+        JITConfig(args.config),
+        optimize_barriers=not args.no_elim,
+        inline=not args.no_inline,
+        clone=args.clone,
+        labeled_statics=args.labeled_statics,
+    )
+
+
+def cmd_compile(args: argparse.Namespace, out) -> int:
+    program, report = _build_compiler(args).compile(_read_source(args.file))
+    print(f"config:   {report.config.value}", file=out)
+    print(f"passes:   {' -> '.join(report.passes)}", file=out)
+    print(
+        f"methods:  {report.methods}   input instrs: {report.input_instrs}",
+        file=out,
+    )
+    print(
+        f"barriers: {report.barriers_inserted} inserted, "
+        f"{report.barriers_removed} removed, {report.barriers_final} final",
+        file=out,
+    )
+    print(
+        f"inlined:  {report.inlined_calls} call sites   "
+        f"lowered: {report.machine_ops} ops   "
+        f"({report.seconds * 1000:.2f} ms)",
+        file=out,
+    )
+    if args.dump:
+        print(file=out)
+        print(disassemble(program), file=out)
+    return 0
+
+
+def cmd_run(args: argparse.Namespace, out) -> int:
+    program, report = _build_compiler(args).compile(_read_source(args.file))
+    vm = LaminarVM(vanilla_kernel())
+    interp = Interpreter(program, vm)
+    result = interp.run(args.entry)
+    print(f"result:   {result!r}", file=out)
+    stats = vm.barriers.stats
+    print(
+        f"executed: {interp.executed} instrs   barriers: {stats.total} "
+        f"({stats.read_barriers}r/{stats.write_barriers}w/"
+        f"{stats.alloc_barriers}a, {stats.dynamic_dispatches} dispatches)",
+        file=out,
+    )
+    if interp.output:
+        print("output:", file=out)
+        for item in interp.output:
+            print(f"  {item!r}", file=out)
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace, out) -> int:
+    try:
+        verify_program(parse_program(_read_source(args.file)))
+    except VerificationError as exc:
+        print(str(exc), file=out)
+        return 1
+    print("ok", file=out)
+    return 0
+
+
+def cmd_disasm(args: argparse.Namespace, out) -> int:
+    print(disassemble(parse_program(_read_source(args.file))), file=out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="lamc", description="Laminar mini-JIT driver"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("file", help="IR source file ('-' for stdin)")
+        p.add_argument(
+            "--config",
+            choices=[c.value for c in JITConfig],
+            default="static",
+            help="compilation configuration (default: static)",
+        )
+        p.add_argument("--no-elim", action="store_true",
+                       help="disable redundant-barrier elimination")
+        p.add_argument("--no-inline", action="store_true",
+                       help="disable inlining")
+        p.add_argument("--clone", action="store_true",
+                       help="clone methods for both region contexts")
+        p.add_argument("--labeled-statics", action="store_true",
+                       help="enable the labeled-statics extension")
+
+    p_compile = sub.add_parser("compile", help="compile and report")
+    common(p_compile)
+    p_compile.add_argument("--dump", action="store_true",
+                           help="print the compiled program")
+    p_compile.set_defaults(fn=cmd_compile)
+
+    p_run = sub.add_parser("run", help="compile and execute")
+    common(p_run)
+    p_run.add_argument("--entry", default="main", help="entry method")
+    p_run.set_defaults(fn=cmd_run)
+
+    p_verify = sub.add_parser("verify", help="bytecode-verify only")
+    p_verify.add_argument("file", help="IR source file ('-' for stdin)")
+    p_verify.set_defaults(fn=cmd_verify)
+
+    p_disasm = sub.add_parser("disasm", help="parse and pretty-print")
+    p_disasm.add_argument("file", help="IR source file ('-' for stdin)")
+    p_disasm.set_defaults(fn=cmd_disasm)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args, out)
+    except IRSyntaxError as exc:
+        print(f"syntax error: {exc}", file=out)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Shared fixtures: a booted kernel, a VM on it, and tag helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CapabilitySet, Label, LabelPair, Tag
+from repro.osim import Kernel, LaminarSecurityModule, NullSecurityModule
+from repro.runtime import BarrierMode, LaminarAPI, LaminarVM
+
+
+@pytest.fixture
+def kernel() -> Kernel:
+    return Kernel(LaminarSecurityModule())
+
+
+@pytest.fixture
+def vanilla() -> Kernel:
+    return Kernel(NullSecurityModule())
+
+
+@pytest.fixture
+def vm(kernel: Kernel) -> LaminarVM:
+    return LaminarVM(kernel, mode=BarrierMode.STATIC)
+
+
+@pytest.fixture
+def dynamic_vm(kernel: Kernel) -> LaminarVM:
+    return LaminarVM(kernel, mode=BarrierMode.DYNAMIC)
+
+
+@pytest.fixture
+def api(vm: LaminarVM) -> LaminarAPI:
+    return LaminarAPI(vm)
+
+
+@pytest.fixture
+def tags() -> tuple[Tag, Tag, Tag]:
+    """Three well-known tags below the allocator's range (the allocator
+    starts at 1 but the kernel's install consumed low values; these use a
+    distinct high band so they never collide with runtime allocations)."""
+    return (
+        Tag(10_000_001, "a"),
+        Tag(10_000_002, "b"),
+        Tag(10_000_003, "c"),
+    )
+
+
+def pair(secrecy: Label = Label.EMPTY, integrity: Label = Label.EMPTY) -> LabelPair:
+    return LabelPair(secrecy, integrity)
+
+
+@pytest.fixture
+def dual_caps():
+    """Factory: both capabilities for the given tags."""
+
+    def make(*tags: Tag) -> CapabilitySet:
+        return CapabilitySet.dual(*tags)
+
+    return make

@@ -1,0 +1,245 @@
+"""The four case studies: policies enforced, flaws of the originals
+demonstrated, and unmodified/Laminar behavioral equivalence."""
+
+import pytest
+
+from repro.apps import (
+    AccessDenied,
+    ChatDenied,
+    LaminarBattleship,
+    LaminarCalendar,
+    LaminarFreeCS,
+    LaminarGradeSheet,
+    UnmodifiedBattleship,
+    UnmodifiedCalendar,
+    UnmodifiedFreeCS,
+    UnmodifiedGradeSheet,
+    run_request_mix,
+)
+from repro.core import IFCViolation, RegionViolation
+
+
+# --------------------------------------------------------------- GradeSheet
+
+@pytest.fixture(scope="module")
+def sheet():
+    return LaminarGradeSheet(students=5, projects=3)
+
+
+class TestGradeSheetPolicy:
+    """Table 4, exercised as an exhaustive access matrix."""
+
+    def test_professor_reads_and_writes_everything(self, sheet):
+        for i in range(sheet.students):
+            for j in range(sheet.projects):
+                assert sheet.read_grade("professor", i, j) is not None
+                sheet.write_grade("professor", i, j, 50)
+
+    def test_students_read_only_their_own_rows(self, sheet):
+        for i in range(sheet.students):
+            for j in range(sheet.projects):
+                assert sheet.read_grade(f"student{i}", i, j) is not None
+                other = (i + 1) % sheet.students
+                with pytest.raises(AccessDenied):
+                    sheet.read_grade(f"student{i}", other, j)
+
+    def test_students_never_write(self, sheet):
+        with pytest.raises(AccessDenied):
+            sheet.write_grade("student0", 0, 0, 100)
+
+    def test_tas_read_all_write_own_project_only(self, sheet):
+        for j in range(sheet.projects):
+            ta = f"ta{j}"
+            for i in range(sheet.students):
+                assert sheet.read_grade(ta, i, j) is not None
+            sheet.write_grade(ta, 0, j, 60)
+            wrong = (j + 1) % sheet.projects
+            with pytest.raises(AccessDenied):
+                sheet.write_grade(ta, 0, wrong, 60)
+
+    def test_only_professor_declassifies_average(self, sheet):
+        assert isinstance(sheet.project_average("professor", 0), float)
+        for who in ("student0", "ta0"):
+            with pytest.raises(AccessDenied):
+                sheet.project_average(who, 0)
+
+    def test_original_policy_leaks_average(self):
+        legacy = UnmodifiedGradeSheet(students=5, projects=3)
+        # the leak Laminar found: any student computes the class average
+        assert isinstance(legacy.project_average("student0", 0), float)
+
+    def test_write_visible_to_owner(self, sheet):
+        sheet.write_grade("ta1", 2, 1, 93)
+        assert sheet.read_grade("student2", 2, 1) == 93
+
+    def test_query_mix_matches_unmodified(self):
+        lam = LaminarGradeSheet(students=6, projects=3)
+        old = UnmodifiedGradeSheet(students=6, projects=3)
+        assert lam.run_query_mix(200) == old.run_query_mix(200)
+
+    def test_unknown_principal_rejected(self, sheet):
+        with pytest.raises(AccessDenied):
+            sheet.read_grade("intruder", 0, 0)
+
+
+# --------------------------------------------------------------- Battleship
+
+class TestBattleship:
+    def test_identical_games(self):
+        for seed in (1, 7):
+            lam = LaminarBattleship(grid=8, fleet=(3, 2), seed=seed)
+            old = UnmodifiedBattleship(grid=8, fleet=(3, 2), seed=seed)
+            assert lam.play() == old.play()
+            assert lam.rounds == old.rounds
+
+    def test_direct_board_inspection_blocked(self):
+        game = LaminarBattleship(grid=8, fleet=(3, 2), seed=1)
+        with pytest.raises(RegionViolation):
+            game.peek_opponent_board(0)
+        with pytest.raises(RegionViolation):
+            game.peek_opponent_board(1)
+
+    def test_exactly_one_bit_declassified_per_shot(self):
+        game = LaminarBattleship(grid=8, fleet=(3, 2), seed=1)
+        before = game.vm.stats.copy_and_labels
+        game.shoot(0, (0, 0))
+        assert game.vm.stats.copy_and_labels == before + 1
+
+    def test_shot_results_correct(self):
+        game = LaminarBattleship(grid=8, fleet=(3, 2), seed=5)
+        ships1 = game.boards[1].raw_fields()["ships"]  # omniscient test view
+        some_ship = next(iter(ships1))
+        assert game.shoot(0, some_ship) is True
+        empty = next(
+            (r, c) for r in range(8) for c in range(8)
+            if (r, c) not in ships1
+        )
+        assert game.shoot(0, empty) is False
+
+    def test_repeat_hit_counts_once(self):
+        game = LaminarBattleship(grid=8, fleet=(3, 2), seed=5)
+        ships1 = game.boards[1].raw_fields()["ships"]
+        cell = next(iter(ships1))
+        assert game.shoot(0, cell) is True
+        assert game.shoot(0, cell) is False  # already hit
+        remaining = game.counters[1].raw_fields()["remaining"]
+        assert remaining == len(ships1) - 1
+
+
+# ----------------------------------------------------------------- Calendar
+
+class TestCalendar:
+    @pytest.fixture()
+    def cal(self):
+        cal = LaminarCalendar(seed=31)
+        cal.add_user("alice")
+        cal.add_user("bob")
+        return cal
+
+    def test_owner_views_own_calendar(self, cal):
+        slots = cal.view_calendar("alice", "alice")
+        assert isinstance(slots, set) and slots
+
+    def test_cross_user_view_denied(self, cal):
+        with pytest.raises(IFCViolation):
+            cal.view_calendar("bob", "alice")
+
+    def test_scheduling_matches_unmodified(self):
+        lam = LaminarCalendar(seed=31)
+        old = UnmodifiedCalendar(seed=31)
+        for user in ("alice", "bob"):
+            lam.add_user(user)
+            old.add_user(user)
+        assert lam.schedule_meeting("alice", "bob") == \
+            old.schedule_meeting("alice", "bob")
+
+    def test_meeting_lands_in_alice_inbox(self, cal):
+        slot = cal.schedule_meeting("alice", "bob")
+        assert slot in cal.read_meetings("alice")
+
+    def test_output_file_labeled_for_alice(self, cal):
+        cal.schedule_meeting("alice", "bob")
+        from repro.core import Label
+
+        inode = cal.kernel.fs.resolve("/tmp/cal/meeting-alice-bob.out")
+        assert inode.labels.secrecy == Label.of(cal.tags["alice"])
+
+    def test_scheduler_cannot_leak_to_network(self, cal):
+        """The scheduler thread is tainted with both tags inside the
+        region; the unlabeled network must reject it."""
+        from repro.core import Label
+        from repro.osim import SyscallError
+
+        caps = cal.scheduler_caps("alice", "bob")
+        thread = cal.vm.create_thread("leaky", caps_subset=caps)
+        with cal.vm.running(thread):
+            with cal.vm.region(
+                secrecy=Label.of(cal.tags["alice"], cal.tags["bob"]),
+                caps=caps,
+            ):
+                with pytest.raises(SyscallError):
+                    cal.vm.syscall("transmit", b"calendar dump")
+        assert cal.kernel.net.transmitted == []
+
+    def test_many_meetings(self, cal):
+        for _ in range(20):
+            assert cal.schedule_meeting("alice", "bob") is not None
+
+
+# ------------------------------------------------------------------- FreeCS
+
+class TestFreeCS:
+    @pytest.fixture()
+    def server(self):
+        server = LaminarFreeCS()
+        server.login("root", vip=True)
+        server.create_group("root", "lobby")
+        server.login("eve")
+        server.login("vip-only", vip=True)
+        return server
+
+    def test_join_say_who(self, server):
+        server.command("eve", "join", "lobby")
+        server.command("eve", "say", "lobby", "hi")
+        assert "eve" in server.command("eve", "who", "lobby")
+
+    def test_ban_requires_vip_and_superuser(self, server):
+        server.command("eve", "join", "lobby")
+        with pytest.raises(ChatDenied):
+            server.command("eve", "ban", "lobby", "root")
+        with pytest.raises(ChatDenied):
+            server.command("vip-only", "ban", "lobby", "eve")
+        server.command("root", "ban", "lobby", "eve")
+        assert "eve" not in server.command("root", "who", "lobby")
+
+    def test_banned_user_cannot_rejoin_or_be_invited(self, server):
+        server.command("root", "ban", "lobby", "eve")
+        with pytest.raises(ChatDenied):
+            server.command("eve", "join", "lobby")
+        server.login("friend")
+        server.command("friend", "join", "lobby")
+        with pytest.raises(ChatDenied):
+            server.command("friend", "invite", "lobby", "eve")
+
+    def test_unban_restores_access(self, server):
+        server.command("root", "ban", "lobby", "eve")
+        server.command("root", "unban", "lobby", "eve")
+        server.command("eve", "join", "lobby")
+
+    def test_theme_requires_superuser(self, server):
+        with pytest.raises(ChatDenied):
+            server.command("eve", "theme", "lobby", "neon")
+        server.command("root", "theme", "lobby", "neon")
+
+    def test_say_requires_membership(self, server):
+        with pytest.raises(ChatDenied):
+            server.command("eve", "say", "lobby", "not a member yet")
+
+    def test_unknown_command(self, server):
+        with pytest.raises(ChatDenied):
+            server.command("eve", "frobnicate", "lobby")
+
+    def test_request_mix_matches_unmodified(self):
+        lam = run_request_mix(LaminarFreeCS(), users=60)
+        old = run_request_mix(UnmodifiedFreeCS(), users=60)
+        assert lam == old

@@ -1,0 +1,127 @@
+"""Additional application-behavior coverage: command surfaces, rendering,
+persistence interplay, and barrier-mode variants."""
+
+import pytest
+
+from repro.apps import (
+    ChatDenied,
+    LaminarBattleship,
+    LaminarCalendar,
+    LaminarFreeCS,
+    LaminarGradeSheet,
+    UnmodifiedBattleship,
+    UnmodifiedCalendar,
+)
+from repro.apps.battleship import render_tracking_board
+from repro.runtime import BarrierMode
+
+
+class TestFreeCSCommandSurface:
+    @pytest.fixture()
+    def server(self):
+        server = LaminarFreeCS()
+        server.login("root", vip=True)
+        server.create_group("root", "room")
+        server.login("ann")
+        server.login("ben")
+        server.command("ann", "join", "room")
+        return server
+
+    def test_whisper_needs_no_membership(self, server):
+        server.command("ben", "whisper", "room", "psst")
+        assert ("ben", "room", "(whisper) psst") in server.messages
+
+    def test_topic_open_to_all(self, server):
+        server.command("ann", "topic", "room", "today: barriers")
+        # topic is su-maintained state written via the server worker; the
+        # user-facing command has no role gate (like the original)
+        assert server._read_group("ann", "room", "topic") == "today: barriers"
+
+    def test_invite_adds_member(self, server):
+        server.command("ann", "invite", "room", "ben")
+        assert "ben" in server.command("ann", "who", "room")
+
+    def test_invite_requires_membership(self, server):
+        server.login("outsider")
+        with pytest.raises(ChatDenied):
+            server.command("outsider", "invite", "room", "ben")
+
+    def test_leave_removes_member(self, server):
+        server.command("ann", "leave", "room")
+        assert "ann" not in server.command("root", "who", "room")
+
+    def test_denied_ban_lands_in_audit(self, server):
+        with pytest.raises(ChatDenied):
+            server.command("ann", "ban", "room", "root")
+        # the denial is visible to the auditor as a region-entry rejection
+        assert server.vm.stats.region_entries > 0
+
+
+class TestBattleshipRendering:
+    def test_render_marks_hits_and_misses(self):
+        board = render_tracking_board(4, {(0, 0), (1, 1)}, {(1, 1)})
+        lines = board.splitlines()
+        assert " o" in lines[1]  # miss at (0,0)
+        assert " X" in lines[2]  # hit at (1,1)
+
+    def test_render_mode_counts_frames_in_both_variants(self):
+        lam = LaminarBattleship(grid=8, fleet=(3, 2), seed=2, render=True)
+        old = UnmodifiedBattleship(grid=8, fleet=(3, 2), seed=2, render=True)
+        lam.play()
+        old.play()
+        assert lam.frames_rendered == lam.rounds
+        assert old.frames_rendered == old.rounds
+        assert lam.rounds == old.rounds
+
+    def test_dynamic_mode_plays_identically(self):
+        static = LaminarBattleship(grid=8, fleet=(3, 2), seed=4,
+                                   mode=BarrierMode.STATIC)
+        dynamic = LaminarBattleship(grid=8, fleet=(3, 2), seed=4,
+                                    mode=BarrierMode.DYNAMIC)
+        assert static.play() == dynamic.play()
+        assert dynamic.vm.barriers.stats.dynamic_dispatches > 0
+
+
+class TestCalendarPersistence:
+    def test_labels_survive_remount_and_still_guard(self):
+        cal = LaminarCalendar(seed=5)
+        cal.add_user("alice")
+        cal.add_user("bob")
+        cal.kernel.fs.remount(cal.kernel.tags)
+        # after remount: owner still reads, stranger still denied
+        assert cal.view_calendar("alice", "alice")
+        from repro.core import IFCViolation
+
+        with pytest.raises(IFCViolation):
+            cal.view_calendar("bob", "alice")
+
+    def test_unmodified_read_meetings(self):
+        cal = UnmodifiedCalendar(seed=5)
+        cal.add_user("alice")
+        cal.add_user("bob")
+        slot = cal.schedule_meeting("alice", "bob")
+        assert slot in cal.read_meetings("alice")
+
+    def test_scheduler_audit_trail(self):
+        cal = LaminarCalendar(seed=5)
+        cal.add_user("alice")
+        cal.add_user("bob")
+        cal.schedule_meeting("alice", "bob")
+        # the selective declassification (dropping bob's tag) is audited
+        declass = cal.kernel.audit.declassifications()
+        assert declass and "bob" in declass[0].detail
+
+
+class TestGradeSheetModes:
+    def test_dynamic_barrier_mode_enforces_identically(self):
+        static = LaminarGradeSheet(students=4, projects=2,
+                                   mode=BarrierMode.STATIC)
+        dynamic = LaminarGradeSheet(students=4, projects=2,
+                                    mode=BarrierMode.DYNAMIC)
+        assert static.run_query_mix(80) == dynamic.run_query_mix(80)
+        assert dynamic.vm.barriers.stats.dynamic_dispatches > 0
+
+    def test_query_mix_outcome_totals(self):
+        sheet = LaminarGradeSheet(students=4, projects=2)
+        outcomes = sheet.run_query_mix(120)
+        assert sum(outcomes.values()) == 120

@@ -1,0 +1,222 @@
+"""Baseline systems: Flume-style monitor and HiStar-style page enforcement.
+
+These tests pin down the *differences* Table 1 and Section 7.5 claim:
+address-space granularity taints everything, endpoints gate communication,
+page-granularity fragments heterogeneously labeled data and pays mapping
+flushes on label changes.
+"""
+
+import pytest
+
+from repro.baselines import (
+    FlumeMonitor,
+    PagedHeap,
+    PagedThread,
+    vanilla_kernel,
+    vanilla_vm,
+)
+from repro.core import (
+    CapabilitySet,
+    IFCViolation,
+    Label,
+    LabelChangeViolation,
+    LabelPair,
+    Tag,
+)
+from repro.osim import SyscallError
+
+
+class TestFlumeGranularity:
+    @pytest.fixture()
+    def flume(self):
+        return FlumeMonitor()
+
+    def test_raise_label_taints_whole_process(self, flume):
+        proc = flume.spawn("worker")
+        tag = flume.create_tag(proc, "secret")
+        proc.raise_label(Label.of(tag))
+        assert proc.labels.secrecy == Label.of(tag)
+
+    def test_raise_without_capability_denied(self, flume):
+        alice = flume.spawn("alice")
+        secret = flume.create_tag(alice, "alice-secret")
+        mallory = flume.spawn("mallory")
+        with pytest.raises(LabelChangeViolation):
+            mallory.raise_label(Label.of(secret))
+
+    def test_tainted_process_loses_all_unlabeled_files(self, flume):
+        """The contrast with Laminar: in Flume one secret read poisons the
+        entire address space, so even the process's own unrelated output
+        file becomes unwritable."""
+        proc = flume.spawn("worker")
+        task = proc.task
+        fd = flume.kernel.sys_creat(task, "/tmp/notes")
+        flume.kernel.sys_close(task, fd)
+        tag = flume.create_tag(proc, "secret")
+        proc.raise_label(Label.of(tag))
+        with pytest.raises(SyscallError):
+            flume.open(proc, "/tmp/notes", "w")
+
+    def test_endpoint_mediates_communication(self, flume):
+        sender = flume.spawn("sender")
+        receiver = flume.spawn("receiver")
+        endpoint = flume.create_endpoint(sender, LabelPair.EMPTY)
+        flume.send(sender, endpoint, b"hello")
+        assert flume.receive(receiver, endpoint) == b"hello"
+
+    def test_tainted_sender_blocked_at_unlabeled_endpoint(self, flume):
+        sender = flume.spawn("sender")
+        endpoint = flume.create_endpoint(sender, LabelPair.EMPTY)
+        tag = flume.create_tag(sender)
+        sender.raise_label(Label.of(tag))
+        with pytest.raises(IFCViolation):
+            flume.send(sender, endpoint, b"secret")
+
+    def test_every_operation_pays_an_rpc(self, flume):
+        proc = flume.spawn("worker")
+        before = flume.rpc_count
+        fd = flume.open(proc, "/tmp", "r")
+        flume.stat(proc, "/tmp")
+        assert flume.rpc_count == before + 2
+
+    def test_monitor_runs_on_unmodified_kernel(self, flume):
+        assert flume.kernel.security.name == "vanilla-linux"
+
+
+class TestPageLevelEnforcement:
+    def test_different_labels_never_share_a_page(self):
+        heap = PagedHeap(page_slots=16)
+        t1, t2 = Tag(1, "x"), Tag(2, "y")
+        obj1 = heap.allocate(LabelPair(Label.of(t1)), "one")
+        obj2 = heap.allocate(LabelPair(Label.of(t2)), "two")
+        assert obj1.page is not obj2.page
+
+    def test_same_label_packs_pages(self):
+        heap = PagedHeap(page_slots=4)
+        pair = LabelPair(Label.of(Tag(1)))
+        objs = [heap.allocate(pair, i) for i in range(10)]
+        assert heap.stats.pages == 3  # ceil(10/4)
+
+    def test_heterogeneous_labels_fragment(self):
+        """GradeSheet's cell matrix under page granularity: every cell has
+        a distinct label pair, so every cell gets its own page."""
+        heap = PagedHeap(page_slots=64)
+        students, projects = 10, 4
+        for i in range(students):
+            for j in range(projects):
+                pair = LabelPair(Label.of(Tag(100 + i)), Label.of(Tag(200 + j)))
+                heap.allocate(pair, 0)
+        assert heap.stats.pages == students * projects
+        assert heap.fragmentation() > 0.95
+
+    def test_homogeneous_labels_do_not_fragment(self):
+        heap = PagedHeap(page_slots=64)
+        pair = LabelPair(Label.of(Tag(1)))
+        for _ in range(64):
+            heap.allocate(pair, 0)
+        assert heap.fragmentation() == 0.0
+
+    def test_fault_once_then_mapping_hits(self):
+        heap = PagedHeap()
+        pair = LabelPair(Label.of(Tag(1)))
+        obj = heap.allocate(pair, 41)
+        thread = PagedThread("t")
+        thread.set_labels(pair, heap.stats)
+        assert heap.read(thread, obj) == 41
+        heap.read(thread, obj)
+        heap.read(thread, obj)
+        assert heap.stats.faults == 1
+        assert heap.stats.mapping_hits == 2
+
+    def test_label_change_flushes_mappings(self):
+        heap = PagedHeap()
+        pair = LabelPair(Label.of(Tag(1)))
+        obj = heap.allocate(pair, 0)
+        thread = PagedThread("t")
+        thread.set_labels(pair, heap.stats)
+        heap.read(thread, obj)
+        # region-style label switch: everything must re-fault
+        thread.set_labels(LabelPair(Label.of(Tag(1), Tag(2))), heap.stats)
+        heap.read(thread, obj)
+        assert heap.stats.faults == 2
+        assert heap.stats.flushes >= 2
+
+    def test_incompatible_mapping_denied(self):
+        heap = PagedHeap()
+        secret = heap.allocate(LabelPair(Label.of(Tag(1))), 0)
+        thread = PagedThread("plain")
+        with pytest.raises(IFCViolation):
+            heap.read(thread, secret)
+
+    def test_write_mapping_checked_separately(self):
+        heap = PagedHeap()
+        pair = LabelPair(Label.of(Tag(1)))
+        obj = heap.allocate(pair, 0)
+        thread = PagedThread("t")
+        thread.set_labels(pair, heap.stats)
+        heap.write(thread, obj, 9)
+        assert heap.read(thread, obj) == 9
+        assert heap.stats.faults == 2  # one read map + one write map
+
+
+class TestVanillaFactories:
+    def test_vanilla_kernel_enforces_nothing(self):
+        k = vanilla_kernel()
+        assert k.security.name == "vanilla-linux"
+
+    def test_vanilla_vm_has_no_barriers(self):
+        vm = vanilla_vm()
+        obj = vm.alloc({"x": 1})
+        obj.get("x")
+        assert vm.barriers.stats.total == 0
+
+
+class TestFlatNamespace:
+    """Flume's answer (§5.2) to the integrity/directory tension: labeled
+    objects in a flat store, no directories, no name channel."""
+
+    def test_high_integrity_storage_without_admin_trust(self):
+        from repro.baselines import FlumeMonitor
+        from repro.core import Label, LabelPair
+
+        flume = FlumeMonitor()
+        publisher = flume.spawn("publisher")
+        vouch = flume.create_tag(publisher, "vouch")
+        publisher.labels = LabelPair(Label.EMPTY, Label.of(vouch))
+        handle = flume.flatns.put(
+            publisher, LabelPair(Label.EMPTY, Label.of(vouch)), b"plugin"
+        )
+        # A high-integrity consumer reads it with no directory walk at all.
+        consumer = flume.spawn("consumer")
+        consumer.labels = LabelPair(Label.EMPTY, Label.of(vouch))
+        assert flume.flatns.get(consumer, handle) == b"plugin"
+
+    def test_low_integrity_data_invisible_to_high_integrity_reader(self):
+        from repro.baselines import FlumeMonitor
+        from repro.core import Label, LabelPair
+
+        flume = FlumeMonitor()
+        rando = flume.spawn("rando")
+        handle = flume.flatns.put(rando, LabelPair.EMPTY, b"junk")
+        reader = flume.spawn("reader")
+        tag = flume.create_tag(reader, "hi")
+        reader.labels = LabelPair(Label.EMPTY, Label.of(tag))
+        with pytest.raises(KeyError):
+            flume.flatns.get(reader, handle)
+
+    def test_unknown_and_unreadable_indistinguishable(self):
+        from repro.baselines import FlumeMonitor
+        from repro.core import Label, LabelPair
+
+        flume = FlumeMonitor()
+        alice = flume.spawn("alice")
+        secret = flume.create_tag(alice, "s")
+        alice.raise_label(Label.of(secret))
+        handle = flume.flatns.put(alice, LabelPair(Label.of(secret)), b"x")
+        peeker = flume.spawn("peeker")
+        denied = missing = None
+        with pytest.raises(KeyError) as denied:
+            flume.flatns.get(peeker, handle)
+        with pytest.raises(KeyError) as missing:
+            flume.flatns.get(peeker, 424242)
+        assert str(denied.value) == str(missing.value)

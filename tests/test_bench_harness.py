@@ -1,0 +1,144 @@
+"""Unit tests for the benchmark substrate: harness helpers, workload
+generators, the disassembler, and the lmbench drivers."""
+
+import pytest
+
+from repro.baselines import vanilla_kernel
+from repro.bench import (
+    ALL_WORKLOADS,
+    LMBENCH_ROWS,
+    Row,
+    geometric_mean,
+    median_seconds,
+    overhead_pct,
+    render_breakdown,
+    render_table,
+    setup_tree,
+)
+from repro.jit import (
+    Interpreter,
+    JITConfig,
+    compile_source,
+    parse_program,
+)
+from repro.jit.disasm import disassemble, format_instr
+from repro.osim import Kernel, LaminarSecurityModule
+from repro.runtime import LaminarVM
+
+
+class TestHarness:
+    def test_median_seconds_positive(self):
+        t = median_seconds(lambda: sum(range(500)), trials=3, warmup=1)
+        assert t > 0
+
+    def test_overhead_pct(self):
+        assert overhead_pct(1.0, 1.5) == pytest.approx(50.0)
+        assert overhead_pct(2.0, 1.0) == pytest.approx(-50.0)
+        with pytest.raises(ValueError):
+            overhead_pct(0.0, 1.0)
+
+    def test_row_pct(self):
+        row = Row("x", 2.0, 2.2, paper_pct=10.0)
+        assert row.pct == pytest.approx(10.0)
+
+    def test_render_table_contains_rows_and_paper_column(self):
+        text = render_table("T", [Row("alpha", 1.0, 1.1, paper_pct=5.0)])
+        assert "alpha" in text and "10.0%" in text and "5.0%" in text
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_render_breakdown_shares(self):
+        text = render_breakdown("B", {"a": 0.5, "b": 0.5}, 1.0)
+        assert "50.0%" in text
+
+
+class TestWorkloads:
+    @pytest.mark.parametrize("name", sorted(ALL_WORKLOADS))
+    def test_workload_parses_and_runs(self, name):
+        src = ALL_WORKLOADS[name]()
+        program, report = compile_source(src, JITConfig.BASELINE)
+        vm = LaminarVM(vanilla_kernel())
+        result = Interpreter(program, vm).run("main")
+        assert isinstance(result, int)
+
+    def test_workloads_are_deterministic(self):
+        src = ALL_WORKLOADS["treebuild"]()
+        results = set()
+        for _ in range(2):
+            program, _ = compile_source(src, JITConfig.BASELINE)
+            results.add(Interpreter(program, LaminarVM(vanilla_kernel())).run("main"))
+        assert len(results) == 1
+
+    def test_size_parameters_scale_work(self):
+        small, _ = compile_source(ALL_WORKLOADS["arith"].__call__(), JITConfig.BASELINE)
+        from repro.bench.workloads import arith
+
+        big_prog, _ = compile_source(arith(n=60000), JITConfig.BASELINE)
+        vm = LaminarVM(vanilla_kernel())
+        i1 = Interpreter(small, vm)
+        i1.run("main")
+        i2 = Interpreter(big_prog, vm)
+        i2.run("main")
+        assert i2.executed > i1.executed
+
+
+class TestLmbenchDrivers:
+    @pytest.mark.parametrize("name", sorted(LMBENCH_ROWS))
+    def test_row_runs_on_both_kernels(self, name):
+        fn, _ = LMBENCH_ROWS[name]
+        for kernel in (vanilla_kernel(), Kernel(LaminarSecurityModule())):
+            actor = setup_tree(kernel)
+            fn(kernel, actor, 3)  # tiny iteration count: smoke only
+
+    def test_setup_tree_creates_target(self):
+        kernel = vanilla_kernel()
+        setup_tree(kernel)
+        assert kernel.fs.resolve("/tmp/lm/target").size == 512
+
+
+class TestDisassembler:
+    def test_round_trip_fixpoint(self):
+        src = """
+        class Node { v, next }
+        method main() {
+        entry:
+          const s, "he\\"llo"
+          const f, 2.5
+          const t, true
+          const n, null
+          new node, Node
+          putfield node, v, s
+          ret s
+        }
+        """
+        program = parse_program(src)
+        text = disassemble(program)
+        assert disassemble(parse_program(text)) == text
+
+    def test_region_keyword_preserved(self):
+        program = parse_program(
+            "region method r(o) {\nentry:\n  ret\n}"
+        )
+        assert "region method r(o)" in disassemble(program)
+
+    def test_barrier_rendering_includes_flavor(self):
+        # the accessed object is a parameter, so the barrier survives
+        # elimination (nothing is known about it on entry)
+        program, _ = compile_source(
+            "class B { v }\nmethod main(b) {\nentry:\n"
+            "  getfield x, b, v\n  ret x\n}",
+            JITConfig.DYNAMIC,
+        )
+        text = disassemble(program)
+        assert "readbar" in text and "; dynamic" in text
+
+    def test_format_instr_call_void(self):
+        program = parse_program(
+            "method h() {\nentry:\n ret\n}\n"
+            "method main() {\nentry:\n  call _, h\n  ret\n}"
+        )
+        call = program.method("main").blocks["entry"].instrs[0]
+        assert format_instr(call) == "call _, h"

@@ -1,0 +1,103 @@
+"""Unit tests for capabilities and capability sets."""
+
+import pytest
+
+from repro.core import Capability, CapabilitySet, CapType, Label, Tag
+
+A, B, C = Tag(1, "a"), Tag(2, "b"), Tag(3, "c")
+
+
+class TestCapability:
+    def test_repr(self):
+        assert repr(Capability(A, CapType.PLUS)) == "a+"
+        assert repr(Capability(A, CapType.MINUS)) == "a-"
+
+    def test_both_is_not_a_concrete_capability(self):
+        with pytest.raises(ValueError):
+            Capability(A, CapType.BOTH)
+
+    def test_equality(self):
+        assert Capability(A, CapType.PLUS) == Capability(A, CapType.PLUS)
+        assert Capability(A, CapType.PLUS) != Capability(A, CapType.MINUS)
+
+
+class TestCapabilitySetFactories:
+    def test_dual_grants_both(self):
+        caps = CapabilitySet.dual(A)
+        assert caps.can_add(A) and caps.can_remove(A)
+        assert len(caps) == 2
+
+    def test_plus_only(self):
+        caps = CapabilitySet.plus(A, B)
+        assert caps.can_add(A) and caps.can_add(B)
+        assert not caps.can_remove(A)
+
+    def test_minus_only(self):
+        caps = CapabilitySet.minus(A)
+        assert caps.can_remove(A) and not caps.can_add(A)
+
+    def test_empty_is_interned(self):
+        assert CapabilitySet() == CapabilitySet.EMPTY
+
+    def test_rejects_non_capabilities(self):
+        with pytest.raises(TypeError):
+            CapabilitySet([A])  # type: ignore[list-item]
+
+
+class TestCapabilitySetQueries:
+    def test_can_add_all_remove_all(self):
+        caps = CapabilitySet.dual(A, B)
+        assert caps.can_add_all(Label.of(A, B))
+        assert caps.can_remove_all(Label.of(A))
+        assert not caps.can_add_all(Label.of(A, C))
+
+    def test_plus_minus_tags_as_labels(self):
+        caps = CapabilitySet.plus(A).union(CapabilitySet.minus(B))
+        assert caps.plus_tags() == Label.of(A)
+        assert caps.minus_tags() == Label.of(B)
+
+    def test_subset(self):
+        assert CapabilitySet.plus(A).is_subset_of(CapabilitySet.dual(A))
+        assert not CapabilitySet.dual(A).is_subset_of(CapabilitySet.plus(A))
+
+
+class TestCapabilitySetAlgebra:
+    def test_union(self):
+        merged = CapabilitySet.plus(A).union(CapabilitySet.minus(A))
+        assert merged == CapabilitySet.dual(A)
+
+    def test_union_shares_superset(self):
+        big = CapabilitySet.dual(A, B)
+        assert big.union(CapabilitySet.plus(A)) is big
+
+    def test_intersection(self):
+        left = CapabilitySet.dual(A)
+        right = CapabilitySet.plus(A, B)
+        assert left.intersection(right) == CapabilitySet.plus(A)
+
+    def test_without_single_kind(self):
+        caps = CapabilitySet.dual(A).without(A, CapType.MINUS)
+        assert caps.can_add(A) and not caps.can_remove(A)
+
+    def test_without_both(self):
+        caps = CapabilitySet.dual(A, B).without(A, CapType.BOTH)
+        assert not caps.can_add(A) and not caps.can_remove(A)
+        assert caps.can_add(B)
+
+    def test_without_all(self):
+        caps = CapabilitySet.dual(A, B).without_all(CapabilitySet.dual(A))
+        assert caps == CapabilitySet.dual(B)
+
+    def test_with_capability(self):
+        caps = CapabilitySet.EMPTY.with_capability(Capability(A, CapType.PLUS))
+        assert caps.can_add(A)
+        assert caps.with_capability(Capability(A, CapType.PLUS)) is caps
+
+    def test_iteration_is_deterministic(self):
+        caps = CapabilitySet.dual(B, A)
+        assert [repr(c) for c in caps] == ["a+", "a-", "b+", "b-"]
+
+    def test_immutability_of_operations(self):
+        original = CapabilitySet.dual(A)
+        original.without(A, CapType.BOTH)
+        assert original.can_add(A)

@@ -1,0 +1,96 @@
+"""Compatibility pitfalls (Section 4.6) and miscellaneous DIFC semantics.
+
+"Some implementation techniques are incompatible with any DIFC system.
+For instance, a library might memoize results without regard for labels.
+If a function memoized its result in a security region with one label, a
+later call with a different label may attempt to return the memoized
+value.  Because the memoized result is secret, the attempt to return it
+will be prevented by the system."
+"""
+
+import pytest
+
+from repro.core import CapabilitySet, Label, LabelPair, SecrecyViolation
+from repro.osim import Kernel
+from repro.runtime import LaminarAPI, LaminarVM
+
+
+@pytest.fixture()
+def world():
+    kernel = Kernel()
+    vm = LaminarVM(kernel)
+    return kernel, vm, LaminarAPI(vm)
+
+
+class TestMemoizationPitfall:
+    def test_label_oblivious_memoization_breaks(self, world):
+        """A cache populated under label {a} poisons calls under {b}."""
+        kernel, vm, api = world
+        a = api.create_and_add_capability("a")
+        b = api.create_and_add_capability("b")
+
+        # The library's cache: an unlabeled dict holding labeled objects.
+        cache: dict[int, object] = {}
+
+        def expensive(vm_, n):
+            if n not in cache:
+                cache[n] = vm_.alloc({"result": n * n}, name=f"memo{n}")
+            return cache[n].get("result")
+
+        # First call inside an {a} region: the cached object is labeled {a}.
+        with vm.region(secrecy=Label.of(a), caps=CapabilitySet.dual(a)):
+            assert expensive(vm, 12) == 144
+        assert cache[12].labels.secrecy == Label.of(a)
+
+        # Later call from a {b} region: the memoized value is {a}-secret,
+        # and the read is prevented — exactly the paper's incompatibility.
+        failure = {}
+        with vm.region(secrecy=Label.of(b), caps=CapabilitySet.dual(b),
+                       catch=lambda e: failure.update(err=e)):
+            expensive(vm, 12)
+        assert isinstance(failure["err"], SecrecyViolation)
+
+    def test_label_aware_memoization_works(self, world):
+        """The fix any DIFC port needs: key the cache by label."""
+        kernel, vm, api = world
+        a = api.create_and_add_capability("a")
+        b = api.create_and_add_capability("b")
+        cache: dict[tuple, object] = {}
+
+        def expensive(vm_, n):
+            key = (n, vm_.current_thread.labels)
+            if key not in cache:
+                cache[key] = vm_.alloc({"result": n * n})
+            return cache[key].get("result")
+
+        with vm.region(secrecy=Label.of(a), caps=CapabilitySet.dual(a)):
+            assert expensive(vm, 12) == 144
+        with vm.region(secrecy=Label.of(b), caps=CapabilitySet.dual(b)):
+            assert expensive(vm, 12) == 144
+        assert len(cache) == 2  # one entry per label context
+
+
+class TestImmutableLabelsRaceFreedom:
+    def test_no_relabel_api_exists(self, world):
+        """Section 4.5: labels are immutable to avoid the check/relabel
+        race; the only label-changing operation is copyAndLabel, which
+        creates a new object."""
+        kernel, vm, api = world
+        a = api.create_and_add_capability("a")
+        with vm.region(secrecy=Label.of(a), caps=CapabilitySet.dual(a)):
+            obj = vm.alloc({"x": 1})
+            before = obj.labels
+            copy = api.copy_and_label(obj, secrecy=Label.EMPTY)
+        assert obj.labels == before
+        assert copy is not obj
+        assert not hasattr(obj, "set_labels")
+
+    def test_labels_objects_shared_not_copied(self, world):
+        """Immutability enables sharing: objects allocated in the same
+        region share the same Label instance."""
+        kernel, vm, api = world
+        a = api.create_and_add_capability("a")
+        with vm.region(secrecy=Label.of(a), caps=CapabilitySet.dual(a)):
+            o1 = vm.alloc({"x": 1})
+            o2 = vm.alloc({"x": 2})
+        assert o1.header.secrecy is o2.header.secrecy

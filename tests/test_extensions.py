@@ -1,0 +1,299 @@
+"""Extension features beyond the measured prototype: the restrictive
+termination model, labeled statics, the audit log, and declassifier
+modules.  Each is something the paper describes as a design alternative or
+production feature (Sections 4.3.3, 5.1, 3.3)."""
+
+import pytest
+
+from repro.core import (
+    AuditKind,
+    AuditLog,
+    CapabilitySet,
+    Label,
+    LabelPair,
+    LaminarUsageError,
+    ProcessExit,
+    RegionViolation,
+)
+from repro.jit import Compiler, Interpreter, JITConfig, RegionSpec
+from repro.osim import Kernel, SyscallError
+from repro.runtime import (
+    Declassifier,
+    DeclassifierRegistry,
+    LaminarAPI,
+    LaminarVM,
+)
+
+
+@pytest.fixture()
+def world():
+    kernel = Kernel()
+    vm = LaminarVM(kernel)
+    return kernel, vm, LaminarAPI(vm)
+
+
+class TestRestrictiveTermination:
+    """Section 4.3.3: only a region with full declassification
+    capabilities may kill the process."""
+
+    def test_exit_outside_regions_always_allowed(self, world):
+        kernel, vm, api = world
+        with pytest.raises(ProcessExit) as err:
+            vm.exit_process(7)
+        assert err.value.code == 7
+        assert not vm.main_task.alive
+
+    def test_exit_without_full_declassification_blocked(self, world):
+        kernel, vm, api = world
+        a = api.create_and_add_capability("a")
+        seen = {}
+        with vm.region(secrecy=Label.of(a), caps=CapabilitySet.plus(a),
+                       catch=lambda e: seen.update(err=e)):
+            vm.exit_process(1)
+        assert isinstance(seen["err"], RegionViolation)
+        assert vm.main_task.alive  # the termination channel stayed closed
+
+    def test_exit_with_full_declassification_allowed(self, world):
+        kernel, vm, api = world
+        a = api.create_and_add_capability("a")
+        with pytest.raises(ProcessExit):
+            with vm.region(secrecy=Label.of(a), caps=CapabilitySet.dual(a)):
+                vm.exit_process(2)
+        assert not vm.main_task.alive
+
+    def test_integrity_tags_also_need_minus(self, world):
+        kernel, vm, api = world
+        i = api.create_and_add_capability("i")
+        seen = {}
+        with vm.region(integrity=Label.of(i), caps=CapabilitySet.plus(i),
+                       catch=lambda e: seen.update(err=e)):
+            vm.exit_process(0)
+        assert isinstance(seen["err"], RegionViolation)
+
+
+class TestLabeledStatics:
+    """Section 5.1: 'a production implementation could support labeling
+    statics with modest overhead'."""
+
+    REGION_SRC = """
+    region method bump(o) {
+    entry:
+      getstatic c, counter
+      const one, 1
+      binop c, add, c, one
+      putstatic counter, c
+    }
+    class Box { v }
+    method main(o) {
+    entry:
+      call _, bump, o
+      ret
+    }
+    """
+
+    def _box(self, vm):
+        from repro.jit.interpreter import IRObject
+
+        return IRObject(vm.heap.allocate_header(LabelPair.EMPTY), "Box", {"v": 0})
+
+    def test_prototype_rejects_statics_in_regions(self):
+        from repro.core import StaticCheckError
+
+        with pytest.raises(StaticCheckError):
+            Compiler(JITConfig.DYNAMIC).compile(self.REGION_SRC)
+
+    def test_extension_compiles_and_guards(self, world):
+        kernel, vm, api = world
+        tag = api.create_and_add_capability("t")
+        program, report = Compiler(
+            JITConfig.DYNAMIC, labeled_statics=True
+        ).compile(self.REGION_SRC)
+        assert report.barriers_inserted >= 2
+        program.method("bump").region_spec = RegionSpec(
+            secrecy=Label.of(tag), caps=CapabilitySet.dual(tag)
+        )
+        interp = Interpreter(program, vm)
+        interp.declare_static("counter", LabelPair(Label.of(tag)), 5)
+        interp.run("main", self._box(vm))
+        assert interp.statics["counter"] == 6
+
+    def test_labeled_static_unreachable_outside_regions(self, world):
+        kernel, vm, api = world
+        tag = api.create_and_add_capability("t")
+        program, _ = Compiler(JITConfig.DYNAMIC, labeled_statics=True).compile(
+            "method main() {\nentry:\n  getstatic x, secret\n  ret x\n}"
+        )
+        interp = Interpreter(program, vm)
+        interp.declare_static("secret", LabelPair(Label.of(tag)))
+        with pytest.raises(RegionViolation):
+            interp.run("main")
+
+    def test_wrong_region_label_blocked(self, world):
+        kernel, vm, api = world
+        t1 = api.create_and_add_capability("t1")
+        t2 = api.create_and_add_capability("t2")
+        program, _ = Compiler(JITConfig.DYNAMIC, labeled_statics=True).compile(
+            """
+            region method peek(o) {
+            entry:
+              getstatic x, secret
+              print x
+            }
+            class Box { v }
+            method main(o) {
+            entry:
+              call _, peek, o
+              ret
+            }
+            """
+        )
+        program.method("peek").region_spec = RegionSpec(
+            secrecy=Label.of(t2), caps=CapabilitySet.dual(t2)
+        )
+        interp = Interpreter(program, vm)
+        interp.declare_static("secret", LabelPair(Label.of(t1)))
+        interp.run("main", self._box(vm))  # violation suppressed by region
+        assert interp.output == []  # the read never succeeded
+
+    def test_static_barrier_elimination(self):
+        program, report = Compiler(
+            JITConfig.DYNAMIC, labeled_statics=True
+        ).compile(
+            "method main() {\nentry:\n  getstatic x, c\n  getstatic y, c\n"
+            "  binop z, add, x, y\n  ret z\n}"
+        )
+        assert report.barriers_inserted == 2
+        assert report.barriers_removed == 1  # second read provably checked
+
+    def test_redeclaration_rejected(self, world):
+        kernel, vm, api = world
+        program, _ = Compiler(JITConfig.BASELINE).compile(
+            "method main() {\nentry:\n  const x, 1\n  ret x\n}"
+        )
+        interp = Interpreter(program, vm)
+        interp.declare_static("s", LabelPair.EMPTY)
+        with pytest.raises(ValueError):
+            interp.declare_static("s", LabelPair.EMPTY)
+
+
+class TestAuditLog:
+    def test_lsm_denials_recorded(self, world):
+        kernel, vm, api = world
+        a = api.create_and_add_capability("a")
+        with vm.region(secrecy=Label.of(a), caps=CapabilitySet.dual(a)):
+            with pytest.raises(SyscallError):
+                api.transmit(b"leak")
+        denials = kernel.audit.denials()
+        assert len(denials) == 1
+        assert "socket_sendmsg" in str(denials[0])
+
+    def test_declassifications_recorded(self, world):
+        kernel, vm, api = world
+        a = api.create_and_add_capability("a")
+        with vm.region(secrecy=Label.of(a), caps=CapabilitySet.dual(a)):
+            secret = vm.alloc({"x": 1})
+            api.copy_and_label(secret)
+        declass = kernel.audit.declassifications()
+        assert len(declass) == 1
+        assert "dropped" in declass[0].detail
+
+    def test_endorsements_recorded(self, world):
+        kernel, vm, api = world
+        i = api.create_and_add_capability("i")
+        plain = vm.alloc({"x": 1})
+        with vm.region(integrity=Label.of(i), caps=CapabilitySet.dual(i)):
+            api.copy_and_label(plain, integrity=Label.of(i))
+        assert len(kernel.audit.entries(AuditKind.ENDORSE)) == 1
+
+    def test_region_suppressions_recorded(self, world):
+        kernel, vm, api = world
+        with vm.region(name="risky"):
+            raise ValueError("boom")
+        entries = kernel.audit.entries(AuditKind.REGION_SUPPRESS)
+        assert len(entries) == 1
+        assert "risky" in entries[0].detail and "boom" in entries[0].detail
+
+    def test_sequence_numbers_monotonic(self):
+        log = AuditLog()
+        for i in range(5):
+            log.record(AuditKind.DENIAL, "t", "p", f"d{i}")
+        seqs = [e.seq for e in log]
+        assert seqs == sorted(seqs) and len(set(seqs)) == 5
+
+    def test_capacity_truncates_oldest(self):
+        log = AuditLog(capacity=3)
+        for i in range(6):
+            log.record(AuditKind.DENIAL, "t", "p", f"d{i}")
+        assert len(log) == 3
+        assert log.entries()[0].detail == "d3"
+
+    def test_by_principal_filter(self, world):
+        kernel, vm, api = world
+        kernel.audit.record(AuditKind.DENIAL, "t", "alice", "x")
+        kernel.audit.record(AuditKind.DENIAL, "t", "bob", "y")
+        assert len(kernel.audit.by_principal("alice")) == 1
+
+
+class TestDeclassifierModules:
+    @pytest.fixture()
+    def setup(self, world):
+        kernel, vm, api = world
+        alice = api.create_and_add_capability("alice")
+        with vm.region(secrecy=Label.of(alice), caps=CapabilitySet.dual(alice)):
+            cal = vm.alloc(
+                {"mon": ["9 busy", "10 free"], "tue": ["11 free"]},
+                name="cal",
+            )
+        registry = DeclassifierRegistry(vm)
+        return kernel, vm, api, alice, cal, registry
+
+    def test_filter_releases_only_selected_data(self, setup):
+        kernel, vm, api, alice, cal, registry = setup
+        registry.register(Declassifier(
+            "free-only",
+            CapabilitySet.dual(alice),
+            lambda fields: {
+                day: [s for s in slots if "free" in s]
+                for day, slots in fields.items()
+            },
+        ))
+        host = vm.create_thread("host", caps_subset=CapabilitySet.dual(alice))
+        with vm.running(host):
+            out = registry.run("free-only", cal)
+        assert out.labels.is_empty
+        assert out.get("mon") == ["10 free"]
+        assert "9 busy" not in str(out.raw_fields())
+
+    def test_module_without_minus_capability_declines(self, setup):
+        kernel, vm, api, alice, cal, registry = setup
+        registry.register(Declassifier(
+            "powerless", CapabilitySet.plus(alice), lambda fields: fields
+        ))
+        host = vm.create_thread("host2", caps_subset=CapabilitySet.plus(alice))
+        with vm.running(host):
+            out = registry.run("powerless", cal)
+        assert out is None
+        assert kernel.audit.denials(), "the decline must be audited"
+
+    def test_invocations_audited(self, setup):
+        kernel, vm, api, alice, cal, registry = setup
+        registry.register(Declassifier(
+            "all", CapabilitySet.dual(alice), lambda fields: fields
+        ))
+        host = vm.create_thread("host3", caps_subset=CapabilitySet.dual(alice))
+        with vm.running(host):
+            registry.run("all", cal)
+        names = [e.detail for e in kernel.audit.declassifications()]
+        assert any("all:" in d for d in names)
+
+    def test_duplicate_registration_rejected(self, setup):
+        kernel, vm, api, alice, cal, registry = setup
+        module = Declassifier("m", CapabilitySet.EMPTY, lambda f: f)
+        registry.register(module)
+        with pytest.raises(LaminarUsageError):
+            registry.register(module)
+
+    def test_unknown_module(self, setup):
+        kernel, vm, api, alice, cal, registry = setup
+        with pytest.raises(LaminarUsageError):
+            registry.run("ghost", cal)

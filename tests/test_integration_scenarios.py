@@ -1,0 +1,178 @@
+"""Cross-layer integration scenarios: VM + OS + persistence working as one
+system, the way the paper's deployment story requires."""
+
+import pytest
+
+from repro.core import (
+    Capability,
+    CapabilitySet,
+    CapType,
+    Label,
+    LabelPair,
+    LabelType,
+)
+from repro.osim import Kernel, SyscallError, grant_persistent, login
+from repro.runtime import LaminarAPI, LaminarVM
+
+
+class TestFullLifecycle:
+    """login → taint → read secret → compute → declassify → publish."""
+
+    def test_end_to_end_report_pipeline(self):
+        kernel = Kernel()
+        vm = LaminarVM(kernel)
+        api = LaminarAPI(vm)
+
+        # Day 0: the admin provisions Carol's tag persistently.
+        carol_tag, carol_caps = kernel.sys_alloc_tag(kernel.init_task, "carol")
+        grant_persistent(kernel, "carol", carol_caps)
+
+        # Carol logs in; her shell holds the persisted capabilities.
+        shell = login(kernel, "carol")
+        assert shell.capabilities.can_add(carol_tag)
+
+        # Her data was written earlier, labeled with her tag.
+        fd = kernel.sys_create_file_labeled(
+            shell, "/tmp/payroll", LabelPair(Label.of(carol_tag))
+        )
+        kernel.sys_set_task_label(shell, LabelType.SECRECY, Label.of(carol_tag))
+        kernel.sys_write(shell, fd, b"salary:100")
+        kernel.sys_set_task_label(shell, LabelType.SECRECY, Label.EMPTY)
+
+        # A report worker thread in the VM gets exactly her capabilities.
+        worker = vm.create_thread("report-worker")
+        worker.gain_capabilities(carol_caps)
+        published = {}
+        with vm.running(worker):
+            with vm.region(secrecy=Label.of(carol_tag), caps=carol_caps):
+                rfd = api.open("/tmp/payroll", "r")
+                raw = api.read(rfd)
+                api.close(rfd)
+                summary = vm.alloc({"over_50k": b"100" in raw}, name="summary")
+                public = api.copy_and_label(summary)  # carol- justifies it
+                published["flag"] = public.get("over_50k")
+            # untainted again: publishing is legal
+            api.transmit(b"over50k=" + str(published["flag"]).encode())
+        assert kernel.net.transmitted == [b"over50k=True"]
+        # the declassification is on the audit record
+        assert kernel.audit.declassifications()
+
+    def test_label_survives_remount_and_still_guards(self):
+        kernel = Kernel()
+        task = kernel.spawn_task("owner")
+        tag, _ = kernel.sys_alloc_tag(task, "persist")
+        kernel.sys_create_file_labeled(
+            task, "/tmp/durable", LabelPair(Label.of(tag))
+        )
+        kernel.fs.remount(kernel.tags)
+        stranger = kernel.spawn_task("stranger")
+        with pytest.raises(SyscallError):
+            kernel.sys_open(stranger, "/tmp/durable", "r")
+        kernel.sys_set_task_label(task, LabelType.SECRECY, Label.of(tag))
+        kernel.sys_open(task, "/tmp/durable", "r")
+
+
+class TestTrustedPartnerSharing:
+    """Section 3.3's 'sharing secrets with trusted partners': Alice hands
+    the scheduler her a- capability through a kernel-mediated pipe, which
+    is what lets the scheduler declassify *her* data and nobody else's."""
+
+    def test_capability_handoff_enables_declassification(self):
+        kernel = Kernel()
+        vm = LaminarVM(kernel)
+        api = LaminarAPI(vm)
+
+        alice_thread = vm.create_thread("alice")
+        with vm.running(alice_thread):
+            a = api.create_and_add_capability("a")
+
+        scheduler = vm.create_thread("scheduler")
+        # Before the handoff the scheduler cannot even enter an {a} region.
+        from repro.core import RegionViolation
+
+        with vm.running(scheduler):
+            with pytest.raises(RegionViolation):
+                with vm.region(secrecy=Label.of(a)):
+                    pass
+
+        # Alice sends a+ and a- over a pipe; the kernel mediates each hop.
+        rfd, wfd = kernel.sys_pipe(alice_thread.task)
+        rfd_sched = kernel.share_fd(alice_thread.task, rfd, scheduler.task)
+        with vm.running(alice_thread):
+            api.write_capability(Capability(a, CapType.PLUS), wfd)
+            api.write_capability(Capability(a, CapType.MINUS), wfd)
+        with vm.running(scheduler):
+            got_plus = api.read_capability(rfd_sched)
+            got_minus = api.read_capability(rfd_sched)
+        assert got_plus and got_minus
+
+        # Now the scheduler can read and selectively declassify her data.
+        with vm.running(alice_thread):
+            with vm.region(secrecy=Label.of(a), caps=CapabilitySet.dual(a)):
+                secret = vm.alloc({"when": "tue 9am"})
+        with vm.running(scheduler):
+            with vm.region(secrecy=Label.of(a),
+                           caps=scheduler.capabilities):
+                slot = api.copy_and_label(secret)
+                assert slot.get("when") == "tue 9am"
+
+    def test_tainted_handoff_is_silently_dropped(self):
+        kernel = Kernel()
+        vm = LaminarVM(kernel)
+        api = LaminarAPI(vm)
+        alice = vm.create_thread("alice")
+        mallory = vm.create_thread("mallory")
+        with vm.running(alice):
+            a = api.create_and_add_capability("a")
+            secret_tag = api.create_and_add_capability("s")
+        rfd_a, wfd = kernel.sys_pipe(alice.task, LabelPair.EMPTY)
+        rfd = kernel.share_fd(alice.task, rfd_a, mallory.task)
+        # Alice, while tainted, tries to slip a capability out through an
+        # unlabeled pipe: the kernel drops it without an error.
+        with vm.running(alice):
+            with vm.region(secrecy=Label.of(secret_tag),
+                           caps=CapabilitySet.dual(secret_tag)):
+                api.write_capability(Capability(a, CapType.MINUS), wfd)
+        with vm.running(mallory):
+            assert api.read_capability(rfd) is None
+
+
+class TestSharedNamespace:
+    """'Alice's program uses the same label namespace present in the file
+    system': one tag guards a file and a heap object interchangeably."""
+
+    def test_one_tag_guards_file_and_object(self):
+        kernel = Kernel()
+        vm = LaminarVM(kernel)
+        api = LaminarAPI(vm)
+        tag = api.create_and_add_capability("shared")
+        pair = LabelPair(Label.of(tag))
+        fd = api.create_file_labeled("/tmp/shared", pair)
+        with vm.region(secrecy=pair.secrecy, caps=CapabilitySet.dual(tag)):
+            api.write(fd, b"from-disk")
+            obj = vm.alloc({"data": None}, labels=pair)
+            # file -> heap: both sides carry the same tag, one region
+            rfd = api.open("/tmp/shared", "r")
+            obj.set("data", api.read(rfd))
+            api.close(rfd)
+            assert obj.get("data") == b"from-disk"
+        # both are unreachable outside regions / to unlabeled tasks
+        from repro.core import RegionViolation
+
+        with pytest.raises(RegionViolation):
+            obj.get("data")
+        stranger = kernel.spawn_task("stranger")
+        with pytest.raises(SyscallError):
+            kernel.sys_open(stranger, "/tmp/shared", "r")
+
+    def test_file_label_equals_object_label(self):
+        kernel = Kernel()
+        vm = LaminarVM(kernel)
+        api = LaminarAPI(vm)
+        tag = api.create_and_add_capability("t")
+        pair = LabelPair(Label.of(tag))
+        api.create_file_labeled("/tmp/x", pair)
+        with vm.region(secrecy=pair.secrecy, caps=CapabilitySet.dual(tag)):
+            obj = vm.alloc({})
+        inode = kernel.fs.resolve("/tmp/x")
+        assert inode.labels == obj.labels

@@ -1,0 +1,199 @@
+"""Unit tests for the generic dataflow framework and copy propagation."""
+
+import pytest
+
+from repro.jit import CFG, ForwardMustAnalysis, Opcode, parse_program
+from repro.jit.copyprop import propagate_copies, propagate_copies_method
+
+
+def build(src: str):
+    return parse_program(src).method("m")
+
+
+class TestForwardMustAnalysis:
+    def _solve(self, method, transfer):
+        cfg = CFG(method)
+        analysis = ForwardMustAnalysis(cfg, transfer)
+        analysis.solve()
+        return analysis
+
+    @staticmethod
+    def _defs(instr, facts):
+        d = instr.defined_register()
+        return facts | {d} if d else facts
+
+    def test_straight_line_accumulates(self):
+        method = build("""
+        method m() {
+        entry:
+          const a, 1
+          const b, 2
+          ret a
+        }
+        """)
+        analysis = self._solve(method, self._defs)
+        assert analysis.block_out["entry"] == frozenset({"a", "b"})
+
+    def test_merge_is_intersection(self):
+        method = build("""
+        method m(flag) {
+        entry:
+          br flag, l, r
+        l:
+          const x, 1
+          const common, 1
+          jmp join
+        r:
+          const y, 2
+          const common, 2
+          jmp join
+        join:
+          ret common
+        }
+        """)
+        analysis = self._solve(method, self._defs)
+        assert analysis.block_in["join"] == frozenset({"common"})
+
+    def test_loop_reaches_fixpoint(self):
+        method = build("""
+        method m(n) {
+        entry:
+          const i, 0
+          jmp loop
+        loop:
+          binop c, lt, i, n
+          br c, body, done
+        body:
+          const one, 1
+          binop i, add, i, one
+          jmp loop
+        done:
+          ret i
+        }
+        """)
+        analysis = self._solve(method, self._defs)
+        # facts from entry survive around the back edge
+        assert "i" in analysis.block_in["loop"]
+        # but body-only facts do not reach the header on the entry path
+        assert "one" not in analysis.block_in["loop"]
+
+    def test_facts_before_each_instr_replays_transfer(self):
+        method = build("""
+        method m() {
+        entry:
+          const a, 1
+          const b, 2
+          ret b
+        }
+        """)
+        analysis = self._solve(method, self._defs)
+        before = analysis.facts_before_each_instr("entry")
+        assert before[0] == frozenset()
+        assert before[1] == frozenset({"a"})
+        assert before[2] == frozenset({"a", "b"})
+
+
+class TestCopyPropagation:
+    def test_simple_copy_forwarded(self):
+        method = build("""
+        method m(a) {
+        entry:
+          mov b, a
+          binop c, add, b, b
+          ret c
+        }
+        """)
+        assert propagate_copies_method(method) >= 1
+        binop = method.blocks["entry"].instrs[1]
+        assert binop.operands == ("c", "add", "a", "a")
+
+    def test_copy_chain_collapses_to_root(self):
+        method = build("""
+        method m(a) {
+        entry:
+          mov b, a
+          mov c, b
+          binop d, add, c, c
+          ret d
+        }
+        """)
+        propagate_copies_method(method)
+        binop = method.blocks["entry"].instrs[2]
+        assert binop.operands == ("d", "add", "a", "a")
+
+    def test_killed_copy_not_forwarded(self):
+        method = build("""
+        method m(a) {
+        entry:
+          mov b, a
+          const a, 99
+          binop c, add, b, b
+          ret c
+        }
+        """)
+        propagate_copies_method(method)
+        binop = method.blocks["entry"].instrs[2]
+        # a was redefined after the copy: b must NOT be rewritten to a
+        assert binop.operands == ("c", "add", "b", "b")
+
+    def test_must_property_across_branches(self):
+        method = build("""
+        method m(a, flag) {
+        entry:
+          br flag, l, r
+        l:
+          mov b, a
+          jmp join
+        r:
+          const b, 5
+          jmp join
+        join:
+          binop c, add, b, b
+          ret c
+        }
+        """)
+        propagate_copies_method(method)
+        binop = method.blocks["join"].instrs[0]
+        # only one path makes b a copy of a: no rewrite allowed
+        assert binop.operands == ("c", "add", "b", "b")
+
+    def test_semantics_preserved(self, vanilla):
+        from repro.jit import Interpreter, compile_source, JITConfig
+        from repro.runtime import LaminarVM
+
+        src = """
+        method m(a) {
+        entry:
+          mov b, a
+          mov c, b
+          binop d, mul, c, b
+          ret d
+        }
+        method main() {
+        entry:
+          const x, 7
+          call r, m, x
+          ret r
+        }
+        """
+        plain = parse_program(src)
+        propagated = parse_program(src)
+        propagate_copies(propagated)
+        vm = LaminarVM(vanilla)
+        from repro.jit.interpreter import Interpreter as I
+
+        assert I(plain, vm).run("main") == I(propagated, vm).run("main") == 49
+
+    def test_self_move_is_noop(self):
+        method = build("""
+        method m(a) {
+        entry:
+          mov a2, a
+          mov a2, a2
+          binop c, add, a2, a2
+          ret c
+        }
+        """)
+        propagate_copies_method(method)
+        binop = method.blocks["entry"].instrs[2]
+        assert binop.operands == ("c", "add", "a", "a")

@@ -1,0 +1,363 @@
+"""The IR interpreter: opcode semantics, barrier execution, region methods."""
+
+import pytest
+
+from repro.core import CapabilitySet, Label
+from repro.jit import (
+    Compiler,
+    CompileContext,
+    Interpreter,
+    JITConfig,
+    RegionSpec,
+    StaleCompilationError,
+    compile_source,
+    insert_barriers,
+    parse_program,
+)
+from repro.runtime import LaminarAPI, LaminarVM
+
+
+def run(src: str, vanilla, config=JITConfig.BASELINE, entry="main", *args):
+    program, _ = compile_source(src, config)
+    vm = LaminarVM(vanilla)
+    return Interpreter(program, vm).run(entry, *args)
+
+
+class TestOpcodeSemantics:
+    def test_arithmetic(self, vanilla):
+        src = """
+        method main() {
+        entry:
+          const a, 17
+          const b, 5
+          binop s, add, a, b
+          binop d, sub, s, b
+          binop m, mul, d, b
+          binop q, div, m, b
+          binop r, mod, q, b
+          ret r
+        }
+        """
+        assert run(src, vanilla) == 17 % 5
+
+    def test_comparisons_and_branching(self, vanilla):
+        src = """
+        method main() {
+        entry:
+          const a, 3
+          const b, 7
+          binop c, lt, a, b
+          br c, yes, no
+        yes:
+          const r, 1
+          ret r
+        no:
+          const r, 0
+          ret r
+        }
+        """
+        assert run(src, vanilla) == 1
+
+    def test_bit_operations(self, vanilla):
+        src = """
+        method main() {
+        entry:
+          const a, 12
+          const b, 10
+          binop x, bxor, a, b
+          binop y, band, a, b
+          binop z, bor, x, y
+          const one, 1
+          binop s, shl, z, one
+          binop t, shr, s, one
+          ret t
+        }
+        """
+        assert run(src, vanilla) == ((12 ^ 10) | (12 & 10))
+
+    def test_unops(self, vanilla):
+        src = """
+        method main() {
+        entry:
+          const a, 5
+          unop n, neg, a
+          unop b, not, n
+          br b, t, f
+        t:
+          ret n
+        f:
+          ret a
+        }
+        """
+        assert run(src, vanilla) == 5  # not(-5) is False
+
+    def test_objects_and_arrays(self, vanilla):
+        src = """
+        class P { x }
+        method main() {
+        entry:
+          new p, P
+          const v, 9
+          putfield p, x, v
+          const n, 3
+          newarray a, n
+          const i, 1
+          getfield w, p, x
+          astore a, i, w
+          aload out, a, i
+          arraylen len, a
+          binop r, add, out, len
+          ret r
+        }
+        """
+        assert run(src, vanilla) == 12
+
+    def test_new_zero_initializes_declared_fields(self, vanilla):
+        src = """
+        class P { x, y }
+        method main() {
+        entry:
+          new p, P
+          getfield v, p, y
+          ret v
+        }
+        """
+        assert run(src, vanilla) == 0
+
+    def test_statics(self, vanilla):
+        src = """
+        method main() {
+        entry:
+          const v, 5
+          putstatic counter, v
+          getstatic w, counter
+          ret w
+        }
+        """
+        assert run(src, vanilla) == 5
+
+    def test_recursion(self, vanilla):
+        src = """
+        method fib(n) {
+        entry:
+          const two, 2
+          binop small, lt, n, two
+          br small, base, rec
+        base:
+          ret n
+        rec:
+          const one, 1
+          binop n1, sub, n, one
+          binop n2, sub, n, two
+          call a, fib, n1
+          call b, fib, n2
+          binop s, add, a, b
+          ret s
+        }
+        method main() {
+        entry:
+          const n, 10
+          call r, fib, n
+          ret r
+        }
+        """
+        assert run(src, vanilla) == 55
+
+    def test_print_collects_output(self, vanilla):
+        program, _ = compile_source(
+            "method main() {\nentry:\n const x, 3\n print x\n ret x\n}",
+            JITConfig.BASELINE,
+        )
+        vm = LaminarVM(vanilla)
+        interp = Interpreter(program, vm)
+        interp.run("main")
+        assert interp.output == [3]
+
+    def test_arity_mismatch(self, vanilla):
+        program, _ = compile_source(
+            "method main(a) {\nentry:\n ret a\n}", JITConfig.BASELINE
+        )
+        with pytest.raises(TypeError):
+            Interpreter(program, LaminarVM(vanilla)).run("main")
+
+    def test_executed_counter(self, vanilla):
+        program, _ = compile_source(
+            "method main() {\nentry:\n const x, 1\n ret x\n}",
+            JITConfig.BASELINE,
+        )
+        interp = Interpreter(program, LaminarVM(vanilla))
+        interp.run("main")
+        assert interp.executed == 2
+
+
+SHARED = """
+class Box { v }
+method touch(b) {
+entry:
+  getfield x, b, v
+  ret x
+}
+method main() {
+entry:
+  new b, Box
+  const one, 1
+  putfield b, v, one
+  call r, touch, b
+  ret r
+}
+"""
+
+
+class TestBarrierExecution:
+    def test_counters_match_static_program(self, vanilla):
+        program, report = compile_source(SHARED, JITConfig.STATIC, inline=False)
+        vm = LaminarVM(vanilla)
+        Interpreter(program, vm).run("main")
+        stats = vm.barriers.stats
+        assert stats.total == report.barriers_final
+        assert stats.dynamic_dispatches == 0
+
+    def test_dynamic_dispatches_counted(self, vanilla):
+        program, report = compile_source(SHARED, JITConfig.DYNAMIC, inline=False)
+        vm = LaminarVM(vanilla)
+        Interpreter(program, vm).run("main")
+        stats = vm.barriers.stats
+        assert stats.dynamic_dispatches == stats.total > 0
+
+    def test_identical_results_across_configs(self, vanilla):
+        results = {
+            cfg: run(SHARED, vanilla, cfg) for cfg in JITConfig
+        }
+        assert len(set(results.values())) == 1
+
+    def test_stale_static_compilation_detected(self, vanilla):
+        """A method compiled out-of-region executed inside a region is a
+        miscompilation; verify_static mode reports it."""
+        program = parse_program("""
+        class Box { v }
+        region method r(b) {
+        entry:
+          call x, helper, b
+          print x
+        }
+        method helper(b) {
+        entry:
+          getfield x, b, v
+          ret x
+        }
+        method main(b) {
+        entry:
+          call _, r, b
+          ret
+        }
+        """)
+        # compile helper for out-of-region although region r calls it
+        insert_barriers(program, CompileContext.OUT_OF_REGION)
+        vm = LaminarVM(vanilla)
+        interp = Interpreter(program, vm, verify_static=True)
+        box_prog, _ = compile_source(
+            "class Box { v }\nmethod mk() {\nentry:\n new b, Box\n ret b\n}",
+            JITConfig.BASELINE,
+        )
+        box = Interpreter(box_prog, vm).run("mk")
+        region = program.method("r")
+        region.region_spec = RegionSpec()
+        with pytest.raises(StaleCompilationError):
+            interp.run("main", box)
+
+    def test_cloned_program_never_stale(self, vanilla):
+        """Cloning resolves the dual-context problem: the same shape that
+        raises StaleCompilationError above runs clean when cloned."""
+        src = """
+        class Box { v }
+        region method r(b) {
+        entry:
+          call x, helper, b
+          print x
+        }
+        method helper(b) {
+        entry:
+          getfield x, b, v
+          ret x
+        }
+        method main(b) {
+        entry:
+          call y, helper, b
+          call _, r, b
+          ret y
+        }
+        """
+        program, _ = Compiler(JITConfig.STATIC, clone=True, inline=False).compile(src)
+        vm = LaminarVM(vanilla)
+        interp = Interpreter(program, vm, verify_static=True)
+        box_prog, _ = compile_source(
+            "class Box { v }\nmethod mk() {\nentry:\n new b, Box\n ret b\n}",
+            JITConfig.BASELINE,
+        )
+        box = Interpreter(box_prog, vm).run("mk")
+        interp.run("main", box)  # no StaleCompilationError
+
+
+class TestRegionMethods:
+    def test_region_method_runs_in_region(self, kernel):
+        vm = LaminarVM(kernel)
+        api = LaminarAPI(vm)
+        tag = api.create_and_add_capability("t")
+        src = """
+        class Box { v }
+        region method work(b) {
+        entry:
+          new s, Box
+          const v, 7
+          putfield s, v, v
+          getfield x, s, v
+          putfield b, v, x
+        }
+        method main(b) {
+        entry:
+          call _, work, b
+          ret
+        }
+        """
+        program, _ = compile_source(src, JITConfig.DYNAMIC, inline=False)
+        program.method("work").region_spec = RegionSpec(
+            secrecy=Label.of(tag), caps=CapabilitySet.dual(tag)
+        )
+        interp = Interpreter(program, vm)
+        # b must itself carry the region's label for the final putfield
+        with vm.region(secrecy=Label.of(tag), caps=CapabilitySet.dual(tag)):
+            pass
+        # build a labeled box through the runtime heap
+        from repro.jit.interpreter import IRObject
+
+        with vm.region(secrecy=Label.of(tag), caps=CapabilitySet.dual(tag)):
+            from repro.core import LabelPair
+
+            header = vm.barriers.alloc_barrier(
+                vm.current_thread, LabelPair(Label.of(tag))
+            )
+        box = IRObject(header, "Box", {"v": 0})
+        interp.run("main", box)
+        assert box.fields["v"] == 7
+        assert vm.stats.region_entries >= 1
+
+    def test_region_method_without_spec_runs_empty_region(self, vanilla):
+        src = """
+        class Box { v }
+        region method work(b) {
+        entry:
+          getfield x, b, v
+          print x
+        }
+        method main() {
+        entry:
+          new b, Box
+          call _, work, b
+          ret
+        }
+        """
+        program, _ = compile_source(src, JITConfig.DYNAMIC, inline=False)
+        vm = LaminarVM(vanilla)
+        interp = Interpreter(program, vm)
+        interp.run("main")
+        assert interp.output == [0]

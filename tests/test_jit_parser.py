@@ -1,0 +1,179 @@
+"""The IR text assembler: grammar, literals, validation."""
+
+import pytest
+
+from repro.jit import IRSyntaxError, Opcode, parse_program
+
+
+def test_minimal_method():
+    program = parse_program("""
+    method main() {
+    entry:
+      const x, 42
+      ret x
+    }
+    """)
+    main = program.method("main")
+    assert main.entry == "entry"
+    assert main.blocks["entry"].instrs[0].operands == ("x", 42)
+
+
+def test_class_declaration():
+    program = parse_program("""
+    class Pair { left, right }
+    method main() {
+    entry:
+      new p, Pair
+      ret p
+    }
+    """)
+    assert program.classes["Pair"] == ("left", "right")
+
+
+def test_region_method_flag():
+    program = parse_program("""
+    region method r(obj) {
+    entry:
+      ret
+    }
+    """)
+    assert program.method("r").is_region
+
+
+def test_implicit_entry_block():
+    program = parse_program("""
+    method main() {
+      const x, 1
+      ret x
+    }
+    """)
+    assert program.method("main").entry == "entry"
+
+
+def test_fallthrough_normalization():
+    program = parse_program("""
+    method main() {
+    first:
+      const x, 1
+    second:
+      ret x
+    }
+    """)
+    first = program.method("main").blocks["first"]
+    assert first.terminator.op is Opcode.JMP
+    assert first.successors() == ("second",)
+
+
+def test_trailing_block_gets_ret():
+    program = parse_program("""
+    method main() {
+    only:
+      const x, 1
+    }
+    """)
+    assert program.method("main").blocks["only"].terminator.op is Opcode.RET
+
+
+class TestLiterals:
+    def test_integers_floats_strings_bools_null(self):
+        program = parse_program("""
+        method main() {
+        entry:
+          const a, -7
+          const b, 2.5
+          const c, "hi, there"
+          const d, true
+          const e, null
+          ret a
+        }
+        """)
+        values = [i.operands[1] for i in
+                  program.method("main").blocks["entry"].instrs[:5]]
+        assert values == [-7, 2.5, "hi, there", True, None]
+
+    def test_comments_stripped(self):
+        program = parse_program("""
+        # leading comment
+        method main() {
+        entry:
+          const a, 1  # trailing comment
+          ret a
+        }
+        """)
+        assert program.method("main").blocks["entry"].instrs[0].operands[1] == 1
+
+    def test_hash_inside_string_preserved(self):
+        program = parse_program("""
+        method main() {
+        entry:
+          const a, "has # inside"
+          ret a
+        }
+        """)
+        assert program.method("main").blocks["entry"].instrs[0].operands[1] == \
+            "has # inside"
+
+
+class TestErrors:
+    def test_unknown_opcode(self):
+        with pytest.raises(IRSyntaxError) as err:
+            parse_program("method m() {\nentry:\n frobnicate x\n}")
+        assert "unknown opcode" in str(err.value)
+
+    def test_wrong_arity(self):
+        with pytest.raises(IRSyntaxError):
+            parse_program("method m() {\nentry:\n const x\n}")
+
+    def test_unknown_binop(self):
+        with pytest.raises(IRSyntaxError):
+            parse_program("method m() {\nentry:\n binop x, frob, a, b\n}")
+
+    def test_branch_to_unknown_block(self):
+        with pytest.raises(IRSyntaxError) as err:
+            parse_program("method m() {\nentry:\n jmp nowhere\n}")
+        assert "unknown block" in str(err.value)
+
+    def test_new_of_undeclared_class(self):
+        with pytest.raises(IRSyntaxError):
+            parse_program("method m() {\nentry:\n new x, Ghost\n ret x\n}")
+
+    def test_duplicate_method(self):
+        with pytest.raises(ValueError):
+            parse_program("method m() {\nentry:\n ret\n}\nmethod m() {\nentry:\n ret\n}")
+
+    def test_duplicate_block(self):
+        with pytest.raises(ValueError):
+            parse_program("method m() {\ne:\n const x, 1\ne:\n ret\n}")
+
+    def test_missing_close_brace(self):
+        with pytest.raises(IRSyntaxError):
+            parse_program("method m() {\nentry:\n ret")
+
+    def test_barrier_opcodes_not_writable(self):
+        with pytest.raises(IRSyntaxError) as err:
+            parse_program("method m() {\nentry:\n readbar x\n}")
+        assert "compiler-internal" in str(err.value)
+
+    def test_literal_where_register_expected(self):
+        with pytest.raises(IRSyntaxError):
+            parse_program("method m() {\nentry:\n mov x, 5\n}")
+
+    def test_statement_outside_method(self):
+        with pytest.raises(IRSyntaxError):
+            parse_program("const x, 1")
+
+
+def test_call_with_void_destination():
+    program = parse_program("""
+    method helper() {
+    entry:
+      ret
+    }
+    method main() {
+    entry:
+      call _, helper
+      ret
+    }
+    """)
+    call = program.method("main").blocks["entry"].instrs[0]
+    assert call.operands[0] is None and call.operands[1] == "helper"

@@ -1,0 +1,492 @@
+"""Compiler passes: barrier insertion, redundancy elimination, inlining,
+cloning — the Section 5.1 machinery."""
+
+import pytest
+
+from repro.jit import (
+    CFG,
+    CompileContext,
+    Compiler,
+    BarrierFlavor,
+    IN_SUFFIX,
+    JITConfig,
+    Opcode,
+    clone_for_contexts,
+    count_barriers,
+    eliminate_redundant_barriers,
+    inline_program,
+    insert_barriers,
+    parse_program,
+)
+
+STRAIGHT_LINE = """
+class Box { v }
+method main() {
+entry:
+  new b, Box
+  const one, 1
+  putfield b, v, one
+  getfield x, b, v
+  getfield y, b, v
+  ret x
+}
+"""
+
+
+def barrier_ops(program, method="main"):
+    return [
+        i.op
+        for i in program.method(method).all_instrs()
+        if i.op in (Opcode.READBAR, Opcode.WRITEBAR, Opcode.ALLOCBAR)
+    ]
+
+
+class TestInsertion:
+    def test_every_heap_op_instrumented(self):
+        program = parse_program(STRAIGHT_LINE)
+        inserted = insert_barriers(program, CompileContext.UNKNOWN)
+        # 1 alloc + 1 write + 2 reads
+        assert inserted == 4
+        assert barrier_ops(program) == [
+            Opcode.ALLOCBAR, Opcode.WRITEBAR, Opcode.READBAR, Opcode.READBAR
+        ]
+
+    def test_flavors_follow_context(self):
+        for context, flavor in (
+            (CompileContext.IN_REGION, BarrierFlavor.STATIC_IN),
+            (CompileContext.OUT_OF_REGION, BarrierFlavor.STATIC_OUT),
+            (CompileContext.UNKNOWN, BarrierFlavor.DYNAMIC),
+        ):
+            program = parse_program(STRAIGHT_LINE)
+            insert_barriers(program, context)
+            flavors = {
+                i.flavor
+                for i in program.method("main").all_instrs()
+                if i.flavor is not None
+            }
+            assert flavors == {flavor}
+
+    def test_double_instrumentation_rejected(self):
+        program = parse_program(STRAIGHT_LINE)
+        insert_barriers(program)
+        with pytest.raises(ValueError):
+            insert_barriers(program)
+
+    def test_barrier_precedes_access(self):
+        program = parse_program(STRAIGHT_LINE)
+        insert_barriers(program)
+        instrs = program.method("main").blocks["entry"].instrs
+        for idx, instr in enumerate(instrs):
+            if instr.op is Opcode.GETFIELD:
+                assert instrs[idx - 1].op is Opcode.READBAR
+            if instr.op is Opcode.PUTFIELD:
+                assert instrs[idx - 1].op is Opcode.WRITEBAR
+
+
+class TestElimination:
+    def test_fresh_allocation_covers_both_kinds(self):
+        program = parse_program(STRAIGHT_LINE)
+        insert_barriers(program)
+        removed = eliminate_redundant_barriers(program)
+        # write after new: redundant; first read after write: the write
+        # fact doesn't imply read... but the ALLOC fact covers both, so all
+        # three post-alloc barriers go.
+        assert removed == 3
+        assert barrier_ops(program) == [Opcode.ALLOCBAR]
+
+    def test_repeated_read_same_register(self):
+        program = parse_program("""
+        class Box { v }
+        method m(b) {
+        entry:
+          getfield x, b, v
+          getfield y, b, v
+          ret x
+        }
+        """)
+        insert_barriers(program)
+        assert eliminate_redundant_barriers(program) == 1
+
+    def test_read_does_not_imply_write(self):
+        program = parse_program("""
+        class Box { v }
+        method m(b) {
+        entry:
+          getfield x, b, v
+          putfield b, v, x
+          ret
+        }
+        """)
+        insert_barriers(program)
+        assert eliminate_redundant_barriers(program) == 0
+
+    def test_redefinition_kills_facts(self):
+        program = parse_program("""
+        class Box { v }
+        method m(b, c) {
+        entry:
+          getfield x, b, v
+          mov b, c
+          getfield y, b, v
+          ret y
+        }
+        """)
+        insert_barriers(program)
+        assert eliminate_redundant_barriers(program) == 0
+
+    def test_mov_copies_facts(self):
+        program = parse_program("""
+        class Box { v }
+        method m(b) {
+        entry:
+          getfield x, b, v
+          mov c, b
+          getfield y, c, v
+          ret y
+        }
+        """)
+        insert_barriers(program)
+        assert eliminate_redundant_barriers(program) == 1
+
+    def test_must_analysis_requires_all_paths(self):
+        program = parse_program("""
+        class Box { v }
+        method m(b, flag) {
+        entry:
+          br flag, checked, skipped
+        checked:
+          getfield x, b, v
+          jmp join
+        skipped:
+          const x, 0
+          jmp join
+        join:
+          getfield y, b, v
+          ret y
+        }
+        """)
+        insert_barriers(program)
+        # the join barrier survives: only one incoming path checked b
+        assert eliminate_redundant_barriers(program) == 0
+
+    def test_both_paths_checked_enables_elimination(self):
+        program = parse_program("""
+        class Box { v }
+        method m(b, flag) {
+        entry:
+          br flag, left, right
+        left:
+          getfield x, b, v
+          jmp join
+        right:
+          getfield x, b, v
+          jmp join
+        join:
+          getfield y, b, v
+          ret y
+        }
+        """)
+        insert_barriers(program)
+        assert eliminate_redundant_barriers(program) == 1
+
+    def test_loop_hoisting_effect(self):
+        # A barrier inside a loop on a loop-invariant object is redundant
+        # from the second iteration; the must-analysis proves it stays
+        # checked around the back edge (one barrier remains, executed once
+        # per *entry*, not per iteration — checked by the interpreter test).
+        program = parse_program("""
+        class Box { v }
+        method m(b, n) {
+        entry:
+          const i, 0
+          getfield warm, b, v
+          jmp loop
+        loop:
+          binop c, lt, i, n
+          br c, body, done
+        body:
+          getfield x, b, v
+          const one, 1
+          binop i, add, i, one
+          jmp loop
+        done:
+          ret i
+        }
+        """)
+        insert_barriers(program)
+        assert eliminate_redundant_barriers(program) == 1
+
+    def test_calls_do_not_kill_facts(self):
+        program = parse_program("""
+        class Box { v }
+        method sub() {
+        entry:
+          ret
+        }
+        method m(b) {
+        entry:
+          getfield x, b, v
+          call _, sub
+          getfield y, b, v
+          ret y
+        }
+        """)
+        # disable inlining to keep the call
+        compiler = Compiler(JITConfig.DYNAMIC, inline=False)
+        compiled, report = compiler.compile(program)
+        assert report.barriers_removed == 1
+
+
+class TestInlining:
+    def test_small_callee_inlined(self):
+        program = parse_program("""
+        method add(a, b) {
+        entry:
+          binop s, add, a, b
+          ret s
+        }
+        method main() {
+        entry:
+          const x, 2
+          const y, 3
+          call r, add, x, y
+          ret r
+        }
+        """)
+        assert inline_program(program) == 1
+        main_calls = [
+            i for i in program.method("main").all_instrs()
+            if i.op is Opcode.CALL
+        ]
+        assert main_calls == []
+
+    def test_inlined_program_computes_same_result(self, vanilla):
+        from repro.jit import Interpreter
+        from repro.runtime import LaminarVM
+
+        src = """
+        method sq(a) {
+        entry:
+          binop s, mul, a, a
+          ret s
+        }
+        method main() {
+        entry:
+          const x, 7
+          call r, sq, x
+          call r2, sq, r
+          binop out, add, r, r2
+          ret out
+        }
+        """
+        plain = parse_program(src)
+        inlined = parse_program(src)
+        inline_program(inlined)
+        vm = LaminarVM(vanilla)
+        assert Interpreter(plain, vm).run("main") == \
+            Interpreter(inlined, vm).run("main") == 49 + 49 * 49
+
+    def test_threshold_respected(self):
+        program = parse_program("""
+        method big(a) {
+        entry:
+          binop s, add, a, a
+          binop s, add, s, a
+          binop s, add, s, a
+          ret s
+        }
+        method main() {
+        entry:
+          const x, 1
+          call r, big, x
+          ret r
+        }
+        """)
+        assert inline_program(program, threshold=2) == 0
+        assert inline_program(program, threshold=10) == 1
+
+    def test_recursive_callee_not_inlined(self):
+        program = parse_program("""
+        method rec(a) {
+        entry:
+          call r, rec, a
+          ret r
+        }
+        method main() {
+        entry:
+          const x, 1
+          call r, rec, x
+          ret r
+        }
+        """)
+        assert inline_program(program) == 0
+
+    def test_region_methods_never_inlined(self):
+        program = parse_program("""
+        region method r(obj) {
+        entry:
+          getfield x, obj, v
+          print x
+        }
+        class Box { v }
+        method main(obj) {
+        entry:
+          call _, r, obj
+          ret
+        }
+        """)
+        assert inline_program(program) == 0
+
+    def test_inlining_widens_elimination_scope(self):
+        """The paper: inlining increases the scope of redundancy
+        elimination.  Reading a field in a helper then again in the caller
+        is only provably redundant once the helper is inlined."""
+        src = """
+        class Box { v }
+        method readv(b) {
+        entry:
+          getfield x, b, v
+          ret x
+        }
+        method main(b) {
+        entry:
+          call x, readv, b
+          getfield y, b, v
+          ret y
+        }
+        """
+        without = Compiler(JITConfig.DYNAMIC, inline=False).compile(
+            parse_program(src)
+        )[1]
+        with_inline = Compiler(JITConfig.DYNAMIC, inline=True).compile(
+            parse_program(src)
+        )[1]
+        assert with_inline.barriers_removed > without.barriers_removed
+
+
+class TestCloning:
+    def test_clone_creates_both_variants(self):
+        program = clone_for_contexts(parse_program(STRAIGHT_LINE))
+        assert "main" in program.methods
+        assert "main" + IN_SUFFIX in program.methods
+
+    def test_callsites_resolve_to_matching_variant(self):
+        program = parse_program("""
+        method helper() {
+        entry:
+          ret
+        }
+        method main() {
+        entry:
+          call _, helper
+          ret
+        }
+        """)
+        cloned = clone_for_contexts(program)
+        out_call = [i for i in cloned.method("main").all_instrs()
+                    if i.op is Opcode.CALL][0]
+        in_call = [i for i in cloned.method("main" + IN_SUFFIX).all_instrs()
+                   if i.op is Opcode.CALL][0]
+        assert out_call.operands[1] == "helper"
+        assert in_call.operands[1] == "helper" + IN_SUFFIX
+
+    def test_region_methods_single_variant(self):
+        program = parse_program("""
+        class Box { v }
+        region method r(obj) {
+        entry:
+          getfield x, obj, v
+          print x
+        }
+        method main(obj) {
+        entry:
+          call _, r, obj
+          ret
+        }
+        """)
+        cloned = clone_for_contexts(program)
+        assert "r" in cloned.methods
+        assert "r" + IN_SUFFIX not in cloned.methods
+
+    def test_static_compile_flavors_per_variant(self):
+        program, _ = Compiler(JITConfig.STATIC, clone=True).compile(
+            STRAIGHT_LINE
+        )
+        out_flavors = {i.flavor for i in program.method("main").all_instrs()
+                       if i.flavor}
+        in_flavors = {i.flavor
+                      for i in program.method("main" + IN_SUFFIX).all_instrs()
+                      if i.flavor}
+        assert out_flavors == {BarrierFlavor.STATIC_OUT}
+        assert in_flavors == {BarrierFlavor.STATIC_IN}
+
+
+class TestCompilerDriver:
+    def test_baseline_has_no_barriers(self):
+        program, report = Compiler(JITConfig.BASELINE).compile(STRAIGHT_LINE)
+        assert count_barriers(program) == 0
+        assert report.barriers_inserted == 0
+
+    def test_report_accounting_consistent(self):
+        program, report = Compiler(JITConfig.DYNAMIC).compile(STRAIGHT_LINE)
+        assert report.barriers_inserted - report.barriers_removed == \
+            report.barriers_final == count_barriers(program)
+
+    def test_dynamic_lowering_costs_more_than_static(self):
+        _, static = Compiler(JITConfig.STATIC, clone=False).compile(
+            STRAIGHT_LINE
+        )
+        _, dynamic = Compiler(JITConfig.DYNAMIC).compile(STRAIGHT_LINE)
+        _, baseline = Compiler(JITConfig.BASELINE).compile(STRAIGHT_LINE)
+        assert baseline.machine_ops < static.machine_ops < dynamic.machine_ops
+
+
+class TestCFG:
+    def test_preds_and_succs(self):
+        program = parse_program("""
+        method m(flag) {
+        entry:
+          br flag, a, b
+        a:
+          jmp join
+        b:
+          jmp join
+        join:
+          ret
+        }
+        """)
+        cfg = CFG(program.method("m"))
+        assert set(cfg.succs["entry"]) == {"a", "b"}
+        assert set(cfg.preds["join"]) == {"a", "b"}
+
+    def test_reverse_postorder_starts_at_entry(self):
+        program = parse_program("""
+        method m(flag) {
+        entry:
+          br flag, a, b
+        a:
+          jmp join
+        b:
+          jmp join
+        join:
+          ret
+        }
+        """)
+        cfg = CFG(program.method("m"))
+        order = cfg.reverse_postorder()
+        assert order[0] == "entry"
+        assert order.index("join") > order.index("a")
+        assert order.index("join") > order.index("b")
+
+    def test_unreachable_blocks_still_ordered(self):
+        program = parse_program("""
+        method m() {
+        entry:
+          ret
+        island:
+          ret
+        }
+        """)
+        cfg = CFG(program.method("m"))
+        assert set(cfg.reverse_postorder()) == {"entry", "island"}
+        assert cfg.reachable() == {"entry"}

@@ -1,0 +1,138 @@
+"""IR-level static checks on region methods (Section 5.1 restrictions)."""
+
+import pytest
+
+from repro.core import StaticCheckError
+from repro.jit import check_program_regions, check_region_method, parse_program
+
+
+def region_method(body: str, params: str = "obj"):
+    program = parse_program(f"""
+    class Box {{ v }}
+    region method r({params}) {{
+    entry:
+      {body}
+    }}
+    """)
+    return program.method("r")
+
+
+class TestReturns:
+    def test_fallthrough_ok(self):
+        check_region_method(region_method("getfield x, obj, v\n  print x"))
+
+    def test_bare_ret_ok(self):
+        check_region_method(region_method("ret"))
+
+    def test_ret_with_value_rejected(self):
+        with pytest.raises(StaticCheckError) as err:
+            check_region_method(region_method("getfield x, obj, v\n  ret x"))
+        assert "returns a value" in str(err.value)
+
+
+class TestStatics:
+    def test_getstatic_rejected(self):
+        with pytest.raises(StaticCheckError):
+            check_region_method(region_method("getstatic x, counter\n  print x"))
+
+    def test_putstatic_rejected(self):
+        with pytest.raises(StaticCheckError):
+            check_region_method(
+                region_method("const x, 1\n  putstatic counter, x")
+            )
+
+
+class TestParameterDiscipline:
+    def test_dereference_allowed(self):
+        check_region_method(
+            region_method("getfield x, obj, v\n  putfield obj, v, x")
+        )
+
+    def test_array_dereference_allowed(self):
+        check_region_method(
+            region_method("const i, 0\n  aload x, obj, i\n  astore obj, i, x")
+        )
+
+    def test_param_in_arithmetic_rejected(self):
+        with pytest.raises(StaticCheckError) as err:
+            check_region_method(
+                region_method("binop x, add, obj, obj\n  print x")
+            )
+        assert "by value" in str(err.value)
+
+    def test_param_in_mov_rejected(self):
+        with pytest.raises(StaticCheckError):
+            check_region_method(region_method("mov x, obj\n  print x"))
+
+    def test_param_written_rejected(self):
+        with pytest.raises(StaticCheckError) as err:
+            check_region_method(region_method("const obj, 0"))
+        assert "written" in str(err.value)
+
+    def test_param_as_call_argument_allowed(self):
+        program = parse_program("""
+        class Box { v }
+        method helper(b) {
+        entry:
+          getfield x, b, v
+          ret x
+        }
+        region method r(obj) {
+        entry:
+          call x, helper, obj
+          print x
+        }
+        """)
+        check_region_method(program.method("r"))
+
+    def test_param_as_branch_condition_rejected(self):
+        with pytest.raises(StaticCheckError):
+            check_region_method(
+                region_method("br obj, a, b\na:\n  ret\nb:\n  ret")
+            )
+
+    def test_param_as_array_index_rejected(self):
+        with pytest.raises(StaticCheckError):
+            check_region_method(
+                region_method("aload x, arr, idx\n  print x", params="arr, idx")
+            )
+
+
+class TestProgramLevel:
+    def test_only_region_methods_checked(self):
+        program = parse_program("""
+        method ordinary() {
+        entry:
+          const x, 5
+          ret x
+        }
+        """)
+        assert check_program_regions(program) == 0
+
+    def test_counts_checked_regions(self):
+        program = parse_program("""
+        class Box { v }
+        region method r1(o) {
+        entry:
+          getfield x, o, v
+          print x
+        }
+        region method r2(o) {
+        entry:
+          ret
+        }
+        """)
+        assert check_program_regions(program) == 2
+
+    def test_compile_rejects_bad_region(self, vanilla):
+        from repro.jit import Compiler, JITConfig
+
+        with pytest.raises(StaticCheckError):
+            Compiler(JITConfig.DYNAMIC).compile("""
+            class Box { v }
+            region method leak(o) {
+            entry:
+              getfield x, o, v
+              ret x
+            }
+            """)

@@ -1,0 +1,208 @@
+"""The bytecode verifier: definite assignment, call integrity, block
+structure (the Section 5.1 'bytecode verification' production path)."""
+
+import pytest
+
+from repro.jit import (
+    Compiler,
+    JITConfig,
+    VerificationError,
+    parse_program,
+    verify_method,
+    verify_program,
+)
+from repro.jit.ir import Instr, Method, Opcode, Program
+
+
+def verify_src(src: str) -> None:
+    verify_program(parse_program(src))
+
+
+class TestDefiniteAssignment:
+    def test_clean_program_verifies(self):
+        verify_src("""
+        method main() {
+        entry:
+          const x, 1
+          binop y, add, x, x
+          ret y
+        }
+        """)
+
+    def test_use_before_def_rejected(self):
+        with pytest.raises(VerificationError) as err:
+            verify_src("""
+            method main() {
+            entry:
+              binop y, add, x, x
+              ret y
+            }
+            """)
+        assert "'x'" in str(err.value) and "before assignment" in str(err.value)
+
+    def test_conditionally_defined_register_rejected(self):
+        with pytest.raises(VerificationError):
+            verify_src("""
+            method main(flag) {
+            entry:
+              br flag, set, skip
+            set:
+              const x, 1
+              jmp join
+            skip:
+              jmp join
+            join:
+              ret x
+            }
+            """)
+
+    def test_defined_on_both_paths_accepted(self):
+        verify_src("""
+        method main(flag) {
+        entry:
+          br flag, left, right
+        left:
+          const x, 1
+          jmp join
+        right:
+          const x, 2
+          jmp join
+        join:
+          ret x
+        }
+        """)
+
+    def test_parameters_count_as_defined(self):
+        verify_src("""
+        method main(a, b) {
+        entry:
+          binop c, add, a, b
+          ret c
+        }
+        """)
+
+    def test_loop_carried_definition_accepted(self):
+        verify_src("""
+        method main() {
+        entry:
+          const i, 0
+          const n, 3
+          jmp loop
+        loop:
+          binop c, lt, i, n
+          br c, body, done
+        body:
+          const one, 1
+          binop i, add, i, one
+          jmp loop
+        done:
+          ret i
+        }
+        """)
+
+    def test_definition_only_on_backedge_rejected(self):
+        # y is defined only inside the loop body; using it in the loop
+        # header would read garbage on the first iteration.
+        with pytest.raises(VerificationError):
+            verify_src("""
+            method main(flag) {
+            entry:
+              jmp loop
+            loop:
+              br flag, body, done
+            done:
+              ret y
+            body:
+              const y, 1
+              jmp loop
+            }
+            """)
+
+
+class TestCallIntegrity:
+    def test_unknown_callee_rejected(self):
+        with pytest.raises(VerificationError) as err:
+            verify_src("""
+            method main() {
+            entry:
+              const x, 1
+              call r, ghost, x
+              ret r
+            }
+            """)
+        assert "ghost" in str(err.value)
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(VerificationError) as err:
+            verify_src("""
+            method two(a, b) {
+            entry:
+              ret a
+            }
+            method main() {
+            entry:
+              const x, 1
+              call r, two, x
+              ret r
+            }
+            """)
+        assert "expected 2" in str(err.value)
+
+    def test_region_call_with_destination_rejected(self):
+        with pytest.raises(VerificationError) as err:
+            verify_src("""
+            class Box { v }
+            region method r(o) {
+            entry:
+              getfield x, o, v
+              print x
+            }
+            method main(o) {
+            entry:
+              call leak, r, o
+              ret leak
+            }
+            """)
+        assert "no value" in str(err.value)
+
+
+class TestBlockStructure:
+    def test_instruction_after_terminator_rejected(self):
+        method = Method("m")
+        block = method.add_block("entry")
+        block.instrs = [
+            Instr(Opcode.RET, (None,)),
+            Instr(Opcode.CONST, ("x", 1)),
+        ]
+        program = Program()
+        program.add_method(method)
+        errors = verify_method(method, program)
+        assert any("after terminator" in e for e in errors)
+
+    def test_empty_block_rejected(self):
+        method = Method("m")
+        method.add_block("entry")
+        program = Program()
+        program.add_method(method)
+        errors = verify_method(method, program)
+        assert any("empty block" in e for e in errors)
+
+
+class TestPipelineIntegration:
+    def test_compiler_rejects_unverifiable_code(self):
+        with pytest.raises(VerificationError):
+            Compiler(JITConfig.BASELINE).compile(
+                "method main() {\nentry:\n  print ghost_reg\n  ret\n}"
+            )
+
+    def test_all_workloads_verify(self):
+        from repro.bench import ALL_WORKLOADS
+
+        for gen in ALL_WORKLOADS.values():
+            verify_src(gen())
+
+    def test_verify_pass_recorded_in_report(self):
+        _, report = Compiler(JITConfig.BASELINE).compile(
+            "method main() {\nentry:\n  const x, 1\n  ret x\n}"
+        )
+        assert report.passes[1] == "verify"

@@ -1,0 +1,108 @@
+"""Unit tests for labels and label pairs: the lattice of Section 3.1."""
+
+import pytest
+
+from repro.core import Label, LabelPair, LabelType, Tag
+
+A, B, C = Tag(1, "a"), Tag(2, "b"), Tag(3, "c")
+
+
+class TestLabelConstruction:
+    def test_empty_is_interned(self):
+        assert Label() == Label.EMPTY
+        assert Label.empty() is Label.EMPTY
+
+    def test_of_builds_from_tags(self):
+        assert set(Label.of(A, B)) == {A, B}
+
+    def test_duplicates_collapse(self):
+        assert Label.of(A, A, B) == Label.of(A, B)
+
+    def test_tags_sorted(self):
+        assert Label.of(B, A).tags() == (A, B)
+
+    def test_rejects_non_tags(self):
+        with pytest.raises(TypeError):
+            Label(["a"])  # type: ignore[list-item]
+
+    def test_len_and_contains(self):
+        label = Label.of(A, B)
+        assert len(label) == 2
+        assert A in label and C not in label
+
+
+class TestLabelAlgebra:
+    def test_subset(self):
+        assert Label.of(A).is_subset_of(Label.of(A, B))
+        assert not Label.of(A, B).is_subset_of(Label.of(A))
+        assert Label.EMPTY.is_subset_of(Label.of(A))
+
+    def test_union_is_lub(self):
+        union = Label.of(A).union(Label.of(B))
+        assert union == Label.of(A, B)
+        # sharing: union with a superset returns the superset object
+        big = Label.of(A, B)
+        assert Label.of(A).union(big) is big
+
+    def test_intersection_is_glb(self):
+        assert Label.of(A, B).intersection(Label.of(B, C)) == Label.of(B)
+
+    def test_difference(self):
+        assert Label.of(A, B).difference(Label.of(B)) == Label.of(A)
+
+    def test_with_without_tag(self):
+        label = Label.of(A)
+        assert label.with_tag(B) == Label.of(A, B)
+        assert label.with_tag(A) is label
+        assert label.without_tag(A) == Label.EMPTY
+        assert label.without_tag(B) is label
+
+    def test_comparison_operators(self):
+        assert Label.of(A) <= Label.of(A, B)
+        assert Label.of(A) < Label.of(A, B)
+        assert not (Label.of(A) < Label.of(A))
+
+    def test_hash_equals_consistent(self):
+        assert hash(Label.of(A, B)) == hash(Label.of(B, A))
+        assert len({Label.of(A, B), Label.of(B, A)}) == 1
+
+    def test_immutability_via_operations(self):
+        original = Label.of(A)
+        original.union(Label.of(B))
+        original.with_tag(C)
+        assert original == Label.of(A)
+
+
+class TestLabelPair:
+    def test_empty_pair(self):
+        assert LabelPair.EMPTY.is_empty
+        assert LabelPair(Label.of(A)).is_empty is False
+
+    def test_get_by_type(self):
+        pair = LabelPair(Label.of(A), Label.of(B))
+        assert pair.get(LabelType.SECRECY) == Label.of(A)
+        assert pair.get(LabelType.INTEGRITY) == Label.of(B)
+
+    def test_replacing(self):
+        pair = LabelPair(Label.of(A), Label.of(B))
+        replaced = pair.replacing(LabelType.SECRECY, Label.of(C))
+        assert replaced.secrecy == Label.of(C)
+        assert replaced.integrity == Label.of(B)
+        assert pair.secrecy == Label.of(A)  # original untouched
+
+    def test_immutable(self):
+        pair = LabelPair()
+        with pytest.raises(AttributeError):
+            pair.secrecy = Label.of(A)  # type: ignore[misc]
+
+    def test_equality_and_hash(self):
+        assert LabelPair(Label.of(A)) == LabelPair(Label.of(A))
+        assert LabelPair(Label.of(A)) != LabelPair(Label.EMPTY, Label.of(A))
+        assert len({LabelPair(Label.of(A)), LabelPair(Label.of(A))}) == 1
+
+    def test_type_checked(self):
+        with pytest.raises(TypeError):
+            LabelPair("not a label")  # type: ignore[arg-type]
+
+    def test_repr_shows_both(self):
+        assert "S{a}" in repr(LabelPair(Label.of(A)))

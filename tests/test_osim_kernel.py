@@ -1,0 +1,322 @@
+"""Unit and integration tests for the kernel syscall layer + Laminar LSM."""
+
+import pytest
+
+from repro.core import (
+    Capability,
+    CapabilitySet,
+    CapType,
+    Label,
+    LabelPair,
+    LabelType,
+)
+from repro.osim import (
+    Kernel,
+    LaminarSecurityModule,
+    Mask,
+    NullSecurityModule,
+    SyscallError,
+    TCB_TAG,
+)
+
+
+@pytest.fixture
+def k() -> Kernel:
+    return Kernel(LaminarSecurityModule())
+
+
+def tainted_task(k: Kernel, name="t"):
+    """A task tainted with a fresh secrecy tag it can also drop."""
+    task = k.spawn_task(name)
+    tag, _ = k.sys_alloc_tag(task, name + "-tag")
+    k.sys_set_task_label(task, LabelType.SECRECY, Label.of(tag))
+    return task, tag
+
+
+class TestTagSyscalls:
+    def test_alloc_tag_grants_dual_caps(self, k):
+        task = k.spawn_task("p")
+        tag, granted = k.sys_alloc_tag(task, "x")
+        assert task.capabilities.can_add(tag)
+        assert task.capabilities.can_remove(tag)
+        assert granted == CapabilitySet.dual(tag)
+
+    def test_set_task_label_checked(self, k):
+        task = k.spawn_task("p")
+        tag, _ = k.sys_alloc_tag(task)
+        k.sys_set_task_label(task, LabelType.SECRECY, Label.of(tag))
+        assert task.labels.secrecy == Label.of(tag)
+
+    def test_set_task_label_without_cap_denied(self, k):
+        task = k.spawn_task("p")
+        other = k.spawn_task("q")
+        tag, _ = k.sys_alloc_tag(other)
+        with pytest.raises(Exception):
+            k.sys_set_task_label(task, LabelType.SECRECY, Label.of(tag))
+
+    def test_drop_capabilities_is_permanent(self, k):
+        task = k.spawn_task("p")
+        tag, _ = k.sys_alloc_tag(task)
+        k.sys_drop_capabilities(task, [Capability(tag, CapType.MINUS)])
+        assert not task.capabilities.can_remove(tag)
+        assert task.capabilities.can_add(tag)
+
+
+class TestTCB:
+    def test_drop_label_tcb_requires_tcb_tag(self, k):
+        task, _ = tainted_task(k)
+        imposter = k.spawn_task("imposter")
+        imposter.pgid = task.pgid
+        with pytest.raises(SyscallError) as err:
+            k.sys_drop_label_tcb(imposter, task.tid)
+        assert "tcb" in str(err.value)
+
+    def test_drop_label_tcb_same_address_space_only(self, k):
+        task, _ = tainted_task(k)
+        tcb = k.spawn_task("tcb", labels=LabelPair(Label.EMPTY, Label.of(TCB_TAG)))
+        assert tcb.pgid != task.pgid
+        with pytest.raises(SyscallError):
+            k.sys_drop_label_tcb(tcb, task.tid)
+
+    def test_drop_label_tcb_clears_labels_without_caps(self, k):
+        task, tag = tainted_task(k)
+        k.sys_drop_capabilities(task, [Capability(tag, CapType.MINUS)])
+        tcb = k.spawn_task(
+            "tcb",
+            labels=LabelPair(Label.EMPTY, Label.of(TCB_TAG)),
+            pgid=task.pgid,
+        )
+        k.sys_drop_label_tcb(tcb, task.tid)
+        assert task.labels.is_empty
+
+    def test_set_security_tcb_guarded(self, k):
+        task = k.spawn_task("p")
+        with pytest.raises(SyscallError):
+            k.sys_set_security_tcb(
+                task, task.tid, LabelPair.EMPTY, CapabilitySet.EMPTY
+            )
+
+
+class TestFileSyscalls:
+    def test_open_read_write_roundtrip(self, k):
+        task = k.spawn_task("p")
+        fd = k.sys_creat(task, "/tmp/f")
+        k.sys_write(task, fd, b"data")
+        k.sys_close(task, fd)
+        fd = k.sys_open(task, "/tmp/f", "r")
+        assert k.sys_read(task, fd) == b"data"
+
+    def test_unlabeled_cannot_read_secret_file(self, k):
+        alice = k.spawn_task("alice")
+        tag, _ = k.sys_alloc_tag(alice, "a")
+        fd = k.sys_create_file_labeled(
+            alice, "/tmp/secret", LabelPair(Label.of(tag))
+        )
+        assert k.fs.resolve("/tmp/secret").labels.secrecy == Label.of(tag)
+        mallory = k.spawn_task("mallory")
+        with pytest.raises(SyscallError) as err:
+            k.sys_open(mallory, "/tmp/secret", "r")
+        assert "EACCES" in str(err.value)
+
+    def test_tainted_plain_creat_in_unlabeled_dir_denied(self, k):
+        # A tainted task's plain creat would attach its labels to a file
+        # whose *name* lives in an unlabeled directory — denied.
+        alice, tag = tainted_task(k, "alice")
+        with pytest.raises(SyscallError):
+            k.sys_creat(alice, "/tmp/secret2")
+
+    def test_write_up_allowed_read_back_denied_until_tainted(self, k):
+        writer = k.spawn_task("w")
+        tag, caps = k.sys_alloc_tag(writer)
+        fd = k.sys_create_file_labeled(writer, "/tmp/up", LabelPair(Label.of(tag)))
+        k.sys_write(writer, fd, b"x")  # write up: {} ⊆ {tag}
+        with pytest.raises(SyscallError):
+            k.sys_open(writer, "/tmp/up", "r")
+        k.sys_set_task_label(writer, LabelType.SECRECY, Label.of(tag))
+        fd = k.sys_open(writer, "/tmp/up", "r")
+        assert k.sys_read(writer, fd) == b"x"
+
+    def test_tainted_cannot_create_labeled_file_in_unlabeled_dir(self, k):
+        alice, tag = tainted_task(k, "alice")
+        with pytest.raises(SyscallError):
+            k.sys_create_file_labeled(
+                alice, "/tmp/leakyname", LabelPair(Label.of(tag))
+            )
+
+    def test_precreate_then_taint_workflow(self, k):
+        task = k.spawn_task("p")
+        tag, _ = k.sys_alloc_tag(task)
+        fd = k.sys_create_file_labeled(task, "/tmp/pre", LabelPair(Label.of(tag)))
+        k.sys_set_task_label(task, LabelType.SECRECY, Label.of(tag))
+        k.sys_write(task, fd, b"secret")
+        k.sys_set_task_label(task, LabelType.SECRECY, Label.EMPTY)
+
+    def test_stat_checks_inode_label(self, k):
+        alice = k.spawn_task("alice")
+        tag, _ = k.sys_alloc_tag(alice)
+        k.sys_create_file_labeled(alice, "/tmp/s", LabelPair(Label.of(tag)))
+        mallory = k.spawn_task("m")
+        with pytest.raises(SyscallError):
+            k.sys_stat(mallory, "/tmp/s")
+
+    def test_stat_returns_metadata(self, k):
+        task = k.spawn_task("p")
+        fd = k.sys_creat(task, "/tmp/meta")
+        k.sys_write(task, fd, b"12345")
+        st = k.sys_stat(task, "/tmp/meta")
+        assert st["size"] == 5 and st["type"] == "regular"
+
+    def test_unlink_checks_parent_both_ways(self, k):
+        alice, tag = tainted_task(k, "alice")
+        plain = k.spawn_task("plain")
+        fd = k.sys_creat(plain, "/tmp/junk")
+        with pytest.raises(SyscallError):
+            k.sys_unlink(alice, "/tmp/junk")  # alice tainted: no write down
+        k.sys_unlink(plain, "/tmp/junk")
+
+    def test_mkdir_labeled(self, k):
+        task = k.spawn_task("p")
+        tag, _ = k.sys_alloc_tag(task)
+        k.sys_mkdir_labeled(task, "/tmp/vault", LabelPair(Label.of(tag)))
+        assert k.fs.resolve("/tmp/vault").labels.secrecy == Label.of(tag)
+
+    def test_chdir_and_relative_resolution(self, k):
+        task = k.spawn_task("p")
+        k.sys_mkdir(task, "/tmp/wk")
+        k.sys_chdir(task, "/tmp/wk")
+        fd = k.sys_creat(task, "rel")
+        k.sys_close(task, fd)
+        assert k.fs.resolve("/tmp/wk/rel") is not None
+
+    def test_device_io(self, k):
+        task = k.spawn_task("p")
+        fd = k.sys_open(task, "/dev/zero", "r")
+        assert k.sys_read(task, fd, 4) == b"\0\0\0\0"
+        fd = k.sys_open(task, "/dev/null", "w")
+        assert k.sys_write(task, fd, b"gone") == 4
+
+
+class TestProcessSyscalls:
+    def test_fork_inherits_labels_and_caps(self, k):
+        parent, tag = tainted_task(k)
+        child = k.sys_fork(parent)
+        assert child.labels == parent.labels
+        assert child.capabilities == parent.capabilities
+        assert child.pgid != parent.pgid
+
+    def test_fork_capability_subset(self, k):
+        parent = k.spawn_task("p")
+        tag, _ = k.sys_alloc_tag(parent)
+        child = k.sys_fork(parent, CapabilitySet.plus(tag))
+        assert child.capabilities == CapabilitySet.plus(tag)
+
+    def test_fork_cannot_exceed_parent(self, k):
+        parent = k.spawn_task("p")
+        other = k.spawn_task("q")
+        tag, _ = k.sys_alloc_tag(other)
+        with pytest.raises(SyscallError):
+            k.sys_fork(parent, CapabilitySet.plus(tag))
+
+    def test_spawn_thread_shares_address_space(self, k):
+        parent = k.spawn_task("p")
+        thread = k.sys_spawn_thread(parent)
+        assert thread.pgid == parent.pgid
+
+    def test_exec_denied_on_lower_integrity_image(self, k):
+        publisher = k.spawn_task("pub")
+        tag, _ = k.sys_alloc_tag(publisher)
+        # unendorsed image
+        fd = k.sys_creat(publisher, "/tmp/plugin")
+        k.sys_close(publisher, fd)
+        runner = k.spawn_task("runner")
+        k.sys_alloc_tag(runner)
+        runner.security.grant(CapabilitySet.plus(tag))
+        k.sys_set_task_label(runner, LabelType.INTEGRITY, Label.of(tag))
+        runner.cwd = k.fs.resolve("/tmp")
+        with pytest.raises(SyscallError):
+            k.sys_exec(runner, "plugin")
+
+    def test_exit_suppresses_notification(self, k):
+        task = k.spawn_task("p")
+        k.sys_exit(task, 3)
+        assert not task.alive and task.exit_code == 3
+        with pytest.raises(SyscallError):
+            k.sys_read(task, 3)
+
+    def test_kill_mediated_by_labels(self, k):
+        alice, _ = tainted_task(k, "alice")
+        victim = k.spawn_task("victim")
+        with pytest.raises(SyscallError):
+            k.sys_kill(alice, victim.tid, 9)  # write down via signal
+        k.sys_kill(victim, alice.tid, 9)  # write up is fine
+        assert alice.pending_signals == [(9, victim.tid)]
+
+    def test_kill_missing_task_and_denied_look_identical(self, k):
+        sender = k.spawn_task("s")
+        with pytest.raises(SyscallError) as missing:
+            k.sys_kill(sender, 424242, 9)
+        assert "ESRCH" in str(missing.value)
+
+
+class TestSocketsAndNetwork:
+    def test_tainted_task_cannot_transmit(self, k):
+        alice, _ = tainted_task(k, "alice")
+        with pytest.raises(SyscallError):
+            k.sys_transmit(alice, b"secret")
+        assert k.net.transmitted == []
+
+    def test_untainted_transmit_ok(self, k):
+        task = k.spawn_task("p")
+        k.sys_transmit(task, b"hello")
+        assert k.net.transmitted == [b"hello"]
+
+    def test_labeled_socket_pair(self, k):
+        alice, tag = tainted_task(k, "alice")
+        s1 = k.sys_socket(alice)
+        s2 = k.sys_socket(alice)
+        s1.connect(s2)
+        k.sys_send(alice, s1, b"ping")
+        assert k.sys_recv(alice, s2) == b"ping"
+
+    def test_mismatched_socket_labels_drop_silently(self, k):
+        alice, tag = tainted_task(k, "alice")
+        labeled = k.sys_socket(alice)
+        plain_task = k.spawn_task("plain")
+        plain = k.sys_socket(plain_task)
+        labeled.connect(plain)
+        assert k.sys_send(alice, labeled, b"leak") == 4
+        assert k.sys_recv(plain_task, plain) == b""
+
+
+class TestMemorySyscalls:
+    def test_mmap_and_fault_recheck(self, k):
+        task = k.spawn_task("p")
+        fd = k.sys_creat(task, "/tmp/m")
+        mapping = k.sys_mmap(task, fd, Mask.READ)
+        k.fault_protection(task, mapping)
+
+    def test_fault_after_taint_denied(self, k):
+        task = k.spawn_task("p")
+        fd = k.sys_creat(task, "/tmp/m")
+        mapping = k.sys_mmap(task, fd, Mask.WRITE)
+        tag, _ = k.sys_alloc_tag(task)
+        k.sys_set_task_label(task, LabelType.SECRECY, Label.of(tag))
+        with pytest.raises(SyscallError):
+            k.fault_protection(task, mapping)
+
+
+class TestVanillaModuleAllowsEverything:
+    def test_no_denials(self):
+        k = Kernel(NullSecurityModule())
+        alice = k.spawn_task("alice")
+        tag, _ = k.sys_alloc_tag(alice)
+        k.sys_set_task_label(alice, LabelType.SECRECY, Label.of(tag))
+        k.sys_transmit(alice, b"leak")  # vanilla Linux doesn't care
+        assert k.net.transmitted == [b"leak"]
+        assert k.security.denials == {}
+
+    def test_hooks_still_counted(self):
+        k = Kernel(NullSecurityModule())
+        task = k.spawn_task("p")
+        k.sys_creat(task, "/tmp/x")
+        assert k.security.hook_calls["inode_create"] == 1

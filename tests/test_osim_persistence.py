@@ -1,0 +1,115 @@
+"""Persistent capabilities, login, and the revocation idiom (Section 4.4)."""
+
+import pytest
+
+from repro.core import CapabilitySet, Label, LabelPair, LabelType
+from repro.osim import (
+    Kernel,
+    SyscallError,
+    decode_capabilities,
+    encode_capabilities,
+    grant_persistent,
+    load_user_capabilities,
+    login,
+    revoke_by_relabel,
+    store_user_capabilities,
+)
+
+
+@pytest.fixture
+def k():
+    return Kernel()
+
+
+class TestWireFormat:
+    def test_roundtrip(self, k):
+        task = k.spawn_task("p")
+        t1, _ = k.sys_alloc_tag(task, "x")
+        t2, _ = k.sys_alloc_tag(task, "y")
+        caps = CapabilitySet.dual(t1).union(CapabilitySet.plus(t2))
+        assert decode_capabilities(encode_capabilities(caps), k) == caps
+
+    def test_empty_set(self, k):
+        assert decode_capabilities(b"", k) == CapabilitySet.EMPTY
+
+    def test_corrupt_rejected(self, k):
+        with pytest.raises(ValueError):
+            decode_capabilities(b"12345", k)
+
+
+class TestLogin:
+    def test_login_grants_stored_capabilities(self, k):
+        task = k.spawn_task("admin")
+        tag, caps = k.sys_alloc_tag(task, "payroll")
+        store_user_capabilities(k, "carol", caps)
+        shell = login(k, "carol")
+        assert shell.capabilities == caps
+        assert shell.user == "carol"
+
+    def test_unknown_user_gets_empty_shell(self, k):
+        shell = login(k, "nobody")
+        assert shell.capabilities == CapabilitySet.EMPTY
+
+    def test_grant_persistent_accumulates(self, k):
+        task = k.spawn_task("admin")
+        t1, c1 = k.sys_alloc_tag(task)
+        t2, c2 = k.sys_alloc_tag(task)
+        grant_persistent(k, "dave", c1)
+        grant_persistent(k, "dave", c2)
+        assert load_user_capabilities(k, "dave") == c1.union(c2)
+
+    def test_store_survives_remount(self, k):
+        task = k.spawn_task("admin")
+        tag, caps = k.sys_alloc_tag(task, "k")
+        store_user_capabilities(k, "erin", caps)
+        k.fs.remount(k.tags)
+        assert load_user_capabilities(k, "erin") == caps
+
+    def test_missing_capability_file(self, k):
+        with pytest.raises(SyscallError):
+            load_user_capabilities(k, "ghost")
+
+
+class TestRevocation:
+    def test_revoke_by_relabel_cuts_off_old_capability_holders(self, k):
+        owner = k.spawn_task("owner")
+        old_tag, _ = k.sys_alloc_tag(owner, "doc")
+        k.sys_create_file_labeled(owner, "/tmp/doc", LabelPair(Label.of(old_tag)))
+
+        # Owner shared old_tag+ with a friend, who can taint and read.
+        friend = k.spawn_task("friend")
+        friend.security.grant(CapabilitySet.plus(old_tag))
+        k.sys_set_task_label(friend, LabelType.SECRECY, Label.of(old_tag))
+        k.sys_open(friend, "/tmp/doc", "r")
+
+        # Revoke: allocate a new tag, relabel the file.
+        new_tag = revoke_by_relabel(k, owner, "/tmp/doc", old_tag)
+
+        # The friend's old capability no longer reaches the file.
+        fresh_friend = k.spawn_task("friend2")
+        fresh_friend.security.grant(CapabilitySet.plus(old_tag))
+        k.sys_set_task_label(fresh_friend, LabelType.SECRECY, Label.of(old_tag))
+        with pytest.raises(SyscallError):
+            k.sys_open(fresh_friend, "/tmp/doc", "r")
+
+        # The owner holds the new tag and can still read.
+        k.sys_set_task_label(owner, LabelType.SECRECY, Label.of(new_tag))
+        k.sys_open(owner, "/tmp/doc", "r")
+
+    def test_revoke_requires_both_capabilities(self, k):
+        owner = k.spawn_task("owner")
+        other = k.spawn_task("other")
+        tag, _ = k.sys_alloc_tag(other, "notmine")
+        k.sys_create_file_labeled(other, "/tmp/x", LabelPair(Label.of(tag)))
+        from repro.core import CapabilityViolation
+
+        with pytest.raises(CapabilityViolation):
+            revoke_by_relabel(k, owner, "/tmp/x", tag)
+
+    def test_relabel_persists_in_xattrs(self, k):
+        owner = k.spawn_task("owner")
+        old_tag, _ = k.sys_alloc_tag(owner)
+        k.sys_create_file_labeled(owner, "/tmp/p", LabelPair(Label.of(old_tag)))
+        new_tag = revoke_by_relabel(k, owner, "/tmp/p", old_tag)
+        k.fs.remount(k.tags)
+        assert k.fs.resolve("/tmp/p").labels.secrecy == Label.of(new_tag)

@@ -1,0 +1,107 @@
+"""Sockets, the network device, and signal mediation."""
+
+import pytest
+
+from repro.core import CapabilitySet, Label, LabelPair, LabelType
+from repro.osim import (
+    Kernel,
+    LaminarSecurityModule,
+    Network,
+    Socket,
+    SyscallError,
+)
+
+
+@pytest.fixture()
+def k():
+    return Kernel(LaminarSecurityModule())
+
+
+def tainted(k, name="t"):
+    task = k.spawn_task(name)
+    tag, _ = k.sys_alloc_tag(task)
+    k.sys_set_task_label(task, LabelType.SECRECY, Label.of(tag))
+    return task, tag
+
+
+class TestSockets:
+    def test_unconnected_send_fails(self, k):
+        task = k.spawn_task("p")
+        sock = k.sys_socket(task)
+        with pytest.raises(SyscallError):
+            k.sys_send(task, sock, b"x")
+
+    def test_recv_empty_returns_empty(self, k):
+        task = k.spawn_task("p")
+        s1, s2 = k.sys_socket(task), k.sys_socket(task)
+        s1.connect(s2)
+        assert k.sys_recv(task, s2) == b""
+
+    def test_labeled_endpoint_blocks_untainted_receiver(self, k):
+        alice, tag = tainted(k, "alice")
+        labeled = k.sys_socket(alice)  # labeled with alice's taint
+        plain_task = k.spawn_task("plain")
+        with pytest.raises(SyscallError):
+            k.sys_recv(plain_task, labeled)
+
+    def test_socket_takes_explicit_labels(self, k):
+        task = k.spawn_task("p")
+        tag, _ = k.sys_alloc_tag(task)
+        sock = k.sys_socket(task, LabelPair(Label.of(tag)))
+        assert sock.inode.labels.secrecy == Label.of(tag)
+
+
+class TestNetworkDevice:
+    def test_inbound_traffic_is_low_integrity(self, k):
+        """Receiving from the outside world is a flow from the empty
+        label: a task holding an integrity label must drop it first."""
+        task = k.spawn_task("p")
+        tag, _ = k.sys_alloc_tag(task)
+        k.net.deliver_external("example.org", b"payload")
+        k.sys_set_task_label(task, LabelType.INTEGRITY, Label.of(tag))
+        with pytest.raises(SyscallError):
+            k.net.receive(task, "example.org", k.security)
+        k.sys_set_task_label(task, LabelType.INTEGRITY, Label.EMPTY)
+        assert k.net.receive(task, "example.org", k.security) == b"payload"
+
+    def test_no_data_from_unknown_host(self, k):
+        task = k.spawn_task("p")
+        with pytest.raises(SyscallError):
+            k.net.receive(task, "silent.example", k.security)
+
+    def test_transmit_log_records_everything_sent(self, k):
+        task = k.spawn_task("p")
+        k.sys_transmit(task, b"one")
+        k.sys_transmit(task, b"two")
+        assert k.net.transmitted == [b"one", b"two"]
+
+
+class TestSignals:
+    def test_signal_delivery_records_sender(self, k):
+        a = k.spawn_task("a")
+        b = k.spawn_task("b")
+        k.sys_kill(a, b.tid, 15)
+        assert b.pending_signals == [(15, a.tid)]
+
+    def test_tainted_cannot_signal_untainted(self, k):
+        alice, _ = tainted(k, "alice")
+        victim = k.spawn_task("victim")
+        with pytest.raises(SyscallError):
+            k.sys_kill(alice, victim.tid, 9)
+        assert victim.pending_signals == []
+
+    def test_same_label_signaling_ok(self, k):
+        alice, tag = tainted(k, "alice")
+        peer = k.spawn_task("peer")
+        peer.security.grant(CapabilitySet.plus(tag))
+        k.sys_set_task_label(peer, LabelType.SECRECY, Label.of(tag))
+        k.sys_kill(alice, peer.tid, 10)
+        assert peer.pending_signals == [(10, alice.tid)]
+
+    def test_signaling_dead_task_is_esrch(self, k):
+        a = k.spawn_task("a")
+        b = k.spawn_task("b")
+        k.sys_exit(b, 0)
+        with pytest.raises(SyscallError) as err:
+            k.sys_kill(a, b.tid, 9)
+        assert "ESRCH" in str(err.value)

@@ -1,0 +1,163 @@
+"""Property-based tests (hypothesis) on the DIFC core.
+
+The lattice and rule algebra have clean mathematical structure; these
+properties pin it down over randomized inputs:
+
+* labels form a bounded join-semilattice under union/subset;
+* the flow relation composes (transitivity) and is reflexive;
+* the label-change rule is sound: a permitted change decomposes into
+  permitted single-tag steps, and dual capabilities permit everything;
+* capability-set algebra respects the set model.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    Capability,
+    CapabilitySet,
+    CapType,
+    Label,
+    LabelPair,
+    Tag,
+    can_change_label,
+    can_flow,
+    integrity_allows,
+    secrecy_allows,
+)
+
+TAG_POOL = [Tag(i, f"t{i}") for i in range(1, 9)]
+
+labels = st.builds(
+    Label, st.lists(st.sampled_from(TAG_POOL), max_size=6).map(tuple)
+)
+pairs = st.builds(LabelPair, labels, labels)
+cap_kinds = st.sampled_from([CapType.PLUS, CapType.MINUS])
+capsets = st.builds(
+    CapabilitySet,
+    st.lists(
+        st.builds(Capability, st.sampled_from(TAG_POOL), cap_kinds), max_size=10
+    ),
+)
+
+
+class TestLatticeProperties:
+    @given(labels, labels)
+    def test_union_commutative(self, x, y):
+        assert x.union(y) == y.union(x)
+
+    @given(labels, labels, labels)
+    def test_union_associative(self, x, y, z):
+        assert x.union(y).union(z) == x.union(y.union(z))
+
+    @given(labels)
+    def test_union_idempotent(self, x):
+        assert x.union(x) == x
+
+    @given(labels)
+    def test_empty_is_bottom(self, x):
+        assert Label.EMPTY.is_subset_of(x)
+        assert x.union(Label.EMPTY) == x
+
+    @given(labels, labels)
+    def test_union_is_least_upper_bound(self, x, y):
+        lub = x.union(y)
+        assert x.is_subset_of(lub) and y.is_subset_of(lub)
+
+    @given(labels, labels)
+    def test_subset_antisymmetric(self, x, y):
+        if x.is_subset_of(y) and y.is_subset_of(x):
+            assert x == y
+
+    @given(labels, labels, labels)
+    def test_subset_transitive(self, x, y, z):
+        if x.is_subset_of(y) and y.is_subset_of(z):
+            assert x.is_subset_of(z)
+
+    @given(labels, labels)
+    def test_difference_union_reconstructs(self, x, y):
+        assert x.difference(y).union(x.intersection(y)) == x
+
+    @given(labels, labels)
+    def test_hash_respects_equality(self, x, y):
+        if x == y:
+            assert hash(x) == hash(y)
+
+
+class TestFlowProperties:
+    @given(pairs)
+    def test_flow_reflexive(self, x):
+        assert can_flow(x, x)
+
+    @given(pairs, pairs, pairs)
+    def test_flow_transitive(self, x, y, z):
+        if can_flow(x, y) and can_flow(y, z):
+            assert can_flow(x, z)
+
+    @given(labels, labels)
+    def test_secrecy_and_integrity_are_duals(self, x, y):
+        # The integrity rule is the secrecy rule with arrows reversed.
+        assert secrecy_allows(x, y) == integrity_allows(y, x)
+
+    @given(pairs)
+    def test_everything_flows_to_top_secrecy(self, x):
+        top = LabelPair(Label(TAG_POOL), Label.EMPTY)
+        if x.integrity.is_empty:
+            assert can_flow(x, top)
+
+    @given(pairs)
+    def test_unlabeled_flows_nowhere_with_integrity(self, x):
+        if not x.integrity.is_empty:
+            assert not can_flow(LabelPair.EMPTY, x)
+
+
+class TestLabelChangeProperties:
+    @given(labels, labels)
+    def test_dual_caps_permit_any_change(self, old, new):
+        assert can_change_label(old, new, CapabilitySet.dual(*TAG_POOL))
+
+    @given(labels, labels)
+    def test_no_caps_permit_only_identity(self, old, new):
+        allowed = can_change_label(old, new, CapabilitySet.EMPTY)
+        assert allowed == (old == new)
+
+    @given(labels, labels, capsets)
+    def test_change_decomposes_into_single_tag_steps(self, old, new, caps):
+        if not can_change_label(old, new, caps):
+            return
+        current = old
+        for tag in new.difference(old):
+            assert can_change_label(current, current.with_tag(tag), caps)
+            current = current.with_tag(tag)
+        for tag in old.difference(new):
+            assert can_change_label(current, current.without_tag(tag), caps)
+            current = current.without_tag(tag)
+        assert current == new
+
+    @given(labels, capsets)
+    def test_raising_by_plus_tags_always_allowed(self, old, caps):
+        assert can_change_label(old, old.union(caps.plus_tags()), caps)
+
+
+class TestCapabilitySetProperties:
+    @given(capsets, capsets)
+    def test_union_respects_queries(self, x, y):
+        merged = x.union(y)
+        for tag in TAG_POOL:
+            assert merged.can_add(tag) == (x.can_add(tag) or y.can_add(tag))
+            assert merged.can_remove(tag) == (
+                x.can_remove(tag) or y.can_remove(tag)
+            )
+
+    @given(capsets, capsets)
+    def test_intersection_subset_of_both(self, x, y):
+        inter = x.intersection(y)
+        assert inter.is_subset_of(x) and inter.is_subset_of(y)
+
+    @given(capsets)
+    def test_plus_minus_tags_partition(self, caps):
+        for tag in caps.plus_tags():
+            assert caps.can_add(tag)
+        for tag in caps.minus_tags():
+            assert caps.can_remove(tag)

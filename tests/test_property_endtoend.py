@@ -1,0 +1,185 @@
+"""End-to-end property testing: random syscall sequences never violate
+the DIFC invariants.
+
+A hypothesis state machine drives a kernel with several tasks performing
+random label changes, labeled file creation, reads, writes, pipe traffic,
+and network sends.  Marker bytes tie data to the tag protecting it, so
+the oracle can state noninterference-style invariants:
+
+* **secrecy**: a task only ever *observes* marker bytes of tags in its own
+  secrecy label at observation time;
+* **egress**: the unlabeled network never carries any marker byte;
+* **monotone reads**: every successful file read satisfied
+  ``S_file ⊆ S_task`` at the moment of the read (checked via the oracle's
+  records, not the kernel's own code).
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+import hypothesis.strategies as st
+
+from repro.core import Label, LabelPair, LabelType
+from repro.osim import Kernel, SyscallError
+
+N_TASKS = 3
+N_TAGS = 3
+
+
+def marker(tag_index: int) -> bytes:
+    """The distinctive byte string standing for 'data protected by tag i'."""
+    return f"<<secret-{tag_index}>>".encode()
+
+
+class DIFCMachine(RuleBasedStateMachine):
+    files = Bundle("files")
+
+    @initialize()
+    def boot(self):
+        self.kernel = Kernel()
+        self.tasks = [self.kernel.spawn_task(f"task{i}") for i in range(N_TASKS)]
+        # task i owns tag i (has both capabilities); others get nothing.
+        self.tags = []
+        for i in range(N_TAGS):
+            tag, _ = self.kernel.sys_alloc_tag(self.tasks[i % N_TASKS], f"g{i}")
+            self.tags.append(tag)
+        self.file_count = 0
+        #: every observation: (task_secrecy_tags, data)
+        self.observations: list[tuple[frozenset, bytes]] = []
+
+    # -- random label changes -------------------------------------------------
+
+    @rule(task_i=st.integers(0, N_TASKS - 1),
+          tag_subset=st.sets(st.integers(0, N_TAGS - 1), max_size=N_TAGS))
+    def change_label(self, task_i, tag_subset):
+        task = self.tasks[task_i]
+        new = Label.of(*(self.tags[i] for i in tag_subset))
+        try:
+            self.kernel.sys_set_task_label(task, LabelType.SECRECY, new)
+        except Exception:
+            pass  # lacking capabilities is a legal outcome
+
+    # -- labeled files ----------------------------------------------------------
+
+    @rule(target=files,
+          task_i=st.integers(0, N_TASKS - 1),
+          tag_i=st.integers(0, N_TAGS - 1))
+    def create_labeled_file(self, task_i, tag_i):
+        task = self.tasks[task_i]
+        self.file_count += 1
+        path = f"/tmp/f{self.file_count}"
+        pair = LabelPair(Label.of(self.tags[tag_i]))
+        try:
+            fd = self.kernel.sys_create_file_labeled(task, path, pair)
+            self.kernel.sys_write(task, fd, marker(tag_i))
+            self.kernel.sys_close(task, fd)
+            return (path, tag_i)
+        except SyscallError:
+            return (None, tag_i)
+
+    @rule(file=files, task_i=st.integers(0, N_TASKS - 1))
+    def read_file(self, file, task_i):
+        path, tag_i = file
+        if path is None:
+            return
+        task = self.tasks[task_i]
+        try:
+            fd = self.kernel.sys_open(task, path, "r")
+            data = self.kernel.sys_read(task, fd)
+            self.kernel.sys_close(task, fd)
+        except SyscallError:
+            return
+        secrecy = frozenset(t.value for t in task.labels.secrecy)
+        self.observations.append((secrecy, data))
+        # monotone-read oracle: the file's tag must be in the reader's label
+        assert self.tags[tag_i].value in secrecy, (
+            f"task read {path} (tag {tag_i}) while labeled {task.labels!r}"
+        )
+
+    @rule(file=files, task_i=st.integers(0, N_TASKS - 1))
+    def append_more_secret(self, file, task_i):
+        """Append more of the file's own secret content.  Marker bytes of
+        tag i therefore exist *only* in files labeled {i}, which is what
+        makes the read oracle sound."""
+        path, tag_i = file
+        if path is None:
+            return
+        task = self.tasks[task_i]
+        try:
+            fd = self.kernel.sys_open(task, path, "a")
+            self.kernel.sys_write(task, fd, marker(tag_i))
+            self.kernel.sys_close(task, fd)
+        except SyscallError:
+            return
+
+    # -- network egress ------------------------------------------------------------
+
+    @rule(task_i=st.integers(0, N_TASKS - 1),
+          tag_i=st.integers(0, N_TAGS - 1))
+    def try_transmit_secret(self, task_i, tag_i):
+        """A task holding tag i attempts to exfiltrate tag i's marker; an
+        untainted task sends innocuous traffic.  Marker bytes must
+        therefore never reach the wire."""
+        task = self.tasks[task_i]
+        tainted_with_i = self.tags[tag_i] in task.labels.secrecy
+        payload = marker(tag_i) if tainted_with_i else b"public chatter"
+        try:
+            self.kernel.sys_transmit(task, payload)
+        except SyscallError:
+            assert not task.labels.secrecy.is_empty
+            return
+        # A successful transmit requires an untainted sender.
+        assert task.labels.secrecy.is_empty
+
+    # -- pipes -------------------------------------------------------------------------
+
+    @rule(task_i=st.integers(0, N_TASKS - 1),
+          tag_i=st.integers(0, N_TAGS - 1))
+    def pipe_smuggle(self, task_i, tag_i):
+        """A tainted task writes into an unlabeled pipe; the message must
+        be silently dropped whenever the labels forbid the flow."""
+        task = self.tasks[task_i]
+        plain = self.tasks[(task_i + 1) % N_TASKS]
+        rfd, wfd = self.kernel.sys_pipe(plain, LabelPair.EMPTY)
+        wfd_task = self.kernel.share_fd(plain, wfd, task)
+        self.kernel.sys_write(task, wfd_task, marker(tag_i))
+        data = self.kernel.sys_read(plain, rfd)
+        if data:
+            assert task.labels.secrecy.is_subset_of(plain.labels.secrecy)
+
+    # -- global invariants ----------------------------------------------------------------
+
+    @invariant()
+    def network_carries_no_markers(self):
+        """Secret markers are only ever *sent* by tasks tainted with the
+        corresponding tag, and tainted sends are denied — so the wire must
+        stay marker-free, end to end."""
+        if not hasattr(self, "kernel"):
+            return
+        wire = b"".join(self.kernel.net.transmitted)
+        for i in range(N_TAGS):
+            assert marker(i) not in wire, f"tag {i} marker escaped to the net"
+
+    @invariant()
+    def observations_respect_labels(self):
+        if not hasattr(self, "observations"):
+            return
+        for secrecy, data in self.observations[-5:]:
+            for i in range(N_TAGS):
+                if marker(i) in data:
+                    assert self.tags[i].value in secrecy, (
+                        f"marker {i} observed under secrecy {secrecy}"
+                    )
+
+
+DIFCMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestDIFCStateMachine = DIFCMachine.TestCase

@@ -1,0 +1,168 @@
+"""Stateful property testing of security regions.
+
+A hypothesis state machine drives one VM thread through random region
+entries (random label/capability combinations over a small tag pool),
+labeled allocations, reads, copyAndLabel attempts, and exits, checking the
+runtime's core invariants after every step:
+
+* the thread's labels always equal the innermost frame's (or empty);
+* region exit always restores the previous labels and capability cache,
+  even when the region lacked minus capabilities for its own labels;
+* every *successful* labeled read satisfied the secrecy rule at that
+  moment (oracle re-check);
+* every successful copyAndLabel was justified by the label-change rule
+  under the thread's effective capabilities at that moment;
+* the kernel task's labels are empty whenever the thread is outside all
+  regions (the lazy-sync/TCB-restore contract).
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+import hypothesis.strategies as st
+
+from repro.core import (
+    CapabilitySet,
+    IFCViolation,
+    Label,
+    LabelPair,
+    can_change_label,
+    secrecy_allows,
+)
+from repro.osim import Kernel
+from repro.runtime import LaminarAPI, LaminarVM
+
+N_TAGS = 3
+
+tag_subsets = st.sets(st.integers(0, N_TAGS - 1), max_size=N_TAGS)
+
+
+class RegionMachine(RuleBasedStateMachine):
+    @initialize()
+    def boot(self):
+        self.kernel = Kernel()
+        self.vm = LaminarVM(self.kernel)
+        self.api = LaminarAPI(self.vm)
+        self.tags = [
+            self.api.create_and_add_capability(f"r{i}") for i in range(N_TAGS)
+        ]
+        self.thread = self.vm.main_thread
+        #: stack of SecurityRegion objects we have entered
+        self.regions = []
+        #: expected label stack (oracle-side mirror)
+        self.expected = []
+        self.objects = []
+
+    def _label(self, indices) -> Label:
+        return Label.of(*(self.tags[i] for i in indices))
+
+    def _caps(self, plus, minus) -> CapabilitySet:
+        return CapabilitySet.plus(*(self.tags[i] for i in plus)).union(
+            CapabilitySet.minus(*(self.tags[i] for i in minus))
+        )
+
+    # -- rules -------------------------------------------------------------
+
+    @rule(secrecy=tag_subsets, plus=tag_subsets, minus=tag_subsets)
+    def enter_region(self, secrecy, plus, minus):
+        if len(self.regions) >= 6:
+            return
+        caps = self._caps(plus, minus)
+        region = self.vm.region(
+            secrecy=self._label(secrecy), caps=caps, name="prop"
+        )
+        try:
+            region.__enter__()
+        except IFCViolation:
+            return  # rejected entries leave no trace (checked by invariant)
+        self.regions.append(region)
+        self.expected.append(self._label(secrecy))
+
+    @rule()
+    def exit_region(self):
+        if not self.regions:
+            return
+        region = self.regions.pop()
+        self.expected.pop()
+        region.__exit__(None, None, None)
+
+    @rule()
+    def allocate(self):
+        if not self.regions:
+            return
+        obj = self.vm.alloc({"v": len(self.objects)})
+        assert obj.labels.secrecy == self.thread.labels.secrecy
+        self.objects.append(obj)
+
+    @rule(index=st.integers(0, 50))
+    def read_object(self, index):
+        if not self.objects:
+            return
+        obj = self.objects[index % len(self.objects)]
+        try:
+            obj.get("v")
+        except IFCViolation:
+            return
+        # oracle: the read was legal at this instant
+        assert secrecy_allows(obj.labels.secrecy, self.thread.labels.secrecy)
+        assert self.thread.in_region or obj.labels.is_empty
+
+    @rule(index=st.integers(0, 50), dest=tag_subsets)
+    def copy_and_label(self, index, dest):
+        if not self.objects or not self.regions:
+            return
+        obj = self.objects[index % len(self.objects)]
+        new_secrecy = self._label(dest)
+        caps = self.thread.capabilities
+        try:
+            copy = self.api.copy_and_label(obj, secrecy=new_secrecy)
+        except IFCViolation:
+            assert not can_change_label(
+                obj.labels.secrecy, new_secrecy, caps
+            )
+            return
+        assert can_change_label(obj.labels.secrecy, new_secrecy, caps)
+        assert copy.labels.secrecy == new_secrecy
+        self.objects.append(copy)
+
+    @rule()
+    def syscall_inside(self):
+        if not self.regions:
+            return
+        self.vm.syscall("stat", "/tmp")
+        assert self.thread.task.labels == self.thread.labels
+
+    # -- invariants ------------------------------------------------------------
+
+    @invariant()
+    def labels_match_expected_stack(self):
+        if not hasattr(self, "vm"):
+            return
+        if self.expected:
+            assert self.thread.labels.secrecy == self.expected[-1]
+        else:
+            assert self.thread.labels.is_empty
+
+    @invariant()
+    def depth_matches(self):
+        if not hasattr(self, "vm"):
+            return
+        assert self.thread.depth == len(self.regions)
+
+    @invariant()
+    def kernel_clean_outside_regions(self):
+        if not hasattr(self, "vm"):
+            return
+        if not self.regions:
+            assert self.thread.task.labels.is_empty
+
+    def teardown(self):
+        while self.regions:
+            self.exit_region()
+
+
+RegionMachine.TestCase.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None
+)
+TestRegionStateMachine = RegionMachine.TestCase

@@ -1,0 +1,204 @@
+"""Unit tests for the Section 3.2 information-flow rules."""
+
+import pytest
+
+from repro.core import (
+    CapabilitySet,
+    IntegrityViolation,
+    Label,
+    LabelChangeViolation,
+    LabelPair,
+    SecrecyViolation,
+    Tag,
+    can_change_label,
+    can_flow,
+    check_flow,
+    check_label_change,
+    check_pair_change,
+    integrity_allows,
+    labeled_create_allowed,
+    region_entry_allowed,
+    secrecy_allows,
+)
+
+A, B, C = Tag(1, "a"), Tag(2, "b"), Tag(3, "c")
+EMPTY = Label.EMPTY
+
+
+def S(*tags):
+    return LabelPair(Label.of(*tags))
+
+
+def I(*tags):
+    return LabelPair(Label.EMPTY, Label.of(*tags))
+
+
+class TestSecrecyRule:
+    """Bell-LaPadula: flow x -> y requires S_x ⊆ S_y."""
+
+    def test_write_up_allowed(self):
+        assert secrecy_allows(EMPTY, Label.of(A))
+
+    def test_write_down_denied(self):
+        assert not secrecy_allows(Label.of(A), EMPTY)
+
+    def test_lateral_same_label(self):
+        assert secrecy_allows(Label.of(A), Label.of(A))
+
+    def test_incomparable_labels_denied(self):
+        assert not secrecy_allows(Label.of(A), Label.of(B))
+        assert not secrecy_allows(Label.of(B), Label.of(A))
+
+
+class TestIntegrityRule:
+    """Biba: flow x -> y requires I_y ⊆ I_x."""
+
+    def test_read_down_denied(self):
+        # A high-integrity destination may not accept low-integrity data.
+        assert not integrity_allows(EMPTY, Label.of(A))
+
+    def test_flow_down_allowed(self):
+        assert integrity_allows(Label.of(A), EMPTY)
+
+    def test_same_level(self):
+        assert integrity_allows(Label.of(A), Label.of(A))
+
+
+class TestCanFlow:
+    def test_both_rules_must_hold(self):
+        src = LabelPair(Label.of(A), Label.of(B))
+        dst = LabelPair(Label.of(A), Label.of(B))
+        assert can_flow(src, dst)
+        assert not can_flow(src, LabelPair(EMPTY, Label.of(B)))  # secrecy fails
+        assert not can_flow(src, LabelPair(Label.of(A), Label.of(B, C)))  # integ fails
+
+    def test_unlabeled_to_unlabeled(self):
+        assert can_flow(LabelPair.EMPTY, LabelPair.EMPTY)
+
+
+class TestCheckFlow:
+    def test_raises_precise_secrecy_violation(self):
+        with pytest.raises(SecrecyViolation) as err:
+            check_flow(S(A), S(), context="write to net")
+        assert "write to net" in str(err.value)
+
+    def test_raises_precise_integrity_violation(self):
+        with pytest.raises(IntegrityViolation):
+            check_flow(I(), I(A))
+
+    def test_ok_flow_silent(self):
+        check_flow(S(), S(A))
+
+
+class TestLabelChangeRule:
+    """(L2-L1) ⊆ Cp+ and (L1-L2) ⊆ Cp-."""
+
+    def test_add_with_plus(self):
+        assert can_change_label(EMPTY, Label.of(A), CapabilitySet.plus(A))
+
+    def test_add_without_plus_denied(self):
+        assert not can_change_label(EMPTY, Label.of(A), CapabilitySet.minus(A))
+
+    def test_remove_with_minus(self):
+        assert can_change_label(Label.of(A), EMPTY, CapabilitySet.minus(A))
+
+    def test_remove_without_minus_denied(self):
+        assert not can_change_label(Label.of(A), EMPTY, CapabilitySet.plus(A))
+
+    def test_swap_needs_both(self):
+        caps = CapabilitySet.plus(B).union(CapabilitySet.minus(A))
+        assert can_change_label(Label.of(A), Label.of(B), caps)
+        assert not can_change_label(Label.of(B), Label.of(A), caps)
+
+    def test_noop_change_needs_nothing(self):
+        assert can_change_label(Label.of(A), Label.of(A), CapabilitySet.EMPTY)
+
+    def test_check_raises_with_missing_tags_named(self):
+        with pytest.raises(LabelChangeViolation) as err:
+            check_label_change(EMPTY, Label.of(A, B), CapabilitySet.plus(A))
+        assert "b" in str(err.value)
+
+    def test_check_pair_change_covers_both_labels(self):
+        caps = CapabilitySet.plus(A)
+        check_pair_change(LabelPair.EMPTY, S(A), caps)
+        with pytest.raises(LabelChangeViolation):
+            check_pair_change(LabelPair.EMPTY, I(B), caps)
+
+
+class TestRegionEntryRules:
+    """Section 4.3.2: S_R ⊆ (Cp+ ∪ S_P), I_R ⊆ (Cp+ ∪ I_P), C_R ⊆ C_P."""
+
+    def test_entry_via_capability(self):
+        assert region_entry_allowed(
+            Label.of(A), EMPTY, CapabilitySet.EMPTY,
+            LabelPair.EMPTY, CapabilitySet.plus(A),
+        )
+
+    def test_entry_via_existing_label(self):
+        # Thread already tainted with A can enter an A region with no caps.
+        assert region_entry_allowed(
+            Label.of(A), EMPTY, CapabilitySet.EMPTY,
+            S(A), CapabilitySet.EMPTY,
+        )
+
+    def test_entry_denied_without_either(self):
+        assert not region_entry_allowed(
+            Label.of(A), EMPTY, CapabilitySet.EMPTY,
+            LabelPair.EMPTY, CapabilitySet.minus(A),
+        )
+
+    def test_region_caps_must_be_subset(self):
+        assert not region_entry_allowed(
+            EMPTY, EMPTY, CapabilitySet.dual(A),
+            LabelPair.EMPTY, CapabilitySet.plus(A),
+        )
+
+    def test_integrity_entry(self):
+        assert region_entry_allowed(
+            EMPTY, Label.of(B), CapabilitySet.EMPTY,
+            LabelPair.EMPTY, CapabilitySet.plus(B),
+        )
+        assert not region_entry_allowed(
+            EMPTY, Label.of(B), CapabilitySet.EMPTY,
+            LabelPair.EMPTY, CapabilitySet.EMPTY,
+        )
+
+
+class TestLabeledCreateRule:
+    """Section 5.2's three conditions for creating labeled files."""
+
+    def test_untainted_precreate_of_secret_file(self):
+        # The pre-create discipline: an unlabeled principal creates a file
+        # *above* its level.
+        assert labeled_create_allowed(
+            LabelPair.EMPTY, CapabilitySet.EMPTY, S(A), parent_writable=True
+        )
+
+    def test_tainted_create_in_unlabeled_dir_denied(self):
+        # The paper's leak example: {S(a)} cannot create {S(a)} in an
+        # unlabeled directory — the file *name* would leak.
+        assert not labeled_create_allowed(
+            S(A), CapabilitySet.dual(A), S(A), parent_writable=False
+        )
+
+    def test_tainted_create_needs_legitimate_labels(self):
+        # Principal must hold plus caps for its current labels.
+        assert not labeled_create_allowed(
+            S(A), CapabilitySet.EMPTY, S(A), parent_writable=True
+        )
+        assert labeled_create_allowed(
+            S(A), CapabilitySet.plus(A), S(A), parent_writable=True
+        )
+
+    def test_file_secrecy_must_cover_principal(self):
+        assert not labeled_create_allowed(
+            S(A), CapabilitySet.plus(A), S(), parent_writable=True
+        )
+
+    def test_integrity_cannot_exceed_principal(self):
+        assert not labeled_create_allowed(
+            LabelPair.EMPTY, CapabilitySet.plus(A), I(A), parent_writable=True
+        )
+        assert labeled_create_allowed(
+            I(A), CapabilitySet.plus(A), I(A), parent_writable=True
+        )

@@ -1,0 +1,242 @@
+"""Barriers and the labeled heap: modes, checks, allocation labeling."""
+
+import pytest
+
+from repro.core import (
+    CapabilitySet,
+    IntegrityViolation,
+    Label,
+    LabelPair,
+    RegionViolation,
+    SecrecyViolation,
+)
+from repro.runtime import BarrierMode, LaminarAPI, LaminarVM
+from repro.runtime.heap import Heap
+
+
+@pytest.fixture
+def setup(vm):
+    api = LaminarAPI(vm)
+    a = api.create_and_add_capability("a")
+    i = api.create_and_add_capability("i")
+    return vm, api, a, i
+
+
+class TestHeap:
+    def test_labeled_space_membership(self):
+        heap = Heap()
+        plain = heap.allocate_header(LabelPair.EMPTY)
+        from repro.core import Tag
+
+        labeled = heap.allocate_header(LabelPair(Label.of(Tag(1))))
+        assert not heap.is_labeled(plain)
+        assert heap.is_labeled(labeled)
+        assert heap.labeled_count == 1
+
+    def test_stats(self):
+        heap = Heap()
+        from repro.core import Tag
+
+        heap.allocate_header(LabelPair.EMPTY)
+        heap.allocate_header(LabelPair(Label.of(Tag(1))))
+        assert heap.stats.allocations == 2
+        assert heap.stats.labeled_allocations == 1
+        assert heap.stats.label_words_written == 2
+
+    def test_label_fresh_moves_into_labeled_space(self):
+        heap = Heap()
+        from repro.core import Tag
+
+        header = heap.allocate_header(LabelPair.EMPTY)
+        heap.label_fresh(header, LabelPair(Label.of(Tag(1))))
+        assert heap.is_labeled(header)
+        heap.label_fresh(header, LabelPair.EMPTY)
+        assert not heap.is_labeled(header)
+
+
+class TestOutOfRegionBarriers:
+    def test_unlabeled_access_ok(self, setup):
+        vm, api, a, i = setup
+        obj = vm.alloc({"x": 1})
+        assert obj.get("x") == 1
+        obj.set("x", 2)
+
+    def test_labeled_read_blocked(self, setup):
+        vm, api, a, i = setup
+        with vm.region(secrecy=Label.of(a), caps=CapabilitySet.dual(a)):
+            obj = vm.alloc({"x": 1})
+        with pytest.raises(RegionViolation):
+            obj.get("x")
+
+    def test_labeled_write_blocked(self, setup):
+        vm, api, a, i = setup
+        with vm.region(secrecy=Label.of(a), caps=CapabilitySet.dual(a)):
+            obj = vm.alloc({"x": 1})
+        with pytest.raises(RegionViolation):
+            obj.set("x", 9)
+
+    def test_labeled_allocation_blocked(self, setup):
+        vm, api, a, i = setup
+        with pytest.raises(RegionViolation):
+            vm.alloc({"x": 1}, labels=LabelPair(Label.of(a)))
+
+
+class TestInRegionBarriers:
+    def test_read_requires_secrecy_coverage(self, setup):
+        vm, api, a, i = setup
+        with vm.region(secrecy=Label.of(a), caps=CapabilitySet.dual(a)):
+            secret = vm.alloc({"x": 42})
+        b = api.create_and_add_capability("b")
+        outcome = {}
+        with vm.region(secrecy=Label.of(b), caps=CapabilitySet.dual(b),
+                       catch=lambda e: outcome.update(err=e)):
+            secret.get("x")
+        assert isinstance(outcome["err"], SecrecyViolation)
+
+    def test_write_down_blocked(self, setup):
+        vm, api, a, i = setup
+        low = vm.alloc({"x": 0})  # unlabeled
+        outcome = {}
+        with vm.region(secrecy=Label.of(a), caps=CapabilitySet.dual(a),
+                       catch=lambda e: outcome.update(err=e)):
+            low.set("x", 1)  # tainted thread writing unlabeled object
+        assert isinstance(outcome["err"], SecrecyViolation)
+        assert low.get("x") == 0
+
+    def test_read_down_integrity_blocked(self, setup):
+        vm, api, a, i = setup
+        low = vm.alloc({"x": 0})
+        outcome = {}
+        with vm.region(integrity=Label.of(i), caps=CapabilitySet.dual(i),
+                       catch=lambda e: outcome.update(err=e)):
+            low.get("x")
+        assert isinstance(outcome["err"], IntegrityViolation)
+
+    def test_default_alloc_labels_are_regions(self, setup):
+        vm, api, a, i = setup
+        with vm.region(secrecy=Label.of(a), caps=CapabilitySet.dual(a)):
+            obj = vm.alloc({"x": 1})
+            assert obj.labels.secrecy == Label.of(a)
+
+    def test_explicit_alloc_labels_checked(self, setup):
+        vm, api, a, i = setup
+        b = api.create_and_add_capability("b")
+        outcome = {}
+        with vm.region(secrecy=Label.of(a), caps=CapabilitySet.dual(a),
+                       catch=lambda e: outcome.update(err=e)):
+            # thread {a} writing into {b} object: secrecy fails
+            vm.alloc({"x": 1}, labels=LabelPair(Label.of(b)))
+        assert isinstance(outcome["err"], SecrecyViolation)
+
+    def test_explicit_higher_alloc_labels_ok(self, setup):
+        vm, api, a, i = setup
+        b = api.create_and_add_capability("b")
+        with vm.region(secrecy=Label.of(a), caps=CapabilitySet.dual(a)):
+            obj = vm.alloc({"x": 1}, labels=LabelPair(Label.of(a, b)))
+            assert obj.labels.secrecy == Label.of(a, b)
+
+
+class TestArrays:
+    def test_element_access(self, setup):
+        vm, api, a, i = setup
+        with vm.region(secrecy=Label.of(a), caps=CapabilitySet.dual(a)):
+            arr = vm.alloc_array([1, 2, 3])
+            assert arr.length() == 3
+            arr.set(1, 99)
+            assert arr.get(1) == 99
+        with pytest.raises(RegionViolation):
+            arr.get(0)
+
+    def test_length_is_guarded_metadata(self, setup):
+        vm, api, a, i = setup
+        with vm.region(secrecy=Label.of(a), caps=CapabilitySet.dual(a)):
+            arr = vm.alloc_array([0] * 5)
+        with pytest.raises(RegionViolation):
+            arr.length()
+
+
+class TestBarrierModes:
+    def test_none_mode_checks_nothing(self, kernel):
+        vm = LaminarVM(kernel, mode=BarrierMode.NONE)
+        obj = vm.alloc({"x": 1})
+        obj.get("x")
+        assert vm.barriers.stats.total == 0
+
+    def test_static_mode_counts_no_dispatches(self, setup):
+        vm, api, a, i = setup
+        obj = vm.alloc({"x": 1})
+        obj.get("x")
+        assert vm.barriers.stats.dynamic_dispatches == 0
+        assert vm.barriers.stats.read_barriers >= 1
+
+    def test_dynamic_mode_counts_dispatches(self, kernel):
+        vm = LaminarVM(kernel, mode=BarrierMode.DYNAMIC)
+        obj = vm.alloc({"x": 1})
+        obj.get("x")
+        obj.set("x", 2)
+        assert vm.barriers.stats.dynamic_dispatches == 3  # alloc+read+write
+
+    def test_stats_reset(self, setup):
+        vm, api, a, i = setup
+        vm.alloc({"x": 1}).get("x")
+        vm.reset_stats()
+        assert vm.barriers.stats.total == 0
+        assert vm.heap.stats.allocations == 0
+
+
+class TestCopyAndLabel:
+    def test_declassify_with_minus(self, setup):
+        vm, api, a, i = setup
+        with vm.region(secrecy=Label.of(a), caps=CapabilitySet.dual(a)):
+            secret = vm.alloc({"x": 5})
+            public = api.copy_and_label(secret)
+            assert public.labels.is_empty
+        assert public.get("x") == 5
+
+    def test_declassify_without_minus_denied(self, setup):
+        vm, api, a, i = setup
+        outcome = {}
+        with vm.region(secrecy=Label.of(a), caps=CapabilitySet.plus(a),
+                       catch=lambda e: outcome.update(err=e)):
+            secret = vm.alloc({"x": 5})
+            api.copy_and_label(secret)
+        from repro.core import LabelChangeViolation
+
+        assert isinstance(outcome["err"], LabelChangeViolation)
+
+    def test_classify_up_with_plus(self, setup):
+        vm, api, a, i = setup
+        plain = vm.alloc({"x": 1})
+        with vm.region(secrecy=Label.of(a), caps=CapabilitySet.dual(a)):
+            secret = api.copy_and_label(plain, secrecy=Label.of(a))
+            assert secret.labels.secrecy == Label.of(a)
+
+    def test_labeled_copy_outside_region_denied(self, setup):
+        vm, api, a, i = setup
+        with vm.region(secrecy=Label.of(a), caps=CapabilitySet.dual(a)):
+            secret = vm.alloc({"x": 5})
+        with pytest.raises(RegionViolation):
+            api.copy_and_label(secret)
+
+    def test_copy_is_independent(self, setup):
+        vm, api, a, i = setup
+        with vm.region(secrecy=Label.of(a), caps=CapabilitySet.dual(a)):
+            secret = vm.alloc({"x": 5})
+            copy = api.copy_and_label(secret, secrecy=Label.of(a))
+            copy.set("x", 6)
+            assert secret.get("x") == 5
+
+    def test_array_copy(self, setup):
+        vm, api, a, i = setup
+        with vm.region(secrecy=Label.of(a), caps=CapabilitySet.dual(a)):
+            arr = vm.alloc_array([1, 2])
+            pub = api.copy_and_label(arr)
+        assert pub.get(0) == 1 and pub.length() == 2
+
+    def test_get_current_label(self, setup):
+        vm, api, a, i = setup
+        from repro.core import LabelType
+
+        assert api.get_current_label(LabelType.SECRECY).is_empty
+        with vm.region(secrecy=Label.of(a), caps=CapabilitySet.dual(a)):
+            assert api.get_current_label(LabelType.SECRECY) == Label.of(a)

@@ -1,0 +1,138 @@
+"""Coverage for labeled objects' metadata paths, the Fig. 2/3 API facade,
+and VM thread-context management."""
+
+import pytest
+
+from repro.core import (
+    Capability,
+    CapabilitySet,
+    CapType,
+    Label,
+    LabelPair,
+    LabelType,
+    RegionViolation,
+)
+from repro.osim import Kernel
+from repro.runtime import LaminarAPI, LaminarVM
+
+
+@pytest.fixture()
+def world():
+    kernel = Kernel()
+    vm = LaminarVM(kernel)
+    return kernel, vm, LaminarAPI(vm)
+
+
+class TestLabeledObjectMetadata:
+    def test_fields_listing_is_guarded(self, world):
+        kernel, vm, api = world
+        a = api.create_and_add_capability("a")
+        with vm.region(secrecy=Label.of(a), caps=CapabilitySet.dual(a)):
+            obj = vm.alloc({"x": 1, "y": 2})
+            assert set(obj.fields()) == {"x", "y"}
+        with pytest.raises(RegionViolation):
+            obj.fields()
+
+    def test_snapshot_is_guarded_and_isolated(self, world):
+        kernel, vm, api = world
+        a = api.create_and_add_capability("a")
+        with vm.region(secrecy=Label.of(a), caps=CapabilitySet.dual(a)):
+            obj = vm.alloc({"x": 1})
+            snap = obj.snapshot()
+            snap["x"] = 99
+            assert obj.get("x") == 1
+        with pytest.raises(RegionViolation):
+            obj.snapshot()
+
+    def test_raw_fields_bypasses_checks_for_tcb(self, world):
+        kernel, vm, api = world
+        a = api.create_and_add_capability("a")
+        with vm.region(secrecy=Label.of(a), caps=CapabilitySet.dual(a)):
+            obj = vm.alloc({"x": 5})
+        # TCB-only view works outside the region (tests are the auditor)
+        assert obj.raw_fields() == {"x": 5}
+
+    def test_repr_shows_labels(self, world):
+        kernel, vm, api = world
+        a = api.create_and_add_capability("a")
+        with vm.region(secrecy=Label.of(a), caps=CapabilitySet.dual(a)):
+            obj = vm.alloc({"x": 1}, name="thing")
+        assert "thing" in repr(obj) and "a" in repr(obj)
+
+
+class TestAPIWrappers:
+    def test_pipe_wrapper_and_io(self, world):
+        kernel, vm, api = world
+        rfd, wfd = api.pipe()
+        api.write(wfd, b"ping")
+        assert api.read(rfd) == b"ping"
+        api.close(rfd)
+        api.close(wfd)
+
+    def test_capability_transfer_via_api(self, world):
+        kernel, vm, api = world
+        tag = api.create_and_add_capability("gift")
+        rfd, wfd = api.pipe()
+        cap = Capability(tag, CapType.MINUS)
+        api.write_capability(cap, wfd)
+        # another thread receives it (sharing the fd table via main task
+        # keeps the test single-threaded)
+        received = api.read_capability(rfd)
+        assert received == cap
+
+    def test_read_capability_updates_region_cache(self, world):
+        kernel, vm, api = world
+        tag = api.create_and_add_capability("gift")
+        rfd, wfd = api.pipe()
+        api.write_capability(Capability(tag, CapType.PLUS), wfd)
+        # drop it, then regain inside a region: the frame cache must learn
+        vm.current_thread.drop_capability_global(tag, CapType.PLUS)
+        with vm.region(caps=vm.current_thread.capabilities):
+            assert not vm.current_thread.capabilities.can_add(tag)
+            api.read_capability(rfd)
+            assert vm.current_thread.capabilities.can_add(tag)
+        assert vm.current_thread.capabilities.can_add(tag)
+
+    def test_get_current_label_types(self, world):
+        kernel, vm, api = world
+        i = api.create_and_add_capability("i")
+        with vm.region(integrity=Label.of(i), caps=CapabilitySet.dual(i)):
+            assert api.get_current_label(LabelType.INTEGRITY) == Label.of(i)
+            assert api.get_current_label(LabelType.SECRECY).is_empty
+
+    def test_create_and_add_inside_region_retained(self, world):
+        kernel, vm, api = world
+        with vm.region(caps=vm.current_thread.capabilities):
+            fresh = api.create_and_add_capability("fresh")
+            assert vm.current_thread.capabilities.can_add(fresh)
+        assert vm.current_thread.capabilities.can_add(fresh)
+        assert vm.current_thread.task.capabilities.can_remove(fresh)
+
+
+class TestThreadContext:
+    def test_running_restores_previous_thread(self, world):
+        kernel, vm, api = world
+        worker = vm.create_thread("worker")
+        assert vm.current_thread is vm.main_thread
+        with vm.running(worker):
+            assert vm.current_thread is worker
+            nested = vm.create_thread("nested")
+            with vm.running(nested):
+                assert vm.current_thread is nested
+            assert vm.current_thread is worker
+        assert vm.current_thread is vm.main_thread
+
+    def test_running_restores_on_exception(self, world):
+        kernel, vm, api = world
+        worker = vm.create_thread("worker")
+        with pytest.raises(ValueError):
+            with vm.running(worker):
+                raise ValueError
+        assert vm.current_thread is vm.main_thread
+
+    def test_region_default_thread_is_current(self, world):
+        kernel, vm, api = world
+        worker = vm.create_thread("worker")
+        with vm.running(worker):
+            with vm.region() as region:
+                assert region.thread is worker

@@ -1,0 +1,78 @@
+"""Unit tests for the tag universe and the trusted allocator."""
+
+import pytest
+
+from repro.core import TAG_UNIVERSE, Tag, TagAllocator, TagExhaustedError
+
+
+class TestTag:
+    def test_equality_is_by_value(self):
+        assert Tag(5) == Tag(5)
+        assert Tag(5) != Tag(6)
+
+    def test_name_is_cosmetic(self):
+        assert Tag(5, "alice") == Tag(5, "bob")
+        assert hash(Tag(5, "alice")) == hash(Tag(5))
+
+    def test_ordering_by_value(self):
+        assert Tag(1) < Tag(2) < Tag(3)
+
+    def test_str_prefers_name(self):
+        assert str(Tag(7, "secret")) == "secret"
+        assert str(Tag(7)) == "t7"
+
+    def test_rejects_out_of_universe_values(self):
+        with pytest.raises(ValueError):
+            Tag(-1)
+        with pytest.raises(ValueError):
+            Tag(TAG_UNIVERSE)
+
+    def test_max_value_accepted(self):
+        assert Tag(TAG_UNIVERSE - 1).value == TAG_UNIVERSE - 1
+
+    def test_hashable_in_sets(self):
+        assert len({Tag(1), Tag(1, "x"), Tag(2)}) == 2
+
+
+class TestTagAllocator:
+    def test_allocations_are_unique(self):
+        alloc = TagAllocator()
+        seen = {alloc.alloc().value for _ in range(1000)}
+        assert len(seen) == 1000
+
+    def test_allocations_are_sequential_from_first(self):
+        alloc = TagAllocator(first=100)
+        assert alloc.alloc().value == 100
+        assert alloc.alloc().value == 101
+
+    def test_lookup_returns_allocated_tag_with_name(self):
+        alloc = TagAllocator()
+        tag = alloc.alloc("calendar")
+        assert alloc.lookup(tag.value) is tag
+        assert alloc.lookup(tag.value).name == "calendar"
+
+    def test_lookup_unknown_returns_none(self):
+        assert TagAllocator().lookup(424242) is None
+
+    def test_exhaustion_raises(self):
+        alloc = TagAllocator(first=0, limit=3)
+        for _ in range(3):
+            alloc.alloc()
+        with pytest.raises(TagExhaustedError):
+            alloc.alloc()
+
+    def test_contains(self):
+        alloc = TagAllocator()
+        tag = alloc.alloc()
+        assert tag in alloc
+        assert Tag(999_999) not in alloc
+
+    def test_allocated_count(self):
+        alloc = TagAllocator()
+        for _ in range(7):
+            alloc.alloc()
+        assert alloc.allocated_count == 7
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            TagAllocator(first=10, limit=5)

@@ -1,0 +1,111 @@
+"""The lamc CLI driver."""
+
+import io
+
+import pytest
+
+from repro.tools.lamc import main
+
+GOOD = """
+class Box { v }
+method main() {
+entry:
+  new b, Box
+  const x, 21
+  putfield b, v, x
+  getfield y, b, v
+  binop z, add, y, y
+  ret z
+}
+"""
+
+BAD_SYNTAX = "method main() {\nentry:\n frobnicate x\n}"
+BAD_VERIFY = "method main() {\nentry:\n  print ghost\n  ret\n}"
+
+
+@pytest.fixture()
+def good_file(tmp_path):
+    path = tmp_path / "good.ir"
+    path.write_text(GOOD)
+    return str(path)
+
+
+def run_cli(*argv) -> tuple[int, str]:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestCompile:
+    def test_reports_pipeline_and_barriers(self, good_file):
+        code, text = run_cli("compile", good_file, "--config", "dynamic")
+        assert code == 0
+        assert "insert-dynamic-barriers" in text
+        assert "barriers: 3 inserted" in text
+
+    def test_dump_prints_program(self, good_file):
+        code, text = run_cli("compile", good_file, "--dump")
+        assert code == 0
+        assert "method main()" in text and "allocbar" in text
+
+    def test_no_elim_flag(self, good_file):
+        _, with_elim = run_cli("compile", good_file)
+        _, without = run_cli("compile", good_file, "--no-elim")
+        assert "0 removed" in without
+        assert "0 removed" not in with_elim
+
+    def test_baseline_config_has_no_barriers(self, good_file):
+        code, text = run_cli("compile", good_file, "--config", "baseline")
+        assert code == 0
+        assert "barriers: 0 inserted" in text
+
+
+class TestRun:
+    def test_executes_and_reports_result(self, good_file):
+        code, text = run_cli("run", good_file)
+        assert code == 0
+        assert "result:   42" in text
+
+    def test_custom_entry(self, tmp_path):
+        path = tmp_path / "multi.ir"
+        path.write_text(
+            "method other() {\nentry:\n  const x, 9\n  ret x\n}\n"
+            "method main() {\nentry:\n  const x, 1\n  ret x\n}\n"
+        )
+        code, text = run_cli("run", str(path), "--entry", "other")
+        assert code == 0 and "result:   9" in text
+
+    def test_print_output_shown(self, tmp_path):
+        path = tmp_path / "p.ir"
+        path.write_text(
+            "method main() {\nentry:\n  const x, 5\n  print x\n  ret x\n}\n"
+        )
+        code, text = run_cli("run", str(path))
+        assert code == 0 and "output:" in text and "5" in text
+
+
+class TestVerifyAndDisasm:
+    def test_verify_ok(self, good_file):
+        code, text = run_cli("verify", good_file)
+        assert code == 0 and "ok" in text
+
+    def test_verify_failure_exit_code(self, tmp_path):
+        path = tmp_path / "bad.ir"
+        path.write_text(BAD_VERIFY)
+        code, text = run_cli("verify", str(path))
+        assert code == 1 and "ghost" in text
+
+    def test_disasm_round_trips(self, good_file):
+        code, text = run_cli("disasm", good_file)
+        assert code == 0
+        assert "class Box { v }" in text
+
+    def test_syntax_error_exit_code(self, tmp_path):
+        path = tmp_path / "syn.ir"
+        path.write_text(BAD_SYNTAX)
+        code, text = run_cli("compile", str(path))
+        assert code == 2 and "syntax error" in text
+
+    def test_missing_file(self):
+        code, text = run_cli("compile", "/nonexistent/x.ir")
+        assert code == 2 and "error" in text
