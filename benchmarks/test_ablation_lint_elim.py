@@ -1,0 +1,133 @@
+"""Ablation: interprocedural barrier elimination driven by lamlint's
+whole-program label-flow facts.
+
+The intraprocedural pass (see ``test_ablation_barrier_elim``) can only
+see redundancy inside a single method body; inlining recovers some
+cross-call redundancy by erasing the call. The interprocedural pass goes
+the other way: `compute_interprocedural_facts` propagates must-checked
+facts from every call site into the callee's entry, so a helper's
+barriers fall *without* duplicating its body. This ablation quantifies
+the extra static barriers removed on the workload suite, in all four
+corners of (intra vs interproc) x (inline off vs on), and checks the
+acceptance criterion: strictly more barriers removed on at least one
+existing workload with behavior unchanged.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import publish
+from repro.baselines import vanilla_kernel
+from repro.bench import ALL_WORKLOADS
+from repro.jit import Compiler, Interpreter, JITConfig
+from repro.runtime import LaminarVM
+
+
+def _compile(name: str, mode, inline: bool):
+    compiler = Compiler(
+        JITConfig.DYNAMIC, optimize_barriers=mode, inline=inline
+    )
+    return compiler.compile(ALL_WORKLOADS[name]())
+
+
+def _execute(program):
+    vm = LaminarVM(vanilla_kernel())
+    interp = Interpreter(program, vm)
+    result = interp.run("main")
+    return result, list(interp.output), vm.barriers.stats.total
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    rows = {}
+    for name in ALL_WORKLOADS:
+        row = {}
+        for inline in (False, True):
+            suffix = "_inl" if inline else ""
+            intra_prog, intra_rep = _compile(name, True, inline)
+            inter_prog, inter_rep = _compile(name, "interprocedural", inline)
+            intra_result, intra_out, intra_execs = _execute(intra_prog)
+            inter_result, inter_out, inter_execs = _execute(inter_prog)
+            assert (intra_result, intra_out) == (inter_result, inter_out), (
+                f"{name}: interprocedural elimination changed behavior"
+            )
+            row[f"static_intra{suffix}"] = intra_rep.barriers_final
+            row[f"static_inter{suffix}"] = inter_rep.barriers_final
+            row[f"extra{suffix}"] = inter_rep.barriers_removed_interproc
+            row[f"exec_intra{suffix}"] = intra_execs
+            row[f"exec_inter{suffix}"] = inter_execs
+        rows[name] = row
+    return rows
+
+
+def test_interproc_elimination_report(sweep):
+    lines = [
+        "Ablation — interprocedural barrier elimination (lamlint facts)",
+        "=" * 70,
+        f"{'workload':<11}{'intra':>7}{'inter':>7}{'extra':>7}"
+        f"{'intra+inl':>11}{'inter+inl':>11}{'extra':>7}"
+        f"{'exec saved':>12}",
+        "-" * 76,
+    ]
+    for name, row in sweep.items():
+        saved = row["exec_intra"] - row["exec_inter"]
+        lines.append(
+            f"{name:<11}{row['static_intra']:>7}{row['static_inter']:>7}"
+            f"{row['extra']:>7}{row['static_intra_inl']:>11}"
+            f"{row['static_inter_inl']:>11}{row['extra_inl']:>7}"
+            f"{saved:>12}"
+        )
+    total_extra = sum(r["extra"] for r in sweep.values())
+    total_extra_inl = sum(r["extra_inl"] for r in sweep.values())
+    lines.append(
+        f"\nstatic barriers removed beyond the intraprocedural pass: "
+        f"{total_extra} (no inlining), {total_extra_inl} (with inlining)"
+    )
+    publish("ablation_lint_elim", "\n".join(lines))
+
+
+def test_interproc_never_adds_barriers(sweep):
+    for name, row in sweep.items():
+        assert row["static_inter"] <= row["static_intra"], name
+        assert row["static_inter_inl"] <= row["static_intra_inl"], name
+        assert row["exec_inter"] <= row["exec_intra"], name
+
+
+def test_interproc_strictly_better_somewhere(sweep):
+    """Acceptance criterion: on at least one existing workload, the
+    interprocedural pass removes strictly more static barriers than the
+    intraprocedural pass alone — with behavior unchanged (asserted for
+    every workload inside the sweep fixture)."""
+    winners = [
+        name for name, row in sweep.items()
+        if row["static_inter"] < row["static_intra"]
+    ]
+    assert winners, "interprocedural elimination never beat intra-only"
+    # The win survives inlining on at least one workload: the helper
+    # facts it uses are not merely inlining-in-disguise.
+    winners_inl = [
+        name for name, row in sweep.items()
+        if row["static_inter_inl"] < row["static_intra_inl"]
+    ]
+    assert winners_inl, "interprocedural wins were subsumed by inlining"
+
+
+def test_interproc_saves_runtime_checks(sweep):
+    """Fewer static barriers in hot helpers means fewer executed checks."""
+    total_intra = sum(r["exec_intra"] for r in sweep.values())
+    total_inter = sum(r["exec_inter"] for r in sweep.values())
+    assert total_inter < total_intra
+
+
+def test_interproc_benchmark(benchmark):
+    """pytest-benchmark hook: sortbench under interprocedural elimination."""
+    program, _ = Compiler(
+        JITConfig.DYNAMIC, optimize_barriers="interprocedural"
+    ).compile(ALL_WORKLOADS["sortbench"]())
+
+    def run():
+        vm = LaminarVM(vanilla_kernel())
+        return Interpreter(program, vm).run("main")
+
+    benchmark(run)

@@ -1,0 +1,41 @@
+"""lamlint: whole-program static analysis for the mini-JIT.
+
+Layered on the generalized dataflow framework in :mod:`repro.jit.dataflow`:
+
+* :mod:`repro.analysis.callgraph` — call graph, SCCs, region contexts and
+  governing regions;
+* :mod:`repro.analysis.safety` — interprocedural redundant-barrier facts
+  (consumed by ``Compiler(optimize_barriers="interprocedural")``) and the
+  may-throw analysis;
+* :mod:`repro.analysis.labelflow` — definitely-unlabeled and may-taint
+  label-flow passes with provenance;
+* :mod:`repro.analysis.diagnostics` / :mod:`repro.analysis.lint` — the
+  LAM rule set behind ``lamc lint``.
+"""
+
+from .callgraph import CallGraph, CallSite, build_callgraph
+from .diagnostics import Diagnostic, SEVERITY_OF
+from .labelflow import FlowStep, TaintAnalysis, UnlabeledAnalysis
+from .lint import LintReport, RULES, run_lint
+from .safety import (
+    InterproceduralFacts,
+    compute_interprocedural_facts,
+    may_raise_suppressible,
+)
+
+__all__ = [
+    "CallGraph",
+    "CallSite",
+    "Diagnostic",
+    "FlowStep",
+    "InterproceduralFacts",
+    "LintReport",
+    "RULES",
+    "SEVERITY_OF",
+    "TaintAnalysis",
+    "UnlabeledAnalysis",
+    "build_callgraph",
+    "compute_interprocedural_facts",
+    "may_raise_suppressible",
+    "run_lint",
+]

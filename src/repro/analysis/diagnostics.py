@@ -1,0 +1,130 @@
+"""Diagnostic objects for the lamlint analyses.
+
+A :class:`Diagnostic` pins a finding to an error code, a severity, an IR
+location (method / block / instruction index) and — when the finding is
+about data *getting* somewhere — a propagation path of
+:class:`~repro.analysis.labelflow.FlowStep` hops.  Two renderings are
+provided: ``to_dict`` for machine consumption (``lamc lint --json``) and
+``format_human`` for terminal output.
+
+Error codes are stable API (tests and downstream tooling match on them):
+
+========  ========  =====================================================
+code      severity  meaning
+========  ========  =====================================================
+LAM000    error     front-end rejection (parser / verifier / region check)
+LAM001    error     guaranteed label-flow violation (Bell–LaPadula or
+                    Biba): the barrier *must* throw if this executes
+LAM002    info      every label check in a region method is provably
+                    redundant — the region buys no enforcement
+LAM003    warning   unreachable code in a region method (or a region
+                    method no call ever enters)
+LAM004    warning   declared catch handler can never run: the region body
+                    provably cannot raise a security exception
+LAM005    warning   statics smuggling: a non-region helper that may run
+                    under a region reads or writes statics, bypassing the
+                    region checker's static ban
+LAM006    warning   possible secret leak: a value that may derive from
+                    secrecy-labeled data reaches an unchecked output
+                    channel (print, unlabeled static)
+========  ========  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .labelflow import FlowStep
+
+#: Severities, in descending order of badness.
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+_SEVERITY_RANK = {ERROR: 0, WARNING: 1, INFO: 2}
+
+#: code -> default severity (kept here so every rule agrees with the table
+#: in the module docstring).
+SEVERITY_OF = {
+    "LAM000": ERROR,
+    "LAM001": ERROR,
+    "LAM002": INFO,
+    "LAM003": WARNING,
+    "LAM004": WARNING,
+    "LAM005": WARNING,
+    "LAM006": WARNING,
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding, addressable and renderable."""
+
+    code: str
+    severity: str
+    method: str
+    message: str
+    block: str | None = None
+    index: int | None = None
+    trace: tuple[FlowStep, ...] = ()
+
+    def location(self) -> str:
+        if self.block is None:
+            return self.method
+        if self.index is None:
+            return f"{self.method}/{self.block}"
+        return f"{self.method}/{self.block}[{self.index}]"
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "method": self.method,
+            "block": self.block,
+            "index": self.index,
+            "message": self.message,
+            "trace": [
+                {
+                    "method": step.method,
+                    "block": step.block,
+                    "index": step.index,
+                    "note": step.note,
+                }
+                for step in self.trace
+            ],
+        }
+
+    def format_human(self) -> str:
+        lines = [
+            f"{self.severity}[{self.code}] {self.location()}: {self.message}"
+        ]
+        if self.trace:
+            lines.append("  flow trace:")
+            for n, step in enumerate(self.trace, 1):
+                lines.append(f"    {n}. {step.location()}: {step.note}")
+        return "\n".join(lines)
+
+
+def sort_key(diag: Diagnostic):
+    """Stable ordering: severity first, then code, then location."""
+    return (
+        _SEVERITY_RANK.get(diag.severity, 99),
+        diag.code,
+        diag.method,
+        diag.block or "",
+        diag.index if diag.index is not None else -1,
+    )
+
+
+def make(code: str, method: str, message: str, *, block: str | None = None,
+         index: int | None = None, trace=()) -> Diagnostic:
+    """Construct a diagnostic with the code's canonical severity."""
+    return Diagnostic(
+        code=code,
+        severity=SEVERITY_OF[code],
+        method=method,
+        message=message,
+        block=block,
+        index=index,
+        trace=tuple(trace),
+    )

@@ -1,0 +1,501 @@
+"""Interprocedural label-flow analysis over mini-JIT IR.
+
+Two complementary passes, both context-insensitive with per-method
+summaries, both built on the generalized dataflow framework:
+
+**Definitely-unlabeled** (a forward *must* analysis, used by the
+``LAM001`` rule): which registers are guaranteed to hold an object that
+carries no labels?  Objects allocated while provably outside every region
+(or inside regions whose label sets are empty) are unlabeled, labels are
+immutable, and the fact follows the object through ``mov``, calls (via
+argument/return summaries) and returns.  Writing such an object from a
+region with nonempty secrecy — or reading it from a region with nonempty
+integrity — *must* throw: ``check_flow`` compares against an empty label
+set, so no run can pass the barrier.
+
+**May-taint** (a forward *may* analysis, used by the ``LAM006`` rule):
+which registers may hold data *derived from* a secrecy-labeled object?
+A ``getfield``/``aload`` executed under a secrecy region, from an object
+that is not provably region-fresh, produces tainted data; arithmetic and
+moves propagate it; call summaries carry it through returns.  The runtime
+checks accesses, not values — once a secret-derived value sits in a
+register it can leave the region unchecked.  Printing it, storing it to a
+static, or writing it into a definitely-unlabeled object are therefore
+*possible* leaks that no barrier will ever catch, which is exactly what a
+compile-time lint is for.
+
+Both passes record provenance (:class:`FlowStep`) so diagnostics can show
+*how* a value got somewhere, not just that it did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..jit.cfg import CFG
+from ..jit.dataflow import ForwardMayAnalysis, ForwardMustAnalysis
+from ..jit.ir import ALLOC_OPS, Instr, Method, Opcode, Program
+from .callgraph import CallGraph, IN_REGION
+from .safety import region_fresh_registers
+
+
+@dataclass(frozen=True)
+class FlowStep:
+    """One hop of a propagation path, printable in diagnostics."""
+
+    method: str
+    block: str
+    index: int
+    note: str
+
+    def location(self) -> str:
+        return f"{self.method}/{self.block}[{self.index}]"
+
+
+def _labels_empty(spec) -> bool:
+    return spec is None or (spec.secrecy.is_empty and spec.integrity.is_empty)
+
+
+def _region_secrecy_nonempty(method: Method) -> bool:
+    return (
+        method.is_region
+        and method.region_spec is not None
+        and not method.region_spec.secrecy.is_empty
+    )
+
+
+# ---------------------------------------------------------------------------
+# Definitely-unlabeled objects
+# ---------------------------------------------------------------------------
+
+
+class UnlabeledAnalysis:
+    """Whole-program *definitely unlabeled* facts.
+
+    ``facts_before(m, block)`` gives, per instruction, the registers that
+    must hold an unlabeled object.  ``origin(m, reg)`` explains where the
+    proof starts (an allocation site, or a parameter all of whose call
+    sites pass unlabeled objects).
+    """
+
+    def __init__(self, program: Program, callgraph: CallGraph | None = None):
+        self.program = program
+        self.cg = callgraph or CallGraph(program)
+        self.contexts = self.cg.region_contexts()
+        self.governors = self.cg.governing_regions()
+        #: (method, reg) -> witness step for the start of the proof.
+        self._origins: dict[tuple[str, str], FlowStep] = {}
+        #: method -> frozenset of *parameter* registers proven unlabeled.
+        self.entry_facts: dict[str, frozenset] = {}
+        #: method -> does every ``ret`` return a definitely-unlabeled object?
+        self.ret_unlabeled: dict[str, bool] = {}
+        self._analyses: dict[str, ForwardMustAnalysis] = {}
+        self._solve()
+
+    # An allocation in ``m`` yields an unlabeled object iff every context
+    # the body may run in labels fresh objects with the empty pair: outside
+    # regions always, inside only under regions that declare no labels.
+    def _alloc_unlabeled(self, name: str) -> bool:
+        ctx = self.contexts[name]
+        if IN_REGION in ctx:
+            govs = self.governors[name]
+            if not govs:
+                return False
+            for gov in govs:
+                if not _labels_empty(self.program.methods[gov].region_spec):
+                    return False
+        return bool(ctx)  # unknown-context methods prove nothing
+
+    def _transfer_factory(self, name: str):
+        alloc_ok = self._alloc_unlabeled(name)
+        ret_unlabeled = self.ret_unlabeled
+
+        def transfer(instr: Instr, facts: frozenset) -> frozenset:
+            op = instr.op
+            if op in ALLOC_OPS:
+                dst = instr.operands[0]
+                pruned = frozenset(f for f in facts if f != dst)
+                return pruned | {dst} if alloc_ok else pruned
+            if op is Opcode.MOV:
+                dst, src = instr.operands
+                pruned = frozenset(f for f in facts if f != dst)
+                return pruned | {dst} if src in facts else pruned
+            if op is Opcode.CALL:
+                dst = instr.operands[0]
+                if dst is None:
+                    return facts
+                pruned = frozenset(f for f in facts if f != dst)
+                if ret_unlabeled.get(instr.operands[1], False):
+                    return pruned | {dst}
+                return pruned
+            defined = instr.defined_register()
+            if defined is not None:
+                return frozenset(f for f in facts if f != defined)
+            return facts
+
+        return transfer
+
+    def _solve(self) -> None:
+        program, cg = self.program, self.cg
+        # Optimistic start (must-analysis): trust everything, descend.
+        # Unlike barrier-safety facts, region methods trust their call
+        # sites too — region entry does not relabel already-allocated
+        # objects, so an unlabeled argument stays unlabeled inside.
+        for name, method in program.methods.items():
+            has_callers = bool(cg.callers[name])
+            self.entry_facts[name] = (
+                frozenset(method.params) if has_callers else frozenset()
+            )
+            self.ret_unlabeled[name] = True
+
+        for _ in range(len(program.methods) * 2 + 2):
+            changed = False
+            incoming: dict[str, list[frozenset]] = {
+                m: [] for m in program.methods
+            }
+            for name, method in program.methods.items():
+                analysis = ForwardMustAnalysis(
+                    CFG(method),
+                    self._transfer_factory(name),
+                    boundary=self.entry_facts[name],
+                )
+                analysis.solve()
+                returns_ok = True
+                for label, block in method.blocks.items():
+                    facts_before = analysis.facts_before_each_instr(label)
+                    for index, instr in enumerate(block.instrs):
+                        if instr.op is Opcode.RET:
+                            reg = instr.operands[0]
+                            if reg is None or reg not in facts_before[index]:
+                                returns_ok = False
+                for site in cg.sites_in[name]:
+                    callee = program.methods.get(site.callee)
+                    if callee is None:
+                        continue
+                    facts = analysis.facts_before_each_instr(site.block)[
+                        site.index
+                    ]
+                    passed = frozenset(
+                        param
+                        for param, arg in zip(callee.params, site.args)
+                        if arg in facts
+                    )
+                    incoming[site.callee].append(passed)
+                if returns_ok != self.ret_unlabeled[name]:
+                    self.ret_unlabeled[name] = returns_ok
+                    changed = True
+            for name in program.methods:
+                if not cg.callers[name]:
+                    continue
+                sets = incoming[name]
+                new = (
+                    frozenset.intersection(*sets) if sets else frozenset()
+                )
+                if new != self.entry_facts[name]:
+                    self.entry_facts[name] = new
+                    changed = True
+            if not changed:
+                break
+
+        self._record_origins()
+
+    def _record_origins(self) -> None:
+        for name, method in self.program.methods.items():
+            for param in self.entry_facts[name]:
+                sites = self.cg.sites_of[name]
+                where = sites[0].location() if sites else "entry"
+                self._origins[(name, param)] = FlowStep(
+                    name, method.entry, 0,
+                    f"parameter '{param}' receives a definitely-unlabeled "
+                    f"object at every call site (e.g. {where})",
+                )
+            if not self._alloc_unlabeled(name):
+                continue
+            for label, block in method.blocks.items():
+                for index, instr in enumerate(block.instrs):
+                    if instr.op in ALLOC_OPS:
+                        dst = instr.operands[0]
+                        self._origins.setdefault(
+                            (name, dst),
+                            FlowStep(
+                                name, label, index,
+                                f"'{dst}' allocated outside any labeled "
+                                f"region, so it carries no labels",
+                            ),
+                        )
+
+    def analysis_for(self, name: str) -> ForwardMustAnalysis:
+        analysis = self._analyses.get(name)
+        if analysis is None:
+            method = self.program.methods[name]
+            analysis = ForwardMustAnalysis(
+                CFG(method),
+                self._transfer_factory(name),
+                boundary=self.entry_facts[name],
+            )
+            analysis.solve()
+            self._analyses[name] = analysis
+        return analysis
+
+    def facts_before(self, name: str, label: str) -> list[frozenset]:
+        return self.analysis_for(name).facts_before_each_instr(label)
+
+    def origin(self, name: str, reg: str) -> FlowStep | None:
+        """Best-effort witness for why ``reg`` is definitely unlabeled."""
+        return self._origins.get((name, reg))
+
+
+# ---------------------------------------------------------------------------
+# May-taint (secret-derived values)
+# ---------------------------------------------------------------------------
+
+#: Taint tokens are either a region-method name (data may derive from that
+#: region's secrets) or a parameter token (data may derive from whatever the
+#: parameter held at entry) used to build return summaries.
+_PARAM_TOKEN = "\0param\0"
+
+
+@dataclass
+class TaintSummary:
+    """Context-insensitive summary: how taint crosses a method boundary."""
+
+    #: Parameter names whose entry taint may flow into the return value.
+    ret_from_params: frozenset = frozenset()
+    #: Regions whose secrets may intrinsically taint the return value
+    #: (a secret read inside this method or a transitive callee).
+    ret_regions: frozenset = frozenset()
+
+    @property
+    def ret_tainted(self) -> bool:
+        return bool(self.ret_regions)
+
+
+class TaintAnalysis:
+    """Whole-program may-taint: registers that may hold secret-derived
+    data, with the secrecy regions the data may originate from.
+
+    Facts are ``(register, token)`` pairs; see :data:`_PARAM_TOKEN`.
+    """
+
+    def __init__(self, program: Program, callgraph: CallGraph | None = None):
+        self.program = program
+        self.cg = callgraph or CallGraph(program)
+        self.contexts = self.cg.region_contexts()
+        self.governors = self.cg.governing_regions()
+        self.summaries: dict[str, TaintSummary] = {
+            m: TaintSummary() for m in program.methods
+        }
+        #: method -> (param, region) pairs that may arrive tainted.
+        self.entry_taint: dict[str, frozenset] = {
+            m: frozenset() for m in program.methods
+        }
+        #: (method, reg) -> witness for how the register became tainted.
+        self._sources: dict[tuple[str, str], FlowStep] = {}
+        self._fresh: dict[str, dict[str, list[frozenset]]] = {}
+        self._analyses: dict[str, ForwardMayAnalysis] = {}
+        self._solve()
+
+    def _secret_regions(self, name: str) -> frozenset:
+        """Secrecy-labeled regions that may govern ``name``'s body."""
+        return frozenset(
+            g
+            for g in self.governors[name]
+            if _region_secrecy_nonempty(self.program.methods[g])
+        )
+
+    def _fresh_for(self, name: str) -> dict[str, list[frozenset]]:
+        fresh = self._fresh.get(name)
+        if fresh is None:
+            fresh = region_fresh_registers(self.program.methods[name])
+            self._fresh[name] = fresh
+        return fresh
+
+    def _transfer_factory(self, name: str):
+        secret_regions = self._secret_regions(name)
+        fresh = self._fresh_for(name)
+        summaries = self.summaries
+        sources = self._sources
+        method = self.program.methods[name]
+
+        # The framework hands transfer only (instr, facts); precompute each
+        # instruction's position and taint-source status by identity.
+        positions: dict[int, tuple[str, int]] = {}
+        source_sites: dict[int, frozenset] = {}
+        for label, block in method.blocks.items():
+            fresh_before = fresh[label]
+            for index, instr in enumerate(block.instrs):
+                positions[id(instr)] = (label, index)
+                if instr.op in (Opcode.GETFIELD, Opcode.ALOAD):
+                    obj = instr.operands[1]
+                    if secret_regions and obj not in fresh_before[index]:
+                        source_sites[id(instr)] = secret_regions
+
+        def note_source(dst: str, step: FlowStep) -> None:
+            sources.setdefault((name, dst), step)
+
+        def carry_source(dst: str, from_regs) -> None:
+            for reg in from_regs:
+                step = sources.get((name, reg))
+                if step is not None:
+                    note_source(dst, step)
+                    return
+
+        def transfer(instr: Instr, facts: frozenset) -> frozenset:
+            op = instr.op
+            if op in (Opcode.GETFIELD, Opcode.ALOAD):
+                dst = instr.operands[0]
+                pruned = frozenset(f for f in facts if f[0] != dst)
+                regions = source_sites.get(id(instr), frozenset())
+                if regions:
+                    label, index = positions[id(instr)]
+                    note_source(dst, FlowStep(
+                        name, label, index,
+                        f"'{dst}' loaded from possibly-labeled object "
+                        f"'{instr.operands[1]}' under secrecy region(s) "
+                        f"{', '.join(sorted(regions))}",
+                    ))
+                return pruned | {(dst, r) for r in regions}
+            if op is Opcode.MOV:
+                dst, src = instr.operands
+                pruned = frozenset(f for f in facts if f[0] != dst)
+                copied = {(dst, t) for (reg, t) in facts if reg == src}
+                if copied:
+                    carry_source(dst, [src])
+                return pruned | frozenset(copied)
+            if op in (Opcode.BINOP, Opcode.UNOP):
+                dst = instr.operands[0]
+                used = instr.used_registers()
+                pruned = frozenset(f for f in facts if f[0] != dst)
+                derived = {(dst, t) for (reg, t) in facts if reg in used}
+                if derived:
+                    carry_source(dst, used)
+                return pruned | frozenset(derived)
+            if op is Opcode.CALL:
+                dst, callee_name = instr.operands[0], instr.operands[1]
+                args = instr.operands[2:]
+                callee = self.program.methods.get(callee_name)
+                if dst is None:
+                    return facts
+                pruned = frozenset(f for f in facts if f[0] != dst)
+                if callee is None:
+                    return pruned
+                summary = summaries[callee_name]
+                tokens: set = set(summary.ret_regions)
+                for param, arg in zip(callee.params, args):
+                    if param in summary.ret_from_params:
+                        tokens |= {t for (reg, t) in facts if reg == arg}
+                if tokens:
+                    label, index = positions[id(instr)]
+                    note_source(dst, FlowStep(
+                        name, label, index,
+                        f"'{dst}' returned from '{callee_name}', which may "
+                        f"return secret-derived data",
+                    ))
+                    carry_source(dst, args)
+                return pruned | {(dst, t) for t in tokens}
+            defined = instr.defined_register()
+            if defined is not None:
+                return frozenset(f for f in facts if f[0] != defined)
+            return facts
+
+        return transfer
+
+    def _boundary(self, name: str, with_param_tokens: bool) -> frozenset:
+        method = self.program.methods[name]
+        facts = set(self.entry_taint[name])
+        if with_param_tokens:
+            facts |= {(p, _PARAM_TOKEN + p) for p in method.params}
+        return frozenset(facts)
+
+    def _solve(self) -> None:
+        program, cg = self.program, self.cg
+        # Ascending fixpoint (may-analysis): start empty, grow summaries
+        # and entry taint until stable.  Param tokens are seeded during
+        # summary computation only, and never escape into entry taint.
+        for _ in range(len(program.methods) * 2 + 2):
+            changed = False
+            incoming: dict[str, set] = {m: set() for m in program.methods}
+            for name, method in program.methods.items():
+                analysis = ForwardMayAnalysis(
+                    CFG(method),
+                    self._transfer_factory(name),
+                    boundary=self._boundary(name, with_param_tokens=True),
+                )
+                analysis.solve()
+                ret_from_params: set = set()
+                ret_regions: set = set()
+                for label, block in method.blocks.items():
+                    facts_before = analysis.facts_before_each_instr(label)
+                    for index, instr in enumerate(block.instrs):
+                        if instr.op is not Opcode.RET:
+                            continue
+                        reg = instr.operands[0]
+                        if reg is None:
+                            continue
+                        for fact_reg, token in facts_before[index]:
+                            if fact_reg != reg:
+                                continue
+                            if token.startswith(_PARAM_TOKEN):
+                                ret_from_params.add(
+                                    token[len(_PARAM_TOKEN):]
+                                )
+                            else:
+                                ret_regions.add(token)
+                for site in cg.sites_in[name]:
+                    callee = program.methods.get(site.callee)
+                    if callee is None:
+                        continue
+                    facts = analysis.facts_before_each_instr(site.block)[
+                        site.index
+                    ]
+                    for param, arg in zip(callee.params, site.args):
+                        for reg, token in facts:
+                            if reg == arg and not token.startswith(
+                                _PARAM_TOKEN
+                            ):
+                                incoming[site.callee].add((param, token))
+                new_summary = TaintSummary(
+                    ret_from_params=frozenset(ret_from_params),
+                    ret_regions=frozenset(ret_regions),
+                )
+                if new_summary != self.summaries[name]:
+                    self.summaries[name] = new_summary
+                    changed = True
+            for name in program.methods:
+                new_entry = self.entry_taint[name] | frozenset(incoming[name])
+                if new_entry != self.entry_taint[name]:
+                    self.entry_taint[name] = new_entry
+                    changed = True
+            if not changed:
+                break
+        self._analyses.clear()
+
+    def analysis_for(self, name: str) -> ForwardMayAnalysis:
+        """Seeded analysis for sink checking (real region tokens only)."""
+        analysis = self._analyses.get(name)
+        if analysis is None:
+            method = self.program.methods[name]
+            analysis = ForwardMayAnalysis(
+                CFG(method),
+                self._transfer_factory(name),
+                boundary=self._boundary(name, with_param_tokens=False),
+            )
+            analysis.solve()
+            self._analyses[name] = analysis
+        return analysis
+
+    def facts_before(self, name: str, label: str) -> list[frozenset]:
+        return self.analysis_for(name).facts_before_each_instr(label)
+
+    def tainted_regions(self, name: str, label: str, index: int, reg: str):
+        """Secrecy regions ``reg`` may derive from at this program point."""
+        facts = self.facts_before(name, label)[index]
+        return frozenset(
+            t
+            for (fact_reg, t) in facts
+            if fact_reg == reg and not t.startswith(_PARAM_TOKEN)
+        )
+
+    def source(self, name: str, reg: str) -> FlowStep | None:
+        """Best-effort witness for how ``reg`` became tainted."""
+        return self._sources.get((name, reg))

@@ -1,0 +1,440 @@
+"""lamlint: compile-time IFC violation detection over mini-JIT programs.
+
+``run_lint`` drives every rule and returns a :class:`LintReport`; the
+``lamc lint`` subcommand is a thin shell around it.  The rules:
+
+* **LAM000** — front-end rejection.  The bytecode verifier and the region
+  static checker run first; their findings are wrapped as diagnostics so
+  one tool reports everything.  Structural verification failures stop the
+  deeper rules (their dataflow would be meaningless).
+* **LAM001** — *guaranteed* label-flow violations.  Combines three
+  interprocedural facts: the method's body provably always runs inside a
+  region (call-graph context analysis), every region that can govern it
+  declares nonempty secrecy (for writes) or integrity (for reads), and the
+  accessed object is definitely unlabeled (label-flow must-analysis).
+  ``check_flow`` against an empty label set cannot pass, so if the
+  instruction executes, the barrier throws — Bell–LaPadula for writes,
+  Biba for reads.  Reported with a source-to-sink flow trace.
+* **LAM002** — region methods whose label checks are all provably
+  redundant (after whole-program barrier analysis): the region still pays
+  entry/exit and allocation labeling, but enforces no checks.
+* **LAM003** — unreachable blocks inside region methods, and region
+  methods no call site ever enters (closed world).
+* **LAM004** — dead ``catch`` handlers: the region body (transitively,
+  through non-region callees) cannot raise any exception the region would
+  suppress, so the declared handler can never run.
+* **LAM005** — statics smuggling: a non-region helper that may execute
+  under a region (nonempty governing-region set) touches statics.  The
+  region checker bans statics in region bodies, but the runtime performs
+  no check when a *callee* does it — the classic way around the ban.
+  Suppressed under ``labeled_statics``, where static barriers guard these
+  accesses dynamically.
+* **LAM006** — possible secret leaks: a value that *may* derive from
+  secrecy-labeled data (interprocedural taint) reaches ``print`` or an
+  unlabeled static — output channels no barrier guards.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+from ..core import StaticCheckError
+from ..jit.barrier_insertion import (
+    BARRIER_OPS,
+    CompileContext,
+    _accessed_register,
+    insert_barriers,
+)
+from ..jit.cfg import CFG
+from ..jit.ir import Opcode, Program, READ_OPS, WRITE_OPS
+from ..jit.region_checker import check_region_method
+from ..jit.verifier import verify_method
+from .callgraph import CallGraph, IN_REGION
+from .diagnostics import Diagnostic, make, sort_key
+from .labelflow import FlowStep, TaintAnalysis, UnlabeledAnalysis
+from .safety import compute_interprocedural_facts, may_raise_suppressible
+
+#: Rule classes this linter implements (stable API, mirrored in docs).
+RULES = ("LAM000", "LAM001", "LAM002", "LAM003", "LAM004", "LAM005", "LAM006")
+
+
+@dataclass
+class LintReport:
+    """Every finding for one program, sorted by severity/code/location."""
+
+    diagnostics: list = field(default_factory=list)
+
+    def extend(self, diags) -> None:
+        self.diagnostics.extend(diags)
+
+    def finish(self) -> "LintReport":
+        self.diagnostics.sort(key=sort_key)
+        return self
+
+    @property
+    def errors(self) -> list:
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    @property
+    def codes(self) -> set:
+        return {d.code for d in self.diagnostics}
+
+    def to_dicts(self) -> list:
+        return [d.to_dict() for d in self.diagnostics]
+
+    def format_human(self) -> str:
+        if not self.diagnostics:
+            return "clean: no findings"
+        parts = [d.format_human() for d in self.diagnostics]
+        counts = {}
+        for d in self.diagnostics:
+            counts[d.severity] = counts.get(d.severity, 0) + 1
+        summary = ", ".join(
+            f"{n} {sev}{'s' if n != 1 else ''}"
+            for sev, n in sorted(counts.items())
+        )
+        return "\n".join(parts) + f"\n-- {summary}"
+
+
+def run_lint(program: Program, labeled_statics: bool = False) -> LintReport:
+    """Run every rule over a parsed (uninstrumented) program."""
+    report = LintReport()
+    front_end, structural = _rule_front_end(program, labeled_statics)
+    report.extend(front_end)
+    if structural:
+        # Broken block structure / unknown callees invalidate CFG and
+        # call-graph construction; deeper rules would crash or lie.
+        return report.finish()
+
+    cg = CallGraph(program)
+    unlabeled = UnlabeledAnalysis(program, cg)
+    taint = TaintAnalysis(program, cg)
+
+    report.extend(_rule_definite_violations(program, cg, unlabeled))
+    report.extend(_rule_redundant_regions(program, labeled_statics))
+    report.extend(_rule_unreachable_regions(program, cg))
+    report.extend(_rule_dead_catch(program, cg))
+    if not labeled_statics:
+        report.extend(_rule_statics_smuggling(program, cg))
+    report.extend(_rule_possible_leaks(program, cg, taint))
+    return report.finish()
+
+
+# ---------------------------------------------------------------------------
+# LAM000
+# ---------------------------------------------------------------------------
+
+
+def _rule_front_end(program: Program, labeled_statics: bool):
+    diags: list[Diagnostic] = []
+    structural = False
+    for method in program.methods.values():
+        errors = verify_method(method, program)
+        if errors:
+            structural = True
+        for message in errors:
+            diags.append(make("LAM000", method.name, message))
+    if structural:
+        return diags, True
+    for method in program.methods.values():
+        if not method.is_region:
+            continue
+        try:
+            check_region_method(method, allow_statics=labeled_statics)
+        except StaticCheckError as exc:
+            diags.append(make("LAM000", method.name, str(exc)))
+    return diags, False
+
+
+# ---------------------------------------------------------------------------
+# LAM001
+# ---------------------------------------------------------------------------
+
+
+def _governors_all(program: Program, governors, name: str, kind: str):
+    """True (with the governing set) iff every region that can govern
+    ``name`` declares a nonempty ``kind`` label set."""
+    govs = governors[name]
+    if not govs:
+        return False, govs
+    for gov in govs:
+        spec = program.methods[gov].region_spec
+        if spec is None:
+            return False, govs
+        labels = spec.secrecy if kind == "secrecy" else spec.integrity
+        if labels.is_empty:
+            return False, govs
+    return True, govs
+
+
+def _unlabeled_trace(
+    unlabeled: UnlabeledAnalysis, cg: CallGraph, name: str, reg: str
+) -> list[FlowStep]:
+    """Walk parameter origins up the call graph to the allocation site."""
+    steps: list[FlowStep] = []
+    program = unlabeled.program
+    seen: set[tuple[str, str]] = set()
+    cur_name, cur_reg = name, reg
+    for _ in range(8):
+        if (cur_name, cur_reg) in seen:
+            break
+        seen.add((cur_name, cur_reg))
+        step = unlabeled.origin(cur_name, cur_reg)
+        if step is None:
+            break
+        steps.append(step)
+        method = program.methods[cur_name]
+        if cur_reg not in method.params:
+            break
+        sites = cg.sites_of[cur_name]
+        if not sites:
+            break
+        site = sites[0]
+        pidx = method.params.index(cur_reg)
+        if pidx >= len(site.args):
+            break
+        cur_name, cur_reg = site.caller, site.args[pidx]
+    steps.reverse()
+    return steps
+
+
+def _rule_definite_violations(
+    program: Program, cg: CallGraph, unlabeled: UnlabeledAnalysis
+):
+    diags = []
+    contexts = cg.region_contexts()
+    governors = cg.governing_regions()
+    for name, method in program.methods.items():
+        if contexts[name] != frozenset({IN_REGION}):
+            continue
+        secrecy_ok, secrecy_govs = _governors_all(
+            program, governors, name, "secrecy"
+        )
+        integrity_ok, integrity_govs = _governors_all(
+            program, governors, name, "integrity"
+        )
+        if not secrecy_ok and not integrity_ok:
+            continue
+        for label, block in method.blocks.items():
+            facts_before = unlabeled.facts_before(name, label)
+            for index, instr in enumerate(block.instrs):
+                if instr.op in BARRIER_OPS or instr.op not in (
+                    READ_OPS | WRITE_OPS
+                ):
+                    continue
+                obj = _accessed_register(instr)
+                if obj not in facts_before[index]:
+                    continue
+                is_write = instr.op in WRITE_OPS
+                if is_write and secrecy_ok:
+                    govs, rule = secrecy_govs, "secrecy (Bell-LaPadula)"
+                    what = "write to"
+                elif not is_write and integrity_ok:
+                    govs, rule = integrity_govs, "integrity (Biba)"
+                    what = "read from"
+                else:
+                    continue
+                trace = _unlabeled_trace(unlabeled, cg, name, obj)
+                trace.append(FlowStep(
+                    name, label, index,
+                    f"{what} unlabeled '{obj}' while the thread holds "
+                    f"nonempty {rule.split()[0]} labels — the barrier must "
+                    f"throw",
+                ))
+                diags.append(make(
+                    "LAM001", name,
+                    f"guaranteed {rule} violation: {what} "
+                    f"definitely-unlabeled object '{obj}' under region(s) "
+                    f"{', '.join(sorted(govs))} — this access can never "
+                    f"succeed",
+                    block=label, index=index, trace=trace,
+                ))
+    return diags
+
+
+# ---------------------------------------------------------------------------
+# LAM002
+# ---------------------------------------------------------------------------
+
+
+def _rule_redundant_regions(program: Program, labeled_statics: bool):
+    diags = []
+    instrumented = program
+    if not any(
+        instr.op in BARRIER_OPS
+        for m in program.methods.values()
+        for instr in m.all_instrs()
+    ):
+        instrumented = copy.deepcopy(program)
+        insert_barriers(
+            instrumented,
+            CompileContext.UNKNOWN,
+            labeled_statics=labeled_statics,
+        )
+    facts = compute_interprocedural_facts(instrumented)
+    check_ops = (
+        Opcode.READBAR, Opcode.WRITEBAR, Opcode.SREADBAR, Opcode.SWRITEBAR,
+    )
+    for name, method in instrumented.methods.items():
+        if not method.is_region:
+            continue
+        checks = sum(
+            1 for instr in method.all_instrs() if instr.op in check_ops
+        )
+        if checks == 0:
+            continue
+        redundant = facts.redundant_barriers(name)
+        if len(redundant) == checks:
+            diags.append(make(
+                "LAM002", name,
+                f"all {checks} label check(s) in region {name!r} are "
+                f"provably redundant — every accessed object is "
+                f"region-fresh or already checked; the region enforces "
+                f"nothing beyond entry/exit",
+            ))
+    return diags
+
+
+# ---------------------------------------------------------------------------
+# LAM003
+# ---------------------------------------------------------------------------
+
+
+def _rule_unreachable_regions(program: Program, cg: CallGraph):
+    diags = []
+    for name, method in program.methods.items():
+        if not method.is_region:
+            continue
+        if not cg.callers[name]:
+            diags.append(make(
+                "LAM003", name,
+                f"region method {name!r} is never called — its checks and "
+                f"labels are dead code (closed-world assumption)",
+            ))
+        reachable = CFG(method).reachable()
+        for label in method.blocks:
+            if label not in reachable:
+                diags.append(make(
+                    "LAM003", name,
+                    f"block {label!r} in region {name!r} is unreachable "
+                    f"from entry — the code inside never executes",
+                    block=label,
+                ))
+    return diags
+
+
+# ---------------------------------------------------------------------------
+# LAM004
+# ---------------------------------------------------------------------------
+
+
+def _rule_dead_catch(program: Program, cg: CallGraph):
+    diags = []
+    may_raise = may_raise_suppressible(program, cg)
+    for name, method in program.methods.items():
+        spec = method.region_spec
+        if not method.is_region or spec is None or spec.catch is None:
+            continue
+        if not may_raise[name]:
+            diags.append(make(
+                "LAM004", name,
+                f"catch handler {spec.catch!r} of region {name!r} can "
+                f"never run: the region body (including callees) cannot "
+                f"raise any exception the region would suppress",
+            ))
+    return diags
+
+
+# ---------------------------------------------------------------------------
+# LAM005
+# ---------------------------------------------------------------------------
+
+
+def _rule_statics_smuggling(program: Program, cg: CallGraph):
+    diags = []
+    governors = cg.governing_regions()
+    for name, method in program.methods.items():
+        if method.is_region:
+            continue  # region bodies are already policed by LAM000
+        govs = governors[name]
+        if not govs:
+            continue
+        for label, block in method.blocks.items():
+            for index, instr in enumerate(block.instrs):
+                if instr.op not in (Opcode.GETSTATIC, Opcode.PUTSTATIC):
+                    continue
+                static = (
+                    instr.operands[1]
+                    if instr.op is Opcode.GETSTATIC
+                    else instr.operands[0]
+                )
+                verb = (
+                    "read" if instr.op is Opcode.GETSTATIC else "written"
+                )
+                trace = []
+                for gov in sorted(govs):
+                    chain = cg.call_chain(gov, name)
+                    if chain:
+                        for site in chain:
+                            trace.append(FlowStep(
+                                site.caller, site.block, site.index,
+                                f"call to '{site.callee}' under region "
+                                f"'{gov}'",
+                            ))
+                        break
+                trace.append(FlowStep(
+                    name, label, index,
+                    f"static '{static}' {verb} while the thread may hold "
+                    f"region labels — no barrier checks this access",
+                ))
+                diags.append(make(
+                    "LAM005", name,
+                    f"statics smuggling: non-region helper {name!r} "
+                    f"accesses static {static!r} but may run under "
+                    f"region(s) {', '.join(sorted(govs))}, bypassing the "
+                    f"region checker's static ban",
+                    block=label, index=index, trace=trace,
+                ))
+    return diags
+
+
+# ---------------------------------------------------------------------------
+# LAM006
+# ---------------------------------------------------------------------------
+
+
+def _rule_possible_leaks(program: Program, cg: CallGraph, taint: TaintAnalysis):
+    diags = []
+    for name, method in program.methods.items():
+        for label, block in method.blocks.items():
+            for index, instr in enumerate(block.instrs):
+                if instr.op is Opcode.PRINT:
+                    reg, channel = instr.operands[0], "print"
+                elif instr.op is Opcode.PUTSTATIC:
+                    reg, channel = (
+                        instr.operands[1],
+                        f"static '{instr.operands[0]}'",
+                    )
+                else:
+                    continue
+                regions = taint.tainted_regions(name, label, index, reg)
+                if not regions:
+                    continue
+                trace = []
+                source = taint.source(name, reg)
+                if source is not None:
+                    trace.append(source)
+                trace.append(FlowStep(
+                    name, label, index,
+                    f"'{reg}' reaches {channel}, an output channel no "
+                    f"barrier guards",
+                ))
+                diags.append(make(
+                    "LAM006", name,
+                    f"possible secret leak: {reg!r} may derive from "
+                    f"secrecy region(s) {', '.join(sorted(regions))} and "
+                    f"flows to {channel}",
+                    block=label, index=index, trace=trace,
+                ))
+    return diags

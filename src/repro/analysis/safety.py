@@ -1,0 +1,336 @@
+"""Whole-program *proven-safe* facts for barrier elimination.
+
+The intraprocedural pass in :mod:`repro.jit.barrier_elim` removes a
+barrier when the same object already passed the same kind of check on
+every path **within one method**.  This module lifts the same must-facts
+across call edges: if every call site of ``m`` passes, as argument ``i``,
+an object that has already been read-checked, then ``m``'s own read
+barrier on parameter ``i`` is redundant — the check it would perform
+already ran (with the same outcome) in the caller.
+
+Soundness rests on three properties the runtime guarantees:
+
+* object labels are immutable, so a check's outcome cannot change between
+  caller and callee;
+* a *non-region* callee executes in exactly the caller's region context
+  (regions are entered only by calling a ``region method``), so the check
+  a barrier performs is the same check the caller's barrier performed —
+  provided the two barriers compile to the same variant (see
+  :func:`_edge_compatible`);
+* thread labels are fixed for the duration of a region, so alloc-derived
+  facts ("this object is fresh and carries the allocating context's
+  labels") stay valid across non-region calls.
+
+Closed-world caveat: entry facts are trusted only for methods *with*
+callers; a method that is also invoked directly from the embedder (e.g.
+``lamc run --entry helper``) would bypass the callers this analysis
+consulted.  Roots (methods with no callers) always get empty entry facts,
+and the interprocedural pipeline is opt-in (``optimize_barriers=
+"interprocedural"``).
+"""
+
+from __future__ import annotations
+
+from ..jit.barrier_elim import READ, WRITE, _STATIC_KEY, _transfer
+from ..jit.barrier_insertion import BARRIER_OPS
+from ..jit.cfg import CFG
+from ..jit.dataflow import ForwardMustAnalysis
+from ..jit.ir import BarrierFlavor, Method, Opcode, Program
+from .callgraph import CallGraph, IN_REGION, OUT_OF_REGION
+
+#: Sentinel flavor for methods whose facts are context-faithful (no
+#: compiled-in assumption): alloc-derived facts and barrier-less methods.
+_ACTUAL = "actual"
+
+
+def method_barrier_flavor(method: Method):
+    """The unique flavor of a method's barriers: a
+    :class:`~repro.jit.ir.BarrierFlavor`, ``_ACTUAL`` when the method has
+    no barriers (its facts come from allocations, which are faithful to
+    the executing context), or ``None`` when flavors are mixed (no
+    interprocedural claims are made about such methods)."""
+    flavor = _ACTUAL
+    for instr in method.all_instrs():
+        if instr.op in BARRIER_OPS:
+            if flavor is _ACTUAL:
+                flavor = instr.flavor
+            elif flavor is not instr.flavor:
+                return None
+    return flavor
+
+
+def _resolve(flavor, contexts: frozenset) -> str | None:
+    """The check a barrier of ``flavor`` performs, as ``"in"``/``"out"``,
+    given the contexts the enclosing method may run in; ``None`` when the
+    check depends on a context we cannot pin down."""
+    if flavor is BarrierFlavor.STATIC_IN:
+        return IN_REGION
+    if flavor is BarrierFlavor.STATIC_OUT:
+        return OUT_OF_REGION
+    # DYNAMIC and _ACTUAL follow the real context.
+    if len(contexts) == 1:
+        return next(iter(contexts))
+    return None
+
+
+def _edge_compatible(caller_flavor, callee_flavor, contexts: frozenset) -> bool:
+    """May facts flow from a call site in a method compiled with
+    ``caller_flavor`` into a callee compiled with ``callee_flavor``?
+
+    True when the caller's already-executed check and the callee's
+    would-be check are provably the same check.  Both DYNAMIC (or
+    alloc-faithful) barriers test the *same* runtime context — caller and
+    non-region callee share it — so they always match each other.
+    Static variants match when they resolve to the same single context.
+    """
+    if caller_flavor is None or callee_flavor is None:
+        return False
+    dynamic_like = (BarrierFlavor.DYNAMIC, _ACTUAL)
+    if caller_flavor in dynamic_like and callee_flavor in dynamic_like:
+        return True
+    resolved_caller = _resolve(caller_flavor, contexts)
+    resolved_callee = _resolve(callee_flavor, contexts)
+    return resolved_caller is not None and resolved_caller == resolved_callee
+
+
+class InterproceduralFacts:
+    """Result of the whole-program must-analysis.
+
+    ``entry_facts[m]`` is the set of ``(register, kind)`` / static-key
+    facts guaranteed to hold at ``m``'s entry on every execution that
+    reaches it through a call.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        entry_facts: dict[str, frozenset],
+        callgraph: CallGraph,
+    ) -> None:
+        self.program = program
+        self.entry_facts = entry_facts
+        self.callgraph = callgraph
+        self._analyses: dict[str, ForwardMustAnalysis] = {}
+
+    def analysis_for(self, name: str) -> ForwardMustAnalysis:
+        """The (cached) seeded per-method analysis for ``name``."""
+        analysis = self._analyses.get(name)
+        if analysis is None:
+            method = self.program.methods[name]
+            analysis = ForwardMustAnalysis(
+                CFG(method), _transfer, boundary=self.entry_facts[name]
+            )
+            analysis.solve()
+            self._analyses[name] = analysis
+        return analysis
+
+    def redundant_barriers(self, name: str) -> list[tuple[str, int]]:
+        """``(block, index)`` of every barrier in ``name`` that is provably
+        redundant given the whole-program entry facts."""
+        method = self.program.methods[name]
+        analysis = self.analysis_for(name)
+        out: list[tuple[str, int]] = []
+        for label, block in method.blocks.items():
+            facts_before = analysis.facts_before_each_instr(label)
+            for index, (instr, facts) in enumerate(
+                zip(block.instrs, facts_before)
+            ):
+                if _barrier_redundant(instr, facts):
+                    out.append((label, index))
+        return out
+
+
+def _barrier_redundant(instr, facts: frozenset) -> bool:
+    op = instr.op
+    if op is Opcode.READBAR:
+        return (instr.operands[0], READ) in facts
+    if op is Opcode.WRITEBAR:
+        return (instr.operands[0], WRITE) in facts
+    if op is Opcode.SREADBAR:
+        return (_STATIC_KEY + instr.operands[0], READ) in facts
+    if op is Opcode.SWRITEBAR:
+        return (_STATIC_KEY + instr.operands[0], WRITE) in facts
+    return False
+
+
+def compute_interprocedural_facts(
+    program: Program, callgraph: CallGraph | None = None
+) -> InterproceduralFacts:
+    """Fixpoint over the whole program (optimistic start, descending).
+
+    Every non-root, non-region method begins at TOP (all parameter facts
+    plus every static-key fact the program could generate) and each round
+    intersects the facts actually proven at its call sites; recursion
+    (SCCs) is handled by iterating to a fixpoint over the finite lattice.
+    """
+    cg = callgraph or CallGraph(program)
+    contexts = cg.region_contexts()
+    flavors = {
+        name: method_barrier_flavor(method)
+        for name, method in program.methods.items()
+    }
+
+    static_keys: set[str] = set()
+    for method in program.methods.values():
+        for instr in method.all_instrs():
+            if instr.op in (Opcode.SREADBAR, Opcode.SWRITEBAR):
+                static_keys.add(_STATIC_KEY + instr.operands[0])
+
+    def full(method: Method) -> frozenset:
+        facts = {(p, kind) for p in method.params for kind in (READ, WRITE)}
+        facts |= {(key, kind) for key in static_keys for kind in (READ, WRITE)}
+        return frozenset(facts)
+
+    entry: dict[str, frozenset] = {}
+    for name, method in program.methods.items():
+        trusting = bool(cg.callers[name]) and not method.is_region
+        entry[name] = full(method) if trusting else frozenset()
+
+    for _ in range(len(program.methods) * 2 + 2):
+        changed = False
+        # Facts proven at each site this round, computed against the
+        # current entry assumption.
+        incoming: dict[str, list[frozenset]] = {m: [] for m in program.methods}
+        for name, method in program.methods.items():
+            analysis = ForwardMustAnalysis(
+                CFG(method), _transfer, boundary=entry[name]
+            )
+            analysis.solve()
+            for site in cg.sites_in[name]:
+                callee = program.methods.get(site.callee)
+                if callee is None or callee.is_region:
+                    continue
+                if not _edge_compatible(
+                    flavors[name], flavors[site.callee], contexts[name]
+                ):
+                    incoming[site.callee].append(frozenset())
+                    continue
+                facts_before = analysis.facts_before_each_instr(site.block)
+                facts = facts_before[site.index]
+                mapped = set()
+                for param, arg in zip(callee.params, site.args):
+                    for kind in (READ, WRITE):
+                        if (arg, kind) in facts:
+                            mapped.add((param, kind))
+                for fact in facts:
+                    if isinstance(fact[0], str) and fact[0].startswith(
+                        _STATIC_KEY
+                    ):
+                        mapped.add(fact)
+                incoming[site.callee].append(frozenset(mapped))
+        for name, method in program.methods.items():
+            if not cg.callers[name] or method.is_region:
+                continue
+            sets = incoming[name]
+            new = frozenset.intersection(*sets) if sets else frozenset()
+            if new != entry[name]:
+                entry[name] = new
+                changed = True
+        if not changed:
+            break
+
+    return InterproceduralFacts(program, entry, cg)
+
+
+# -- no-throw analysis (for the dead-catch lint rule) ---------------------------
+
+
+def region_fresh_registers(
+    method: Method,
+) -> dict[str, list[frozenset]]:
+    """Per block, the registers that *definitely* hold an object freshly
+    allocated in this method, before each instruction.  Inside a region,
+    such objects carry the region's own labels, so every check on them
+    passes."""
+    def transfer(instr, facts: frozenset) -> frozenset:
+        op = instr.op
+        if op in (Opcode.NEW, Opcode.NEWARRAY):
+            dst = instr.operands[0]
+            return frozenset(f for f in facts if f != dst) | {dst}
+        if op is Opcode.MOV:
+            dst, src = instr.operands
+            pruned = frozenset(f for f in facts if f != dst)
+            return pruned | {dst} if src in facts else pruned
+        defined = instr.defined_register()
+        if defined is not None:
+            return frozenset(f for f in facts if f != defined)
+        return facts
+
+    analysis = ForwardMustAnalysis(CFG(method), transfer)
+    analysis.solve()
+    return {
+        label: analysis.facts_before_each_instr(label)
+        for label in method.blocks
+    }
+
+
+def may_raise_suppressible(
+    program: Program, callgraph: CallGraph | None = None
+) -> dict[str, bool]:
+    """Whether each method's body (transitively, through non-region calls)
+    can raise an exception a region's ``__exit__`` would suppress — i.e.
+    one that would make the region's ``catch`` handler run.
+
+    The over-approximation is deliberately generous (it only ever *adds*
+    throwers, which makes the dead-catch rule conservative):
+
+    * a heap access throws unless its object is definitely method-fresh
+      (a fresh object carries the thread's own labels, so label and space
+      checks pass);
+    * array loads/stores throw regardless (index errors are suppressed by
+      regions too, and indices are not tracked);
+    * ``div``/``mod`` can raise arithmetic errors;
+    * static accesses and static barriers may throw under labeled statics;
+    * calling a region method can throw at *entry* (capability check).
+
+    VM panics (e.g. a field-name typo) are programmer-error crashes that
+    propagate past regions and are outside this model.
+    """
+    cg = callgraph or CallGraph(program)
+    local: dict[str, bool] = {}
+    for name, method in program.methods.items():
+        fresh = region_fresh_registers(method)
+        throwing = False
+        for label, block in method.blocks.items():
+            for index, instr in enumerate(block.instrs):
+                op = instr.op
+                if op in (Opcode.GETSTATIC, Opcode.PUTSTATIC):
+                    throwing = True
+                elif op in (Opcode.SREADBAR, Opcode.SWRITEBAR):
+                    throwing = True
+                elif op in (Opcode.ALOAD, Opcode.ASTORE):
+                    throwing = True
+                elif op is Opcode.BINOP and instr.operands[1] in (
+                    "div", "mod"
+                ):
+                    throwing = True
+                elif op in (
+                    Opcode.GETFIELD, Opcode.PUTFIELD, Opcode.ARRAYLEN,
+                ):
+                    obj = instr.operands[1] if op in (
+                        Opcode.GETFIELD, Opcode.ARRAYLEN
+                    ) else instr.operands[0]
+                    if obj not in fresh[label][index]:
+                        throwing = True
+                if throwing:
+                    break
+            if throwing:
+                break
+        local[name] = throwing
+
+    # Propagate through non-region call edges; calling a region method is
+    # itself a potential thrower (the entry rules can reject).
+    result = dict(local)
+    changed = True
+    while changed:
+        changed = False
+        for name in program.methods:
+            if result[name]:
+                continue
+            for callee in cg.callees[name]:
+                callee_method = program.methods[callee]
+                if callee_method.is_region or result[callee]:
+                    result[name] = True
+                    changed = True
+                    break
+    return result

@@ -12,6 +12,7 @@ executes instrumented programs against the Laminar VM (:mod:`.interpreter`).
 
 from .barrier_elim import (
     count_barriers,
+    eliminate_interprocedural_barriers,
     eliminate_redundant_barriers,
     eliminate_redundant_barriers_method,
 )
@@ -24,7 +25,15 @@ from .cfg import CFG
 from .cloning import IN_SUFFIX, clone_count, clone_for_contexts
 from .compiler import CompileReport, Compiler, JITConfig, compile_source
 from .copyprop import propagate_copies, propagate_copies_method
-from .dataflow import ForwardMustAnalysis
+from .dataflow import (
+    BackwardMayAnalysis,
+    BackwardMustAnalysis,
+    DataflowAnalysis,
+    Direction,
+    ForwardMayAnalysis,
+    ForwardMustAnalysis,
+    Meet,
+)
 from .inline import DEFAULT_INLINE_THRESHOLD, inline_program
 from .interpreter import Interpreter, IRArray, IRObject, StaleCompilationError
 from .ir import (
@@ -45,10 +54,16 @@ __all__ = [
     "BasicBlock",
     "CFG",
     "CompileContext",
+    "BackwardMayAnalysis",
+    "BackwardMustAnalysis",
     "CompileReport",
     "Compiler",
     "DEFAULT_INLINE_THRESHOLD",
+    "DataflowAnalysis",
+    "Direction",
+    "ForwardMayAnalysis",
     "ForwardMustAnalysis",
+    "Meet",
     "IN_SUFFIX",
     "IRArray",
     "IRObject",
@@ -69,6 +84,7 @@ __all__ = [
     "propagate_copies",
     "propagate_copies_method",
     "count_barriers",
+    "eliminate_interprocedural_barriers",
     "eliminate_redundant_barriers",
     "eliminate_redundant_barriers_method",
     "insert_barriers",

@@ -69,11 +69,20 @@ def _transfer(instr: Instr, facts: frozenset) -> frozenset:
     return facts
 
 
-def eliminate_redundant_barriers_method(method: Method) -> int:
+def eliminate_redundant_barriers_method(
+    method: Method, entry_facts: frozenset = frozenset()
+) -> int:
     """Remove provably redundant barriers from one method, in place.
-    Returns the number of barriers removed."""
+    Returns the number of barriers removed.
+
+    ``entry_facts`` seeds the analysis at method entry with facts proven
+    to hold at *every* call site — the whole-program analysis in
+    :mod:`repro.analysis.safety` computes them; plain intraprocedural
+    elimination passes none."""
     cfg = CFG(method)
-    analysis: ForwardMustAnalysis = ForwardMustAnalysis(cfg, _transfer)
+    analysis: ForwardMustAnalysis = ForwardMustAnalysis(
+        cfg, _transfer, boundary=entry_facts
+    )
     analysis.solve()
     removed = 0
     for label, block in method.blocks.items():
@@ -106,6 +115,35 @@ def eliminate_redundant_barriers(program: Program) -> int:
     return sum(
         eliminate_redundant_barriers_method(m) for m in program.methods.values()
     )
+
+
+def eliminate_interprocedural_barriers(program: Program) -> int:
+    """Whole-program elimination: remove barriers whose check provably
+    already ran in *every caller* (facts crossing call edges, subject to
+    the flavor-compatibility rules in :mod:`repro.analysis.safety`).
+
+    Run after :func:`eliminate_redundant_barriers` — intraprocedural
+    removal never destroys facts (a removed barrier was redundant, so its
+    fact was already present), and this pass then removes what only
+    cross-call knowledge can prove.  Returns the number removed."""
+    # Imported lazily: repro.analysis builds on this module.
+    from ..analysis.safety import compute_interprocedural_facts
+
+    facts = compute_interprocedural_facts(program)
+    removed = 0
+    for name, method in program.methods.items():
+        redundant = set(facts.redundant_barriers(name))
+        if not redundant:
+            continue
+        for label, block in method.blocks.items():
+            kept = [
+                instr
+                for index, instr in enumerate(block.instrs)
+                if (label, index) not in redundant
+            ]
+            removed += len(block.instrs) - len(kept)
+            block.instrs = kept
+    return removed
 
 
 def count_barriers(program: Program) -> int:

@@ -30,7 +30,11 @@ import enum
 import time
 from dataclasses import dataclass, field
 
-from .barrier_elim import count_barriers, eliminate_redundant_barriers
+from .barrier_elim import (
+    count_barriers,
+    eliminate_interprocedural_barriers,
+    eliminate_redundant_barriers,
+)
 from .barrier_insertion import (
     BARRIER_OPS,
     CompileContext,
@@ -80,6 +84,8 @@ class CompileReport:
     inlined_calls: int = 0
     barriers_inserted: int = 0
     barriers_removed: int = 0
+    #: Removed only thanks to cross-call facts (the interprocedural mode).
+    barriers_removed_interproc: int = 0
     barriers_final: int = 0
     machine_ops: int = 0
     seconds: float = 0.0
@@ -92,7 +98,7 @@ class Compiler:
     def __init__(
         self,
         config: JITConfig = JITConfig.STATIC,
-        optimize_barriers: bool = True,
+        optimize_barriers: "bool | str" = True,
         inline: bool = True,
         inline_threshold: int = DEFAULT_INLINE_THRESHOLD,
         clone: bool = False,
@@ -102,6 +108,14 @@ class Compiler:
         # chooses one static variant at first compilation; cloning is the
         # production alternative and is exercised by the cloning ablation.
         self.config = config
+        # optimize_barriers: False (keep every barrier), True (the paper's
+        # intraprocedural elimination), or "interprocedural" (additionally
+        # consume whole-program proven-safe facts from repro.analysis).
+        if optimize_barriers not in (True, False, "interprocedural"):
+            raise ValueError(
+                f"optimize_barriers must be True, False or "
+                f"'interprocedural', got {optimize_barriers!r}"
+            )
         self.optimize_barriers = optimize_barriers
         self.inline = inline
         self.inline_threshold = inline_threshold
@@ -151,6 +165,11 @@ class Compiler:
             if self.optimize_barriers:
                 report.barriers_removed = eliminate_redundant_barriers(program)
                 report.passes.append("eliminate-redundant-barriers")
+            if self.optimize_barriers == "interprocedural":
+                report.barriers_removed_interproc = (
+                    eliminate_interprocedural_barriers(program)
+                )
+                report.passes.append("interprocedural-barrier-elim")
             report.barriers_final = count_barriers(program)
         report.machine_ops = self._lower(program)
         report.passes.append("lower")

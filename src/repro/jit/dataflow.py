@@ -1,16 +1,28 @@
-"""A small forward dataflow framework.
+"""A small generic dataflow framework.
 
-The barrier-elimination pass needs a *must* (all-paths) forward analysis:
-facts hold at a point only if they hold along every incoming path, so the
-merge operator is set intersection and the entry fact set is empty.
+The original need was a forward *must* (all-paths) analysis for the
+barrier-elimination pass: facts hold at a point only if they hold along
+every incoming path, so the merge operator is set intersection and the
+entry fact set is empty.  The whole-program analyses in
+:mod:`repro.analysis` added two more axes, so the solver is now generic
+over
 
-The framework is generic over the fact type so tests can instantiate it
-with toy transfer functions, and future passes (e.g. available-expressions
-for the inliner's cleanup) can reuse it.
+* **direction** — facts flow with control (:class:`Direction.FORWARD`) or
+  against it (:class:`Direction.BACKWARD`, e.g. liveness);
+* **meet** — facts must hold on *all* paths (:class:`Meet.MUST`,
+  intersection) or on *some* path (:class:`Meet.MAY`, union, e.g. the
+  label-taint propagation of :mod:`repro.analysis.labelflow`);
+* **boundary facts** — the fact set assumed at the entry (forward) or at
+  every exit (backward).  Interprocedural passes seed a method's analysis
+  with facts proven at its call sites this way.
+
+The framework stays generic over the fact type so tests can instantiate
+it with toy transfer functions and future passes can reuse it.
 """
 
 from __future__ import annotations
 
+import enum
 from typing import Callable, Generic, Hashable, TypeVar
 
 from .cfg import CFG
@@ -19,27 +31,116 @@ from .ir import Instr
 Fact = TypeVar("Fact", bound=Hashable)
 
 #: Transfer function: (instruction, incoming facts) -> outgoing facts.
+#: For backward analyses "incoming" means the facts *after* the
+#: instruction and the result is the facts *before* it.
 Transfer = Callable[[Instr, frozenset], frozenset]
 
 
-class ForwardMustAnalysis(Generic[Fact]):
-    """Iterative worklist solver for forward must-analyses.
+class Direction(enum.Enum):
+    FORWARD = "forward"
+    BACKWARD = "backward"
 
-    ``TOP`` (the "everything holds" value before a block is first visited)
-    is represented implicitly: blocks never yet computed are skipped during
-    merge, which is equivalent to meeting with the universal set.
+
+class Meet(enum.Enum):
+    #: All-paths: merge with intersection; unvisited neighbors are TOP
+    #: (the universal set) and are skipped during the merge.
+    MUST = "must"
+    #: Some-path: merge with union; unvisited neighbors are BOTTOM (empty).
+    MAY = "may"
+
+
+class DataflowAnalysis(Generic[Fact]):
+    """Iterative worklist solver, parameterized by direction and meet.
+
+    After :meth:`solve`, ``block_in[label]`` holds the facts at the
+    *entry* of each block and ``block_out[label]`` the facts at its
+    *exit* — the same convention for both directions (a backward analysis
+    computes ``block_in`` from ``block_out``).
+
+    For MUST analyses, TOP (the "everything holds" value before a block is
+    first visited) is represented implicitly: blocks never yet computed
+    are skipped during merge, which is equivalent to meeting with the
+    universal set.
     """
 
-    def __init__(self, cfg: CFG, transfer: Transfer) -> None:
+    direction: Direction = Direction.FORWARD
+    meet: Meet = Meet.MUST
+
+    def __init__(
+        self,
+        cfg: CFG,
+        transfer: Transfer,
+        boundary: frozenset = frozenset(),
+    ) -> None:
         self.cfg = cfg
         self.transfer = transfer
+        #: Facts assumed at the entry block (forward) or at every block
+        #: with no successors (backward).
+        self.boundary = boundary
         #: facts at block entry, after solving.
         self.block_in: dict[str, frozenset] = {}
         #: facts at block exit, after solving.
         self.block_out: dict[str, frozenset] = {}
 
+    # -- direction plumbing ---------------------------------------------------
+
+    def _neighbors_in(self, label: str) -> list[str]:
+        """Blocks whose solved facts feed ``label``."""
+        if self.direction is Direction.FORWARD:
+            return list(self.cfg.preds[label])
+        return list(self.cfg.succs[label])
+
+    def _neighbors_out(self, label: str) -> list[str]:
+        """Blocks to revisit when ``label``'s result changes."""
+        if self.direction is Direction.FORWARD:
+            return list(self.cfg.succs[label])
+        return list(self.cfg.preds[label])
+
+    def _is_boundary_block(self, label: str) -> bool:
+        if self.direction is Direction.FORWARD:
+            return label == self.cfg.entry
+        return not self.cfg.succs[label]
+
+    def _feed(self, label: str) -> frozenset:
+        """The solved fact set a neighbor contributes (its out for forward,
+        its in for backward)."""
+        side = self.block_out if self.direction is Direction.FORWARD else self.block_in
+        return side[label]
+
+    def _computed(self, label: str) -> bool:
+        side = self.block_out if self.direction is Direction.FORWARD else self.block_in
+        return label in side
+
+    # -- the solver -----------------------------------------------------------
+
+    def _merge(self, label: str) -> frozenset:
+        computed = [
+            self._feed(n) for n in self._neighbors_in(label) if self._computed(n)
+        ]
+        if self._is_boundary_block(label):
+            computed.append(self.boundary)
+        if not computed:
+            # MUST: all neighbors still at TOP — treat as empty to stay
+            # sound (the block is revisited when a neighbor changes).
+            # MAY: bottom is empty anyway.
+            return frozenset()
+        if self.meet is Meet.MUST:
+            return frozenset.intersection(*computed)
+        return frozenset.union(*computed)
+
+    def _apply_block(self, label: str, incoming: frozenset) -> frozenset:
+        instrs = self.cfg.block(label).instrs
+        if self.direction is Direction.BACKWARD:
+            instrs = list(reversed(instrs))
+        facts = incoming
+        for instr in instrs:
+            facts = self.transfer(instr, facts)
+        return facts
+
     def solve(self) -> None:
         order = self.cfg.reverse_postorder()
+        if self.direction is Direction.BACKWARD:
+            order = list(reversed(order))
         position = {label: i for i, label in enumerate(order)}
         worklist = list(order)
         in_worklist = set(order)
@@ -47,41 +148,96 @@ class ForwardMustAnalysis(Generic[Fact]):
             worklist.sort(key=lambda lbl: position[lbl], reverse=True)
             label = worklist.pop()
             in_worklist.discard(label)
-            preds = self.cfg.preds[label]
-            if label == self.cfg.entry or not preds:
-                incoming: frozenset = frozenset()
+            incoming = self._merge(label)
+            outgoing = self._apply_block(label, incoming)
+            if self.direction is Direction.FORWARD:
+                changed = (
+                    label not in self.block_out
+                    or self.block_out[label] != outgoing
+                )
+                self.block_in[label] = incoming
+                self.block_out[label] = outgoing
             else:
-                computed = [
-                    self.block_out[p] for p in preds if p in self.block_out
-                ]
-                if computed:
-                    incoming = frozenset.intersection(*computed)
-                else:
-                    # All predecessors still at TOP: leave this block for a
-                    # later visit (it is on the worklist whenever a pred
-                    # changes); treat as empty to stay sound.
-                    incoming = frozenset()
-            outgoing = incoming
-            for instr in self.cfg.block(label).instrs:
-                outgoing = self.transfer(instr, outgoing)
-            changed = (
-                label not in self.block_out or self.block_out[label] != outgoing
-            )
-            self.block_in[label] = incoming
-            self.block_out[label] = outgoing
+                changed = (
+                    label not in self.block_in
+                    or self.block_in[label] != outgoing
+                )
+                self.block_out[label] = incoming
+                self.block_in[label] = outgoing
             if changed:
-                for succ in self.cfg.succs[label]:
+                for succ in self._neighbors_out(label):
                     if succ not in in_worklist:
                         worklist.append(succ)
                         in_worklist.add(succ)
 
+    # -- per-instruction replay ------------------------------------------------
+
     def facts_before_each_instr(self, label: str) -> list[frozenset]:
-        """Replay the transfer function through ``label``, returning the
-        fact set holding immediately *before* each instruction.  Used by
-        passes that rewrite instructions based on the solved analysis."""
-        facts = self.block_in.get(label, frozenset())
+        """Facts holding immediately *before* each instruction of
+        ``label``, in program order.  Used by passes that rewrite
+        instructions based on the solved analysis."""
+        if self.direction is Direction.FORWARD:
+            facts = self.block_in.get(label, frozenset())
+            result = []
+            for instr in self.cfg.block(label).instrs:
+                result.append(facts)
+                facts = self.transfer(instr, facts)
+            return result
+        # Backward: replay from the block's exit facts in reverse; the
+        # fact *before* an instruction is the transfer of the fact after.
+        facts = self.block_out.get(label, frozenset())
         result = []
-        for instr in self.cfg.block(label).instrs:
+        for instr in reversed(self.cfg.block(label).instrs):
+            facts = self.transfer(instr, facts)
+            result.append(facts)
+        result.reverse()
+        return result
+
+    def facts_after_each_instr(self, label: str) -> list[frozenset]:
+        """Facts holding immediately *after* each instruction of
+        ``label``, in program order."""
+        if self.direction is Direction.FORWARD:
+            facts = self.block_in.get(label, frozenset())
+            result = []
+            for instr in self.cfg.block(label).instrs:
+                facts = self.transfer(instr, facts)
+                result.append(facts)
+            return result
+        facts = self.block_out.get(label, frozenset())
+        result = []
+        instrs = self.cfg.block(label).instrs
+        for instr in reversed(instrs):
             result.append(facts)
             facts = self.transfer(instr, facts)
+        result.reverse()
         return result
+
+
+class ForwardMustAnalysis(DataflowAnalysis[Fact]):
+    """Forward all-paths analysis (e.g. barrier redundancy, definite
+    assignment).  The entry boundary defaults to the empty set;
+    interprocedural passes seed it with call-site-proven facts."""
+
+    direction = Direction.FORWARD
+    meet = Meet.MUST
+
+
+class ForwardMayAnalysis(DataflowAnalysis[Fact]):
+    """Forward some-path analysis (e.g. label-taint propagation)."""
+
+    direction = Direction.FORWARD
+    meet = Meet.MAY
+
+
+class BackwardMustAnalysis(DataflowAnalysis[Fact]):
+    """Backward all-paths analysis (e.g. very-busy expressions)."""
+
+    direction = Direction.BACKWARD
+    meet = Meet.MUST
+
+
+class BackwardMayAnalysis(DataflowAnalysis[Fact]):
+    """Backward some-path analysis (e.g. live registers)."""
+
+    direction = Direction.BACKWARD
+    meet = Meet.MAY

@@ -47,9 +47,26 @@ def format_instr(instr: Instr) -> str:
     return f"{op.value} {rendered}"
 
 
+def _region_attrs(method: Method) -> str:
+    """Render declared region attributes (``secrecy(..) integrity(..)
+    catch(..)``) so parser-declared specs survive the round trip."""
+    spec = method.region_spec
+    if spec is None or not method.is_region:
+        return ""
+    parts = []
+    if not spec.secrecy.is_empty:
+        parts.append(f"secrecy({', '.join(str(t) for t in spec.secrecy)})")
+    if not spec.integrity.is_empty:
+        parts.append(f"integrity({', '.join(str(t) for t in spec.integrity)})")
+    if spec.catch is not None:
+        parts.append(f"catch({spec.catch})")
+    return " " + " ".join(parts) if parts else ""
+
+
 def disassemble_method(method: Method) -> str:
     keyword = "region method" if method.is_region else "method"
-    lines = [f"{keyword} {method.name}({', '.join(method.params)}) {{"]
+    attrs = _region_attrs(method)
+    lines = [f"{keyword} {method.name}({', '.join(method.params)}){attrs} {{"]
     for label, block in method.blocks.items():
         lines.append(f"{label}:")
         for instr in block.instrs:

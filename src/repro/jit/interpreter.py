@@ -133,10 +133,21 @@ class Interpreter:
             )
         if method.is_region:
             spec = method.region_spec or RegionSpec()
+            catch = None
+            if spec.catch is not None:
+                handler = self.program.method(spec.catch)
+
+                def catch(exc: BaseException) -> None:
+                    # The handler runs while the region frame is still on
+                    # the stack (SecurityRegion.__exit__ semantics), so it
+                    # sees the region's labels and capabilities.
+                    self._execute(handler, [])
+
             with self.vm.region(
                 secrecy=spec.secrecy,
                 integrity=spec.integrity,
                 caps=spec.caps,
+                catch=catch,
                 name=method.name,
             ):
                 self._execute(method, args)

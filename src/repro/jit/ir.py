@@ -189,12 +189,17 @@ class BasicBlock:
 @dataclass
 class RegionSpec:
     """Security-region parameters attached to a region method by the
-    embedder (the harness or the application driver): the labels and
-    capability set the region runs with."""
+    embedder (the harness or the application driver) or declared in the
+    assembler text (``region method f(p) secrecy(a) integrity(b)``): the
+    labels and capability set the region runs with, plus an optional
+    catch-handler method executed if the region body throws."""
 
     secrecy: Label = Label.EMPTY
     integrity: Label = Label.EMPTY
     caps: CapabilitySet = CapabilitySet.EMPTY
+    #: Name of a zero-parameter non-region method run as the region's
+    #: ``catch`` block (the paper's ``secure {...} catch {...}`` form).
+    catch: Optional[str] = None
 
 
 class Method:
@@ -255,6 +260,10 @@ class Program:
         self.methods: dict[str, Method] = {}
         #: class name -> field names (used by ``new`` to zero-init fields).
         self.classes: dict[str, tuple[str, ...]] = {}
+        #: tag name -> Tag for tags declared in region attributes; the
+        #: embedder grants the entry thread capabilities for these before
+        #: running (``lamc run`` does).
+        self.tags: dict[str, Any] = {}
 
     def add_method(self, method: Method) -> None:
         if method.name in self.methods:

@@ -23,12 +23,14 @@ from __future__ import annotations
 import re
 from typing import Any
 
+from ..core import CapabilitySet, Label, Tag
 from .ir import (
     BINARY_OPS,
     Instr,
     Method,
     Opcode,
     Program,
+    RegionSpec,
     UNARY_OPS,
 )
 
@@ -44,8 +46,14 @@ class IRSyntaxError(ValueError):
 _IDENT = r"[A-Za-z_][A-Za-z0-9_]*"
 _CLASS_RE = re.compile(rf"^class\s+({_IDENT})\s*\{{(.*)\}}\s*$")
 _METHOD_RE = re.compile(
-    rf"^(region\s+)?method\s+({_IDENT})\s*\(([^)]*)\)\s*\{{\s*$"
+    rf"^(region\s+)?method\s+({_IDENT})\s*\(([^)]*)\)\s*(.*?)\{{\s*$"
 )
+#: Region attributes between the parameter list and the opening brace:
+#: ``secrecy(a, b)``, ``integrity(c)``, ``catch(handler)``.
+_ATTR_RE = re.compile(r"(secrecy|integrity|catch)\s*\(([^)]*)\)")
+#: First tag value handed out by the parser's per-program namespace; high
+#: enough to stay clear of kernel-allocated and well-known test tags.
+_TAG_BASE = 20_000_001
 _LABEL_RE = re.compile(rf"^({_IDENT})\s*:\s*$")
 _STRING_RE = re.compile(r'^"((?:[^"\\]|\\.)*)"$')
 
@@ -236,6 +244,62 @@ def _parse_instr(opname: str, args: list[str], lineno: int) -> Instr:
     )
 
 
+def _program_tag(program: Program, name: str) -> Tag:
+    """Resolve a tag name to a Tag in the program's own namespace (values
+    are assigned sequentially in first-appearance order, so the mapping is
+    deterministic for a given source)."""
+    tag = program.tags.get(name)
+    if tag is None:
+        tag = Tag(_TAG_BASE + len(program.tags), name)
+        program.tags[name] = tag
+    return tag
+
+
+def _parse_region_attrs(program: Program, text: str, lineno: int) -> RegionSpec:
+    """Parse ``secrecy(...) integrity(...) catch(...)`` region attributes.
+
+    Declared tags receive dual capabilities in the region's capability set
+    (the region must be able to acquire its own labels); the embedder is
+    expected to grant the entry thread the same capabilities (``lamc run``
+    does this for every tag in :attr:`Program.tags`)."""
+    consumed = _ATTR_RE.sub("", text).strip()
+    if consumed:
+        raise IRSyntaxError(lineno, f"malformed region attributes: {text!r}")
+    seen: set[str] = set()
+    secrecy = Label.EMPTY
+    integrity = Label.EMPTY
+    catch: str | None = None
+    all_tags: list[Tag] = []
+    for attr_match in _ATTR_RE.finditer(text):
+        kind, body = attr_match.group(1), attr_match.group(2)
+        if kind in seen:
+            raise IRSyntaxError(lineno, f"duplicate region attribute {kind!r}")
+        seen.add(kind)
+        names = [n.strip() for n in body.split(",") if n.strip()]
+        for n in names:
+            if not re.fullmatch(_IDENT, n):
+                raise IRSyntaxError(
+                    lineno, f"bad name {n!r} in region attribute {kind!r}"
+                )
+        if kind == "catch":
+            if len(names) != 1:
+                raise IRSyntaxError(
+                    lineno, "catch attribute takes exactly one method name"
+                )
+            catch = names[0]
+            continue
+        tags = [_program_tag(program, n) for n in names]
+        all_tags.extend(tags)
+        if kind == "secrecy":
+            secrecy = Label(tags)
+        else:
+            integrity = Label(tags)
+    caps = CapabilitySet.dual(*all_tags) if all_tags else CapabilitySet.EMPTY
+    return RegionSpec(
+        secrecy=secrecy, integrity=integrity, caps=caps, catch=catch
+    )
+
+
 def parse_program(text: str) -> Program:
     """Assemble ``text`` into a :class:`Program`.
 
@@ -269,6 +333,17 @@ def parse_program(text: str) -> Program:
                 p.strip() for p in method_match.group(3).split(",") if p.strip()
             )
             method = Method(name, params, is_region=is_region)
+            attrs = method_match.group(4).strip()
+            if attrs:
+                if not is_region:
+                    raise IRSyntaxError(
+                        lineno,
+                        f"method {name!r}: region attributes on a "
+                        f"non-region method",
+                    )
+                method.region_spec = _parse_region_attrs(
+                    program, attrs, lineno
+                )
             block = None
             continue
         if line == "}":
@@ -300,6 +375,21 @@ def parse_program(text: str) -> Program:
 
 def _validate(program: Program) -> None:
     for method in program.methods.values():
+        spec = method.region_spec
+        if spec is not None and spec.catch is not None:
+            handler = program.methods.get(spec.catch)
+            if handler is None:
+                raise IRSyntaxError(
+                    0,
+                    f"{method.name}: catch handler {spec.catch!r} is not a "
+                    f"method in this program",
+                )
+            if handler.is_region or handler.params:
+                raise IRSyntaxError(
+                    0,
+                    f"{method.name}: catch handler {spec.catch!r} must be a "
+                    f"zero-parameter non-region method",
+                )
         for block in method.blocks.values():
             for target in block.successors():
                 if target not in method.blocks:

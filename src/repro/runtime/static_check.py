@@ -92,6 +92,19 @@ class _RegionVisitor(ast.NodeVisitor):
                 for sub in ast.walk(node.optional_vars):
                     if isinstance(sub, ast.Name):
                         self.locals.add(sub.id)
+            elif isinstance(node, ast.Lambda):
+                # Lambda parameters are bindings local to the lambda body;
+                # without this they would be misreported as static reads.
+                args = node.args
+                for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+                    self.locals.add(arg.arg)
+                if args.vararg is not None:
+                    self.locals.add(args.vararg.arg)
+                if args.kwarg is not None:
+                    self.locals.add(args.kwarg.arg)
+            elif isinstance(node, (ast.AnnAssign, ast.NamedExpr)):
+                if isinstance(node.target, ast.Name):
+                    self.locals.add(node.target.id)
 
     # -- rule 2 & 5: returns and region exits -----------------------------------
 
@@ -189,6 +202,35 @@ class _RegionVisitor(ast.NodeVisitor):
                         f"line {node.lineno}: parameter {sub.id!r} is "
                         f"written; region parameters are read-only references"
                     )
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        # ``param += 1`` both reads and rebinds the parameter; the plain
+        # Assign/Name visitors never see it (the target has Store context).
+        if isinstance(node.target, ast.Name) and node.target.id in self.params:
+            self.violations.append(
+                f"line {node.lineno}: parameter {node.target.id!r} is "
+                f"written (augmented assignment); region parameters are "
+                f"read-only references"
+            )
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name) and node.target.id in self.params:
+            self.violations.append(
+                f"line {node.lineno}: parameter {node.target.id!r} is "
+                f"written (annotated assignment); region parameters are "
+                f"read-only references"
+            )
+        self.generic_visit(node)
+
+    def visit_NamedExpr(self, node: ast.NamedExpr) -> None:
+        if isinstance(node.target, ast.Name) and node.target.id in self.params:
+            self.violations.append(
+                f"line {node.lineno}: parameter {node.target.id!r} is "
+                f"written (walrus assignment); region parameters are "
+                f"read-only references"
+            )
         self.generic_visit(node)
 
     def visit_Compare(self, node: ast.Compare) -> None:

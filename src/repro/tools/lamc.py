@@ -7,20 +7,26 @@ for when debugging a workload or a pass::
     python -m repro.tools.lamc run prog.ir --config static --entry main
     python -m repro.tools.lamc verify prog.ir
     python -m repro.tools.lamc disasm prog.ir
+    python -m repro.tools.lamc lint prog.ir --json
 
 ``compile`` prints the pass pipeline and barrier accounting (optionally
 the instrumented program); ``run`` executes on a fresh VM over a vanilla
 kernel and reports the result plus barrier statistics; ``verify`` runs
-only the bytecode verifier; ``disasm`` parses and pretty-prints.
+only the bytecode verifier; ``disasm`` parses and pretty-prints; ``lint``
+runs the whole-program lamlint analyses and reports IFC findings (exit 1
+when any error-severity finding exists, 2 on syntax errors).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
+from ..analysis import run_lint
 from ..baselines import vanilla_kernel
+from ..core import CapabilitySet
 from ..jit import (
     Compiler,
     Interpreter,
@@ -42,9 +48,15 @@ def _read_source(path: str) -> str:
 
 
 def _build_compiler(args: argparse.Namespace) -> Compiler:
+    if args.no_elim:
+        optimize = False
+    elif getattr(args, "interproc", False):
+        optimize = "interprocedural"
+    else:
+        optimize = True
     return Compiler(
         JITConfig(args.config),
-        optimize_barriers=not args.no_elim,
+        optimize_barriers=optimize,
         inline=not args.no_inline,
         clone=args.clone,
         labeled_statics=args.labeled_statics,
@@ -59,9 +71,15 @@ def cmd_compile(args: argparse.Namespace, out) -> int:
         f"methods:  {report.methods}   input instrs: {report.input_instrs}",
         file=out,
     )
+    interproc = (
+        f" (+{report.barriers_removed_interproc} interprocedural)"
+        if report.barriers_removed_interproc
+        else ""
+    )
     print(
         f"barriers: {report.barriers_inserted} inserted, "
-        f"{report.barriers_removed} removed, {report.barriers_final} final",
+        f"{report.barriers_removed} removed{interproc}, "
+        f"{report.barriers_final} final",
         file=out,
     )
     print(
@@ -79,6 +97,12 @@ def cmd_compile(args: argparse.Namespace, out) -> int:
 def cmd_run(args: argparse.Namespace, out) -> int:
     program, report = _build_compiler(args).compile(_read_source(args.file))
     vm = LaminarVM(vanilla_kernel())
+    if program.tags:
+        # Region attributes declared in the source mint program-local tags;
+        # the driver thread owns them all so declared regions are enterable.
+        vm.current_thread.gain_capabilities(
+            CapabilitySet.dual(*program.tags.values())
+        )
     interp = Interpreter(program, vm)
     result = interp.run(args.entry)
     print(f"result:   {result!r}", file=out)
@@ -111,6 +135,17 @@ def cmd_disasm(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace, out) -> int:
+    program = parse_program(_read_source(args.file))
+    report = run_lint(program, labeled_statics=args.labeled_statics)
+    if args.json:
+        json.dump(report.to_dicts(), out, indent=2)
+        print(file=out)
+    else:
+        print(report.format_human(), file=out)
+    return 1 if report.errors else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="lamc", description="Laminar mini-JIT driver"
@@ -133,6 +168,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="clone methods for both region contexts")
         p.add_argument("--labeled-statics", action="store_true",
                        help="enable the labeled-statics extension")
+        p.add_argument("--interproc", action="store_true",
+                       help="also eliminate barriers using whole-program "
+                            "(interprocedural) proven-safe facts")
 
     p_compile = sub.add_parser("compile", help="compile and report")
     common(p_compile)
@@ -152,6 +190,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_disasm = sub.add_parser("disasm", help="parse and pretty-print")
     p_disasm.add_argument("file", help="IR source file ('-' for stdin)")
     p_disasm.set_defaults(fn=cmd_disasm)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the lamlint whole-program IFC analyses"
+    )
+    p_lint.add_argument("file", help="IR source file ('-' for stdin)")
+    p_lint.add_argument("--json", action="store_true",
+                        help="emit findings as JSON")
+    p_lint.add_argument("--labeled-statics", action="store_true",
+                        help="lint under the labeled-statics extension")
+    p_lint.set_defaults(fn=cmd_lint)
 
     return parser
 

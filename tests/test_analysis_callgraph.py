@@ -1,0 +1,155 @@
+"""Call-graph construction, SCCs, and region-context derivation."""
+
+from __future__ import annotations
+
+from repro.analysis.callgraph import (
+    CallGraph,
+    IN_REGION,
+    OUT_OF_REGION,
+    build_callgraph,
+)
+from repro.jit import parse_program
+
+DIAMOND = """
+class Box { val }
+
+method leaf(b) {
+entry:
+  getfield r0, b, val
+  ret r0
+}
+
+method left(b) {
+entry:
+  call r0, leaf, b
+  ret r0
+}
+
+method right(b) {
+entry:
+  call r0, leaf, b
+  ret r0
+}
+
+region method top(b) {
+entry:
+  call r0, left, b
+  call r1, right, b
+  ret
+}
+
+method main() {
+entry:
+  new b, Box
+  const r0, 1
+  putfield b, val, r0
+  call _, top, b
+  call r1, left, b
+  ret r1
+}
+"""
+
+RECURSIVE = """
+method even(n) {
+entry:
+  binop c, le, n, n
+  br c, base, rec
+base:
+  const r, 1
+  ret r
+rec:
+  const one, 1
+  binop m, sub, n, one
+  call r, odd, m
+  ret r
+}
+
+method odd(n) {
+entry:
+  const one, 1
+  binop m, sub, n, one
+  call r, even, m
+  ret r
+}
+
+method main() {
+entry:
+  const n, 4
+  call r, even, n
+  ret r
+}
+"""
+
+
+class TestEdges:
+    def test_callees_and_callers(self):
+        cg = build_callgraph(parse_program(DIAMOND))
+        assert cg.callees["top"] == {"left", "right"}
+        assert cg.callers["leaf"] == {"left", "right"}
+        assert cg.callers["main"] == set()
+
+    def test_roots(self):
+        cg = build_callgraph(parse_program(DIAMOND))
+        assert cg.roots() == ["main"]
+
+    def test_sites_in_program_order(self):
+        cg = build_callgraph(parse_program(DIAMOND))
+        sites = cg.sites_in["top"]
+        assert [s.callee for s in sites] == ["left", "right"]
+        assert sites[0].location() == "top/entry[0]"
+        assert sites[0].args == ("b",)
+
+    def test_reachable_from(self):
+        cg = build_callgraph(parse_program(DIAMOND))
+        assert cg.reachable_from({"left"}) == {"left", "leaf"}
+
+
+class TestSCCs:
+    def test_acyclic_sccs_are_singletons_in_bottom_up_order(self):
+        cg = build_callgraph(parse_program(DIAMOND))
+        sccs = cg.sccs()
+        assert all(len(s) == 1 for s in sccs)
+        order = {next(iter(s)): i for i, s in enumerate(sccs)}
+        # Callees come before callers.
+        assert order["leaf"] < order["left"]
+        assert order["left"] < order["top"]
+        assert order["top"] < order["main"]
+
+    def test_mutual_recursion_is_one_component(self):
+        cg = build_callgraph(parse_program(RECURSIVE))
+        assert frozenset({"even", "odd"}) in cg.sccs()
+        assert cg.recursive_methods() == {"even", "odd"}
+
+    def test_no_recursion_in_diamond(self):
+        cg = build_callgraph(parse_program(DIAMOND))
+        assert cg.recursive_methods() == set()
+
+
+class TestRegionContexts:
+    def test_contexts(self):
+        cg = build_callgraph(parse_program(DIAMOND))
+        contexts = cg.region_contexts()
+        assert contexts["main"] == frozenset({OUT_OF_REGION})
+        assert contexts["top"] == frozenset({IN_REGION})
+        # right is only called from the region; left from both worlds.
+        assert contexts["right"] == frozenset({IN_REGION})
+        assert contexts["left"] == frozenset({IN_REGION, OUT_OF_REGION})
+        assert contexts["leaf"] == frozenset({IN_REGION, OUT_OF_REGION})
+
+    def test_governing_regions(self):
+        cg = build_callgraph(parse_program(DIAMOND))
+        gov = cg.governing_regions()
+        assert gov["top"] == frozenset({"top"})
+        assert gov["right"] == frozenset({"top"})
+        assert gov["left"] == frozenset({"top"})
+        assert gov["main"] == frozenset()
+
+    def test_call_chain(self):
+        cg = build_callgraph(parse_program(DIAMOND))
+        chain = cg.call_chain("top", "leaf")
+        assert [s.callee for s in chain] == ["left", "leaf"]
+        # Chains do not cross region boundaries by default...
+        assert cg.call_chain("main", "right") == []
+        # ...unless asked to.
+        through = cg.call_chain("main", "right", through_regions=True)
+        assert [s.callee for s in through] == ["top", "right"]

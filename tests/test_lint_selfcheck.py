@@ -1,0 +1,96 @@
+"""Self-check: ``lamc lint`` over every ``.ir`` fixture under ``tests/``.
+
+Each fixture's first line declares its expected findings::
+
+    # lint: LAM001,LAM005     (exact set of codes the linter must report)
+    # lint: clean             (the linter must report nothing)
+
+Running the real CLI (not the library) over every fixture means analyzer
+regressions — a rule that stops firing, a new false positive, a changed
+exit code — fail tier-1 immediately.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import pathlib
+import re
+
+import pytest
+
+from repro.tools.lamc import main as lamc_main
+
+FIXTURE_DIR = pathlib.Path(__file__).parent
+FIXTURES = sorted(FIXTURE_DIR.rglob("*.ir"))
+
+_HEADER_RE = re.compile(r"#\s*lint:\s*(.+?)\s*$")
+
+
+def _expected_codes(path: pathlib.Path) -> str:
+    first_line = path.read_text(encoding="utf-8").splitlines()[0]
+    match = _HEADER_RE.match(first_line)
+    assert match, (
+        f"{path.name}: every .ir fixture must start with a '# lint: ...' "
+        f"header declaring its expected findings ('clean' if none)"
+    )
+    return match.group(1)
+
+
+def test_fixtures_exist():
+    assert len(FIXTURES) >= 8, "expected the lint fixture corpus under tests/"
+
+
+@pytest.mark.lint
+@pytest.mark.parametrize("path", FIXTURES, ids=lambda p: p.name)
+def test_fixture_lint_selfcheck(path: pathlib.Path):
+    expected = _expected_codes(path)
+    out = io.StringIO()
+    exit_code = lamc_main(["lint", str(path), "--json"], out=out)
+    findings = json.loads(out.getvalue())
+    reported = sorted({f["code"] for f in findings})
+
+    if expected == "clean":
+        assert reported == [], f"unexpected findings: {reported}"
+        assert exit_code == 0
+    else:
+        want = sorted(code.strip() for code in expected.split(","))
+        assert reported == want, (
+            f"{path.name}: expected codes {want}, linter reported {reported}"
+        )
+        has_error = any(f["severity"] == "error" for f in findings)
+        assert exit_code == (1 if has_error else 0)
+
+    # Every finding carries a stable, addressable location.
+    for finding in findings:
+        assert finding["code"] in {
+            "LAM000", "LAM001", "LAM002", "LAM003", "LAM004", "LAM005",
+            "LAM006",
+        }
+        assert finding["severity"] in {"error", "warning", "info"}
+        assert finding["method"]
+
+
+@pytest.mark.lint
+def test_violation_fixture_has_flow_trace():
+    """The acceptance fixture: a guaranteed secrecy violation must fail
+    lint *with a propagation path* from allocation to forbidden write."""
+    path = FIXTURE_DIR / "fixtures" / "secrecy_violation.ir"
+    out = io.StringIO()
+    exit_code = lamc_main(["lint", str(path), "--json"], out=out)
+    assert exit_code == 1
+    findings = json.loads(out.getvalue())
+    lam001 = [f for f in findings if f["code"] == "LAM001"]
+    assert lam001, "secrecy_violation.ir must report LAM001"
+    trace = lam001[0]["trace"]
+    assert len(trace) >= 2, "LAM001 must carry a flow trace"
+    # Source: the out-of-region allocation in main; sink: the region write.
+    assert trace[0]["method"] == "main"
+    assert trace[-1]["method"] == "stomp"
+
+    # The human rendering shows the same trace.
+    out = io.StringIO()
+    lamc_main(["lint", str(path)], out=out)
+    text = out.getvalue()
+    assert "error[LAM001]" in text
+    assert "flow trace:" in text

@@ -178,6 +178,134 @@ class TestOptimizationSoundness:
         assert count_barriers(static) == count_barriers(dynamic)
 
 
+@st.composite
+def region_program(draw) -> str:
+    """A program with a security region, a shared helper, and (maybe) a
+    catch handler — the shapes where unsound barrier elimination would be
+    *observable*: a removed check skips an IFC violation, the region body
+    runs further than it should, and the printed output diverges."""
+    attr = draw(st.sampled_from(["secrecy(s)", "integrity(s)", ""]))
+    catch = draw(st.booleans())
+    header = f"region method work(b) {attr}" + (
+        " catch(onfail)" if catch else ""
+    )
+    body: list[str] = ["  new f, Gen", "  const k, 7", "  putfield f, fa, k"]
+    for _ in range(draw(st.integers(1, 6))):
+        kind = draw(
+            st.sampled_from(
+                ["read_param", "write_param", "fresh", "print", "helper"]
+            )
+        )
+        if kind == "read_param":
+            # Throws under integrity governance (unlabeled source).
+            body += ["  getfield t, b, fa", "  print t"]
+        elif kind == "write_param":
+            # Throws under secrecy governance (unlabeled target).
+            body.append("  putfield b, fb, k")
+        elif kind == "fresh":
+            # Always fine: the fresh object inherits the region's labels.
+            body += ["  getfield t, f, fa", "  putfield f, fb, t"]
+        elif kind == "print":
+            body += [f"  const p, {draw(st.integers(0, 9))}", "  print p"]
+        else:
+            body.append("  call h, helper, f")
+    parts = [
+        "class Gen { fa, fb }",
+        "method helper(o) {\nentry:\n"
+        "  getfield h, o, fa\n"
+        "  binop h, add, h, h\n"
+        "  putfield o, fb, h\n"
+        "  ret h\n}",
+        "method onfail() {\nentry:\n  const m, -77\n  print m\n  ret\n}",
+        header + " {\nentry:\n" + "\n".join(body) + "\n  ret\n}",
+        "method main() {\nentry:\n"
+        "  new b, Gen\n"
+        "  const v, 3\n"
+        "  putfield b, fa, v\n"
+        "  call r, helper, b\n"
+        "  call _, work, b\n"
+        "  getfield t, b, fb\n"
+        "  print t\n"
+        "  ret r\n}",
+    ]
+    return "\n\n".join(parts)
+
+
+def _observe(program) -> tuple[object, list, str | None]:
+    """Result, printed output, and escaped-exception type of a run."""
+    from repro.core import CapabilitySet
+
+    vm = LaminarVM(vanilla_kernel())
+    if program.tags:
+        vm.current_thread.gain_capabilities(
+            CapabilitySet.dual(*program.tags.values())
+        )
+    interp = Interpreter(program, vm)
+    try:
+        result = interp.run("main")
+        exc = None
+    except Exception as error:  # noqa: BLE001 - differential capture
+        result = None
+        exc = type(error).__name__
+    return result, list(interp.output), exc
+
+
+ELIM_MODES = (False, True, "interprocedural")
+
+
+class TestEliminationEquivalence:
+    """ISSUE acceptance property: for random IR programs, interpreter
+    results and security-exception behavior are identical with and
+    without barrier elimination — including the interprocedural pass."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_program())
+    def test_plain_programs_agree_across_modes(self, source):
+        observations = []
+        executed = []
+        for mode in ELIM_MODES:
+            program, _ = Compiler(
+                JITConfig.DYNAMIC, optimize_barriers=mode, inline=False
+            ).compile(source)
+            vm = LaminarVM(vanilla_kernel())
+            interp = Interpreter(program, vm)
+            observations.append((interp.run("main"), list(interp.output)))
+            executed.append(vm.barriers.stats.total)
+        assert observations[0] == observations[1] == observations[2], (
+            f"elimination changed semantics on:\n{source}"
+        )
+        # Each stronger pass removes checks, never adds them.
+        assert executed[2] <= executed[1] <= executed[0]
+
+    @settings(max_examples=40, deadline=None)
+    @given(region_program())
+    def test_region_programs_agree_across_modes(self, source):
+        observations = []
+        for mode in ELIM_MODES:
+            program, _ = Compiler(
+                JITConfig.DYNAMIC, optimize_barriers=mode, inline=False
+            ).compile(source)
+            observations.append(_observe(program))
+        assert observations[0] == observations[1] == observations[2], (
+            f"elimination changed observable security behavior on:\n{source}"
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(region_program())
+    def test_region_programs_agree_with_inlining(self, source):
+        baseline = None
+        for mode in ELIM_MODES:
+            program, _ = Compiler(
+                JITConfig.DYNAMIC, optimize_barriers=mode, inline=True
+            ).compile(source)
+            seen = _observe(program)
+            if baseline is None:
+                baseline = seen
+            assert seen == baseline, (
+                f"inline + elimination changed behavior on:\n{source}"
+            )
+
+
 class TestDisassemblerRoundTrip:
     @settings(max_examples=40, deadline=None)
     @given(random_program())

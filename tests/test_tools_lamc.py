@@ -109,3 +109,127 @@ class TestVerifyAndDisasm:
     def test_missing_file(self):
         code, text = run_cli("compile", "/nonexistent/x.ir")
         assert code == 2 and "error" in text
+
+
+VIOLATION = """
+class Box { v }
+
+region method stomp(pub) secrecy(s) {
+entry:
+  const x, 1
+  putfield pub, v, x
+  ret
+}
+
+method main() {
+entry:
+  new pub, Box
+  const x, 0
+  putfield pub, v, x
+  call _, stomp, pub
+  ret x
+}
+"""
+
+
+class TestLint:
+    @pytest.fixture()
+    def violation_file(self, tmp_path):
+        path = tmp_path / "violation.ir"
+        path.write_text(VIOLATION)
+        return str(path)
+
+    def test_clean_program_exits_zero(self, good_file):
+        code, text = run_cli("lint", good_file)
+        assert code == 0
+        assert "no findings" in text
+
+    def test_violation_exits_one_with_trace(self, violation_file):
+        code, text = run_cli("lint", violation_file)
+        assert code == 1
+        assert "error[LAM001]" in text
+        assert "flow trace:" in text
+        assert "stomp" in text
+
+    def test_json_output_is_machine_readable(self, violation_file):
+        import json
+
+        code, text = run_cli("lint", violation_file, "--json")
+        assert code == 1
+        findings = json.loads(text)
+        codes = {f["code"] for f in findings}
+        assert "LAM001" in codes
+        lam001 = next(f for f in findings if f["code"] == "LAM001")
+        assert lam001["severity"] == "error"
+        assert lam001["trace"], "JSON findings carry the flow trace"
+
+    def test_labeled_statics_flag(self, tmp_path):
+        path = tmp_path / "statics.ir"
+        path.write_text(
+            "method log(x) {\nentry:\n  putstatic sink, x\n  ret\n}\n"
+            "region method audit(b) secrecy(s) {\nentry:\n"
+            "  const r0, 1\n  call _, log, r0\n  ret\n}\n"
+            "method main() {\nentry:\n  const b, 0\n"
+            "  call _, audit, b\n  ret b\n}\n"
+        )
+        code_plain, text_plain = run_cli("lint", str(path))
+        code_labeled, text_labeled = run_cli(
+            "lint", str(path), "--labeled-statics"
+        )
+        assert "LAM005" in text_plain
+        assert "LAM005" not in text_labeled
+        # Warnings only: neither invocation fails the build.
+        assert code_plain == 0 and code_labeled == 0
+
+    def test_syntax_error_exit_code(self, tmp_path):
+        path = tmp_path / "syn.ir"
+        path.write_text(BAD_SYNTAX)
+        code, text = run_cli("lint", str(path))
+        assert code == 2 and "syntax error" in text
+
+
+class TestInterprocFlag:
+    SOURCE = """
+class Box { v }
+method bump(b) {
+entry:
+  getfield r0, b, v
+  const one, 1
+  binop r1, add, r0, one
+  putfield b, v, r1
+  ret r1
+}
+method main() {
+entry:
+  new b, Box
+  const x, 5
+  putfield b, v, x
+  call r1, bump, b
+  call r2, bump, b
+  ret r2
+}
+"""
+
+    @pytest.fixture()
+    def chain_file(self, tmp_path):
+        path = tmp_path / "chain.ir"
+        path.write_text(self.SOURCE)
+        return str(path)
+
+    def test_compile_reports_interproc_removals(self, chain_file):
+        code, text = run_cli(
+            "compile", chain_file, "--interproc", "--no-inline"
+        )
+        assert code == 0
+        assert "interprocedural-barrier-elim" in text
+        assert "interprocedural" in text and "removed" in text
+
+    def test_run_agrees_with_intra(self, chain_file):
+        code_a, text_a = run_cli("run", chain_file, "--no-inline")
+        code_b, text_b = run_cli(
+            "run", chain_file, "--interproc", "--no-inline"
+        )
+        assert code_a == code_b == 0
+        result_a = [l for l in text_a.splitlines() if "result:" in l]
+        result_b = [l for l in text_b.splitlines() if "result:" in l]
+        assert result_a == result_b
