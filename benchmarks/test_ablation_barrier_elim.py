@@ -24,6 +24,8 @@ from repro.bench import ALL_WORKLOADS
 from repro.jit import Compiler, Interpreter, JITConfig
 from repro.runtime import LaminarVM
 
+pytestmark = pytest.mark.bench
+
 
 def _compile(name: str, optimize: bool, inline: bool):
     compiler = Compiler(

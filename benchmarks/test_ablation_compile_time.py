@@ -26,6 +26,8 @@ from conftest import publish
 from repro.bench import ALL_WORKLOADS
 from repro.jit import Compiler, JITConfig
 
+pytestmark = pytest.mark.bench
+
 TRIALS = 5
 
 

@@ -23,6 +23,8 @@ from repro.bench import ALL_WORKLOADS
 from repro.jit import Compiler, Interpreter, JITConfig
 from repro.runtime import LaminarVM
 
+pytestmark = pytest.mark.bench
+
 
 def _compile(name: str, mode, inline: bool):
     compiler = Compiler(

@@ -30,6 +30,8 @@ from repro.bench import ALL_WORKLOADS, Row, geometric_mean, render_table
 from repro.jit import Interpreter, JITConfig, compile_source
 from repro.runtime import LaminarVM
 
+pytestmark = pytest.mark.bench
+
 TRIALS = 3
 #: The paper's averages, for the report column.
 PAPER_STATIC_PCT = 6.0

@@ -46,6 +46,8 @@ from repro.apps import (
 )
 from repro.runtime import BarrierMode
 
+pytestmark = pytest.mark.bench
+
 TRIALS = 3
 
 #: Paper Fig. 9 totals for the report column.

@@ -26,6 +26,8 @@ from repro.baselines import FlumeMonitor
 from repro.bench import Row, render_table
 from repro.osim import Kernel, LaminarSecurityModule, NullSecurityModule
 
+pytestmark = pytest.mark.bench
+
 TRIALS = 5
 CALLS = 300
 

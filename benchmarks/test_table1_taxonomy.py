@@ -34,6 +34,8 @@ from repro.core import (
 from repro.osim import Kernel, SyscallError
 from repro.runtime import BarrierMode, LaminarAPI, LaminarVM
 
+pytestmark = pytest.mark.bench
+
 
 def test_row_fine_grained_data_structures():
     """Laminar: object granularity.  Page-level: fragmentation.  Flume:

@@ -34,6 +34,8 @@ from repro.bench import (
 )
 from repro.osim import Kernel, LaminarSecurityModule, NullSecurityModule
 
+pytestmark = pytest.mark.bench
+
 TRIALS = 5
 
 

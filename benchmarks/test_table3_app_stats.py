@@ -41,6 +41,8 @@ from repro.apps import (
     run_request_mix,
 )
 
+pytestmark = pytest.mark.bench
+
 PAPER_ROWS = {
     "GradeSheet": ("student grades", 10, 6.0),
     "Battleship": ("ship locations", 6, 54.0),

@@ -25,6 +25,8 @@ import pytest
 from conftest import publish
 from repro.apps import AccessDenied, LaminarGradeSheet
 
+pytestmark = pytest.mark.bench
+
 STUDENTS = 6
 PROJECTS = 3
 

@@ -6,6 +6,7 @@ the baselines, the applications — consults these rules and never
 reimplements them.
 """
 
+from . import fastpath
 from .audit import AuditEntry, AuditKind, AuditLog
 from .capabilities import Capability, CapabilitySet, CapType
 from .errors import (
@@ -25,9 +26,13 @@ from .errors import (
 from .labels import Label, LabelPair, LabelType
 from .principal import Principal
 from .rules import (
+    FLOW_INTEGRITY_FAIL,
+    FLOW_OK,
+    FLOW_SECRECY_FAIL,
     can_change_label,
     can_flow,
     check_flow,
+    flow_verdict,
     check_label_change,
     check_pair_change,
     integrity_allows,
@@ -65,9 +70,14 @@ __all__ = [
     "TagExhaustedError",
     "TAG_BITS",
     "TAG_UNIVERSE",
+    "FLOW_INTEGRITY_FAIL",
+    "FLOW_OK",
+    "FLOW_SECRECY_FAIL",
     "can_change_label",
     "can_flow",
     "check_flow",
+    "fastpath",
+    "flow_verdict",
     "check_label_change",
     "check_pair_change",
     "integrity_allows",

@@ -118,11 +118,15 @@ class CapabilitySet:
 
     def plus_tags(self) -> Label:
         """``Cp+`` as a label: the set of tags this principal may add."""
-        return Label(c.tag for c in self._caps if c.kind is CapType.PLUS)
+        return Label._from_normalized(
+            tuple(sorted(c.tag for c in self._caps if c.kind is CapType.PLUS))
+        )
 
     def minus_tags(self) -> Label:
         """``Cp-`` as a label: the set of tags this principal may remove."""
-        return Label(c.tag for c in self._caps if c.kind is CapType.MINUS)
+        return Label._from_normalized(
+            tuple(sorted(c.tag for c in self._caps if c.kind is CapType.MINUS))
+        )
 
     def is_subset_of(self, other: "CapabilitySet") -> bool:
         return self._caps <= other._caps

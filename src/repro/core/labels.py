@@ -12,10 +12,16 @@ The paper's implementation encapsulates labels in immutable, opaque objects
 of type ``Labels`` that support ``isSubsetOf()`` and ``union()``; internally
 a sorted array of 64-bit integers holds the tags, and because the objects
 are immutable they can be freely shared between objects, security regions,
-and threads (Section 5.1).  This module mirrors that design: a
-:class:`Label` wraps a sorted tuple of tags, is hashable, interns the empty
-label, and exposes only set-algebraic operations so applications can use
-labels without observing raw tag values (avoiding a covert channel).
+and threads (Section 5.1).  This module mirrors that design and pushes the
+immutability one step further: construction is *hash-consed* (one canonical
+``Label`` instance per tag-set, see :mod:`repro.core.fastpath`), so the
+common case of ``==`` and ``is_subset_of`` is a pointer comparison, and
+``union``/``difference`` results are memoized — sound precisely because a
+label can never change after construction.  A :class:`Label` keeps both the
+sorted tuple (ordering, iteration, repr) and a ``frozenset`` built once at
+construction (subset tests without per-call materialization), is hashable,
+and exposes only set-algebraic operations so applications can use labels
+without observing raw tag values (avoiding a covert channel).
 """
 
 from __future__ import annotations
@@ -23,7 +29,34 @@ from __future__ import annotations
 import enum
 from typing import Iterable, Iterator
 
+from . import fastpath
+from .fastpath import counters
 from .tags import Tag
+
+#: Hash-cons table: normalized tag tuple -> canonical Label.  Bounded so a
+#: pathological tag-churn workload cannot grow it without limit; labels past
+#: the bound are simply not interned (correctness never depends on interning).
+_INTERN: dict[tuple, "Label"] = {}
+_INTERN_BOUND = 1 << 16
+
+#: Memo tables for the two hottest binary operations.  Keys are (self, other)
+#: Label pairs — value-hashed, so they are sound even when interning is off —
+#: and bounded with wholesale flush on overflow, AVC-style.
+_UNION_MEMO: dict[tuple, "Label"] = {}
+_DIFF_MEMO: dict[tuple, "Label"] = {}
+_MEMO_BOUND = 1 << 12
+
+
+def _clear_label_caches() -> None:
+    _INTERN.clear()
+    _UNION_MEMO.clear()
+    _DIFF_MEMO.clear()
+    # Keep the canonical empty label canonical across flushes.
+    if getattr(Label, "EMPTY", None) is not None:
+        _INTERN[()] = Label.EMPTY
+
+
+fastpath.register_cache(_clear_label_caches)
 
 
 class LabelType(enum.Enum):
@@ -34,7 +67,7 @@ class LabelType(enum.Enum):
 
 
 class Label:
-    """An immutable set of tags.
+    """An immutable, hash-consed set of tags.
 
     Supports the operations the paper's ``Labels`` type exposes —
     ``is_subset_of`` and ``union`` — plus difference and intersection, which
@@ -42,18 +75,43 @@ class Label:
     mutating-style operations return a (possibly shared) new ``Label``.
     """
 
-    __slots__ = ("_tags", "_hash")
+    __slots__ = ("_tags", "_frozen", "_hash")
 
     #: Interned empty label, shared by all unlabeled resources.
     EMPTY: "Label"
 
-    def __init__(self, tags: Iterable[Tag] = ()) -> None:
+    def __new__(cls, tags: Iterable[Tag] = ()) -> "Label":
         tags = tuple(sorted(set(tags)))
         for tag in tags:
             if not isinstance(tag, Tag):
                 raise TypeError(f"labels contain Tags, not {type(tag).__name__}")
+        return cls._from_normalized(tags)
+
+    def __init__(self, tags: Iterable[Tag] = ()) -> None:
+        # All construction work happens in __new__ so the hash-cons table
+        # can return an existing instance without re-initializing it.
+        pass
+
+    @classmethod
+    def _from_normalized(cls, tags: tuple[Tag, ...]) -> "Label":
+        """Trusted fast constructor: ``tags`` must already be a sorted,
+        duplicate-free tuple of :class:`Tag`.  Skips validation — internal
+        set-algebra call sites produce normalized tuples by construction,
+        so re-validating them on every ``union`` was pure overhead.
+        """
+        if fastpath.flags.label_interning:
+            cached = _INTERN.get(tags)
+            if cached is not None:
+                counters.intern_hits += 1
+                return cached
+            counters.intern_misses += 1
+        self = object.__new__(cls)
         self._tags = tags
+        self._frozen = frozenset(tags)
         self._hash = hash(tags)
+        if fastpath.flags.label_interning and len(_INTERN) < _INTERN_BOUND:
+            _INTERN[tags] = self
+        return self
 
     # -- factory helpers ------------------------------------------------
 
@@ -69,38 +127,104 @@ class Label:
     # -- set algebra ----------------------------------------------------
 
     def is_subset_of(self, other: "Label") -> bool:
-        """True iff every tag in ``self`` is also in ``other``."""
-        return set(self._tags) <= set(other._tags)
+        """True iff every tag in ``self`` is also in ``other``.
+
+        Fast paths in order: identity (canonical instances make this the
+        common case), emptiness, and a length test; only then the real
+        frozenset comparison — built once at construction, never per call.
+        """
+        if self is other:
+            return True
+        mine = self._tags
+        if not mine:
+            return True
+        if len(mine) > len(other._tags):
+            return False
+        counters.subset_tests += 1
+        return self._frozen <= other._frozen
 
     def union(self, other: "Label") -> "Label":
-        """Least upper bound in the lattice."""
-        if self.is_subset_of(other):
-            return other
-        if other.is_subset_of(self):
+        """Least upper bound in the lattice (memoized)."""
+        if self is other or not other._tags:
             return self
-        return Label(self._tags + other._tags)
+        if not self._tags:
+            return other
+        memoize = fastpath.flags.label_interning
+        if memoize:
+            key = (self, other)
+            cached = _UNION_MEMO.get(key)
+            if cached is not None:
+                counters.memo_hits += 1
+                return cached
+            counters.memo_misses += 1
+        if self.is_subset_of(other):
+            result = other
+        elif other.is_subset_of(self):
+            result = self
+        else:
+            counters.materializations += 1
+            result = Label._from_normalized(
+                tuple(sorted(self._frozen | other._frozen))
+            )
+        if memoize:
+            if len(_UNION_MEMO) >= _MEMO_BOUND:
+                _UNION_MEMO.clear()
+            _UNION_MEMO[key] = result
+        return result
 
     def intersection(self, other: "Label") -> "Label":
         """Greatest lower bound in the lattice."""
-        mine = set(self._tags)
-        return Label(tag for tag in other._tags if tag in mine)
+        if self is other:
+            return self
+        if not self._tags or not other._tags:
+            return Label.EMPTY
+        counters.materializations += 1
+        theirs = other._frozen
+        return Label._from_normalized(
+            tuple(tag for tag in self._tags if tag in theirs)
+        )
 
     def difference(self, other: "Label") -> "Label":
-        """Tags in ``self`` but not ``other`` (used by the label-change rule)."""
-        theirs = set(other._tags)
-        return Label(tag for tag in self._tags if tag not in theirs)
+        """Tags in ``self`` but not ``other`` (used by the label-change rule,
+        memoized)."""
+        if self is other or not self._tags:
+            return Label.EMPTY
+        if not other._tags:
+            return self
+        memoize = fastpath.flags.label_interning
+        if memoize:
+            key = (self, other)
+            cached = _DIFF_MEMO.get(key)
+            if cached is not None:
+                counters.memo_hits += 1
+                return cached
+            counters.memo_misses += 1
+        counters.materializations += 1
+        theirs = other._frozen
+        result = Label._from_normalized(
+            tuple(tag for tag in self._tags if tag not in theirs)
+        )
+        if memoize:
+            if len(_DIFF_MEMO) >= _MEMO_BOUND:
+                _DIFF_MEMO.clear()
+            _DIFF_MEMO[key] = result
+        return result
 
     def with_tag(self, tag: Tag) -> "Label":
         """Return a label extended with ``tag``."""
-        if tag in self:
+        if tag in self._frozen:
             return self
-        return Label(self._tags + (tag,))
+        counters.materializations += 1
+        return Label._from_normalized(tuple(sorted(self._tags + (tag,))))
 
     def without_tag(self, tag: Tag) -> "Label":
         """Return a label with ``tag`` removed (no-op if absent)."""
-        if tag not in self:
+        if tag not in self._frozen:
             return self
-        return Label(t for t in self._tags if t != tag)
+        counters.materializations += 1
+        return Label._from_normalized(
+            tuple(t for t in self._tags if t != tag)
+        )
 
     # -- inspection -----------------------------------------------------
 
@@ -124,9 +248,11 @@ class Label:
         return len(self._tags)
 
     def __contains__(self, tag: Tag) -> bool:
-        return tag in set(self._tags)
+        return tag in self._frozen
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, Label):
             return NotImplemented
         return self._tags == other._tags
@@ -140,6 +266,14 @@ class Label:
     def __hash__(self) -> int:
         return self._hash
 
+    def __reduce__(self):
+        # copy/deepcopy/pickle must reconstruct through the constructor so
+        # they land on the canonical interned instance.  The default slots
+        # protocol would call ``__new__(cls)`` — which interning resolves
+        # to ``Label.EMPTY`` — and then overwrite *its* state in place,
+        # corrupting every empty label in the process.
+        return (Label, (self._tags,))
+
     def __repr__(self) -> str:
         inner = ",".join(str(t) for t in self._tags)
         return f"{{{inner}}}"
@@ -152,10 +286,12 @@ class LabelPair:
     """A (secrecy, integrity) pair, written ``{S(s), I(i)}`` in the paper.
 
     Every principal and data object carries one of these.  The pair is
-    immutable, like its component labels.
+    immutable, like its component labels, and caches its hash at
+    construction — pairs are dictionary keys in the flow-verdict caches, so
+    hashing is on the barrier hot path.
     """
 
-    __slots__ = ("secrecy", "integrity")
+    __slots__ = ("secrecy", "integrity", "_hash")
 
     EMPTY: "LabelPair"
 
@@ -168,6 +304,7 @@ class LabelPair:
             raise TypeError("LabelPair components must be Labels")
         object.__setattr__(self, "secrecy", secrecy)
         object.__setattr__(self, "integrity", integrity)
+        object.__setattr__(self, "_hash", hash((secrecy, integrity)))
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("LabelPair is immutable")
@@ -187,12 +324,20 @@ class LabelPair:
         return self.secrecy.is_empty and self.integrity.is_empty
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, LabelPair):
             return NotImplemented
         return self.secrecy == other.secrecy and self.integrity == other.integrity
 
     def __hash__(self) -> int:
-        return hash((self.secrecy, self.integrity))
+        return self._hash
+
+    def __reduce__(self):
+        # Same constructor-based protocol as Label: the default slots path
+        # would bypass ``__init__`` and then trip over the immutability
+        # guard in ``__setattr__`` when restoring state.
+        return (LabelPair, (self.secrecy, self.integrity))
 
     def __repr__(self) -> str:
         return f"{{S{self.secrecy!r},I{self.integrity!r}}}"

@@ -25,7 +25,7 @@ class Principal:
     sets themselves stay immutable, so observers can safely cache references.
     """
 
-    __slots__ = ("name", "_labels", "_caps")
+    __slots__ = ("name", "_labels", "_caps", "label_epoch")
 
     def __init__(
         self,
@@ -36,6 +36,11 @@ class Principal:
         self.name = name
         self._labels = labels
         self._caps = caps
+        #: Monotonic counter bumped on every label change.  Per-thread
+        #: barrier-verdict caches (Section 5.1 fast path) key their
+        #: validity on this, so a ``set_task_label``/TCB label write
+        #: implicitly invalidates any verdicts cached under the old labels.
+        self.label_epoch = 0
 
     # -- read side --------------------------------------------------------
 
@@ -63,6 +68,7 @@ class Principal:
         old = self._labels.get(label_type)
         check_label_change(old, new, self._caps, context=f"{self.name} {label_type.value}")
         self._labels = self._labels.replacing(label_type, new)
+        self.label_epoch += 1
 
     def set_labels_unchecked(self, pair: LabelPair) -> None:
         """Set both labels without capability checks.
@@ -72,6 +78,7 @@ class Principal:
         kernel's ``drop_label_tcb`` path invoked by the trusted TCB thread.
         """
         self._labels = pair
+        self.label_epoch += 1
 
     # -- capability management ---------------------------------------------
 

@@ -23,31 +23,80 @@ resources and heap-allocated objects".
 
 from __future__ import annotations
 
+from . import fastpath
 from .capabilities import CapabilitySet
 from .errors import (
     IntegrityViolation,
     LabelChangeViolation,
     SecrecyViolation,
 )
+from .fastpath import counters
 from .labels import Label, LabelPair
 
 
 def secrecy_allows(source: Label, dest: Label) -> bool:
     """``S_x ⊆ S_y``: the destination must be at least as secret."""
+    counters.rule_evaluations += 1
     return source.is_subset_of(dest)
 
 
 def integrity_allows(source: Label, dest: Label) -> bool:
     """``I_y ⊆ I_x``: the source must be at least as high-integrity."""
+    counters.rule_evaluations += 1
     return dest.is_subset_of(source)
+
+
+# -- the flow-verdict cache (an AVC for check_flow/can_flow) -----------------
+#
+# Labels are immutable, so the verdict for a (source, dest) pair of label
+# pairs can never change — the cache needs *no* invalidation protocol, only
+# a size bound (flushed wholesale on overflow, like a hardware AVC).  The
+# verdict distinguishes which rule failed so check_flow can still raise the
+# precise violation; diagnostic detail (the offending tag difference) is
+# recomputed on the rare failure path.
+
+FLOW_OK = 0
+FLOW_SECRECY_FAIL = 1
+FLOW_INTEGRITY_FAIL = 2
+
+_VERDICTS: dict[tuple, int] = {}
+_VERDICT_BOUND = 1 << 12
+
+
+def _clear_verdicts() -> None:
+    _VERDICTS.clear()
+
+
+fastpath.register_cache(_clear_verdicts)
+
+
+def flow_verdict(source: LabelPair, dest: LabelPair) -> int:
+    """Evaluate (or recall) the Section 3.2 verdict for ``source -> dest``."""
+    cache = fastpath.flags.flow_verdict_cache
+    if cache:
+        key = (source.secrecy, source.integrity, dest.secrecy, dest.integrity)
+        verdict = _VERDICTS.get(key)
+        if verdict is not None:
+            counters.verdict_hits += 1
+            return verdict
+        counters.verdict_misses += 1
+    if not secrecy_allows(source.secrecy, dest.secrecy):
+        verdict = FLOW_SECRECY_FAIL
+    elif not integrity_allows(source.integrity, dest.integrity):
+        verdict = FLOW_INTEGRITY_FAIL
+    else:
+        verdict = FLOW_OK
+    if cache:
+        if len(_VERDICTS) >= _VERDICT_BOUND:
+            _VERDICTS.clear()
+        _VERDICTS[key] = verdict
+    return verdict
 
 
 def can_flow(source: LabelPair, dest: LabelPair) -> bool:
     """True iff information may flow from ``source`` to ``dest`` under both
     the secrecy and the integrity rule."""
-    return secrecy_allows(source.secrecy, dest.secrecy) and integrity_allows(
-        source.integrity, dest.integrity
-    )
+    return flow_verdict(source, dest) == FLOW_OK
 
 
 def check_flow(source: LabelPair, dest: LabelPair, context: str = "") -> None:
@@ -56,19 +105,21 @@ def check_flow(source: LabelPair, dest: LabelPair, context: str = "") -> None:
     ``context`` is a human-readable description (e.g. ``"write to /etc/cal"``)
     included in the exception message for auditability.
     """
+    verdict = flow_verdict(source, dest)
+    if verdict == FLOW_OK:
+        return
     suffix = f" ({context})" if context else ""
-    if not secrecy_allows(source.secrecy, dest.secrecy):
+    if verdict == FLOW_SECRECY_FAIL:
         leaked = source.secrecy.difference(dest.secrecy)
         raise SecrecyViolation(
             f"secrecy rule S_x ⊆ S_y failed: tags {leaked!r} of source "
             f"{source!r} missing from destination {dest!r}{suffix}"
         )
-    if not integrity_allows(source.integrity, dest.integrity):
-        missing = dest.integrity.difference(source.integrity)
-        raise IntegrityViolation(
-            f"integrity rule I_y ⊆ I_x failed: destination {dest!r} requires "
-            f"tags {missing!r} the source {source!r} does not carry{suffix}"
-        )
+    missing = dest.integrity.difference(source.integrity)
+    raise IntegrityViolation(
+        f"integrity rule I_y ⊆ I_x failed: destination {dest!r} requires "
+        f"tags {missing!r} the source {source!r} does not carry{suffix}"
+    )
 
 
 def can_change_label(old: Label, new: Label, caps: CapabilitySet) -> bool:

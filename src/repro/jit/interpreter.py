@@ -27,7 +27,8 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
-from ..core import LabelPair, RegionViolation, VMPanic, check_flow
+from ..core import LabelPair, RegionViolation, VMPanic, fastpath
+from ..runtime.barriers import cached_check_flow
 from ..runtime.vm import LaminarVM
 from .ir import BarrierFlavor, Instr, Method, Opcode, Program, RegionSpec
 
@@ -87,6 +88,10 @@ _UNOPS = {
     "not": lambda a: not a,
 }
 
+#: Sentinel marking a handler's "return from method" result; handlers
+#: return ``None`` (fall through), a block label (jump), or ``(_RET, v)``.
+_RET = object()
+
 
 class Interpreter:
     """Executes one program on one VM."""
@@ -109,6 +114,17 @@ class Interpreter:
         #: Off by default because a *production* static barrier does not
         #: test the context — that absence is its whole advantage.
         self.verify_static = verify_static
+        #: Precomputed handler tables, one per method: block label -> list
+        #: of closures with operands bound at build time.  This models the
+        #: compiled code a JIT emits — decode work happens once, at method
+        #: load, instead of on every executed instruction.
+        self._tables: dict[str, dict[str, list]] = {}
+        #: One-element cell holding the executing thread; barrier handler
+        #: closures read ``cell[0]`` instead of walking ``vm.current_thread``
+        #: per instruction.  Maintained by :meth:`_execute_table`.
+        self._thread_cell: list = [None]
+        #: Program shape stamp the tables were built against (see ``run``).
+        self._table_stamp = -1
 
     def declare_static(self, name: str, labels: LabelPair, value: Any = 0) -> None:
         """Declare a labeled static (the labeled-statics extension).
@@ -121,6 +137,17 @@ class Interpreter:
     # -- entry point ------------------------------------------------------------
 
     def run(self, method_name: str = "main", *args: Any) -> Any:
+        if fastpath.flags.dispatch_table and not self.verify_static:
+            # IR passes mutate methods in place but never *during* a run,
+            # so validating once per entry suffices: if the program's shape
+            # changed since the tables were built, rebuild them lazily.
+            stamp = sum(
+                len(m.blocks) + m.instruction_count()
+                for m in self.program.methods.values()
+            )
+            if stamp != self._table_stamp:
+                self._tables.clear()
+                self._table_stamp = stamp
         method = self.program.method(method_name)
         return self._call(method, list(args))
 
@@ -157,6 +184,11 @@ class Interpreter:
     # -- the dispatch loop ----------------------------------------------------------
 
     def _execute(self, method: Method, args: list[Any]) -> Any:
+        if fastpath.flags.dispatch_table and not self.verify_static:
+            return self._execute_table(method, args)
+        return self._execute_switch(method, args)
+
+    def _execute_switch(self, method: Method, args: list[Any]) -> Any:
         regs: dict[str, Any] = dict(zip(method.params, args))
         label = method.entry
         assert label is not None
@@ -218,11 +250,14 @@ class Interpreter:
                         if labeled(regs[ops[0]].header):
                             self._static_violation(flavor)
                     elif flavor is static_in:
-                        # compiled-in in-region variant: label comparison.
+                        # compiled-in in-region variant: label comparison,
+                        # served from the per-thread verdict cache.
                         barrier_stats.label_checks += 1
                         header = regs[ops[0]].header
-                        check_flow(header.labels, thread.labels,
-                                   context="IR read")
+                        cached_check_flow(
+                            thread, header.labels, thread.labels,
+                            barrier_stats, context="IR read",
+                        )
                     else:
                         self._barrier(instr, regs[ops[0]].header, is_read=True)
                 elif op is Opcode.WRITEBAR:
@@ -235,8 +270,10 @@ class Interpreter:
                     elif flavor is static_in:
                         barrier_stats.label_checks += 1
                         header = regs[ops[0]].header
-                        check_flow(thread.labels, header.labels,
-                                   context="IR write")
+                        cached_check_flow(
+                            thread, thread.labels, header.labels,
+                            barrier_stats, context="IR write",
+                        )
                     else:
                         self._barrier(instr, regs[ops[0]].header, is_read=False)
                 elif op is Opcode.ALLOCBAR:
@@ -278,6 +315,185 @@ class Interpreter:
                 # unless a pass broke the method.
                 raise AssertionError(f"block {label} fell off the end")
 
+    # -- table-mode execution ----------------------------------------------------------
+
+    def _execute_table(self, method: Method, args: list[Any]) -> Any:
+        """Run one method through its precomputed handler table.
+
+        Same semantics and counter behavior as :meth:`_execute_switch`,
+        minus the per-instruction decode: each handler is a closure with
+        its operands (register names, bound functions, baked field lists)
+        already resolved.  Handlers return ``None`` to fall through to the
+        next instruction, a block label to jump, or ``(_RET, value)``.
+        """
+        table = self._tables.get(method.name)
+        if table is None:
+            table = self._build_table(method)
+            self._tables[method.name] = table
+        regs: dict[str, Any] = dict(zip(method.params, args))
+        label = method.entry
+        assert label is not None
+        cell = self._thread_cell
+        prev = cell[0]
+        cell[0] = self.vm.current_thread
+        executed = 0
+        try:
+            while True:
+                result = None
+                for handler in table[label]:
+                    executed += 1
+                    result = handler(regs)
+                    if result is not None:
+                        break
+                if result is None:
+                    raise AssertionError(f"block {label} fell off the end")
+                if result.__class__ is tuple:
+                    return result[1]
+                label = result
+        finally:
+            self.executed += executed
+            cell[0] = prev
+
+    def _build_table(self, method: Method) -> dict[str, list]:
+        """Bind one handler closure per instruction, at method load.
+
+        Operand decoding, opcode dispatch, field-list lookups, and BINOP
+        function resolution all happen here, once.  Barrier handlers keep
+        reading ``instr.flavor`` at run time (lint/elimination passes flip
+        flavors in place), and CALL resolves its callee per execution (a
+        method table must not pin another method's identity); everything
+        else is baked.  The executing thread is read from ``cell[0]``.
+        """
+        program = self.program
+        heap = self.vm.heap
+        stats = self.vm.barriers.stats
+        statics = self.statics
+        output = self.output
+        labeled = heap.is_labeled
+        cell = self._thread_cell
+        table: dict[str, list] = {}
+        for block_label, block in method.blocks.items():
+            handlers: list = []
+            for instr in block.instrs:
+                op = instr.op
+                ops = instr.operands
+                if op is Opcode.CONST:
+                    def h(regs, d=ops[0], v=ops[1]):
+                        regs[d] = v
+                elif op is Opcode.MOV:
+                    def h(regs, d=ops[0], s=ops[1]):
+                        regs[d] = regs[s]
+                elif op is Opcode.BINOP:
+                    def h(regs, d=ops[0], fn=_BINOPS[ops[1]], a=ops[2], b=ops[3]):
+                        regs[d] = fn(regs[a], regs[b])
+                elif op is Opcode.UNOP:
+                    def h(regs, d=ops[0], fn=_UNOPS[ops[1]], a=ops[2]):
+                        regs[d] = fn(regs[a])
+                elif op is Opcode.NEW:
+                    fields = tuple(program.classes[ops[1]])
+                    def h(regs, d=ops[0], cname=ops[1], fields=fields):
+                        header = heap.allocate_header(LabelPair.EMPTY)
+                        regs[d] = IRObject(header, cname, dict.fromkeys(fields, 0))
+                elif op is Opcode.NEWARRAY:
+                    def h(regs, d=ops[0], n=ops[1]):
+                        header = heap.allocate_header(LabelPair.EMPTY)
+                        regs[d] = IRArray(header, [0] * regs[n])
+                elif op is Opcode.GETFIELD:
+                    def h(regs, d=ops[0], o=ops[1], f=ops[2]):
+                        regs[d] = regs[o].fields[f]
+                elif op is Opcode.PUTFIELD:
+                    def h(regs, o=ops[0], f=ops[1], v=ops[2]):
+                        regs[o].fields[f] = regs[v]
+                elif op is Opcode.ALOAD:
+                    def h(regs, d=ops[0], arr=ops[1], i=ops[2]):
+                        regs[d] = regs[arr].items[regs[i]]
+                elif op is Opcode.ASTORE:
+                    def h(regs, arr=ops[0], i=ops[1], v=ops[2]):
+                        regs[arr].items[regs[i]] = regs[v]
+                elif op is Opcode.ARRAYLEN:
+                    def h(regs, d=ops[0], arr=ops[1]):
+                        regs[d] = len(regs[arr].items)
+                elif op is Opcode.GETSTATIC:
+                    def h(regs, d=ops[0], name=ops[1]):
+                        regs[d] = statics.get(name, 0)
+                elif op is Opcode.PUTSTATIC:
+                    def h(regs, name=ops[0], v=ops[1]):
+                        statics[name] = regs[v]
+                elif op is Opcode.READBAR:
+                    def h(regs, r=ops[0], instr=instr):
+                        stats.read_barriers += 1
+                        flavor = instr.flavor
+                        if flavor is BarrierFlavor.STATIC_OUT:
+                            stats.space_checks += 1
+                            if labeled(regs[r].header):
+                                self._static_violation(flavor)
+                        elif flavor is BarrierFlavor.STATIC_IN:
+                            stats.label_checks += 1
+                            thread = cell[0]
+                            cached_check_flow(
+                                thread, regs[r].header.labels, thread.labels,
+                                stats, context="IR read",
+                            )
+                        else:
+                            self._barrier(instr, regs[r].header, is_read=True)
+                elif op is Opcode.WRITEBAR:
+                    def h(regs, r=ops[0], instr=instr):
+                        stats.write_barriers += 1
+                        flavor = instr.flavor
+                        if flavor is BarrierFlavor.STATIC_OUT:
+                            stats.space_checks += 1
+                            if labeled(regs[r].header):
+                                self._static_violation(flavor)
+                        elif flavor is BarrierFlavor.STATIC_IN:
+                            stats.label_checks += 1
+                            thread = cell[0]
+                            cached_check_flow(
+                                thread, thread.labels, regs[r].header.labels,
+                                stats, context="IR write",
+                            )
+                        else:
+                            self._barrier(instr, regs[r].header, is_read=False)
+                elif op is Opcode.ALLOCBAR:
+                    def h(regs, r=ops[0], instr=instr):
+                        stats.alloc_barriers += 1
+                        flavor = instr.flavor
+                        if flavor is BarrierFlavor.STATIC_IN:
+                            heap.label_fresh(regs[r].header, cell[0].labels)
+                        elif flavor is not BarrierFlavor.STATIC_OUT:
+                            self._alloc_barrier(instr, regs[r].header)
+                elif op is Opcode.SREADBAR:
+                    def h(regs, name=ops[0], instr=instr):
+                        stats.read_barriers += 1
+                        self._static_barrier(instr, name, is_read=True)
+                elif op is Opcode.SWRITEBAR:
+                    def h(regs, name=ops[0], instr=instr):
+                        stats.write_barriers += 1
+                        self._static_barrier(instr, name, is_read=False)
+                elif op is Opcode.CALL:
+                    def h(regs, d=ops[0], callee=ops[1], argnames=ops[2:]):
+                        result = self._call(
+                            program.method(callee), [regs[a] for a in argnames]
+                        )
+                        if d is not None:
+                            regs[d] = result
+                elif op is Opcode.PRINT:
+                    def h(regs, s=ops[0]):
+                        output.append(regs[s])
+                elif op is Opcode.RET:
+                    def h(regs, v=ops[0]):
+                        return (_RET, regs[v] if v is not None else None)
+                elif op is Opcode.JMP:
+                    def h(regs, target=ops[0]):
+                        return target
+                elif op is Opcode.BR:
+                    def h(regs, c=ops[0], t=ops[1], f=ops[2]):
+                        return t if regs[c] else f
+                else:  # pragma: no cover - exhaustive
+                    raise AssertionError(f"unhandled opcode {op}")
+                handlers.append(h)
+            table[block_label] = handlers
+        return table
+
     # -- barrier semantics -------------------------------------------------------------
 
     def _context_for(self, flavor: Optional[BarrierFlavor]) -> bool:
@@ -312,9 +528,15 @@ class Interpreter:
             stats.label_checks += 1
             thread = self.vm.current_thread
             if is_read:
-                check_flow(header.labels, thread.labels, context="IR read")
+                cached_check_flow(
+                    thread, header.labels, thread.labels, stats,
+                    context="IR read",
+                )
             else:
-                check_flow(thread.labels, header.labels, context="IR write")
+                cached_check_flow(
+                    thread, thread.labels, header.labels, stats,
+                    context="IR write",
+                )
         else:
             stats.space_checks += 1
             if self.vm.heap.is_labeled(header):
@@ -337,9 +559,15 @@ class Interpreter:
         if in_region:
             stats.label_checks += 1
             if is_read:
-                check_flow(labels, thread.labels, context=f"static {name}")
+                cached_check_flow(
+                    thread, labels, thread.labels, stats,
+                    context=f"static {name}",
+                )
             else:
-                check_flow(thread.labels, labels, context=f"static {name}")
+                cached_check_flow(
+                    thread, thread.labels, labels, stats,
+                    context=f"static {name}",
+                )
         else:
             stats.space_checks += 1
             if not labels.is_empty:

@@ -43,6 +43,13 @@ class Mask(enum.Flag):
     EXEC = enum.auto()
 
 
+#: Precombined masks for the hot permission hooks.  ``enum.Flag.__or__``
+#: goes through a class-level lookup on every call; the hooks fire once
+#: per syscall, so the combinations are built once here instead.
+_READ_LIKE = Mask.READ | Mask.EXEC
+_WRITE_LIKE = Mask.WRITE
+
+
 class SecurityModule:
     """Hook interface; the default implementation allows everything.
 
@@ -140,6 +147,12 @@ class LaminarSecurityModule(SecurityModule):
     rules listed in Section 3.2" — so the per-syscall cost is one or two
     subset tests, which is what makes the Table 2 overheads small everywhere
     except null I/O (where the base syscall does almost no work).
+
+    Every ``can_flow`` call here goes through the process-wide flow-verdict
+    cache in :mod:`repro.core.rules`: the inode/file/pipe hooks on a hot
+    syscall path (null I/O, pipe latency/bandwidth) typically re-check the
+    same (task labels, object labels) pair thousands of times, and labels
+    are immutable values, so repeated checks collapse to one dict lookup.
     """
 
     name = "laminar"
@@ -158,7 +171,7 @@ class LaminarSecurityModule(SecurityModule):
         self, task: "Task", inode: "Inode", mask: Mask, hook: str
     ) -> None:
         labels = task.labels
-        if mask & (Mask.READ | Mask.EXEC):
+        if mask & _READ_LIKE:
             # Read: flow from inode to task.
             if not can_flow(inode.labels, labels):
                 _deny(
@@ -166,7 +179,7 @@ class LaminarSecurityModule(SecurityModule):
                     hook,
                     f"{task.name}{labels!r} may not read {inode!r}",
                 )
-        if mask & Mask.WRITE:
+        if mask & _WRITE_LIKE:
             # Write: flow from task to inode.
             if not can_flow(labels, inode.labels):
                 _deny(

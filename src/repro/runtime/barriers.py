@@ -37,9 +37,48 @@ from ..core import (
     LabelPair,
     RegionViolation,
     check_flow,
+    fastpath,
 )
 from .heap import Heap, ObjectHeader
 from .threads import SimThread
+
+#: Entry bound for each thread's verdict cache.  In-region working sets
+#: touch a handful of distinct label pairs, so a small bound suffices; on
+#: overflow new verdicts simply go unrecorded (never wrong, only slower).
+THREAD_FLOW_CACHE_BOUND = 256
+
+
+def cached_check_flow(
+    thread: SimThread,
+    source: LabelPair,
+    dest: LabelPair,
+    stats: "BarrierStats",
+    context: str = "",
+) -> None:
+    """``check_flow`` through the per-thread verdict cache.
+
+    Successful verdicts are cached under the thread's current label epoch;
+    the epoch (bumped on region entry/exit and kernel label changes)
+    guards the cache, so a thread can never reuse a verdict proven under
+    different labels.  Violations are never cached: the failure path must
+    recompute diagnostics anyway, and denials are rare by construction.
+    """
+    if not fastpath.flags.thread_barrier_cache:
+        check_flow(source, dest, context=context)
+        return
+    epoch = thread.label_epoch
+    cache = thread._flow_cache
+    if thread._flow_cache_epoch != epoch:
+        cache.clear()
+        thread._flow_cache_epoch = epoch
+    key = (source, dest)
+    if cache.get(key):
+        stats.flow_cache_hits += 1
+        return
+    stats.flow_cache_misses += 1
+    check_flow(source, dest, context=context)
+    if len(cache) < THREAD_FLOW_CACHE_BOUND:
+        cache[key] = True
 
 
 class BarrierMode(enum.Enum):
@@ -66,6 +105,13 @@ class BarrierStats:
     label_checks: int = 0
     #: Fast unlabeled-space membership tests (out-of-region accesses).
     space_checks: int = 0
+    #: Per-thread barrier-verdict cache traffic (label checks served
+    #: without re-evaluating the flow rules / checks that had to go to
+    #: the rules layer).  ``label_checks`` keeps counting *requested*
+    #: checks regardless, so Figures 8/9 stay comparable across cache
+    #: configurations.
+    flow_cache_hits: int = 0
+    flow_cache_misses: int = 0
 
     def reset(self) -> None:
         self.read_barriers = 0
@@ -74,6 +120,8 @@ class BarrierStats:
         self.dynamic_dispatches = 0
         self.label_checks = 0
         self.space_checks = 0
+        self.flow_cache_hits = 0
+        self.flow_cache_misses = 0
 
     @property
     def total(self) -> int:
@@ -104,7 +152,10 @@ class BarrierEngine:
         in_region = self._context(thread)
         if in_region:
             self.stats.label_checks += 1
-            check_flow(header.labels, thread.labels, context=f"read {what}")
+            cached_check_flow(
+                thread, header.labels, thread.labels, self.stats,
+                context=f"read {what}",
+            )
         else:
             self.stats.space_checks += 1
             if self.heap.is_labeled(header):
@@ -121,7 +172,10 @@ class BarrierEngine:
         in_region = self._context(thread)
         if in_region:
             self.stats.label_checks += 1
-            check_flow(thread.labels, header.labels, context=f"write {what}")
+            cached_check_flow(
+                thread, thread.labels, header.labels, self.stats,
+                context=f"write {what}",
+            )
         else:
             self.stats.space_checks += 1
             if self.heap.is_labeled(header):
@@ -155,7 +209,10 @@ class BarrierEngine:
             self.stats.label_checks += 1
             # Writing initial state into the new object is a flow from the
             # thread to the object.
-            check_flow(thread.labels, labels, context=f"alloc {what}")
+            cached_check_flow(
+                thread, thread.labels, labels, self.stats,
+                context=f"alloc {what}",
+            )
         return self.heap.allocate_header(labels)
 
     # -- context dispatch ---------------------------------------------------------

@@ -39,9 +39,15 @@ class HeapStats:
 
 
 class ObjectHeader:
-    """Per-object VM metadata: the two label words of Section 5.1."""
+    """Per-object VM metadata: the two label words of Section 5.1.
 
-    __slots__ = ("oid", "secrecy", "integrity")
+    The :class:`~repro.core.LabelPair` view is stored, not rebuilt per
+    access: ``header.labels`` sits under every barrier check, and labels
+    only ever change through :meth:`Heap.label_fresh` (before the object
+    escapes its allocation), which refreshes the stored pair.
+    """
+
+    __slots__ = ("oid", "secrecy", "integrity", "labels")
 
     _oid_counter = itertools.count(1)
 
@@ -49,10 +55,7 @@ class ObjectHeader:
         self.oid = next(self._oid_counter)
         self.secrecy: Label = labels.secrecy
         self.integrity: Label = labels.integrity
-
-    @property
-    def labels(self) -> LabelPair:
-        return LabelPair(self.secrecy, self.integrity)
+        self.labels: LabelPair = labels
 
 
 class Heap:
@@ -87,6 +90,7 @@ class Heap:
         """
         header.secrecy = labels.secrecy
         header.integrity = labels.integrity
+        header.labels = labels
         if not labels.is_empty:
             if header.oid not in self._labeled_space:
                 self._labeled_space.add(header.oid)

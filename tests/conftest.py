@@ -4,9 +4,26 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import CapabilitySet, Label, LabelPair, Tag
+from repro.core import CapabilitySet, Label, LabelPair, Tag, fastpath
 from repro.osim import Kernel, LaminarSecurityModule, NullSecurityModule
 from repro.runtime import BarrierMode, LaminarAPI, LaminarVM
+
+
+@pytest.fixture(autouse=True)
+def _fastpath_isolation():
+    """Reset the process-global fast-path caches around every test.
+
+    The intern/memo/verdict tables outlive individual tests; without a
+    reset, a Label interned by one test (holding that test's Tag objects)
+    would be returned to a later test whose own allocator minted
+    value-equal tags, breaking per-test object-identity assumptions.
+    Counters reset too, so tests can assert on hit/miss deltas.
+    """
+    fastpath.clear_caches()
+    fastpath.counters.reset()
+    yield
+    fastpath.clear_caches()
+    fastpath.counters.reset()
 
 
 @pytest.fixture

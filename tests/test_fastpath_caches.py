@@ -1,0 +1,297 @@
+"""The fast-path layers: interning, verdict caches, epochs, dispatch tables.
+
+Each cache must be individually switchable through
+:mod:`repro.core.fastpath`, must never change a security verdict, and must
+be invalidated (or be invalidation-free by construction) exactly as its
+soundness argument requires.  These are the fast tier-1 smoke tests; the
+randomized equivalence sweep lives in ``test_property_fastpath.py`` and
+the quantitative ablation in ``benchmarks/test_ablation_label_cache.py``.
+"""
+
+from __future__ import annotations
+
+import copy
+import pickle
+
+import pytest
+
+from repro.core import (
+    FLOW_INTEGRITY_FAIL,
+    FLOW_OK,
+    FLOW_SECRECY_FAIL,
+    CapabilitySet,
+    Label,
+    LabelPair,
+    LabelType,
+    check_flow,
+    fastpath,
+    flow_verdict,
+)
+from repro.jit import Interpreter, JITConfig, compile_source
+from repro.osim import Kernel
+from repro.runtime import LaminarAPI, LaminarVM
+
+
+class TestInterning:
+    def test_equal_tag_sets_share_one_instance(self, tags):
+        a, b, _ = tags
+        assert Label.of(a, b) is Label.of(b, a)
+        assert Label.of(a) is Label.of(a)
+
+    def test_empty_label_is_canonical(self):
+        assert Label() is Label.EMPTY
+        assert Label.of() is Label.EMPTY
+        assert Label.empty() is Label.EMPTY
+
+    def test_set_algebra_lands_on_interned_instances(self, tags):
+        a, b, c = tags
+        assert Label.of(a).union(Label.of(b)) is Label.of(a, b)
+        assert Label.of(a, b, c).difference(Label.of(c)) is Label.of(a, b)
+        assert Label.of(a, b).intersection(Label.of(b, c)) is Label.of(b)
+        assert Label.of(a).with_tag(b) is Label.of(a, b)
+        assert Label.of(a, b).without_tag(b) is Label.of(a)
+
+    def test_interning_off_still_value_equal(self, tags):
+        a, b, _ = tags
+        with fastpath.configured(label_interning=False):
+            x, y = Label.of(a, b), Label.of(b, a)
+            assert x is not y
+            assert x == y
+            assert x.union(Label.of(a)) == Label.of(a, b)
+
+    def test_validating_constructor_rejects_non_tags(self):
+        with pytest.raises(TypeError):
+            Label(["not-a-tag"])
+
+    def test_fast_constructor_skips_validation_but_interns(self, tags):
+        a, b, _ = tags
+        built = Label._from_normalized(tuple(sorted((a, b))))
+        assert built is Label.of(a, b)
+
+    def test_deepcopy_returns_canonical_instance(self, tags):
+        """copy/pickle must not clobber interned state (the default slots
+        protocol would reconstruct via ``__new__`` — which interning
+        resolves to an existing canonical instance — and then overwrite
+        that instance's state in place)."""
+        a, _, _ = tags
+        label = Label.of(a)
+        assert copy.deepcopy(label) is not None
+        assert Label.EMPTY.is_empty, "deepcopy corrupted the empty label"
+        assert copy.deepcopy(label) == label
+        assert pickle.loads(pickle.dumps(label)) == label
+        pair = LabelPair(label)
+        assert copy.deepcopy(pair) == pair
+        assert LabelPair.EMPTY.is_empty
+
+
+class TestFlowVerdictCache:
+    def test_repeat_checks_hit(self, tags):
+        a, _, _ = tags
+        src = LabelPair(Label.of(a))
+        dst = LabelPair(Label.of(a))
+        assert flow_verdict(src, dst) == FLOW_OK
+        before = fastpath.counters.verdict_hits
+        assert flow_verdict(src, dst) == FLOW_OK
+        assert fastpath.counters.verdict_hits == before + 1
+
+    def test_failures_cached_with_correct_verdict(self, tags):
+        a, b, _ = tags
+        secret = LabelPair(Label.of(a))
+        low_integrity = LabelPair(Label.EMPTY, Label.of(b))
+        assert flow_verdict(secret, LabelPair.EMPTY) == FLOW_SECRECY_FAIL
+        assert flow_verdict(secret, LabelPair.EMPTY) == FLOW_SECRECY_FAIL
+        assert flow_verdict(LabelPair.EMPTY, low_integrity) == FLOW_INTEGRITY_FAIL
+
+    def test_cache_off_reevaluates_rules(self, tags):
+        a, _, _ = tags
+        src = LabelPair(Label.of(a))
+        dst = LabelPair(Label.of(a))
+        with fastpath.configured(flow_verdict_cache=False):
+            check_flow(src, dst)
+            before = fastpath.counters.rule_evaluations
+            check_flow(src, dst)
+            assert fastpath.counters.rule_evaluations > before
+
+    def test_configure_rejects_unknown_switch(self):
+        with pytest.raises(ValueError):
+            fastpath.configure(warp_drive=True)
+
+    def test_configured_restores_flags(self):
+        assert fastpath.flags.flow_verdict_cache
+        with fastpath.configured(flow_verdict_cache=False):
+            assert not fastpath.flags.flow_verdict_cache
+        assert fastpath.flags.flow_verdict_cache
+
+
+class TestThreadBarrierCache:
+    def _labeled_header(self, vm, label):
+        return vm.barriers.alloc_barrier(
+            vm.current_thread, LabelPair(label)
+        )
+
+    def test_repeat_barrier_checks_hit(self, vm):
+        api = LaminarAPI(vm)
+        tag = api.create_and_add_capability("t")
+        stats = vm.barriers.stats
+        with vm.region(secrecy=Label.of(tag), caps=CapabilitySet.dual(tag)):
+            thread = vm.current_thread
+            header = self._labeled_header(vm, Label.of(tag))
+            vm.barriers.read_barrier(thread, header)
+            hits = stats.flow_cache_hits
+            vm.barriers.read_barrier(thread, header)
+            vm.barriers.read_barrier(thread, header)
+            assert stats.flow_cache_hits == hits + 2
+
+    def test_region_reentry_invalidates(self, vm):
+        """Identical labels, fresh region: the epoch moved, so the first
+        check must MISS — a cached verdict may never survive a region
+        boundary, even one that restores the same label values."""
+        api = LaminarAPI(vm)
+        tag = api.create_and_add_capability("t")
+        stats = vm.barriers.stats
+        region_args = dict(secrecy=Label.of(tag), caps=CapabilitySet.dual(tag))
+        with vm.region(**region_args):
+            thread = vm.current_thread
+            header = self._labeled_header(vm, Label.of(tag))
+            vm.barriers.read_barrier(thread, header)
+        epoch_outside = thread.label_epoch
+        with vm.region(**region_args):
+            assert thread.label_epoch != epoch_outside
+            misses = stats.flow_cache_misses
+            vm.barriers.read_barrier(thread, header)
+            assert stats.flow_cache_misses == misses + 1
+
+    def test_kernel_label_change_bumps_epoch(self, kernel):
+        vm = LaminarVM(kernel)
+        thread = vm.main_thread
+        tag, _ = kernel.sys_alloc_tag(vm.main_task, "t")
+        before = thread.label_epoch
+        kernel.sys_set_task_label(
+            vm.main_task, LabelType.SECRECY, Label.of(tag)
+        )
+        assert thread.label_epoch > before
+
+    def test_cache_off_always_rechecks(self, vm):
+        api = LaminarAPI(vm)
+        tag = api.create_and_add_capability("t")
+        stats = vm.barriers.stats
+        with fastpath.configured(thread_barrier_cache=False):
+            with vm.region(secrecy=Label.of(tag), caps=CapabilitySet.dual(tag)):
+                thread = vm.current_thread
+                header = self._labeled_header(vm, Label.of(tag))
+                vm.barriers.read_barrier(thread, header)
+                vm.barriers.read_barrier(thread, header)
+            assert stats.flow_cache_hits == 0
+            assert stats.flow_cache_misses == 0
+            assert stats.label_checks >= 3
+
+
+WORKLOAD = """
+class Node { value, next }
+
+method main() {
+entry:
+  const n, 40
+  call head, build, n
+  call total, sum, head
+  print total
+  ret total
+}
+
+method build(n) {
+entry:
+  const i, 0
+  const head, null
+  jmp loop
+loop:
+  binop cond, lt, i, n
+  br cond, body, done
+body:
+  new node, Node
+  putfield node, value, i
+  putfield node, next, head
+  mov head, node
+  const one, 1
+  binop i, add, i, one
+  jmp loop
+done:
+  ret head
+}
+
+method sum(head) {
+entry:
+  const total, 0
+  mov cur, head
+  jmp loop
+loop:
+  const nullv, null
+  binop cond, ne, cur, nullv
+  br cond, body, done
+body:
+  getfield v, cur, value
+  binop total, add, total, v
+  getfield cur, cur, next
+  jmp loop
+done:
+  ret total
+}
+"""
+
+
+class TestDispatchTable:
+    def _run(self, cfg=JITConfig.STATIC):
+        program, _ = compile_source(WORKLOAD, cfg)
+        vm = LaminarVM(Kernel())
+        interp = Interpreter(program, vm)
+        result = interp.run("main")
+        return result, list(interp.output), interp.executed, vm.barriers.stats
+
+    def test_table_and_switch_agree(self):
+        for cfg in JITConfig:
+            with fastpath.configured(dispatch_table=True):
+                on = self._run(cfg)
+            with fastpath.configured(dispatch_table=False):
+                off = self._run(cfg)
+            assert on[0] == off[0], cfg
+            assert on[1] == off[1], cfg
+            assert on[2] == off[2], f"{cfg}: executed-instruction counts differ"
+            assert vars(on[3]) == vars(off[3]), cfg
+
+    def test_tables_are_built_and_reused(self):
+        program, _ = compile_source(WORKLOAD, JITConfig.STATIC, inline=False)
+        vm = LaminarVM(Kernel())
+        interp = Interpreter(program, vm)
+        interp.run("main")
+        assert set(interp._tables) == {"main", "build", "sum"}
+        tables = dict(interp._tables)
+        interp.run("main")
+        assert all(interp._tables[k] is tables[k] for k in tables)
+
+    def test_ir_mutation_rebuilds_tables(self):
+        """Passes mutate methods in place between runs; the shape stamp
+        taken at ``run()`` must drop stale tables."""
+        from repro.jit.ir import Instr, Opcode
+
+        program, _ = compile_source(WORKLOAD, JITConfig.BASELINE, inline=False)
+        vm = LaminarVM(Kernel())
+        interp = Interpreter(program, vm)
+        first = interp.run("main")
+        stale = interp._tables["sum"]
+        # Rewrite sum's body: return the constant 9 immediately.
+        method = program.method("sum")
+        entry = method.blocks[method.entry]
+        entry.instrs[:] = [
+            Instr(Opcode.CONST, ("total", 9)),
+            Instr(Opcode.RET, ("total",)),
+        ]
+        second = interp.run("main")
+        assert first != second
+        assert second == 9
+        assert interp._tables["sum"] is not stale
+
+    def test_verify_static_bypasses_tables(self):
+        program, _ = compile_source(WORKLOAD, JITConfig.STATIC)
+        vm = LaminarVM(Kernel())
+        interp = Interpreter(program, vm, verify_static=True)
+        interp.run("main")
+        assert not interp._tables
