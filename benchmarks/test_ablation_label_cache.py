@@ -258,6 +258,10 @@ def sweep():
             }
             for name, r in results.items()
         },
+        # Per-layer counter state of the final (all_on) measurement pass;
+        # every BENCH_*.json carries one of these so published numbers
+        # record how much checking the caches absorbed.
+        "fastpath_counters": dict(on["counters"]),
         "speedup_all_on": off["seconds"] / on["seconds"],
         "set_ops_reduction_pct": 100.0 * (1 - on["set_ops"] / off["set_ops"]),
         "observables_identical": all(

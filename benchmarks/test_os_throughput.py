@@ -1,0 +1,215 @@
+"""OS-layer throughput: the multi-user labeled file server.
+
+Table 2 measures per-syscall *latency*; this benchmark measures the OS
+layer at server scale — many tasks under the cooperative scheduler
+(:mod:`repro.osim.sched`), each user behind labeled pipes and a
+secrecy-labeled data file.  Three configurations run the identical
+workload:
+
+* ``vanilla`` — :class:`NullSecurityModule`, sequential syscalls;
+* ``laminar`` — :class:`LaminarSecurityModule`, sequential syscalls;
+* ``laminar_batched`` — Laminar plus io_uring-style batched submission
+  (:meth:`Kernel.sys_submit`): the server's per-request chunk-read loop
+  becomes one submission, paying the user→kernel crossing once and
+  memoizing the per-inode permission verdict across the batch.
+
+Three claims are demonstrated:
+
+* **throughput** — batched Laminar achieves at least 2x the ops/sec of
+  unbatched Laminar on the same workload;
+* **equivalence** — audit logs and denial counters are byte-identical
+  across all three configurations (every flow in the workload is legal,
+  so all three must show *empty* audit and *zero* denials — batching and
+  scheduling change performance, never a verdict);
+* **scaling** — ops/sec is reported across a task-count sweep.
+
+Machine-readable results land in ``BENCH_os_throughput.json`` at the
+repository root, including a :mod:`repro.core.fastpath` counter snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.bench.harness import fastpath_snapshot
+from repro.bench.workloads import setup_os_server
+from repro.core import fastpath
+from repro.osim import Kernel, LaminarSecurityModule, NullSecurityModule
+
+from conftest import publish
+
+pytestmark = pytest.mark.bench
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_os_throughput.json"
+
+#: Workload shape: per user one server + one client task; each request
+#: is served as `CHUNKS` chunk reads + one response write.
+REQUESTS = 6
+CHUNKS = 96
+CHUNK_SIZE = 96
+USER_SWEEP = (1, 2, 4, 8)
+MAIN_USERS = 4
+TRIALS = 3
+
+CONFIGS = {
+    "vanilla": (NullSecurityModule, False),
+    "laminar": (LaminarSecurityModule, False),
+    "laminar_batched": (LaminarSecurityModule, True),
+}
+
+
+def _run_once(security_cls, batched: bool, users: int) -> dict:
+    """One full workload execution on a fresh kernel; returns timings and
+    every security-relevant observable."""
+    kernel = Kernel(security_cls())
+    sched, stats = setup_os_server(
+        kernel,
+        users=users,
+        requests=REQUESTS,
+        chunks=CHUNKS,
+        chunk_size=CHUNK_SIZE,
+        batched=batched,
+    )
+    start = time.perf_counter()
+    stuck = sched.run()
+    seconds = time.perf_counter() - start
+    assert stuck == [], f"deadlocked tasks: {stuck}"
+    assert stats["bytes_served"]() == stats["ops"] * CHUNK_SIZE
+    return {
+        "users": users,
+        "tasks": stats["tasks"],
+        "ops": stats["ops"],
+        "seconds": seconds,
+        "ops_per_sec": stats["ops"] / seconds,
+        "steps": sched.steps,
+        "audit": [str(entry) for entry in kernel.audit],
+        "denials": dict(kernel.security.denials),
+        "pipe_drops": stats.get("dropped", 0),
+        "net_messages": kernel.net.transmitted.total_messages,
+    }
+
+
+def _measure(name: str, users: int) -> dict:
+    """Best-of-TRIALS ops/sec for one configuration (first run also
+    captures the security observables)."""
+    security_cls, batched = CONFIGS[name]
+    runs = [_run_once(security_cls, batched, users) for _ in range(TRIALS)]
+    best = max(runs, key=lambda r: r["ops_per_sec"])
+    best = dict(best)
+    # Observables must not vary run to run either.
+    for run in runs[1:]:
+        assert run["audit"] == runs[0]["audit"]
+        assert run["denials"] == runs[0]["denials"]
+    best["audit"] = runs[0]["audit"]
+    best["denials"] = runs[0]["denials"]
+    return best
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    fastpath.clear_caches()
+    fastpath.counters.reset()
+    results: dict[str, dict] = {}
+    scaling: dict[str, dict[int, float]] = {name: {} for name in CONFIGS}
+    for name in CONFIGS:
+        for users in USER_SWEEP:
+            measured = _measure(name, users)
+            scaling[name][users] = measured["ops_per_sec"]
+            if users == MAIN_USERS:
+                results[name] = measured
+
+    payload = {
+        "benchmark": "os_throughput",
+        "workload": {
+            "requests_per_client": REQUESTS,
+            "chunks_per_request": CHUNKS,
+            "chunk_size": CHUNK_SIZE,
+            "user_sweep": list(USER_SWEEP),
+            "main_users": MAIN_USERS,
+        },
+        "configs": results,
+        "scaling_ops_per_sec": {
+            name: {str(u): ops for u, ops in curve.items()}
+            for name, curve in scaling.items()
+        },
+        "batched_speedup": (
+            results["laminar_batched"]["ops_per_sec"]
+            / results["laminar"]["ops_per_sec"]
+        ),
+        "laminar_overhead_pct": 100.0
+        * (
+            results["vanilla"]["ops_per_sec"] / results["laminar"]["ops_per_sec"]
+            - 1.0
+        ),
+        "observables_identical": all(
+            r["audit"] == results["vanilla"]["audit"]
+            and r["denials"] == results["vanilla"]["denials"]
+            for r in results.values()
+        ),
+        "fastpath_counters": fastpath_snapshot(),
+    }
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = [
+        "OS throughput: multi-user labeled file server "
+        f"({MAIN_USERS} users, {2 * MAIN_USERS} tasks)",
+        "",
+        f"{'config':<18} {'ops/sec':>12} {'steps':>8} {'audit':>6} {'denials':>8}",
+    ]
+    for name, r in results.items():
+        lines.append(
+            f"{name:<18} {r['ops_per_sec']:>12,.0f} {r['steps']:>8} "
+            f"{len(r['audit']):>6} {sum(r['denials'].values()):>8}"
+        )
+    lines += [
+        "",
+        "scaling (ops/sec by user count):",
+    ]
+    for name, curve in scaling.items():
+        pts = "  ".join(f"{u}u:{ops:,.0f}" for u, ops in sorted(curve.items()))
+        lines.append(f"  {name:<16} {pts}")
+    lines += [
+        "",
+        f"batched speedup (laminar):   {payload['batched_speedup']:.2f}x",
+        f"laminar overhead (seq):      {payload['laminar_overhead_pct']:.1f}%",
+        f"observables identical:       {payload['observables_identical']}",
+    ]
+    publish("os_throughput", "\n".join(lines))
+    return payload
+
+
+def test_batched_at_least_2x(sweep):
+    """The acceptance bar: batching doubles Laminar server throughput."""
+    assert sweep["batched_speedup"] >= 2.0, sweep["batched_speedup"]
+
+
+def test_observables_identical_across_configs(sweep):
+    """Batching and the security module never change what is audited or
+    denied on this all-legal workload — and the workload really is
+    all-legal: nothing to audit, nothing to deny."""
+    assert sweep["observables_identical"] is True
+    for name, r in sweep["configs"].items():
+        assert r["audit"] == [], (name, r["audit"])
+        assert r["denials"] == {}, (name, r["denials"])
+
+
+def test_every_config_scales_with_users(sweep):
+    """More users means more total work, not a collapse: every config
+    serves every sweep point to completion (throughput recorded; the
+    cooperative scheduler is fair, so no user starves)."""
+    for name, curve in sweep["scaling_ops_per_sec"].items():
+        assert set(curve) == {str(u) for u in USER_SWEEP}
+        assert all(ops > 0 for ops in curve.values()), name
+
+
+def test_json_report_written(sweep):
+    payload = json.loads(JSON_PATH.read_text())
+    assert payload["benchmark"] == "os_throughput"
+    assert payload["batched_speedup"] >= 2.0
+    assert "fastpath_counters" in payload
+    assert "walk_hits" in payload["fastpath_counters"]

@@ -6,6 +6,7 @@ library they share."""
 from .harness import (
     DEFAULT_TRIALS,
     Row,
+    fastpath_snapshot,
     geometric_mean,
     median_seconds,
     overhead_pct,
@@ -18,7 +19,7 @@ from .lmbench import (
     PAPER_TABLE2_OVERHEAD_PCT,
     setup_tree,
 )
-from .workloads import ALL_WORKLOADS, DACAPO_LIKE, PSEUDOJBB
+from .workloads import ALL_WORKLOADS, DACAPO_LIKE, PSEUDOJBB, setup_os_server
 
 __all__ = [
     "ALL_WORKLOADS",
@@ -29,10 +30,12 @@ __all__ = [
     "PAPER_TABLE2_OVERHEAD_PCT",
     "PSEUDOJBB",
     "Row",
+    "fastpath_snapshot",
     "geometric_mean",
     "median_seconds",
     "overhead_pct",
     "render_breakdown",
     "render_table",
+    "setup_os_server",
     "setup_tree",
 ]

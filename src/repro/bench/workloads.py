@@ -644,3 +644,137 @@ DACAPO_LIKE = {
 PSEUDOJBB = {"txnmix": txnmix}
 
 ALL_WORKLOADS = {**DACAPO_LIKE, **PSEUDOJBB}
+
+
+# =========================================================================
+# OS throughput workload: a multi-user labeled file server
+# =========================================================================
+#
+# The JVM workloads above measure *barrier* overhead; this one measures
+# the OS layer at server scale.  Per user: a secrecy tag, a labeled data
+# file, a server task and a client task (both labeled with the user's
+# tag), and a labeled request/response pipe pair.  Clients send requests;
+# the server answers each by reading the user's file in chunks and
+# writing back one response.  Every flow is legal, so all three
+# benchmark configurations (vanilla / Laminar / Laminar+batching) must
+# produce empty audit logs and zero denials — the interesting axis is
+# ops/sec.  The server's read loop is the batching target: sequential
+# mode issues one scheduler-mediated syscall per chunk; batched mode
+# issues a single ``sys_submit`` covering the rewind and every chunk
+# read.
+
+
+def _os_server_body(kernel, batched, path, req_fd, resp_fd, chunks, chunk_size):
+    from ..osim.kernel import Sqe
+    from ..osim.sched import read_blocking, submit, syscall
+
+    def body(task):
+        fd = yield syscall("open", path, "r")
+        if batched:
+            sqes = [Sqe("lseek", fd, 0)]
+            sqes += [Sqe("read", fd, chunk_size) for _ in range(chunks)]
+        while True:
+            request = yield read_blocking(req_fd)
+            if not request:
+                break  # request pipe hung up: client is done
+            if batched:
+                cqes = yield submit(sqes)
+                payload = b"".join(c.result for c in cqes[1:])
+            else:
+                yield syscall("lseek", fd, 0)
+                parts = []
+                for _ in range(chunks):
+                    parts.append((yield syscall("read", fd, chunk_size)))
+                payload = b"".join(parts)
+            yield syscall("write", resp_fd, payload)
+        yield syscall("close", resp_fd)
+
+    return body
+
+
+def _os_client_body(requests, req_fd, resp_fd, expected_len, served):
+    from ..osim.sched import read_blocking, syscall
+
+    def body(task):
+        # Pipeline: queue every request, hang up, then drain responses.
+        # Keeps the servers hot (their blocking reads always find data),
+        # which is the realistic shape for a loaded server anyway.
+        for _ in range(requests):
+            yield syscall("write", req_fd, b"get")
+        yield syscall("close", req_fd)
+        for _ in range(requests):
+            response = yield read_blocking(resp_fd)
+            if len(response) != expected_len:
+                raise AssertionError(
+                    f"short response: {len(response)} != {expected_len}"
+                )
+            served.append(len(response))
+
+    return body
+
+
+def setup_os_server(
+    kernel,
+    *,
+    users: int = 4,
+    requests: int = 6,
+    chunks: int = 96,
+    chunk_size: int = 96,
+    batched: bool = False,
+):
+    """Prime ``kernel`` with the multi-user server workload.
+
+    Returns ``(scheduler, stats)``: run ``scheduler.run()`` (timing it,
+    if you care) and then read ``stats`` — ``ops`` is the number of file
+    chunks served, ``bytes_served`` the client-verified response bytes.
+    Setup is identical for every configuration; only the server's inner
+    loop differs with ``batched``.
+    """
+    from ..core import Label, LabelPair
+    from ..osim.sched import Scheduler
+
+    sched = Scheduler(kernel)
+    setup = kernel.spawn_task("srv-setup")
+    kernel.sys_mkdir(setup, "/tmp/srv")
+    served: list[int] = []
+    for i in range(users):
+        tag, _caps = kernel.sys_alloc_tag(setup, f"u{i}")
+        secret = LabelPair(Label.of(tag))
+        home = f"/tmp/srv/user{i}"
+        kernel.sys_mkdir(setup, home)
+        fd = kernel.sys_create_file_labeled(setup, f"{home}/data", secret)
+        kernel.sys_write(setup, fd, bytes([i % 251]) * (chunks * chunk_size))
+        kernel.sys_close(setup, fd)
+
+        server = kernel.spawn_task(f"server{i}", labels=secret)
+        client = kernel.spawn_task(f"client{i}", labels=secret)
+        req_r, req_w = kernel.sys_pipe(setup, labels=secret)
+        resp_r, resp_w = kernel.sys_pipe(setup, labels=secret)
+        s_req = kernel.share_fd(setup, req_r, server)
+        s_resp = kernel.share_fd(setup, resp_w, server)
+        c_req = kernel.share_fd(setup, req_w, client)
+        c_resp = kernel.share_fd(setup, resp_r, client)
+        for fd_ in (req_r, req_w, resp_r, resp_w):
+            kernel.sys_close(setup, fd_)
+
+        sched.spawn(
+            _os_server_body(
+                kernel, batched, f"{home}/data", s_req, s_resp, chunks, chunk_size
+            ),
+            task=server,
+        )
+        sched.spawn(
+            _os_client_body(requests, c_req, c_resp, chunks * chunk_size, served),
+            task=client,
+        )
+
+    stats = {
+        "users": users,
+        "tasks": 2 * users,
+        "requests": users * requests,
+        "ops": users * requests * chunks,
+        "batched": batched,
+        "served": served,
+        "bytes_served": lambda: sum(served),
+    }
+    return sched, stats

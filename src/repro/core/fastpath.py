@@ -26,6 +26,15 @@ Layers (each a boolean on :data:`flags`):
     The IR interpreter's precomputed per-method handler tables
     (:mod:`repro.jit.interpreter`) replacing per-instruction opcode
     dispatch.
+``path_walk_cache``
+    The kernel's per-task path-walk verdict cache
+    (:meth:`repro.osim.kernel.Kernel._walk_checked`): a successful
+    LSM-checked traversal of a directory prefix is recorded under the
+    task's label epoch and replayed as one dict hit (hook counters are
+    replayed too, so the observable record is identical).  Entries are
+    revalidated against the traversed inodes' label identities and the
+    kernel's namespace generation, so relabels, unlinks, and label
+    changes can never resurrect a stale allow.
 
 All layers are pure performance: verdicts, audit entries, and violation
 counts are identical with every combination of switches (asserted by
@@ -46,12 +55,13 @@ from typing import Callable, Iterator
 
 @dataclass
 class FastPathFlags:
-    """The four independently switchable cache layers (all on by default)."""
+    """The independently switchable cache layers (all on by default)."""
 
     label_interning: bool = True
     flow_verdict_cache: bool = True
     thread_barrier_cache: bool = True
     dispatch_table: bool = True
+    path_walk_cache: bool = True
 
     def as_dict(self) -> dict[str, bool]:
         return {f.name: getattr(self, f.name) for f in fields(self)}
@@ -77,6 +87,8 @@ class FastPathCounters:
     memo_misses: int = 0
     verdict_hits: int = 0
     verdict_misses: int = 0
+    walk_hits: int = 0
+    walk_misses: int = 0
 
     @property
     def set_ops(self) -> int:

@@ -8,6 +8,9 @@ persistence (:mod:`.filesystem`), LSM hooks plus the Laminar security
 module (:mod:`.lsm`), unreliable labeled pipes (:mod:`.pipes`), sockets and
 the unlabeled network (:mod:`.sockets`), the syscall layer (:mod:`.kernel`),
 and persistent per-user capabilities with login (:mod:`.persistence`).
+The throughput layer lives in :mod:`.sched` (cooperative scheduler with
+label-oblivious blocking I/O) and :meth:`.kernel.Kernel.sys_submit`
+(io_uring-style batched submission).
 """
 
 from .filesystem import (
@@ -21,9 +24,20 @@ from .filesystem import (
     decode_label,
     encode_label,
 )
-from .kernel import Kernel, Mapping, TCB_TAG
+from .kernel import Cqe, Kernel, Mapping, Sqe, TCB_TAG
 from .lsm import LaminarSecurityModule, Mask, NullSecurityModule, SecurityModule
-from .pipes import DEFAULT_PIPE_CAPACITY, Pipe
+from .pipes import DEFAULT_PIPE_CAPACITY, Pipe, freeze
+from .sched import (
+    SIGKILL,
+    SIGTERM,
+    Scheduler,
+    fork,
+    read_blocking,
+    recv_blocking,
+    submit,
+    syscall,
+    yield_,
+)
 from .persistence import (
     decode_capabilities,
     encode_capabilities,
@@ -33,7 +47,7 @@ from .persistence import (
     revoke_by_relabel,
     store_user_capabilities,
 )
-from .sockets import Network, Socket
+from .sockets import DEFAULT_TRAFFIC_LOG_CAP, Network, Socket, TrafficLog
 from .task import (
     EACCES,
     EAGAIN,
@@ -52,7 +66,9 @@ from .task import (
 )
 
 __all__ = [
+    "Cqe",
     "DEFAULT_PIPE_CAPACITY",
+    "DEFAULT_TRAFFIC_LOG_CAP",
     "EACCES",
     "EAGAIN",
     "EBADF",
@@ -77,20 +93,32 @@ __all__ = [
     "NullSecurityModule",
     "OpenMode",
     "Pipe",
+    "SIGKILL",
+    "SIGTERM",
+    "Scheduler",
     "SecurityModule",
     "Socket",
+    "Sqe",
     "SyscallError",
     "TCB_TAG",
     "Task",
+    "TrafficLog",
     "XATTR_INTEGRITY",
     "XATTR_SECRECY",
     "decode_capabilities",
     "decode_label",
     "encode_capabilities",
     "encode_label",
+    "fork",
+    "freeze",
     "grant_persistent",
     "load_user_capabilities",
     "login",
+    "read_blocking",
+    "recv_blocking",
     "revoke_by_relabel",
     "store_user_capabilities",
+    "submit",
+    "syscall",
+    "yield_",
 ]

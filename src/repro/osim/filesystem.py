@@ -152,6 +152,12 @@ class File:
         self.inode = inode
         self.mode = mode
         self.offset = 0
+        #: Number of fd-table slots referencing this description (dup /
+        #: fork inheritance / SCM_RIGHTS-style sharing all install the
+        #: same ``File``).  Maintained by ``Task.install_fd``/``remove_fd``;
+        #: the kernel uses it to detect the last explicit close of a pipe
+        #: end.
+        self.refs = 0
 
     def readable(self) -> bool:
         return bool(self.mode & OpenMode.READ)
@@ -271,9 +277,27 @@ class Filesystem:
         if inode.is_dir:
             raise SyscallError(EISDIR, "read of a directory")
         end = inode.size if count < 0 else min(inode.size, file.offset + count)
-        data = bytes(inode.data[file.offset : end])
+        # One copy, not two: slicing the bytearray directly would build an
+        # intermediate bytearray that bytes() then copies again.  Going
+        # through a memoryview materializes the result exactly once.
+        data = bytes(memoryview(inode.data)[file.offset : end])
         file.offset = end
         return data
+
+    @staticmethod
+    def read_view(file: File, count: int = -1) -> memoryview:
+        """Zero-copy read: a read-only :class:`memoryview` over the file's
+        buffer.  TCB-internal (the batch submission path and vectored I/O
+        use it to avoid materializing intermediate chunks); the view
+        aliases the inode, so callers must consume it before any write to
+        the same file."""
+        inode = file.inode
+        if inode.is_dir:
+            raise SyscallError(EISDIR, "read of a directory")
+        end = inode.size if count < 0 else min(inode.size, file.offset + count)
+        view = memoryview(inode.data).toreadonly()[file.offset : end]
+        file.offset = end
+        return view
 
     @staticmethod
     def write(file: File, data: bytes) -> int:

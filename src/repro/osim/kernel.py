@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import itertools
 from collections import Counter
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Sequence
 
 from ..core import (
     AuditLog,
@@ -36,6 +36,8 @@ from ..core import (
     TagAllocator,
     check_label_change,
 )
+from ..core import fastpath
+from ..core.fastpath import counters as _fp_counters
 from .filesystem import (
     File,
     Filesystem,
@@ -67,6 +69,50 @@ class Mapping:
         self.file = file
         self.mask = mask
         self.valid = True
+
+
+class Sqe:
+    """One submission-queue entry for :meth:`Kernel.sys_submit`
+    (io_uring-style): an opcode naming a ``sys_`` call plus its
+    positional arguments, e.g. ``Sqe("read", fd, 64)``."""
+
+    __slots__ = ("op", "args")
+
+    def __init__(self, op: str, *args: object) -> None:
+        self.op = op
+        self.args = args
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(a) for a in self.args)
+        return f"Sqe({self.op!r}{', ' if inner else ''}{inner})"
+
+
+class Cqe:
+    """One completion-queue entry: the opcode it answers, the result (or
+    ``None``), and the errno (0 on success).  A failing entry does not
+    abort the rest of the batch — exactly io_uring's contract."""
+
+    __slots__ = ("op", "result", "errno")
+
+    def __init__(self, op: str, result: object, errno: int = 0) -> None:
+        self.op = op
+        self.result = result
+        self.errno = errno
+
+    @property
+    def ok(self) -> bool:
+        return self.errno == 0
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Cqe)
+            and self.op == other.op
+            and self.result == other.result
+            and self.errno == other.errno
+        )
+
+    def __repr__(self) -> str:
+        return f"Cqe({self.op!r}, {self.result!r}, errno={self.errno})"
 
 
 class Kernel:
@@ -109,7 +155,23 @@ class Kernel:
         "send": 400,
         "recv": 400,
         "transmit": 400,
+        "readv": 160,
+        "writev": 160,
+        "submit": 100,
+        "lseek": 120,
     }
+
+    #: The user→kernel crossing share of each syscall's ``SYSCALL_WORK``
+    #: (trap, register save/restore, entry/exit bookkeeping).  Batched
+    #: submission (:meth:`sys_submit`) pays it **once per batch** instead
+    #: of once per call — the io_uring argument: for 1-byte I/O the
+    #: crossing dominates, which is also why Table 2's null-I/O row is the
+    #: paper's outlier.  Single calls are unaffected: ``SYSCALL_WORK``
+    #: already includes this share.
+    SYSCALL_ENTRY_WORK = 100
+
+    #: Extra simulated work per additional iovec segment in readv/writev.
+    VECTOR_SEGMENT_WORK = 40
 
     def __init__(self, security: Optional[SecurityModule] = None) -> None:
         self.security = security if security is not None else LaminarSecurityModule()
@@ -122,8 +184,52 @@ class Kernel:
         self.syscall_counts: Counter[str] = Counter()
         #: Machine-wide audit log (TCB-internal; see repro.core.audit).
         self.audit = AuditLog()
-        self.security.audit = self.audit
+        #: Path-walk verdict cache: (tid, label epoch, start, dirname) ->
+        #: (namespace generation, hook count, ((inode, labels), ...)).
+        #: Successful prefix walks only; see :meth:`_walk_checked`.
+        self._walk_cache: dict[tuple, tuple] = {}
+        #: Bumped on any event that can change what a path walk traverses
+        #: or decides: unlink, mkdir, labeled creation of a directory, and
+        #: security-module swap.  (Task label changes are covered by the
+        #: per-task label epoch in the cache key; direct inode relabels by
+        #: the per-entry label-identity revalidation.)
+        self._walk_gen = 0
+        self._refresh_security_module()
+        #: Per-opcode batch work: SYSCALL_WORK minus the amortized entry
+        #: share (floor 0 — close, for one, is mostly crossing cost).
+        self._batch_work = {
+            name: max(0, work - self.SYSCALL_ENTRY_WORK)
+            for name, work in self.SYSCALL_WORK.items()
+        }
+        #: op -> bound sys_* method, for batch entries outside the inlined
+        #: read/write fast path.  These run their full bodies (including
+        #: their own ``_count``), so equivalence with sequential issue is
+        #: by construction; only read/write shave the entry share.
+        self._submit_generic = {
+            op: getattr(self, f"sys_{op}") for op in self.SUBMIT_GENERIC_OPS
+        }
         self._install_base_tree()
+
+    def set_security_module(self, security: SecurityModule) -> None:
+        """Swap the installed security module (benchmark arms do this to
+        compare vanilla vs Laminar on one booted image).  Flushes the
+        path-walk cache: cached verdicts belong to the old module."""
+        self.security = security
+        self._refresh_security_module()
+
+    def _refresh_security_module(self) -> None:
+        self.security.audit = self.audit
+        self._walk_gen += 1
+        self._walk_cache.clear()
+        # The walk cache replays a module's *decision* without re-running
+        # its hook body, which is only sound for hook implementations
+        # known to be pure functions of (task labels, inode labels).  A
+        # subclass with its own inode_permission opts out automatically.
+        impl = type(self.security).inode_permission
+        self._walk_cacheable = impl in (
+            SecurityModule.inode_permission,
+            LaminarSecurityModule.inode_permission,
+        )
 
     # ------------------------------------------------------------------ boot
 
@@ -186,14 +292,62 @@ class Kernel:
         ``{I(t)}`` cannot re-read an unlabeled or admin-labeled directory
         (no read down), but it can keep resolving under a directory it
         opened before raising its integrity (Section 5.2's alternative to
-        trusting the administrator's label on ``/``)."""
-        components = self.fs.walk_components(path, task.cwd)
+        trusting the administrator's label on ``/``).
+
+        **Fast path** (``fastpath.flags.path_walk_cache``): servers walk
+        the same directory prefixes millions of times, and a walk verdict
+        can only change when the task's labels change (label epoch, in the
+        key), a traversed directory is relabeled (label identity,
+        revalidated per hit), or the namespace mutates under the prefix
+        (``_walk_gen``).  A hit replays the recorded hook count — the
+        observable hook/audit record is byte-identical to an uncached
+        walk — and skips the per-component traversal and LSM dispatch.
+        Only fully successful walks are cached: denials and ENOENT re-run
+        the full walk every time, so their audit entries, denial counters,
+        and error text never depend on cache state."""
+        security = self.security
+        if not (self._walk_cacheable and fastpath.flags.path_walk_cache):
+            components = self.fs.walk_components(path, task.cwd)
+            relative = not path.startswith("/") and task.cwd is not None
+            first = next(components, None)
+            if first is not None and not relative:
+                security.inode_permission(task, first, Mask.EXEC)
+            for directory in components:
+                security.inode_permission(task, directory, Mask.EXEC)
+            return
         relative = not path.startswith("/") and task.cwd is not None
+        head, _, _leaf = path.rpartition("/")
+        key = (
+            task.tid,
+            task.security.label_epoch,
+            id(task.cwd) if relative else 0,
+            relative,
+            head,
+        )
+        entry = self._walk_cache.get(key)
+        if entry is not None and entry[0] == self._walk_gen:
+            _, nhooks, observed = entry
+            for inode, labels in observed:
+                if inode.labels is not labels:
+                    break  # a traversed directory was relabeled: recheck
+            else:
+                _fp_counters.walk_hits += 1
+                if nhooks:
+                    security.hook_calls["inode_permission"] += nhooks
+                return
+        _fp_counters.walk_misses += 1
+        components = self.fs.walk_components(path, task.cwd)
         first = next(components, None)
+        observed: list[tuple] = []
         if first is not None and not relative:
-            self.security.inode_permission(task, first, Mask.EXEC)
+            security.inode_permission(task, first, Mask.EXEC)
+            observed.append((first, first.labels))
         for directory in components:
-            self.security.inode_permission(task, directory, Mask.EXEC)
+            security.inode_permission(task, directory, Mask.EXEC)
+            observed.append((directory, directory.labels))
+        if len(self._walk_cache) >= 4096:
+            self._walk_cache.clear()
+        self._walk_cache[key] = (self._walk_gen, len(observed), tuple(observed))
 
     def sys_chdir(self, task: Task, path: str) -> None:
         """Change the working directory (the handle relative resolution
@@ -368,6 +522,7 @@ class Kernel:
         inode = Inode(itype, labels, mode)
         self.fs.link_child(parent, name, inode)
         if itype is InodeType.DIRECTORY:
+            self._walk_gen += 1  # the namespace a walk traverses changed
             return 0
         file = File(inode, OpenMode.READ | OpenMode.WRITE)
         return task.install_fd(file)
@@ -432,9 +587,215 @@ class Kernel:
             return len(data)
         return self.fs.write(file, data)
 
+    # -- vectored I/O (one syscall, one permission check, many segments) -----
+
+    def sys_readv(self, task: Task, fd: int, counts: Sequence[int]) -> list[bytes]:
+        """Scatter read: one syscall's worth of entry/permission cost for
+        ``len(counts)`` segments.  On a pipe, each segment receives one
+        message (or ``b""``), with per-message mediation like sys_read."""
+        self._count("readv")
+        self._extra_work(self.VECTOR_SEGMENT_WORK * max(0, len(counts) - 1))
+        self._require_alive(task)
+        file = task.lookup_fd(fd)
+        pipe: Pipe | None = getattr(file.inode, "pipe", None)
+        if pipe is not None:
+            security = self.security
+            return [pipe.read(task, security) for _ in counts]
+        self.security.file_permission(task, file, Mask.READ)
+        if not file.readable():
+            raise SyscallError(EBADF, "fd not open for reading")
+        if file.inode.itype is InodeType.DEVICE:
+            return [b"\0" * max(count, 0) for count in counts]
+        read = self.fs.read
+        return [read(file, count) for count in counts]
+
+    def sys_writev(self, task: Task, fd: int, buffers: Sequence[bytes]) -> int:
+        """Gather write: one syscall for many segments.  Files get one
+        permission check then contiguous writes; pipes deliver one message
+        per segment, each silently droppable on its own."""
+        self._count("writev")
+        self._extra_work(self.VECTOR_SEGMENT_WORK * max(0, len(buffers) - 1))
+        self._require_alive(task)
+        file = task.lookup_fd(fd)
+        pipe: Pipe | None = getattr(file.inode, "pipe", None)
+        if pipe is not None:
+            security = self.security
+            return sum(pipe.write(task, data, security) for data in buffers)
+        self.security.file_permission(task, file, Mask.WRITE)
+        if not file.writable():
+            raise SyscallError(EBADF, "fd not open for writing")
+        if file.inode.itype is InodeType.DEVICE:
+            return sum(len(data) for data in buffers)
+        write = self.fs.write
+        return sum(write(file, data) for data in buffers)
+
+    def _extra_work(self, iterations: int) -> None:
+        for _ in range(iterations):
+            pass
+
+    # -- batched submission (io_uring-style) ---------------------------------
+
+    #: Data-plane opcodes sys_submit executes through the ordinary sys_*
+    #: bodies.  Control-plane calls (label/capability changes, fork, exec,
+    #: exit, kill) are deliberately NOT batchable: excluding them
+    #: guarantees no entry of a batch can change the submitting task's
+    #: aliveness or labels, which is what lets the batch hoist
+    #: ``_require_alive`` and memoize per-inode permission verdicts.
+    SUBMIT_GENERIC_OPS = (
+        "open",
+        "creat",
+        "close",
+        "stat",
+        "unlink",
+        "mkdir",
+        "chdir",
+        "pipe",
+        "socket",
+        "send",
+        "recv",
+        "transmit",
+        "readv",
+        "writev",
+        "lseek",
+    )
+
+    def sys_submit(self, task: Task, sqes: Sequence[Sqe]) -> list[Cqe]:
+        """Submit a batch of syscall descriptors; get a completion list.
+
+        Semantics are io_uring's: entries execute in order, each entry
+        completes with a result or an errno, and a failure does not abort
+        the batch.  The security record — audit entries, denial counters,
+        LSM hook counts, per-opcode syscall counts — is byte-identical to
+        issuing the same calls sequentially (property-tested); only the
+        *overhead* differs:
+
+        * the user→kernel crossing (``SYSCALL_ENTRY_WORK``) is paid once
+          per batch, not once per entry;
+        * ``_require_alive`` is hoisted (sound: no batchable op changes
+          aliveness);
+        * hot read/write entries run through an inlined fast path with a
+          per-batch fd→file memo and a per-batch allowed-verdict memo
+          (successes only — denials re-run the full hook so audit and
+          denial counters never depend on memo state; hook counts are
+          replayed on memo hits).
+        """
+        self._count("submit")
+        self._require_alive(task)
+        security = self.security
+        counts = self.syscall_counts
+        batch_work = self._batch_work
+        fs_read = self.fs.read
+        fs_write = self.fs.write
+        hook_calls = security.hook_calls
+        file_permission = security.file_permission
+        #: fd -> (file, pipe) resolved once per batch; dropped on close
+        #: (the freed number may be reused by a later open in this batch).
+        fd_memo: dict[int, tuple] = {}
+        #: inode -> True for inodes this batch already proved accessible
+        #: under the given mask.  Keyed on the inode *object* (keeps it
+        #: alive, so no id() reuse) — valid because no batchable op can
+        #: change the task's labels, and relabels don't happen mid-batch.
+        perm_memo: dict[tuple, bool] = {}
+        cqes: list[Cqe] = []
+        for sqe in sqes:
+            op = sqe.op
+            try:
+                if op == "read":
+                    fd, count = (sqe.args + (-1,))[:2]
+                    counts["read"] += 1
+                    for _ in range(batch_work["read"]):
+                        pass
+                    cached = fd_memo.get(fd)
+                    if cached is None:
+                        file = task.lookup_fd(fd)
+                        pipe = getattr(file.inode, "pipe", None)
+                        fd_memo[fd] = (file, pipe)
+                    else:
+                        file, pipe = cached
+                    if pipe is not None:
+                        result = pipe.read(task, security)
+                    else:
+                        inode = file.inode
+                        pkey = (inode, False)
+                        if pkey in perm_memo:
+                            hook_calls["file_permission"] += 1
+                        else:
+                            file_permission(task, file, Mask.READ)
+                            perm_memo[pkey] = True
+                        if not file.readable():
+                            raise SyscallError(EBADF, "fd not open for reading")
+                        if inode.itype is InodeType.DEVICE:
+                            result = b"\0" * max(count, 0)
+                        else:
+                            result = fs_read(file, count)
+                elif op == "write":
+                    fd, data = sqe.args
+                    counts["write"] += 1
+                    for _ in range(batch_work["write"]):
+                        pass
+                    cached = fd_memo.get(fd)
+                    if cached is None:
+                        file = task.lookup_fd(fd)
+                        pipe = getattr(file.inode, "pipe", None)
+                        fd_memo[fd] = (file, pipe)
+                    else:
+                        file, pipe = cached
+                    if pipe is not None:
+                        result = pipe.write(task, data, security)
+                    else:
+                        inode = file.inode
+                        pkey = (inode, True)
+                        if pkey in perm_memo:
+                            hook_calls["file_permission"] += 1
+                        else:
+                            file_permission(task, file, Mask.WRITE)
+                            perm_memo[pkey] = True
+                        if not file.writable():
+                            raise SyscallError(EBADF, "fd not open for writing")
+                        if inode.itype is InodeType.DEVICE:
+                            result = len(data)
+                        else:
+                            result = fs_write(file, data)
+                elif op in self._submit_generic:
+                    if op == "close":
+                        fd_memo.pop(sqe.args[0], None)
+                    result = self._submit_generic[op](task, *sqe.args)
+                else:
+                    raise SyscallError(
+                        EINVAL, f"op {op!r} is not batchable via sys_submit"
+                    )
+            except SyscallError as exc:
+                cqes.append(Cqe(op, None, exc.errno))
+            else:
+                cqes.append(Cqe(op, result, 0))
+        return cqes
+
+    def sys_lseek(self, task: Task, fd: int, offset: int) -> int:
+        """Reposition an open file description (absolute offsets only).
+
+        No LSM content hook fires: the offset is metadata of a
+        description the task already holds; data access is checked at
+        read/write time, exactly as in Linux."""
+        self._count("lseek")
+        self._require_alive(task)
+        file = task.lookup_fd(fd)
+        if getattr(file.inode, "pipe", None) is not None:
+            raise SyscallError(EINVAL, "cannot seek a pipe")
+        if offset < 0:
+            raise SyscallError(EINVAL, f"negative offset {offset}")
+        file.offset = offset
+        return offset
+
     def sys_close(self, task: Task, fd: int) -> None:
         self._count("close")
-        task.remove_fd(fd)
+        file = task.remove_fd(fd)
+        if file.refs == 0 and file.writable():
+            # Last explicit close of a pipe's write end hangs the pipe up
+            # (mediated like a write: see Pipe.close).  Task *exit* never
+            # does this — termination notification stays suppressed.
+            pipe: Pipe | None = getattr(file.inode, "pipe", None)
+            if pipe is not None and not pipe.closed:
+                pipe.close(task, self.security)
 
     def sys_stat(self, task: Task, path: str) -> dict[str, object]:
         self._count("stat")
@@ -462,6 +823,7 @@ class Kernel:
             raise SyscallError(ENOENT, path)
         self.security.inode_unlink(task, parent, victim)
         self.fs.unlink_child(parent, name)
+        self._walk_gen += 1  # the namespace a walk traverses changed
 
     def sys_mkdir(self, task: Task, path: str, mode: int = 0o755) -> None:
         self._count("mkdir")
@@ -519,7 +881,7 @@ class Kernel:
         task.alive = False
         task.exit_code = code
         for fd in list(task.fd_table):
-            task.fd_table.pop(fd)
+            task.fd_table.pop(fd).refs -= 1
         # Deliberately *no* notification of peers: suppressing termination
         # notification is how OS DIFC systems close the termination channel.
 

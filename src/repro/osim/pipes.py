@@ -13,6 +13,22 @@ failure semantics differ from every other object in the system:
   the reader, even that one bit violates DIFC.  Reads therefore never block
   and never report end-of-file — pipelines with homogeneous labels can
   approximate traditional behavior with a timeout.
+
+The cooperative scheduler (:mod:`repro.osim.sched`) adds *blocking* read
+variants on top of this substrate without weakening either property:
+
+* ``version`` is a monotonic event counter bumped by **every** write
+  attempt (delivered, label-dropped, or capacity-dropped) and by close.
+  A parked reader re-attempts its read only when the version moved, so
+  the scheduler's wakeup pattern is a function of writer *activity*
+  alone — never of label verdicts.  A reader whose labels forbid the
+  pipe therefore parks, wakes, and re-parks in exactly the same pattern
+  as a reader of an empty pipe.
+* ``closed`` is an *explicit* hangup (the last ``sys_close`` of the
+  write end).  Task exit deliberately does not close pipes — suppressing
+  termination notification is how OS DIFC systems close the termination
+  channel — and a hangup by a writer whose labels forbid the pipe is
+  silently dropped, like any other undeliverable message.
 """
 
 from __future__ import annotations
@@ -31,6 +47,14 @@ if TYPE_CHECKING:
 DEFAULT_PIPE_CAPACITY = 64
 
 
+def freeze(data) -> bytes:
+    """Materialize a payload for enqueueing — without copying when the
+    caller already handed over an immutable ``bytes``.  Mutable buffers
+    (``bytearray``, ``memoryview``) are snapshotted once; everything else
+    rides through by reference, hop after hop."""
+    return data if type(data) is bytes else bytes(data)
+
+
 class Pipe:
     """One pipe: a labeled inode plus a bounded message queue."""
 
@@ -46,19 +70,27 @@ class Pipe:
         #: Dropped-message count.  *Not* observable through any syscall —
         #: exposing it would recreate the leak; it exists for tests and the
         #: bench harness, which play the role of an omniscient observer.
+        #: O(1) state: a counter, never a log of the dropped payloads.
         self.dropped = 0
+        #: Write-activity counter for the scheduler's wait queues.  Bumped
+        #: on *every* write attempt and on close, independent of the label
+        #: verdict, so parking/wakeup behavior cannot encode a check.
+        self.version = 0
+        #: Explicit hangup flag; see module docstring.
+        self.closed = False
 
-    def write(self, task: "Task", data: bytes, lsm: "SecurityModule") -> int:
+    def write(self, task: "Task", data, lsm: "SecurityModule") -> int:
         """Write a message.  Always appears to succeed (returns len(data));
-        the message is silently dropped when the label check fails or the
-        buffer is full."""
+        the message is silently dropped when the label check fails, the
+        buffer is full, or the pipe has been hung up."""
+        self.version += 1
         if not lsm.pipe_write_allowed(task, self.inode):
             self.dropped += 1
             return len(data)
-        if len(self.messages) >= self.capacity:
+        if self.closed or len(self.messages) >= self.capacity:
             self.dropped += 1
             return len(data)
-        self.messages.append(bytes(data))
+        self.messages.append(freeze(data))
         return len(data)
 
     def read(self, task: "Task", lsm: "SecurityModule") -> bytes:
@@ -70,6 +102,17 @@ class Pipe:
         if not self.messages:
             return b""
         return self.messages.popleft()
+
+    def close(self, task: "Task", lsm: "SecurityModule") -> None:
+        """Hang up the write side.  A hangup is a one-bit message to the
+        readers, so it is mediated exactly like a write: a closer whose
+        labels forbid the pipe drops the hangup silently.  The version
+        bumps either way, keeping wakeup patterns verdict-independent."""
+        self.version += 1
+        if not lsm.pipe_write_allowed(task, self.inode):
+            self.dropped += 1
+            return
+        self.closed = True
 
     def __len__(self) -> int:
         return len(self.messages)

@@ -13,6 +13,11 @@ network".  The simulated network therefore consists of:
 
 Loopback connections between two labeled sockets model trusted channels
 between labeled threads of different processes.
+
+Like pipes, sockets carry a ``version`` event counter (bumped by every
+send attempt toward the endpoint and by close) so the cooperative
+scheduler's blocking ``recv`` can park and wake without its wakeup
+pattern ever depending on a label verdict.
 """
 
 from __future__ import annotations
@@ -22,11 +27,50 @@ from typing import TYPE_CHECKING, Optional
 
 from ..core import LabelPair
 from .filesystem import Inode, InodeType
+from .pipes import freeze
 from .task import ENOENT, EPIPE, SyscallError
 
 if TYPE_CHECKING:
     from .lsm import SecurityModule
     from .task import Task
+
+#: Default retention bound for :class:`TrafficLog` (messages kept for the
+#: omniscient observer; totals keep counting past it).
+DEFAULT_TRAFFIC_LOG_CAP = 4096
+
+
+class TrafficLog(list):
+    """A capped, resettable append-only log of observed payloads.
+
+    Tests and benchmarks play the omniscient observer ("did any secret
+    byte escape?"), which historically meant unbounded ``list`` growth —
+    a multi-hour throughput run would hold every transmitted payload
+    alive.  ``TrafficLog`` keeps the list API (equality against plain
+    lists, iteration, indexing) but retains at most ``cap`` recent
+    payloads, trimming in amortized O(1) chunks, while ``total_messages``
+    and ``total_bytes`` keep exact machine-wide totals.
+    """
+
+    def __init__(self, cap: int = DEFAULT_TRAFFIC_LOG_CAP) -> None:
+        super().__init__()
+        self.cap = cap
+        self.total_messages = 0
+        self.total_bytes = 0
+
+    def append(self, payload) -> None:  # type: ignore[override]
+        self.total_messages += 1
+        self.total_bytes += len(payload)
+        super().append(payload)
+        # Trim in blocks so append stays amortized O(1): deleting from the
+        # front of a list is O(n), so do it once per `cap` appends.
+        if list.__len__(self) > 2 * self.cap:
+            del self[: list.__len__(self) - self.cap]
+
+    def reset(self) -> None:
+        """Drop retained payloads and zero the totals (benchmark arms)."""
+        del self[:]
+        self.total_messages = 0
+        self.total_bytes = 0
 
 
 class Socket:
@@ -37,12 +81,16 @@ class Socket:
         self.inode.socket = self  # type: ignore[attr-defined]
         self.peer: Optional["Socket"] = None
         self.rx: deque[bytes] = deque()
+        #: Receive-side event counter: bumped by every send attempt toward
+        #: this endpoint (delivered or silently dropped) and by close.
+        self.version = 0
+        self.closed = False
 
     def connect(self, other: "Socket") -> None:
         self.peer = other
         other.peer = self
 
-    def send(self, task: "Task", data: bytes, lsm: "SecurityModule") -> int:
+    def send(self, task: "Task", data, lsm: "SecurityModule") -> int:
         """Send on a connected socket.  Unlike pipes, sockets report label
         denials as errors (the LSM raises) because both endpoints are
         labeled objects the sender already knows about."""
@@ -51,11 +99,13 @@ class Socket:
             raise SyscallError(EPIPE, "socket not connected")
         # Delivery into the peer is a flow from this socket to the peer
         # socket's label; mismatched endpoint labels drop silently, like
-        # pipes, to avoid signaling.
+        # pipes, to avoid signaling.  The peer's version bumps either way
+        # so blocked receivers wake on activity, never on verdicts.
         from ..core import can_flow
 
-        if can_flow(self.inode.labels, self.peer.inode.labels):
-            self.peer.rx.append(bytes(data))
+        self.peer.version += 1
+        if not self.peer.closed and can_flow(self.inode.labels, self.peer.inode.labels):
+            self.peer.rx.append(freeze(data))
         return len(data)
 
     def recv(self, task: "Task", lsm: "SecurityModule") -> bytes:
@@ -64,29 +114,43 @@ class Socket:
             return b""
         return self.rx.popleft()
 
+    def close(self) -> None:
+        """Hang up this endpoint.  Both sides' blocked receivers wake: the
+        closer stops receiving, the peer sees the connection end."""
+        self.closed = True
+        self.version += 1
+        if self.peer is not None:
+            self.peer.version += 1
+
+    @property
+    def hungup(self) -> bool:
+        """True when no further delivery into ``rx`` is possible."""
+        return self.closed or (self.peer is not None and self.peer.closed)
+
 
 class Network:
     """The world outside the machine: an unlabeled sink/source.
 
     ``transmit`` is what the paper's examples mean by "broadcast on the
     network": writing to the empty label.  The traffic log lets tests and
-    benchmarks assert that secret bytes never escaped.
+    benchmarks assert that secret bytes never escaped; it is capped (with
+    exact running totals) so long benchmark runs stay O(1) memory.
     """
 
     def __init__(self) -> None:
         self.inode = Inode(InodeType.DEVICE, LabelPair.EMPTY)
-        self.transmitted: list[bytes] = []
+        self.transmitted: TrafficLog = TrafficLog()
         self._hosts: dict[str, deque[bytes]] = {}
 
-    def transmit(self, task: "Task", data: bytes, lsm: "SecurityModule") -> int:
+    def transmit(self, task: "Task", data, lsm: "SecurityModule") -> int:
         """Send to an external host — a flow to the empty label."""
         lsm.socket_sendmsg(task, self.inode)
-        self.transmitted.append(bytes(data))
+        self.transmitted.append(freeze(data))
         return len(data)
 
-    def deliver_external(self, host: str, data: bytes) -> None:
+    def deliver_external(self, host: str, data) -> None:
         """Queue inbound traffic from an (unlabeled, low-integrity) host."""
-        self._hosts.setdefault(host, deque()).append(bytes(data))
+        self._hosts.setdefault(host, deque()).append(freeze(data))
 
     def receive(self, task: "Task", host: str, lsm: "SecurityModule") -> bytes:
         """Receive from an external host — a flow from the empty label, so a

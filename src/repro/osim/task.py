@@ -9,6 +9,7 @@ usual parent/child bookkeeping that ``fork`` maintains.
 
 from __future__ import annotations
 
+import heapq
 from typing import TYPE_CHECKING, Optional
 
 from ..core import CapabilitySet, LabelPair, Principal
@@ -48,6 +49,10 @@ class Task:
         #: fd -> open file description
         self.fd_table: dict[int, "File"] = {}
         self._next_fd = 3  # 0,1,2 notionally reserved for stdio
+        #: Min-heap of closed descriptor numbers below ``_next_fd``.
+        #: POSIX requires open() to return the lowest available fd;
+        #: popping the heap gives that in O(log n) instead of scanning.
+        self._free_fds: list[int] = []
         self.cwd: Optional["Inode"] = None
         #: Signals delivered and not yet consumed, as (signum, sender_tid).
         self.pending_signals: list[tuple[int, int]] = []
@@ -67,9 +72,13 @@ class Task:
     # -- fd table -----------------------------------------------------------
 
     def install_fd(self, file: "File") -> int:
-        fd = self._next_fd
-        self._next_fd += 1
+        if self._free_fds:
+            fd = heapq.heappop(self._free_fds)
+        else:
+            fd = self._next_fd
+            self._next_fd += 1
         self.fd_table[fd] = file
+        file.refs += 1
         return fd
 
     def lookup_fd(self, fd: int) -> "File":
@@ -80,9 +89,12 @@ class Task:
 
     def remove_fd(self, fd: int) -> "File":
         try:
-            return self.fd_table.pop(fd)
+            file = self.fd_table.pop(fd)
         except KeyError:
             raise SyscallError(EBADF, f"bad file descriptor {fd}") from None
+        heapq.heappush(self._free_fds, fd)
+        file.refs -= 1
+        return file
 
     def __repr__(self) -> str:
         return f"Task(tid={self.tid}, name={self.name!r}, labels={self.labels!r})"

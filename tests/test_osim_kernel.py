@@ -320,3 +320,131 @@ class TestVanillaModuleAllowsEverything:
         task = k.spawn_task("p")
         k.sys_creat(task, "/tmp/x")
         assert k.security.hook_calls["inode_create"] == 1
+
+
+class TestFdAllocation:
+    def test_lowest_free_fd_reused_after_close(self, k):
+        """POSIX open() semantics: the lowest-numbered free descriptor is
+        allocated, so closed numbers are recycled instead of growing the
+        table forever."""
+        task = k.spawn_task("p")
+        a = k.sys_creat(task, "/tmp/fa")
+        b = k.sys_creat(task, "/tmp/fb")
+        c = k.sys_creat(task, "/tmp/fc")
+        assert [a, b, c] == [3, 4, 5]
+        k.sys_close(task, a)
+        k.sys_close(task, c)
+        assert k.sys_creat(task, "/tmp/fd") == a  # lowest free first
+        assert k.sys_creat(task, "/tmp/fe") == c
+        assert k.sys_creat(task, "/tmp/ff") == 6  # then fresh numbers
+
+    def test_fd_numbers_stay_bounded_under_churn(self, k):
+        task = k.spawn_task("p")
+        for i in range(50):
+            fd = k.sys_creat(task, f"/tmp/churn{i}")
+            assert fd == 3
+            k.sys_close(task, fd)
+
+    def test_share_fd_tracks_references(self, k):
+        """The same open file description installed in two tables carries
+        two references; each close drops one."""
+        donor = k.spawn_task("donor")
+        peer = k.spawn_task("peer")
+        fd = k.sys_creat(donor, "/tmp/shared")
+        file = donor.lookup_fd(fd)
+        assert file.refs == 1
+        peer_fd = k.share_fd(donor, fd, peer)
+        assert file.refs == 2
+        k.sys_close(donor, fd)
+        assert file.refs == 1
+        k.sys_close(peer, peer_fd)
+        assert file.refs == 0
+
+
+class TestPathWalkCache:
+    """The path-walk verdict cache must be invisible: identical hook
+    counts, and immediate invalidation on anything that could change a
+    walk's outcome."""
+
+    def test_repeated_stat_hits_cache_with_identical_hook_counts(self, k):
+        from repro.core import fastpath
+
+        task = k.spawn_task("p")
+        k.sys_mkdir(task, "/tmp/wc")
+        k.sys_creat(task, "/tmp/wc/f")
+        k.sys_stat(task, "/tmp/wc/f")
+        hooks_per_stat = None
+        before = k.security.hook_calls["inode_permission"]
+        k.sys_stat(task, "/tmp/wc/f")
+        hooks_per_stat = k.security.hook_calls["inode_permission"] - before
+        hits_before = fastpath.counters.walk_hits
+        for _ in range(5):
+            before = k.security.hook_calls["inode_permission"]
+            k.sys_stat(task, "/tmp/wc/f")
+            assert (
+                k.security.hook_calls["inode_permission"] - before
+                == hooks_per_stat
+            )
+        assert fastpath.counters.walk_hits >= hits_before + 5
+
+    def test_label_change_invalidates(self, k):
+        """Raising secrecy must not let a task keep using walk verdicts
+        from its old label: the epoch in the key forces a re-walk."""
+        task = k.spawn_task("p")
+        k.sys_mkdir(task, "/tmp/wc2")
+        k.sys_creat(task, "/tmp/wc2/f")
+        k.sys_stat(task, "/tmp/wc2/f")  # warm
+        tag, _ = k.sys_alloc_tag(task)
+        k.sys_set_task_label(task, LabelType.INTEGRITY, Label.of(tag))
+        # Now the walk through unlabeled /tmp is a read-down for an
+        # integrity-labeled task: must be re-checked and denied, cached
+        # verdict notwithstanding.
+        with pytest.raises(SyscallError):
+            k.sys_stat(task, "/tmp/wc2/f")
+
+    def test_unlink_invalidates(self, k):
+        task = k.spawn_task("p")
+        k.sys_mkdir(task, "/tmp/wc3")
+        k.sys_creat(task, "/tmp/wc3/f")
+        k.sys_stat(task, "/tmp/wc3/f")  # warm the prefix
+        k.sys_unlink(task, "/tmp/wc3/f")
+        with pytest.raises(SyscallError) as e:
+            k.sys_stat(task, "/tmp/wc3/f")
+        assert e.value.errno == 2  # ENOENT, not a stale cached walk
+
+    def test_directory_relabel_invalidates(self, k):
+        """Relabeling a traversed directory is caught by per-hit label
+        identity revalidation even though no generation bumped."""
+        owner = k.spawn_task("owner")
+        tag, _ = k.sys_alloc_tag(owner)
+        k.sys_mkdir(owner, "/tmp/wc4")
+        k.sys_creat(owner, "/tmp/wc4/f")
+        walker = k.spawn_task("walker")
+        k.sys_stat(walker, "/tmp/wc4/f")  # warm
+        # Directly relabel the directory (what revoke_by_relabel does).
+        d = k.fs.resolve("/tmp/wc4")
+        d.labels = LabelPair(Label.of(tag))
+        with pytest.raises(SyscallError):
+            k.sys_stat(walker, "/tmp/wc4/f")
+
+    def test_security_module_swap_flushes(self, k):
+        task = k.spawn_task("p")
+        k.sys_mkdir(task, "/tmp/wc5")
+        k.sys_creat(task, "/tmp/wc5/f")
+        k.sys_stat(task, "/tmp/wc5/f")
+        assert k._walk_cache
+        k.set_security_module(NullSecurityModule())
+        assert not k._walk_cache
+        k.sys_stat(task, "/tmp/wc5/f")  # works under the new module
+
+    def test_cache_disabled_by_flag(self, k):
+        from repro.core import fastpath
+
+        task = k.spawn_task("p")
+        k.sys_mkdir(task, "/tmp/wc6")
+        k.sys_creat(task, "/tmp/wc6/f")
+        with fastpath.configured(path_walk_cache=False):
+            before = fastpath.counters.walk_hits
+            k.sys_stat(task, "/tmp/wc6/f")
+            k.sys_stat(task, "/tmp/wc6/f")
+            assert fastpath.counters.walk_hits == before

@@ -105,3 +105,74 @@ class TestSignals:
         with pytest.raises(SyscallError) as err:
             k.sys_kill(a, b.tid, 9)
         assert "ESRCH" in str(err.value)
+
+
+class TestTrafficLog:
+    """The omniscient-observer log is bounded: totals are exact forever,
+    retained payloads are capped, and benchmarks can reset it."""
+
+    def test_list_api_preserved(self, k):
+        task = k.spawn_task("p")
+        assert k.net.transmitted == []
+        k.sys_transmit(task, b"hello")
+        assert k.net.transmitted == [b"hello"]
+        assert k.net.transmitted[0] == b"hello"
+        assert len(k.net.transmitted) == 1
+
+    def test_totals_survive_trimming(self):
+        from repro.osim import TrafficLog
+
+        log = TrafficLog(cap=10)
+        for i in range(100):
+            log.append(b"x" * 3)
+        assert log.total_messages == 100
+        assert log.total_bytes == 300
+        # Retention bounded: at most 2*cap held between trims.
+        assert len(log) <= 20
+        # The retained suffix is the most recent traffic.
+        assert log[-1] == b"xxx"
+
+    def test_reset_zeroes_everything(self):
+        from repro.osim import TrafficLog
+
+        log = TrafficLog(cap=4)
+        for _ in range(9):
+            log.append(b"ab")
+        log.reset()
+        assert log == []
+        assert log.total_messages == 0
+        assert log.total_bytes == 0
+
+    def test_network_uses_capped_log(self, k):
+        from repro.osim import TrafficLog
+
+        assert isinstance(k.net.transmitted, TrafficLog)
+        task = k.spawn_task("p")
+        for i in range(5):
+            k.sys_transmit(task, b"m%d" % i)
+        assert k.net.transmitted.total_messages == 5
+        assert k.net.transmitted.total_bytes == 10
+        k.net.transmitted.reset()
+        assert k.net.transmitted.total_messages == 0
+
+
+class TestSocketHangup:
+    def test_close_bumps_both_versions(self, k):
+        a, b = Socket(), Socket()
+        a.connect(b)
+        va, vb = a.version, b.version
+        a.close()
+        assert a.version == va + 1
+        assert b.version == vb + 1
+        assert a.hungup and b.hungup
+
+    def test_send_to_closed_peer_drops_but_bumps(self, k):
+        task = k.spawn_task("p")
+        a = k.sys_socket(task)
+        b = k.sys_socket(task)
+        a.connect(b)
+        b.close()
+        v = b.version
+        assert k.sys_send(task, a, b"late") == 4  # appears to succeed
+        assert b.version == v + 1  # activity visible to the scheduler
+        assert list(b.rx) == []  # nothing delivered
