@@ -778,3 +778,162 @@ def setup_os_server(
         "bytes_served": lambda: sum(served),
     }
     return sched, stats
+
+
+# =========================================================================
+# Degraded mode: the same server under a steady background fault rate
+# =========================================================================
+#
+# The chaos sweep (repro.osim.chaos) kills the machine at one point per
+# run; this workload instead measures *throughput under partial failure*:
+# a periodic-EIO fault plan makes every Nth read syscall fail, and the
+# server retries.  The interesting numbers are ops/sec relative to the
+# healthy server (the cost of the error path + retries) and the retry
+# count (which must match the fault plan's firing count exactly —
+# deterministic injection means deterministic degradation).
+
+
+def _os_server_body_degraded(
+    kernel, path, req_fd, resp_fd, chunks, chunk_size, retries
+):
+    from ..osim.sched import read_blocking, syscall
+    from ..osim.task import EIO, SyscallError
+
+    def body(task):
+        fd = yield syscall("open", path, "r")
+        while True:
+            try:
+                request = yield read_blocking(req_fd)
+            except SyscallError as exc:
+                if exc.errno != EIO:
+                    raise
+                retries.append(-1)
+                continue
+            if not request:
+                break
+            yield syscall("lseek", fd, 0)
+            parts = []
+            while len(parts) < chunks:
+                try:
+                    parts.append((yield syscall("read", fd, chunk_size)))
+                except SyscallError as exc:
+                    if exc.errno != EIO:
+                        raise
+                    retries.append(len(parts))  # retry the same chunk
+            payload = b"".join(parts)
+            assert len(payload) == chunks * chunk_size
+            yield syscall("write", resp_fd, payload)
+        yield syscall("close", resp_fd)
+
+    return body
+
+
+def _os_client_body_degraded(requests, req_fd, resp_fd, expected_len, served, retries):
+    from ..osim.sched import read_blocking, syscall
+    from ..osim.task import EIO, SyscallError
+
+    def body(task):
+        for _ in range(requests):
+            yield syscall("write", req_fd, b"get")
+        yield syscall("close", req_fd)
+        drained = 0
+        while drained < requests:
+            try:
+                response = yield read_blocking(resp_fd)
+            except SyscallError as exc:
+                if exc.errno != EIO:
+                    raise
+                retries.append(-2)
+                continue
+            if len(response) != expected_len:
+                raise AssertionError(
+                    f"short response: {len(response)} != {expected_len}"
+                )
+            served.append(len(response))
+            drained += 1
+
+    return body
+
+
+def setup_degraded_os_server(
+    kernel,
+    *,
+    users: int = 4,
+    requests: int = 6,
+    chunks: int = 96,
+    chunk_size: int = 96,
+    eio_every: int = 0,
+):
+    """Prime ``kernel`` with the retry-on-EIO file-server workload.
+
+    ``eio_every=N`` installs a :class:`~repro.osim.faults.FaultPlan` that
+    fails every Nth ``read`` syscall with EIO (0 = no plan: the healthy
+    baseline, but still running the retry-capable server body so the two
+    configurations differ only in injected faults).  Returns
+    ``(scheduler, stats)`` like :func:`setup_os_server`; ``stats`` gains
+    ``retries`` (a list with one entry per retried chunk read).
+    """
+    from ..core import Label, LabelPair
+    from ..osim.faults import FaultKind, FaultPlan, FaultRule
+    from ..osim.sched import Scheduler
+
+    sched = Scheduler(kernel)
+    setup = kernel.spawn_task("srv-setup")
+    kernel.sys_mkdir(setup, "/tmp/srv")
+    served: list[int] = []
+    retries: list[int] = []
+    bodies = []
+    for i in range(users):
+        tag, _caps = kernel.sys_alloc_tag(setup, f"u{i}")
+        secret = LabelPair(Label.of(tag))
+        home = f"/tmp/srv/user{i}"
+        kernel.sys_mkdir(setup, home)
+        fd = kernel.sys_create_file_labeled(setup, f"{home}/data", secret)
+        kernel.sys_write(setup, fd, bytes([i % 251]) * (chunks * chunk_size))
+        kernel.sys_close(setup, fd)
+
+        server = kernel.spawn_task(f"server{i}", labels=secret)
+        client = kernel.spawn_task(f"client{i}", labels=secret)
+        req_r, req_w = kernel.sys_pipe(setup, labels=secret)
+        resp_r, resp_w = kernel.sys_pipe(setup, labels=secret)
+        s_req = kernel.share_fd(setup, req_r, server)
+        s_resp = kernel.share_fd(setup, resp_w, server)
+        c_req = kernel.share_fd(setup, req_w, client)
+        c_resp = kernel.share_fd(setup, resp_r, client)
+        for fd_ in (req_r, req_w, resp_r, resp_w):
+            kernel.sys_close(setup, fd_)
+
+        bodies.append((
+            _os_server_body_degraded(
+                kernel, f"{home}/data", s_req, s_resp, chunks, chunk_size,
+                retries,
+            ),
+            server,
+            _os_client_body_degraded(
+                requests, c_req, c_resp, chunks * chunk_size, served, retries
+            ),
+            client,
+        ))
+
+    # Faults go in *after* setup so the healthy prefix (labeled creates,
+    # grants) is identical across configurations and only served traffic
+    # sees EIO.
+    if eio_every:
+        kernel.install_faults(
+            FaultPlan([FaultRule("syscall:read", FaultKind.EIO, every=eio_every)])
+        )
+    for server_body, server, client_body, client in bodies:
+        sched.spawn(server_body, task=server)
+        sched.spawn(client_body, task=client)
+
+    stats = {
+        "users": users,
+        "tasks": 2 * users,
+        "requests": users * requests,
+        "ops": users * requests * chunks,
+        "eio_every": eio_every,
+        "served": served,
+        "retries": retries,
+        "bytes_served": lambda: sum(served),
+    }
+    return sched, stats

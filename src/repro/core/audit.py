@@ -30,6 +30,9 @@ class AuditKind(enum.Enum):
     CAPABILITY_GRANT = "capability-grant"
     CAPABILITY_DROP = "capability-drop"
     EXIT = "process-exit"
+    FAULT = "fault-injected"       # a FaultPlan fired at an injection site
+    RECOVERY = "recovery"          # journal recovery ran at remount
+    QUARANTINE = "quarantine"      # recovery isolated undecodable metadata
 
 
 @dataclass(frozen=True)

@@ -13,7 +13,9 @@ label-oblivious blocking I/O) and :meth:`.kernel.Kernel.sys_submit`
 (io_uring-style batched submission).
 """
 
+from .faults import FaultKind, FaultPlan, FaultRule, KernelCrash
 from .filesystem import (
+    BLOCK_SIZE,
     File,
     Filesystem,
     Inode,
@@ -25,6 +27,13 @@ from .filesystem import (
     encode_label,
 )
 from .kernel import Cqe, Kernel, Mapping, Sqe, TCB_TAG
+from .recovery import (
+    Journal,
+    RecoveryInvariantError,
+    RecoveryReport,
+    check_recovery_invariants,
+    recover,
+)
 from .lsm import LaminarSecurityModule, Mask, NullSecurityModule, SecurityModule
 from .pipes import DEFAULT_PIPE_CAPACITY, Pipe, freeze
 from .sched import (
@@ -54,8 +63,10 @@ from .task import (
     EBADF,
     EEXIST,
     EINVAL,
+    EIO,
     EISDIR,
     ENOENT,
+    ENOSPC,
     ENOTDIR,
     ENOTEMPTY,
     EPERM,
@@ -66,6 +77,7 @@ from .task import (
 )
 
 __all__ = [
+    "BLOCK_SIZE",
     "Cqe",
     "DEFAULT_PIPE_CAPACITY",
     "DEFAULT_TRAFFIC_LOG_CAP",
@@ -74,18 +86,25 @@ __all__ = [
     "EBADF",
     "EEXIST",
     "EINVAL",
+    "EIO",
     "EISDIR",
     "ENOENT",
+    "ENOSPC",
     "ENOTDIR",
     "ENOTEMPTY",
     "EPERM",
     "EPIPE",
     "ESRCH",
+    "FaultKind",
+    "FaultPlan",
+    "FaultRule",
     "File",
     "Filesystem",
     "Inode",
     "InodeType",
+    "Journal",
     "Kernel",
+    "KernelCrash",
     "LaminarSecurityModule",
     "Mapping",
     "Mask",
@@ -93,6 +112,8 @@ __all__ = [
     "NullSecurityModule",
     "OpenMode",
     "Pipe",
+    "RecoveryInvariantError",
+    "RecoveryReport",
     "SIGKILL",
     "SIGTERM",
     "Scheduler",
@@ -105,6 +126,7 @@ __all__ = [
     "TrafficLog",
     "XATTR_INTEGRITY",
     "XATTR_SECRECY",
+    "check_recovery_invariants",
     "decode_capabilities",
     "decode_label",
     "encode_capabilities",
@@ -115,6 +137,7 @@ __all__ = [
     "load_user_capabilities",
     "login",
     "read_blocking",
+    "recover",
     "recv_blocking",
     "revoke_by_relabel",
     "store_user_capabilities",

@@ -1,0 +1,283 @@
+"""Crash-point sweep harness: FoundationDB-style simulation testing.
+
+The pieces:
+
+* :func:`chaos_workload` — a deterministic multi-user file-server
+  workload that crosses **every** fault-injection site the kernel and
+  filesystem define (logins, persistent capability grants, labeled
+  creates, multi-block data writes, a batched ``sys_submit``, a
+  journaled revocation relabel, unlinks, and a scheduler-driven labeled
+  pipe segment);
+* :func:`enumerate_crash_points` — run the workload once under a
+  *recording* :class:`~repro.osim.faults.FaultPlan` to list every
+  ``(site, occurrence)`` crossing; determinism makes the list a complete
+  address space of crash points;
+* :func:`run_crash_sweep` — re-run the workload once per point,
+  crashing there, then recover and audit
+  (:func:`~repro.osim.recovery.check_recovery_invariants`); and
+* :func:`run_random_sweep` — the nightly-CI variant: ``count`` plans
+  derived purely from a seed, mixing all five fault kinds, so a failure
+  is replayed locally from the printed seed alone
+  (``lamc fsck --seed N``).
+
+Everything here is also the engine behind ``lamc fsck`` and
+``tests/test_crash_consistency.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..core import Label, LabelPair, LabelType
+from .faults import FaultKind, FaultPlan, KernelCrash
+from .kernel import Kernel, Sqe
+from .persistence import grant_persistent, login, revoke_by_relabel
+from .recovery import RecoveryReport, check_recovery_invariants
+from .sched import Scheduler, read_blocking, syscall, yield_
+from .task import SyscallError
+
+#: Site families the workload must cross for the sweep to count as
+#: covering "every injected site".  ``syscall:*`` expands to one concrete
+#: site per opcode; these are the non-syscall families.
+REQUIRED_SITES = (
+    "submit.boundary",
+    "fs.block_write",
+    "xattr.write",
+    "caps.block_write",
+    "journal.append",
+    "create.link",
+)
+
+
+def chaos_workload(kernel: Kernel) -> None:
+    """One deterministic pass of labeled file-server activity.
+
+    Interrupted anywhere — a :class:`KernelCrash` or an injected
+    :class:`SyscallError` — the prefix it completed is exactly what the
+    recovery invariants are audited against.  No randomness: byte-for-byte
+    identical crossings on every run, which is what lets a recorded
+    ``(site, occurrence)`` pair address the same machine state later.
+    """
+    alice = login(kernel, "alice")
+    bob = login(kernel, "bob")
+    a_tag, a_caps = kernel.sys_alloc_tag(alice, "alice-data")
+    grant_persistent(kernel, "alice", a_caps)
+    b_tag, b_caps = kernel.sys_alloc_tag(bob, "bob-data")
+    grant_persistent(kernel, "bob", b_caps)
+
+    secret = LabelPair(Label.of(a_tag), Label.EMPTY)
+    fd = kernel.sys_create_file_labeled(alice, "/tmp/ledger", secret)
+    kernel.sys_write(alice, fd, b"credit:100;" * 20)  # multi-block, write-up
+    kernel.sys_mkdir_labeled(alice, "/tmp/vault", secret)
+
+    # Raise alice's secrecy so she can read her own data and walk into the
+    # vault (no read-down below this point).
+    kernel.sys_set_task_label(alice, LabelType.SECRECY, Label.of(a_tag))
+    vfd = kernel.sys_create_file_labeled(alice, "/tmp/vault/keys", secret)
+    kernel.sys_write(alice, vfd, b"k" * 130)
+    kernel.sys_close(alice, vfd)
+
+    # Batched submission: a seek, reads, an append, a create-then-unlink,
+    # all in one crossing of the submit machinery.
+    kernel.sys_submit(
+        alice,
+        [
+            Sqe("lseek", fd, 0),
+            Sqe("read", fd, 64),
+            Sqe("write", fd, b"audit:ok;" * 10),
+            Sqe("creat", "/tmp/vault/scratch"),
+            Sqe("read", fd, -1),
+        ],
+    )
+    kernel.sys_unlink(alice, "/tmp/vault/scratch")
+
+    # Revocation: journaled relabel plus a persistent-store overwrite
+    # (exercises the capwrite pre-image path, old is not None).
+    new_tag = revoke_by_relabel(kernel, alice, "/tmp/ledger", a_tag)
+    grant_persistent(kernel, "alice", alice.capabilities)
+
+    # Bob's parallel world, then a labeled pipe driven by the scheduler.
+    bfd = kernel.sys_create_file_labeled(
+        bob, "/tmp/bob-notes", LabelPair(Label.of(b_tag), Label.EMPTY)
+    )
+    kernel.sys_write(bob, bfd, b"note;" * 30)
+
+    sched = Scheduler(kernel)
+    pipe_label = LabelPair(Label.of(new_tag), Label.EMPTY)
+
+    def producer(task):
+        rfd, wfd = yield syscall("pipe", pipe_label)
+        holder.extend((rfd, wfd))
+        for i in range(3):
+            yield syscall("write", wfd, b"msg%d" % i)
+        yield syscall("close", wfd)
+
+    def consumer(task):
+        while len(holder) < 2:
+            yield yield_()
+        rfd = kernel.share_fd(ptask, holder[0], task)
+        drained = b""
+        while True:
+            data = yield read_blocking(rfd)
+            if not data:
+                break
+            drained += data
+
+    holder: list[int] = []
+    ptask = sched.spawn(
+        producer, name="producer", labels=pipe_label, caps=alice.capabilities
+    )
+    sched.spawn(
+        consumer, name="consumer", labels=pipe_label, caps=alice.capabilities
+    )
+    sched.run()
+
+    kernel.sys_unlink(alice, "/tmp/vault/keys")
+    kernel.sys_close(alice, fd)
+
+
+def enumerate_crash_points(
+    workload: Callable[[Kernel], None] = chaos_workload,
+) -> list[tuple[str, int]]:
+    """Run ``workload`` once under a recording plan; return every
+    ``(site, occurrence)`` crossing, in execution order."""
+    kernel = Kernel()
+    plan = kernel.install_faults(FaultPlan(record=True))
+    workload(kernel)
+    return list(plan.trace)
+
+
+def sample_crash_points(
+    points: Sequence[tuple[str, int]], target: int = 60
+) -> list[tuple[str, int]]:
+    """Pick a sweep schedule: every site represented, high-frequency sites
+    stride-sampled (always keeping each site's first and last crossing),
+    at least ``min(target, len(points))`` points total."""
+    by_site: dict[str, list[tuple[str, int]]] = {}
+    for point in points:
+        by_site.setdefault(point[0], []).append(point)
+    floor = min(target, len(points))
+    per_site = max(1, target // max(1, len(by_site)))
+    while True:
+        sample: list[tuple[str, int]] = []
+        for site in sorted(by_site):
+            crossings = by_site[site]
+            if len(crossings) <= per_site:
+                sample.extend(crossings)
+                continue
+            stride = len(crossings) / per_site
+            picked = {int(i * stride) for i in range(per_site)}
+            picked |= {0, len(crossings) - 1}
+            sample.extend(crossings[i] for i in sorted(picked))
+        if len(sample) >= floor:
+            return sample
+        per_site += 1
+
+
+@dataclass
+class CrashPointResult:
+    """Outcome of one faulted run + recovery + audit."""
+
+    site: str
+    nth: int
+    kind: FaultKind
+    #: "crash" (KernelCrash reached the harness), "error" (an injected
+    #: SyscallError aborted the workload), or "completed" (the fault was
+    #: survivable — e.g. a submit-boundary EIO — or never fired).
+    outcome: str
+    fired: bool
+    report: Optional[RecoveryReport]
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+@dataclass
+class SweepResult:
+    results: list[CrashPointResult]
+
+    @property
+    def violations(self) -> list[tuple[str, int, str]]:
+        return [
+            (r.site, r.nth, v) for r in self.results for v in r.violations
+        ]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def sites(self) -> set[str]:
+        return {r.site for r in self.results}
+
+    def summary(self) -> str:
+        outcomes: dict[str, int] = {}
+        for r in self.results:
+            outcomes[r.outcome] = outcomes.get(r.outcome, 0) + 1
+        shape = ", ".join(f"{k}={v}" for k, v in sorted(outcomes.items()))
+        verdict = "OK" if self.ok else f"{len(self.violations)} VIOLATION(S)"
+        return (
+            f"{len(self.results)} fault points over {len(self.sites)} sites "
+            f"({shape}): {verdict}"
+        )
+
+
+def _run_one(
+    plan: FaultPlan, workload: Callable[[Kernel], None]
+) -> CrashPointResult:
+    rule = plan.rules[0]
+    kernel = Kernel()
+    kernel.install_faults(plan)
+    outcome = "completed"
+    try:
+        workload(kernel)
+    except KernelCrash:
+        outcome = "crash"
+    except SyscallError:
+        outcome = "error"
+    fired = bool(plan.fired)
+    kernel.crash()
+    report = kernel.remount()
+    violations = check_recovery_invariants(kernel, strict=False)
+    return CrashPointResult(
+        site=rule.site,
+        nth=rule.nth or 0,
+        kind=rule.kind,
+        outcome=outcome,
+        fired=fired,
+        report=report,
+        violations=violations,
+    )
+
+
+def run_crash_sweep(
+    points: Optional[Sequence[tuple[str, int]]] = None,
+    workload: Callable[[Kernel], None] = chaos_workload,
+    target: int = 60,
+) -> SweepResult:
+    """Crash at every scheduled point; recover; audit.  The exhaustive
+    deterministic sweep: one fresh machine per point."""
+    if points is None:
+        points = sample_crash_points(enumerate_crash_points(workload), target)
+    results = [
+        _run_one(FaultPlan.crash_at(site, nth), workload)
+        for site, nth in points
+    ]
+    return SweepResult(results)
+
+
+def run_random_sweep(
+    seed: int,
+    count: int = 40,
+    workload: Callable[[Kernel], None] = chaos_workload,
+) -> SweepResult:
+    """The nightly-CI sweep: ``count`` single-fault plans — site,
+    occurrence, *and kind* drawn from ``seed`` — over the full recorded
+    crossing space.  Pure function of ``seed``: print it on failure and
+    anyone can replay with ``lamc fsck --seed``."""
+    points = enumerate_crash_points(workload)
+    plans = FaultPlan.randomized(seed, points, count)
+    return SweepResult([_run_one(plan, workload) for plan in plans])

@@ -1,0 +1,223 @@
+"""Deterministic fault injection for the simulated OS.
+
+The paper's OS layer persists labels in extended attributes and per-user
+capabilities in files (Sections 4.4 and 5.2), which means a *crash* is a
+security event: a torn xattr write, a truncated capability file, or an
+interrupted relabel could resurrect labeled data under a weaker label.
+This module is the control plane for exercising exactly those windows.
+
+Design goals, in order:
+
+* **Deterministic.**  A fault is addressed by ``(site, occurrence)``:
+  the *n*-th time execution crosses a named injection site.  Re-running
+  the same workload with the same :class:`FaultPlan` fires the same
+  fault at the same machine state, which is what makes the crash-point
+  sweep in ``tests/test_crash_consistency.py`` exhaustive and what makes
+  a nightly CI failure replayable from its seed (``lamc fsck --seed N``).
+* **Zero-cost when disabled.**  The kernel and filesystem hold a
+  ``faults`` attribute that is ``None`` by default; every hot path
+  guards its injection with one attribute load and a ``None`` test.  No
+  plan object, no site bookkeeping, no per-block write loop exists
+  unless a plan is installed (asserted by the < 5 % regression bound on
+  ``BENCH_os_throughput.json``).
+* **Recording is the inverse of injection.**  A plan created with
+  ``record=True`` fires nothing and logs every ``(site, occurrence)``
+  crossing; the sweep harness runs the workload once in recording mode
+  to enumerate the crash points it will then visit one by one.
+
+Sites (the strings passed to :meth:`FaultPlan.fire`):
+
+=====================  ====================================================
+``syscall:<name>``      kernel syscall entry (``Kernel._count``)
+``submit.boundary``     between entries of a ``sys_submit`` batch
+``fs.block_write``      each simulated block of a file data write
+``xattr.write``         each label xattr written by a journaled relabel
+``caps.block_write``    each chunk of a capability-store file write
+``journal.append``      immediately before a journal record is appended
+``create.link``         between journal-begin and commit of a creation
+=====================  ====================================================
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from collections import Counter
+from typing import Iterable, Optional, Sequence
+
+
+class FaultKind(enum.Enum):
+    """What happens when a rule fires."""
+
+    #: Power failure: volatile state is lost, disk keeps whatever the
+    #: site had written so far.  Raised as :class:`KernelCrash`.
+    CRASH = "crash"
+    #: The operation fails with ``EIO`` before mutating anything.
+    EIO = "eio"
+    #: The operation fails with ``ENOSPC`` before mutating anything.
+    ENOSPC = "enospc"
+    #: A prefix of the data reaches the disk, then the operation fails
+    #: with ``EIO`` (detected short write — the caller must roll back).
+    SHORT_WRITE = "short-write"
+    #: A non-prefix subset of the blocks reaches the disk, then the
+    #: machine crashes — the multi-block torn-write case journaling
+    #: exists to survive.
+    TORN_WRITE = "torn-write"
+
+
+class KernelCrash(Exception):
+    """The simulated machine lost power at an injection site.
+
+    Deliberately *not* a :class:`~repro.osim.task.SyscallError`: no
+    syscall returns this, nothing in the kernel catches it, and the
+    scheduler lets it propagate.  The test harness catches it, calls
+    :meth:`Kernel.crash` to discard volatile state, and then
+    :meth:`Kernel.remount` to run journal recovery.
+    """
+
+    def __init__(self, site: str, occurrence: int) -> None:
+        self.site = site
+        self.occurrence = occurrence
+        super().__init__(f"simulated crash at {site}#{occurrence}")
+
+
+class FaultRule:
+    """One trigger: fire ``kind`` at a ``(site, occurrence)`` point.
+
+    ``nth`` fires once, at exactly the *nth* crossing of ``site``;
+    ``every`` fires repeatedly, at every multiple (the degraded-mode
+    throughput workload uses this for a steady background EIO rate).
+    ``site`` may end with ``*`` to prefix-match (``"syscall:*"``).
+    """
+
+    __slots__ = ("site", "kind", "nth", "every", "fired")
+
+    def __init__(
+        self,
+        site: str,
+        kind: FaultKind,
+        nth: Optional[int] = None,
+        every: Optional[int] = None,
+    ) -> None:
+        if (nth is None) == (every is None):
+            raise ValueError("exactly one of nth/every must be given")
+        self.site = site
+        self.kind = kind
+        self.nth = nth
+        self.every = every
+        self.fired = False
+
+    def _matches_site(self, site: str) -> bool:
+        if self.site.endswith("*"):
+            return site.startswith(self.site[:-1])
+        return site == self.site
+
+    def matches(self, site: str, occurrence: int) -> bool:
+        if not self._matches_site(site):
+            return False
+        if self.nth is not None:
+            return not self.fired and occurrence == self.nth
+        return occurrence % self.every == 0
+
+    def __repr__(self) -> str:
+        when = f"nth={self.nth}" if self.nth is not None else f"every={self.every}"
+        return f"FaultRule({self.site!r}, {self.kind.value}, {when})"
+
+
+class FaultPlan:
+    """A deterministic schedule of faults, shared by kernel + filesystem.
+
+    The plan owns the per-site occurrence counters, so a single plan
+    installed on one kernel sees a single global numbering of crossings
+    — the same numbering a recording run produces.
+    """
+
+    def __init__(
+        self, rules: Iterable[FaultRule] = (), record: bool = False
+    ) -> None:
+        self.rules = list(rules)
+        #: site -> crossings so far.
+        self.counts: Counter[str] = Counter()
+        #: every (site, occurrence, kind) that actually fired.
+        self.fired: list[tuple[str, int, FaultKind]] = []
+        #: every (site, occurrence) crossing, kept only when recording.
+        self.trace: list[tuple[str, int]] = [] if record else None
+        self.record = record
+        #: optional audit sink; installed by :meth:`Kernel.install_faults`
+        #: so injections leave a TCB-visible record.
+        self.audit = None
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def crash_at(cls, site: str, nth: int) -> "FaultPlan":
+        """The sweep harness's unit: one crash at one point."""
+        return cls([FaultRule(site, FaultKind.CRASH, nth=nth)])
+
+    @classmethod
+    def randomized(
+        cls,
+        seed: int,
+        points: Sequence[tuple[str, int]],
+        count: int,
+        kinds: Sequence[FaultKind] = (
+            FaultKind.CRASH,
+            FaultKind.TORN_WRITE,
+            FaultKind.SHORT_WRITE,
+            FaultKind.EIO,
+            FaultKind.ENOSPC,
+        ),
+    ) -> list["FaultPlan"]:
+        """Derive ``count`` single-fault plans from a seed and a recorded
+        crossing trace.  The selection is a pure function of ``seed``, so
+        a failing nightly run is replayed by its printed seed alone."""
+        rng = random.Random(seed)
+        plans = []
+        for _ in range(count):
+            site, nth = points[rng.randrange(len(points))]
+            kind = kinds[rng.randrange(len(kinds))]
+            plans.append(cls([FaultRule(site, kind, nth=nth)]))
+        return plans
+
+    # -- the injection point --------------------------------------------------
+
+    def fire(self, site: str) -> Optional[FaultKind]:
+        """Record a crossing of ``site``; return the kind to inject (or
+        ``None``).  Callers interpret the kind — only :data:`CRASH` has a
+        uniform contract (raise :class:`KernelCrash` after applying
+        whatever partial disk state the site models)."""
+        n = self.counts[site] + 1
+        self.counts[site] = n
+        if self.trace is not None:
+            self.trace.append((site, n))
+        for rule in self.rules:
+            if rule.matches(site, n):
+                rule.fired = True
+                self.fired.append((site, n, rule.kind))
+                if self.audit is not None:
+                    from ..core.audit import AuditKind
+
+                    self.audit.record(
+                        AuditKind.FAULT,
+                        "faults",
+                        site,
+                        f"injected {rule.kind.value} at {site}#{n}",
+                    )
+                return rule.kind
+        return None
+
+    def crash(self, site: str, occurrence: Optional[int] = None) -> None:
+        """Raise the crash for ``site`` (helper for injection sites)."""
+        raise KernelCrash(site, occurrence or self.counts[site])
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def sites_seen(self) -> set[str]:
+        return set(self.counts)
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultPlan(rules={self.rules!r}, fired={len(self.fired)}, "
+            f"record={self.record})"
+        )

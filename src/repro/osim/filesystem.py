@@ -27,11 +27,14 @@ import itertools
 from typing import Iterator, Optional
 
 from ..core import Label, LabelPair, Tag, TagAllocator
+from .faults import FaultKind
 from .task import (
     EEXIST,
     EINVAL,
+    EIO,
     EISDIR,
     ENOENT,
+    ENOSPC,
     ENOTDIR,
     ENOTEMPTY,
     SyscallError,
@@ -39,6 +42,10 @@ from .task import (
 
 XATTR_SECRECY = "security.laminar.secrecy"
 XATTR_INTEGRITY = "security.laminar.integrity"
+
+#: Simulated disk block size for fault-granular data writes.  Only the
+#: fault-injection path chunks writes; the normal path is one splice.
+BLOCK_SIZE = 64
 
 
 class InodeType(enum.Enum):
@@ -177,6 +184,20 @@ class Filesystem:
 
     def __init__(self, root_labels: LabelPair = LabelPair.EMPTY) -> None:
         self.root = Inode(InodeType.DIRECTORY, root_labels, mode=0o755)
+        #: Fault-injection plan shared with the kernel; ``None`` (the
+        #: default) keeps every write on the unchunked fast path.
+        self.faults = None
+        #: Write-ahead journal for label/capability mutations.  Lives here
+        #: — on the simulated disk — so records survive a kernel crash.
+        from .recovery import Journal  # deferred: recovery imports us
+
+        self.journal = Journal()
+        #: Omniscient-observer label history: ino -> every LabelPair the
+        #: running kernel ever exposed for that inode (linked or relabeled
+        #: to).  Ground truth for ``check_recovery_invariants``'s
+        #: no-weakening check, analogous to ``Pipe.dropped``; recovery
+        #: itself never reads it.
+        self.exposed: dict[int, list[LabelPair]] = {}
 
     # -- path handling --------------------------------------------------------
 
@@ -256,6 +277,8 @@ class Filesystem:
         if not name or "/" in name:
             raise SyscallError(EINVAL, name)
         parent.children[name] = child
+        if child.itype in (InodeType.REGULAR, InodeType.DIRECTORY):
+            self.exposed.setdefault(child.ino, []).append(child.labels)
 
     def unlink_child(self, parent: Inode, name: str) -> Inode:
         if not parent.is_dir:
@@ -299,19 +322,186 @@ class Filesystem:
         file.offset = end
         return view
 
-    @staticmethod
-    def write(file: File, data: bytes) -> int:
+    def write(self, file: File, data: bytes) -> int:
         inode = file.inode
         if inode.is_dir:
             raise SyscallError(EISDIR, "write of a directory")
         if file.mode & OpenMode.APPEND:
             file.offset = inode.size
+        if self.faults is not None and data:
+            return self._write_faulted(file, data)
         end = file.offset + len(data)
         if end > inode.size:
             inode.data.extend(b"\0" * (end - inode.size))
         inode.data[file.offset : end] = data
         file.offset = end
         return len(data)
+
+    def _write_faulted(self, file: File, data: bytes) -> int:
+        """Block-granular data write, crossing the ``fs.block_write`` fault
+        site once per :data:`BLOCK_SIZE` chunk.  Kind semantics:
+
+        * ``EIO``/``ENOSPC`` — fail the call; blocks already applied stay
+          (POSIX makes no atomicity promise for multi-block ``write``).
+        * ``SHORT_WRITE`` — stop and return the short count, like a real
+          short write the caller is supposed to check.
+        * ``CRASH`` — the applied prefix survives, the machine dies.
+        * ``TORN_WRITE`` — this block is *skipped* (its old content
+          survives), later blocks land, then the machine dies: the
+          non-prefix torn state journaling of metadata must tolerate.
+        """
+        inode, faults = file.inode, self.faults
+        torn = False
+        written = 0
+        for start in range(0, len(data), BLOCK_SIZE):
+            chunk = data[start : start + BLOCK_SIZE]
+            kind = faults.fire("fs.block_write")
+            if kind is FaultKind.EIO:
+                raise SyscallError(EIO, "simulated I/O error")
+            if kind is FaultKind.ENOSPC:
+                raise SyscallError(ENOSPC, "simulated disk full")
+            if kind is FaultKind.SHORT_WRITE:
+                file.offset += written
+                return written
+            if kind is FaultKind.CRASH:
+                faults.crash("fs.block_write")
+            if kind is FaultKind.TORN_WRITE:
+                torn = True
+                continue
+            begin = file.offset + start
+            end = begin + len(chunk)
+            if end > inode.size:
+                inode.data.extend(b"\0" * (end - inode.size))
+            inode.data[begin:end] = chunk
+            written += len(chunk)
+        if torn:
+            faults.crash("fs.block_write")
+        file.offset += len(data)
+        return len(data)
+
+    # -- journaled security-metadata writes --------------------------------
+
+    def blob_write(
+        self,
+        write_cb,
+        blob: bytes,
+        site: str,
+        old: bytes = b"",
+        block: int = BLOCK_SIZE,
+    ) -> None:
+        """Write a whole metadata blob (an xattr value, a capability file)
+        through ``write_cb``, chunked at ``block`` bytes so each chunk
+        crosses the ``site`` fault point.  Without a plan installed this is
+        a single callback invocation.
+
+        Detected failures (``EIO``/``ENOSPC``/short write) raise
+        :class:`SyscallError` after flushing the partial image — the caller
+        holds the journal record and rolls back inline.  Crash kinds flush
+        a partial (``CRASH``: prefix; ``TORN_WRITE``: non-prefix mix of old
+        and new blocks) and raise :class:`KernelCrash` — recovery resolves
+        the journal record instead.
+        """
+        faults = self.faults
+        if faults is None:
+            write_cb(blob)
+            return
+        nblocks = max(1, -(-len(blob) // block))
+        applied: list[int] = []
+        partial: Optional[tuple[int, int]] = None
+        torn = False
+        failure: Optional[SyscallError] = None
+        for i in range(nblocks):
+            kind = faults.fire(site)
+            if kind is None:
+                applied.append(i)
+                continue
+            if kind is FaultKind.EIO:
+                failure = SyscallError(EIO, f"simulated I/O error at {site}")
+                break
+            if kind is FaultKind.ENOSPC:
+                failure = SyscallError(ENOSPC, f"simulated disk full at {site}")
+                break
+            if kind is FaultKind.SHORT_WRITE:
+                partial = (i, max(1, block // 2))
+                failure = SyscallError(EIO, f"short write at {site}")
+                break
+            if kind is FaultKind.CRASH:
+                partial = (i, max(1, block // 2))
+                break
+            # TORN_WRITE: skip this block, keep writing later ones.
+            torn = True
+        write_cb(self._compose(old, blob, applied, block, partial, nblocks))
+        if failure is not None:
+            raise failure
+        if torn or partial is not None:
+            faults.crash(site)
+
+    @staticmethod
+    def _compose(
+        old: bytes,
+        blob: bytes,
+        applied: list[int],
+        block: int,
+        partial: Optional[tuple[int, int]],
+        nblocks: int,
+    ) -> bytes:
+        """The on-disk image after applying ``applied`` whole blocks of
+        ``blob`` (plus at most one partial block) over ``old``."""
+        if len(applied) == nblocks and partial is None:
+            return blob
+        image = bytearray(old)
+        spans = [(i * block, min((i + 1) * block, len(blob))) for i in applied]
+        if partial is not None:
+            i, nbytes = partial
+            spans.append((i * block, min(i * block + nbytes, len(blob))))
+        for start, end in spans:
+            if len(image) < end:
+                image.extend(b"\0" * (end - len(image)))
+            image[start:end] = blob[start:end]
+        return bytes(image)
+
+    def set_labels(self, inode: Inode, labels: LabelPair) -> None:
+        """Journaled relabel: the only way persistent labels change after
+        creation.  Sequence: journal-begin (full pre/post xattr images) →
+        write both xattrs through the ``xattr.write`` fault site → update
+        the in-memory security field → journal-commit.  A detected write
+        failure restores the pre-image inline and aborts the record; a
+        crash leaves the begin record for :func:`~repro.osim.recovery.recover`.
+        """
+        old = {
+            XATTR_SECRECY: inode.xattrs.get(XATTR_SECRECY, b""),
+            XATTR_INTEGRITY: inode.xattrs.get(XATTR_INTEGRITY, b""),
+        }
+        new = {
+            XATTR_SECRECY: encode_label(labels.secrecy),
+            XATTR_INTEGRITY: encode_label(labels.integrity),
+        }
+        faults = self.faults
+        if faults is not None:
+            kind = faults.fire("journal.append")
+            if kind in (FaultKind.CRASH, FaultKind.TORN_WRITE):
+                faults.crash("journal.append")  # before begin: clean no-op
+            if kind is FaultKind.ENOSPC:
+                raise SyscallError(ENOSPC, "journal full")
+            if kind is not None:
+                raise SyscallError(EIO, "journal I/O error")
+        rec = self.journal.begin("relabel", ino=inode.ino, old=old, new=new)
+        try:
+            for key in (XATTR_SECRECY, XATTR_INTEGRITY):
+
+                def _store(value: bytes, _key: str = key) -> None:
+                    inode.xattrs[_key] = value
+
+                self.blob_write(
+                    _store, new[key], "xattr.write", old=old[key], block=8
+                )
+        except SyscallError:
+            inode.xattrs.update(old)  # raw: inline rollback is not re-faulted
+            self.journal.abort(rec)
+            raise
+        inode.labels = labels
+        self.journal.commit(rec)
+        self.exposed.setdefault(inode.ino, []).append(labels)
 
     # -- persistence round-trip -------------------------------------------------
 

@@ -38,6 +38,7 @@ from ..core import (
 )
 from ..core import fastpath
 from ..core.fastpath import counters as _fp_counters
+from .faults import FaultKind, FaultPlan, KernelCrash
 from .filesystem import (
     File,
     Filesystem,
@@ -51,7 +52,9 @@ from .sockets import Network, Socket
 from .task import (
     EBADF,
     EINVAL,
+    EIO,
     ENOENT,
+    ENOSPC,
     EPERM,
     ESRCH,
     SyscallError,
@@ -177,6 +180,10 @@ class Kernel:
         self.security = security if security is not None else LaminarSecurityModule()
         self.tags = TagAllocator(first=1)
         self.fs = Filesystem()
+        #: Fault-injection plan (``repro.osim.faults``); ``None`` keeps
+        #: every syscall on the unfaulted fast path — one attribute load
+        #: and a ``None`` test is the entire disabled-mode cost.
+        self.faults: Optional[FaultPlan] = None
         self.net = Network()
         self.tasks: dict[int, Task] = {}
         self._tid_counter = itertools.count(1)
@@ -238,7 +245,17 @@ class Kernel:
         administrator integrity label; /dev gets the null/zero devices; the
         persistent capability store lives under /etc/laminar."""
         self.admin_integrity = self.tags.alloc("sysadmin")
+        #: Recovery's fiat most-restrictive tag: assigned to inodes whose
+        #: persisted labels cannot be decoded after a crash.  Nobody is
+        #: ever granted its capabilities, so quarantined data is readable
+        #: by no principal (see repro.osim.recovery).
+        self.quarantine_tag = self.tags.alloc("quarantine")
         admin = LabelPair(Label.EMPTY, Label.of(self.admin_integrity))
+        self.fs.link_child(
+            self.fs.root,
+            "lost+found",
+            Inode(InodeType.DIRECTORY, admin, mode=0o700),
+        )
         for path in ("etc", "home", "dev", "tmp"):
             inode = Inode(InodeType.DIRECTORY, admin if path != "tmp" else LabelPair.EMPTY, mode=0o755)
             self.fs.link_child(self.fs.root, path, inode)
@@ -274,9 +291,66 @@ class Kernel:
     # --------------------------------------------------------- small helpers
 
     def _count(self, name: str) -> None:
+        if self.faults is not None:
+            self._fault_gate(f"syscall:{name}")
         self.syscall_counts[name] += 1
         for _ in range(self.SYSCALL_WORK.get(name, 0)):
             pass
+
+    def _fault_gate(self, site: str) -> None:
+        """Cross a fault site that models failure *before* any mutation:
+        crash kinds raise :class:`KernelCrash`, detected kinds raise the
+        corresponding :class:`SyscallError`, and a clean crossing is free.
+        Callers guarantee ``self.faults is not None``."""
+        faults = self.faults
+        kind = faults.fire(site)
+        if kind is None:
+            return
+        if kind is FaultKind.CRASH or kind is FaultKind.TORN_WRITE:
+            faults.crash(site)
+        if kind is FaultKind.ENOSPC:
+            raise SyscallError(ENOSPC, f"simulated disk full at {site}")
+        raise SyscallError(EIO, f"simulated I/O error at {site}")
+
+    # ------------------------------------------------- faults and recovery
+
+    def install_faults(self, plan: Optional[FaultPlan]) -> Optional[FaultPlan]:
+        """Arm (or with ``None`` disarm) a fault plan on this machine.  The
+        kernel and the filesystem share the plan, so one global occurrence
+        numbering covers every site — the numbering a recording run
+        enumerates and a replaying run addresses."""
+        self.faults = plan
+        self.fs.faults = plan
+        if plan is not None:
+            plan.audit = self.audit
+        return plan
+
+    def crash(self) -> None:
+        """Simulated power loss: every task dies, all volatile kernel state
+        (fd tables, walk caches, the armed fault plan) is discarded.  The
+        filesystem object — inode data, xattrs, the journal — survives:
+        it is the disk."""
+        for task in self.tasks.values():
+            task.alive = False
+            task.fd_table.clear()
+            task.pending_signals.clear()
+        self.tasks.clear()
+        self.install_faults(None)
+        self._walk_cache.clear()
+        self._walk_gen += 1
+
+    def remount(self):
+        """Mount after a crash (or cleanly): run journal recovery, then
+        bring the machine back up with a fresh init task.  Returns the
+        :class:`~repro.osim.recovery.RecoveryReport`."""
+        from .recovery import recover  # deferred: recovery imports us
+
+        report = recover(self)
+        self._walk_cache.clear()
+        self._walk_gen += 1
+        if not self.tasks:
+            self.init_task = self.spawn_task("init", user="root")
+        return report
 
     def _require_alive(self, task: Task) -> None:
         if not task.alive:
@@ -520,12 +594,43 @@ class Kernel:
             raise SyscallError(EINVAL, path)
         self.security.inode_create(task, parent, labels)
         inode = Inode(itype, labels, mode)
-        self.fs.link_child(parent, name, inode)
+        self._journaled_link(parent, name, inode)
         if itype is InodeType.DIRECTORY:
             self._walk_gen += 1  # the namespace a walk traverses changed
             return 0
         file = File(inode, OpenMode.READ | OpenMode.WRITE)
         return task.install_fd(file)
+
+    def _journaled_link(self, parent: Inode, name: str, inode: Inode) -> None:
+        """Link a freshly created inode under a journal ``create`` record,
+        so a crash between the link and the commit rolls the creation back
+        (the paper's labeled-create must be atomic: a half-created labeled
+        file with no durable record of its label would otherwise be
+        recovered by guesswork)."""
+        faults = self.faults
+        if faults is None:
+            self.fs.link_child(parent, name, inode)
+            return
+        self._fault_gate("journal.append")
+        rec = self.fs.journal.begin(
+            "create", parent_ino=parent.ino, name=name, ino=inode.ino
+        )
+        try:
+            self.fs.link_child(parent, name, inode)
+        except SyscallError:
+            self.fs.journal.abort(rec)
+            raise
+        kind = faults.fire("create.link")
+        if kind is not None:
+            if kind is FaultKind.CRASH or kind is FaultKind.TORN_WRITE:
+                # Uncommitted: recovery unlinks the orphan.
+                faults.crash("create.link")
+            parent.children.pop(name, None)  # detected: roll back inline
+            self.fs.journal.abort(rec)
+            if kind is FaultKind.ENOSPC:
+                raise SyscallError(ENOSPC, "simulated disk full at create.link")
+            raise SyscallError(EIO, "simulated I/O error at create.link")
+        self.fs.journal.commit(rec)
 
     # ============================================================ POSIX-ish =
 
@@ -545,7 +650,7 @@ class Kernel:
             labels = task.labels
             self.security.inode_create(task, parent, labels)
             inode = Inode(InodeType.REGULAR, labels)
-            self.fs.link_child(parent, name, inode)  # type: ignore[arg-type]
+            self._journaled_link(parent, name, inode)  # type: ignore[arg-type]
         mask = Mask(0)
         if flags & OpenMode.READ:
             mask |= Mask.READ
@@ -681,6 +786,7 @@ class Kernel:
         """
         self._count("submit")
         self._require_alive(task)
+        faults = self.faults
         security = self.security
         counts = self.syscall_counts
         batch_work = self._batch_work
@@ -699,6 +805,17 @@ class Kernel:
         cqes: list[Cqe] = []
         for sqe in sqes:
             op = sqe.op
+            if faults is not None:
+                kind = faults.fire("submit.boundary")
+                if kind is not None:
+                    if kind is FaultKind.CRASH or kind is FaultKind.TORN_WRITE:
+                        # Completions so far are lost with the rest of RAM.
+                        faults.crash("submit.boundary")
+                    # Detected error: fail this entry, keep the batch going
+                    # (io_uring's contract — an errno completion, no abort).
+                    errno = ENOSPC if kind is FaultKind.ENOSPC else EIO
+                    cqes.append(Cqe(op, None, errno))
+                    continue
             try:
                 if op == "read":
                     fd, count = (sqe.args + (-1,))[:2]

@@ -57,13 +57,47 @@ def _caps_dir(kernel: Kernel) -> Inode:
 def store_user_capabilities(kernel: Kernel, user: str, caps: CapabilitySet) -> None:
     """Write (or overwrite) a user's persistent capability file.  This is an
     administrative operation performed by the trusted store, so it writes
-    through the filesystem directly rather than through a task's syscalls."""
+    through the filesystem directly rather than through a task's syscalls.
+
+    The update is journaled (op ``capwrite``, full pre/post images) and the
+    blob goes to disk in capability-sized chunks through the
+    ``caps.block_write`` fault site, so a crash mid-write can leave a torn
+    file — which recovery then rolls back or replays, and which ``login``
+    quarantines if it ever surfaces anyway."""
+    fs = kernel.fs
     directory = _caps_dir(kernel)
+    blob = encode_capabilities(caps)
+    if fs.faults is None:
+        inode = directory.children.get(user)
+        if inode is None:
+            inode = Inode(InodeType.REGULAR, directory.labels, mode=0o600)
+            fs.link_child(directory, user, inode)
+        inode.data[:] = blob
+        return
+    kernel._fault_gate("journal.append")  # before any mutation: clean no-op
     inode = directory.children.get(user)
+    created = False
     if inode is None:
         inode = Inode(InodeType.REGULAR, directory.labels, mode=0o600)
-        kernel.fs.link_child(directory, user, inode)
-    inode.data = bytearray(encode_capabilities(caps))
+        fs.link_child(directory, user, inode)
+        created = True
+    old = None if created else bytes(inode.data)
+    rec = fs.journal.begin("capwrite", ino=inode.ino, user=user, old=old, new=blob)
+
+    def _store(value: bytes) -> None:
+        inode.data[:] = value
+
+    try:
+        fs.blob_write(_store, blob, "caps.block_write", old=old or b"", block=9)
+    except SyscallError:
+        # Detected failure: restore the pre-state inline and abort.
+        if created:
+            directory.children.pop(user, None)
+        else:
+            inode.data[:] = old
+        fs.journal.abort(rec)
+        raise
+    fs.journal.commit(rec)
 
 
 def load_user_capabilities(kernel: Kernel, user: str) -> CapabilitySet:
@@ -78,10 +112,22 @@ def load_user_capabilities(kernel: Kernel, user: str) -> CapabilitySet:
 def login(kernel: Kernel, user: str) -> Task:
     """Create a login shell holding all of the user's persistent
     capabilities.  Unknown users get an empty capability set (they can still
-    run unlabeled programs)."""
+    run unlabeled programs).
+
+    A capability file that fails to *parse* (truncated, torn — anything
+    :func:`decode_capabilities` rejects) is quarantined: renamed to
+    ``<user>.corrupt`` with administrator integrity and audited, and the
+    login proceeds with empty persistent capabilities.  Failing closed
+    (empty caps) is the only safe direction — guessing capabilities from a
+    torn file could grant privilege the user never had."""
     try:
         caps = load_user_capabilities(kernel, user)
     except SyscallError:
+        caps = CapabilitySet.EMPTY
+    except ValueError:
+        from .recovery import quarantine_capability_file
+
+        quarantine_capability_file(kernel, user)
         caps = CapabilitySet.EMPTY
     return kernel.spawn_task(f"{user}-shell", user=user, caps=caps)
 
@@ -113,6 +159,8 @@ def revoke_by_relabel(
     new_tag, _ = kernel.sys_alloc_tag(owner, name=f"{old_tag}'")
     inode = kernel.fs.resolve(path, owner.cwd)
     secrecy = inode.labels.secrecy.without_tag(old_tag).with_tag(new_tag)
-    inode.labels = LabelPair(secrecy, inode.labels.integrity)
-    inode._persist_labels()
+    # Journaled relabel: a crash mid-revocation must never leave the data
+    # readable under the revoked tag *and* unreadable under the new one —
+    # recovery lands on exactly the old or exactly the new label.
+    kernel.fs.set_labels(inode, LabelPair(secrecy, inode.labels.integrity))
     return new_tag

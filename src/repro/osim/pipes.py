@@ -29,6 +29,13 @@ variants on top of this substrate without weakening either property:
   termination notification is how OS DIFC systems close the termination
   channel — and a hangup by a writer whose labels forbid the pipe is
   silently dropped, like any other undeliverable message.
+
+Crash semantics (:mod:`repro.osim.faults`): pipes are **volatile**.  The
+message queue, the version counter, and the pipe's anonymous inode live
+in kernel RAM, never on the simulated disk, so a :class:`KernelCrash`
+discards in-flight messages wholesale — message loss, not label
+weakening, which is why pipes need no journal records and why
+``check_recovery_invariants`` has nothing to say about them.
 """
 
 from __future__ import annotations

@@ -185,23 +185,38 @@ class Scheduler:
         steps were not enough — a livelock backstop for tests.
         """
         self.stuck = []
-        while self._runq or self._parked:
-            self._wake_ready()
-            if not self._runq:
-                # Nobody runnable and nobody woke: every parked thread
-                # is waiting on a channel no runnable writer can touch.
-                self.stuck = [t.task for t in self._parked]
-                for thread in self._parked:
-                    thread.gen.close()
-                self._parked.clear()
-                break
-            if self.steps >= max_steps:
-                raise RuntimeError(
-                    f"scheduler exceeded {max_steps} steps "
-                    f"({len(self._runq)} runnable, {len(self._parked)} parked)"
-                )
-            self.steps += 1
-            self._step(self._runq.popleft())
+        try:
+            while self._runq or self._parked:
+                self._wake_ready()
+                if not self._runq:
+                    # Nobody runnable and nobody woke: every parked thread
+                    # is waiting on a channel no runnable writer can touch.
+                    self.stuck = [t.task for t in self._parked]
+                    for thread in self._parked:
+                        thread.gen.close()
+                    self._parked.clear()
+                    break
+                if self.steps >= max_steps:
+                    raise RuntimeError(
+                        f"scheduler exceeded {max_steps} steps "
+                        f"({len(self._runq)} runnable, {len(self._parked)} parked)"
+                    )
+                self.steps += 1
+                self._step(self._runq.popleft())
+        except BaseException as exc:
+            # A KernelCrash (simulated power loss, repro.osim.faults) — or
+            # any other non-syscall failure — takes the whole machine down:
+            # every generator is closed (running their finally blocks, as
+            # a real process teardown would not, but leaving them open
+            # would leak ResourceWarnings across the sweep's thousands of
+            # crashes) and the exception propagates to the harness, which
+            # calls Kernel.crash()/remount().  SyscallError never reaches
+            # here: _complete routes it into the issuing generator.
+            for thread in list(self._runq) + self._parked:
+                thread.gen.close()
+            self._runq.clear()
+            self._parked.clear()
+            raise exc
         return self.stuck
 
     def _wake_ready(self) -> None:

@@ -104,9 +104,11 @@ class Task:
 
 EPERM = 1
 ENOENT = 2
+EIO = 5
 EBADF = 9
 EACCES = 13
 EEXIST = 17
+ENOSPC = 28
 ENOTDIR = 20
 EISDIR = 21
 EINVAL = 22
@@ -118,9 +120,11 @@ EAGAIN = 11
 _ERRNO_NAMES = {
     EPERM: "EPERM",
     ENOENT: "ENOENT",
+    EIO: "EIO",
     EBADF: "EBADF",
     EACCES: "EACCES",
     EEXIST: "EEXIST",
+    ENOSPC: "ENOSPC",
     ENOTDIR: "ENOTDIR",
     EISDIR: "EISDIR",
     EINVAL: "EINVAL",

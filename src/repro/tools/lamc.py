@@ -8,13 +8,17 @@ for when debugging a workload or a pass::
     python -m repro.tools.lamc verify prog.ir
     python -m repro.tools.lamc disasm prog.ir
     python -m repro.tools.lamc lint prog.ir --json
+    python -m repro.tools.lamc fsck --seed 1234 --points 40
 
 ``compile`` prints the pass pipeline and barrier accounting (optionally
 the instrumented program); ``run`` executes on a fresh VM over a vanilla
 kernel and reports the result plus barrier statistics; ``verify`` runs
 only the bytecode verifier; ``disasm`` parses and pretty-prints; ``lint``
 runs the whole-program lamlint analyses and reports IFC findings (exit 1
-when any error-severity finding exists, 2 on syntax errors).
+when any error-severity finding exists, 2 on syntax errors); ``fsck``
+runs the OS-layer crash-consistency sweep (deterministic by default,
+seed-randomized with ``--seed`` — the command CI prints for replaying a
+nightly chaos failure) and exits 1 on any recovery-invariant violation.
 """
 
 from __future__ import annotations
@@ -135,6 +139,45 @@ def cmd_disasm(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def cmd_fsck(args: argparse.Namespace, out) -> int:
+    from ..osim.chaos import run_crash_sweep, run_random_sweep
+
+    if args.seed is not None:
+        result = run_random_sweep(args.seed, count=args.points)
+        header = f"randomized sweep (seed {args.seed})"
+    else:
+        result = run_crash_sweep(target=args.points)
+        header = "deterministic crash-point sweep"
+    if args.json:
+        json.dump(
+            {
+                "mode": "random" if args.seed is not None else "deterministic",
+                "seed": args.seed,
+                "points": [
+                    {
+                        "site": r.site,
+                        "nth": r.nth,
+                        "kind": r.kind.value,
+                        "outcome": r.outcome,
+                        "violations": r.violations,
+                    }
+                    for r in result.results
+                ],
+                "ok": result.ok,
+            },
+            out,
+            indent=2,
+        )
+        print(file=out)
+    else:
+        print(f"{header}: {result.summary()}", file=out)
+        for site, nth, violation in result.violations:
+            print(f"  {site}#{nth}: {violation}", file=out)
+        if not result.ok and args.seed is not None:
+            print(f"replay locally: lamc fsck --seed {args.seed}", file=out)
+    return 0 if result.ok else 1
+
+
 def cmd_lint(args: argparse.Namespace, out) -> int:
     program = parse_program(_read_source(args.file))
     report = run_lint(program, labeled_statics=args.labeled_statics)
@@ -200,6 +243,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--labeled-statics", action="store_true",
                         help="lint under the labeled-statics extension")
     p_lint.set_defaults(fn=cmd_lint)
+
+    p_fsck = sub.add_parser(
+        "fsck", help="run the OS crash-consistency sweep and audit recovery"
+    )
+    p_fsck.add_argument("--seed", type=int, default=None,
+                        help="randomized sweep from this seed (default: "
+                             "deterministic sweep of recorded crash points)")
+    p_fsck.add_argument("--points", type=int, default=60,
+                        help="fault points to schedule (default: 60)")
+    p_fsck.add_argument("--json", action="store_true",
+                        help="emit the sweep result as JSON")
+    p_fsck.set_defaults(fn=cmd_fsck)
 
     return parser
 

@@ -1,0 +1,137 @@
+"""The exhaustive crash-point sweep: crash everywhere, recover, audit.
+
+This is the CI chaos gate's engine (``.github/workflows/ci.yml`` runs it
+directly and via ``lamc fsck``).  One deterministic workload is recorded
+to enumerate every fault-site crossing; the sweep then re-runs it once
+per scheduled point, killing the machine there, remounting, and holding
+recovery to :func:`check_recovery_invariants`.  A deliberate
+label-weakening bug (``recovery._WEAKENING_BUG``) must make the sweep
+fail — the negative control proving the sweep actually checks something.
+"""
+
+import pytest
+
+from repro.osim import FaultPlan, Kernel
+from repro.osim import recovery as recovery_mod
+from repro.osim.chaos import (
+    REQUIRED_SITES,
+    chaos_workload,
+    enumerate_crash_points,
+    run_crash_sweep,
+    run_random_sweep,
+    sample_crash_points,
+)
+
+#: The acceptance floor from the issue: the sweep visits at least this
+#: many distinct crash points.
+MIN_CRASH_POINTS = 50
+
+
+@pytest.fixture(scope="module")
+def crossings():
+    return enumerate_crash_points()
+
+
+@pytest.fixture(scope="module")
+def sweep(crossings):
+    return run_crash_sweep(sample_crash_points(crossings, target=60))
+
+
+class TestEnumeration:
+    def test_workload_is_deterministic(self, crossings):
+        assert crossings == enumerate_crash_points()
+
+    def test_workload_crosses_every_required_site(self, crossings):
+        sites = {site for site, _ in crossings}
+        for required in REQUIRED_SITES:
+            assert required in sites, f"workload never crosses {required}"
+
+    def test_enough_crash_points_exist(self, crossings):
+        assert len(crossings) >= MIN_CRASH_POINTS
+
+    def test_recording_run_completes_without_firing(self):
+        kernel = Kernel()
+        plan = kernel.install_faults(FaultPlan(record=True))
+        chaos_workload(kernel)
+        assert plan.fired == []
+
+    def test_sample_keeps_every_site(self, crossings):
+        sample = sample_crash_points(crossings, target=60)
+        assert len(sample) >= min(60, len(crossings))
+        assert {s for s, _ in sample} == {s for s, _ in crossings}
+
+
+class TestExhaustiveSweep:
+    def test_every_point_recovers_soundly(self, sweep):
+        assert sweep.ok, sweep.summary()
+
+    def test_sweep_covers_the_floor(self, sweep):
+        assert len(sweep.results) >= MIN_CRASH_POINTS
+        for required in REQUIRED_SITES:
+            assert required in sweep.sites
+
+    def test_scheduled_faults_actually_fire(self, sweep):
+        fired = [r for r in sweep.results if r.fired]
+        # Sampling is taken from a recorded run of the *same* workload,
+        # so nearly every scheduled point is reached; a handful sit past
+        # an earlier fault's cut and legitimately never fire.  Demand the
+        # overwhelming majority.
+        assert len(fired) >= 0.9 * len(sweep.results), (
+            f"only {len(fired)}/{len(sweep.results)} scheduled faults fired"
+        )
+
+    def test_crash_points_actually_crash(self, sweep):
+        outcomes = {r.outcome for r in sweep.results if r.fired}
+        assert "crash" in outcomes
+        for r in sweep.results:
+            if r.fired:
+                assert r.outcome == "crash", (r.site, r.nth, r.outcome)
+
+    def test_every_run_produced_a_recovery_report(self, sweep):
+        assert all(r.report is not None for r in sweep.results)
+
+
+class TestRandomSweep:
+    def test_seeded_sweep_is_sound_and_replayable(self):
+        first = run_random_sweep(101, count=12)
+        again = run_random_sweep(101, count=12)
+        assert first.ok, first.summary()
+        assert [(r.site, r.nth, r.kind, r.outcome) for r in first.results] == [
+            (r.site, r.nth, r.kind, r.outcome) for r in again.results
+        ]
+
+    def test_random_sweep_mixes_fault_kinds(self):
+        result = run_random_sweep(202, count=25)
+        assert result.ok, result.summary()
+        assert len({r.kind for r in result.results}) >= 3
+
+
+class TestNegativeControl:
+    """If the sweep cannot catch a planted label-weakening bug, it is
+    theater.  ``_WEAKENING_BUG`` makes rollback restore *empty* xattrs
+    instead of the journaled pre-image."""
+
+    def test_planted_weakening_bug_is_caught(self, crossings):
+        xattr_points = [
+            (site, nth) for site, nth in crossings if site == "xattr.write"
+        ]
+        assert xattr_points, "workload must cross xattr.write"
+        recovery_mod._WEAKENING_BUG = True
+        try:
+            buggy = run_crash_sweep(xattr_points)
+        finally:
+            recovery_mod._WEAKENING_BUG = False
+        assert not buggy.ok, (
+            "sweep passed with a planted label-weakening bug: "
+            "the invariants are not checking anything"
+        )
+        assert any(
+            "weaker than exposed history" in v for _, _, v in buggy.violations
+        )
+
+    def test_flag_restored_and_sweep_green_again(self, crossings):
+        assert recovery_mod._WEAKENING_BUG is False
+        points = [
+            (site, nth) for site, nth in crossings if site == "xattr.write"
+        ][:2]
+        assert run_crash_sweep(points).ok

@@ -1,0 +1,268 @@
+"""Property-based fault sweep + the faulted timing-channel regression.
+
+Two closure properties over the fault plane:
+
+* **Prefix consistency** (hypothesis): for a random workload and a
+  random single fault anywhere in it, the recovered machine's
+  observables are a *prefix-consistent, never-weaker-labeled* subset of
+  the no-fault run — every surviving file's label is at least as
+  restrictive as a state the no-fault run exposed for that path (or
+  quarantined), and every user's persistent capabilities equal the union
+  of some prefix of the grants issued (a torn grant never manufactures a
+  capability state that no prefix of the workload produced).
+* **Schedule indistinguishability**: a kernel that crashed and recovered
+  must not leak the fault through the scheduler — a denied reader on the
+  recovered machine produces byte-identical observables to an allowed
+  reader of an empty pipe on an identically-recovered machine, the same
+  bar ``test_osim_sched.py`` sets for never-faulted kernels.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import CapabilitySet, Label, LabelPair, can_flow
+from repro.osim import (
+    FaultKind,
+    FaultPlan,
+    FaultRule,
+    Kernel,
+    KernelCrash,
+    LaminarSecurityModule,
+    Scheduler,
+    SyscallError,
+    check_recovery_invariants,
+    decode_capabilities,
+    grant_persistent,
+    read_blocking,
+    syscall,
+    yield_,
+)
+
+# -- a tiny deterministic workload language ----------------------------------
+
+N_FILES = 3
+N_TAGS = 3
+N_USERS = 2
+
+op_strategy = st.one_of(
+    st.tuples(st.just("create"), st.integers(0, N_FILES - 1),
+              st.integers(0, N_TAGS - 1)),
+    st.tuples(st.just("write"), st.integers(0, N_FILES - 1),
+              st.integers(1, 3)),
+    st.tuples(st.just("relabel"), st.integers(0, N_FILES - 1),
+              st.integers(0, N_TAGS - 1)),
+    st.tuples(st.just("grant"), st.integers(0, N_USERS - 1),
+              st.integers(0, N_TAGS - 1)),
+)
+
+FAULT_KINDS = (
+    FaultKind.CRASH,
+    FaultKind.TORN_WRITE,
+    FaultKind.SHORT_WRITE,
+    FaultKind.EIO,
+    FaultKind.ENOSPC,
+)
+
+
+def run_ops(kernel: Kernel, ops) -> list:
+    """Execute the op sequence; returns the tag pool.  Total and
+    deterministic: ops against files that don't exist are skipped."""
+    admin = kernel.spawn_task("admin")
+    tags = [kernel.sys_alloc_tag(admin, f"t{i}")[0] for i in range(N_TAGS)]
+    for op in ops:
+        if op[0] == "create":
+            _, i, t = op
+            path = f"/tmp/f{i}"
+            if f"f{i}" in kernel.fs.root.children["tmp"].children:
+                continue
+            fd = kernel.sys_create_file_labeled(
+                admin, path, LabelPair(Label.of(tags[t]))
+            )
+            kernel.sys_close(admin, fd)
+        elif op[0] == "write":
+            _, i, nblocks = op
+            inode = kernel.fs.root.children["tmp"].children.get(f"f{i}")
+            if inode is None:
+                continue
+            fd = kernel.sys_open(admin, f"/tmp/f{i}", "a")
+            kernel.sys_write(admin, fd, bytes([65 + i]) * (nblocks * 32))
+            kernel.sys_close(admin, fd)
+        elif op[0] == "relabel":
+            _, i, t = op
+            inode = kernel.fs.root.children["tmp"].children.get(f"f{i}")
+            if inode is None:
+                continue
+            kernel.fs.set_labels(inode, LabelPair(Label.of(tags[t])))
+        elif op[0] == "grant":
+            _, u, t = op
+            grant_persistent(
+                kernel, f"u{u}", CapabilitySet.dual(tags[t])
+            )
+    return tags
+
+
+def _cap_prefix_states(ops, tags) -> dict[str, list[CapabilitySet]]:
+    """For each user, every capability state some prefix of the grant
+    sequence produces (grants are unions, so states grow monotonically)."""
+    states: dict[str, list[CapabilitySet]] = {
+        f"u{u}": [CapabilitySet.EMPTY] for u in range(N_USERS)
+    }
+    for op in ops:
+        if op[0] != "grant":
+            continue
+        _, u, t = op
+        user = f"u{u}"
+        states[user].append(states[user][-1].union(CapabilitySet.dual(tags[t])))
+    return states
+
+
+class TestPrefixConsistency:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        ops=st.lists(op_strategy, min_size=3, max_size=10),
+        frac=st.floats(0.0, 1.0),
+        kind=st.sampled_from(FAULT_KINDS),
+    )
+    def test_single_fault_recovers_to_a_prefix(self, ops, frac, kind):
+        # No-fault oracle: the exposed label history per path, and the
+        # capability states every grant prefix produces.
+        baseline = Kernel()
+        base_tags = run_ops(baseline, ops)
+        base_history = {
+            name: list(baseline.fs.exposed[inode.ino])
+            for name, inode in baseline.fs.root.children["tmp"].children.items()
+        }
+        cap_states = _cap_prefix_states(ops, base_tags)
+
+        # Same workload, one fault at a seed-chosen crossing.
+        recording = Kernel()
+        plan = recording.install_faults(FaultPlan(record=True))
+        run_ops(recording, ops)
+        if not plan.trace:
+            return  # nothing to inject into (all ops were skips)
+        site, nth = plan.trace[int(frac * (len(plan.trace) - 1))]
+
+        kernel = Kernel()
+        kernel.install_faults(FaultPlan([FaultRule(site, kind, nth=nth)]))
+        try:
+            run_ops(kernel, ops)
+        except (KernelCrash, SyscallError):
+            pass
+        kernel.crash()
+        kernel.remount()
+        check_recovery_invariants(kernel)  # strict: per-run oracle
+
+        # Cross-run: never weaker than anything the no-fault run exposed.
+        qtag = kernel.quarantine_tag
+        for name, inode in kernel.fs.root.children["tmp"].children.items():
+            history = base_history.get(name)
+            if history is None:
+                continue  # fault cut the run before this file existed
+            recovered = inode.labels
+            assert (
+                any(can_flow(h, recovered) for h in history)
+                or qtag in recovered.secrecy
+            ), (name, recovered, history)
+
+        # Capabilities: exactly some prefix of the grants (or quarantined).
+        caps_dir = (
+            kernel.fs.root.children["etc"].children["laminar"].children["caps"]
+        )
+        for user, inode in caps_dir.children.items():
+            if user.endswith(".corrupt"):
+                continue
+            recovered = decode_capabilities(bytes(inode.data), kernel)
+            assert recovered in cap_states[user], (user, recovered)
+
+
+class TestFaultedTimingChannel:
+    """After a crash-and-recovery cycle, a denied reader must still be
+    schedule-indistinguishable from an empty-pipe reader."""
+
+    @staticmethod
+    def _scenario(denied: bool):
+        kernel = Kernel(LaminarSecurityModule())
+
+        # Faulted prefix, identical in both variants: a relabel dies at
+        # its first xattr write; the machine crashes and recovers.
+        pre = kernel.spawn_task("pre")
+        ptag, _ = kernel.sys_alloc_tag(pre, "pre")
+        fd = kernel.sys_create_file_labeled(
+            pre, "/tmp/prefile", LabelPair(Label.of(ptag))
+        )
+        kernel.sys_close(pre, fd)
+        ptag2, _ = kernel.sys_alloc_tag(pre, "pre2")
+        inode = kernel.fs.resolve("/tmp/prefile", pre.cwd)
+        kernel.install_faults(
+            FaultPlan([FaultRule("xattr.write", FaultKind.CRASH, nth=1)])
+        )
+        try:
+            kernel.fs.set_labels(inode, LabelPair(Label.of(ptag2)))
+        except KernelCrash:
+            pass
+        kernel.crash()
+        kernel.remount()
+        check_recovery_invariants(kernel)
+
+        # The sched-test scenario, verbatim, on the recovered machine.
+        owner = kernel.spawn_task("owner")
+        tag, _ = kernel.sys_alloc_tag(owner, "secret")
+        secret = LabelPair(Label.of(tag))
+        setup = kernel.spawn_task("plumber")
+        rfd, wfd = kernel.sys_pipe(setup, labels=secret)
+        reader = kernel.spawn_task(
+            "reader", labels=LabelPair.EMPTY if denied else secret
+        )
+        drainer = kernel.spawn_task("drainer", labels=secret)
+        writer = kernel.spawn_task("writer", labels=secret)
+        r = kernel.share_fd(setup, rfd, reader)
+        d = kernel.share_fd(setup, rfd, drainer)
+        w = kernel.share_fd(setup, wfd, writer)
+        kernel.sys_close(setup, rfd)
+        kernel.sys_close(setup, wfd)
+
+        events: list[int] = []
+        drained: list[bytes] = []
+
+        def read_body(task):
+            while True:
+                data = yield read_blocking(r)
+                events.append(len(data))
+                if not data:
+                    return
+
+        def drain_body(task):
+            for _ in range(12):
+                data = yield syscall("read", d)
+                if data:
+                    drained.append(data)
+
+        def write_body(task):
+            for i in range(3):
+                yield syscall("write", w, b"msg%d" % i)
+                yield yield_()
+            yield syscall("close", w)
+
+        sched = Scheduler(kernel, trace=True)
+        sched.spawn(read_body, task=reader)
+        sched.spawn(drain_body, task=drainer)
+        sched.spawn(write_body, task=writer)
+        stuck = sched.run()
+        return {
+            "stuck": [t.name for t in stuck],
+            "events": events,
+            "drained": list(drained),
+            "trace": sched.trace,
+            "steps": sched.steps,
+            "syscalls": dict(kernel.syscall_counts),
+            "hooks": dict(kernel.security.hook_calls),
+        }
+
+    def test_faulted_then_denied_matches_faulted_then_empty(self):
+        assert self._scenario(denied=True) == self._scenario(denied=False)
+
+    def test_denied_reader_on_recovered_kernel_terminates(self):
+        result = self._scenario(denied=True)
+        assert result["stuck"] == []
+        assert result["events"] == [0]
