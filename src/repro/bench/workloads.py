@@ -595,6 +595,158 @@ entry:
 """
 
 
+GRADESHEET = """
+class Cell {{ v }}
+
+method bump(c, x) {{
+entry:
+  getfield t, c, v
+  binop t, add, t, x
+  const mask, 1073741823
+  binop t, band, t, mask
+  putfield c, v, t
+  ret t
+}}
+
+region method grade() secrecy(gsec) {{
+entry:
+  new acc, Cell
+  const zero, 0
+  putfield acc, v, zero
+  const i, 0
+  jmp loop
+loop:
+  const n, {n}
+  binop c, lt, i, n
+  br c, body, done
+body:
+  call _, bump, acc, i
+  const one, 1
+  binop i, add, i, one
+  jmp loop
+done:
+  ret
+}}
+
+method main() {{
+entry:
+  const j, 0
+  const z, 0
+  new pub, Cell
+  const zero, 0
+  putfield pub, v, zero
+  jmp outer
+outer:
+  const reps, {reps}
+  binop c, lt, j, reps
+  br c, obody, odone
+obody:
+  call _, grade
+  call z, bump, pub, j
+  const one, 1
+  binop j, add, j, one
+  jmp outer
+odone:
+  ret z
+}}
+"""
+
+
+BATTLESHIP = """
+class Board {{ hits, shots }}
+
+method fire(b, x) {{
+entry:
+  getfield s, b, shots
+  const one, 1
+  binop s, add, s, one
+  putfield b, shots, s
+  const mask, 7
+  binop h, band, x, mask
+  const zero, 0
+  binop isz, eq, h, zero
+  br isz, hit, miss
+hit:
+  getfield t, b, hits
+  const one, 1
+  binop t, add, t, one
+  putfield b, hits, t
+  ret t
+miss:
+  getfield t, b, hits
+  ret t
+}}
+
+region method turn_a() secrecy(pa) {{
+entry:
+  new b, Board
+  const zero, 0
+  putfield b, hits, zero
+  putfield b, shots, zero
+  const i, 0
+  jmp loop
+loop:
+  const n, {n}
+  binop c, lt, i, n
+  br c, body, done
+body:
+  call _, fire, b, i
+  const one, 1
+  binop i, add, i, one
+  jmp loop
+done:
+  ret
+}}
+
+region method turn_b() secrecy(pb) {{
+entry:
+  new b, Board
+  const zero, 0
+  putfield b, hits, zero
+  putfield b, shots, zero
+  const i, 0
+  jmp loop
+loop:
+  const n, {n}
+  binop c, lt, i, n
+  br c, body, done
+body:
+  call _, fire, b, i
+  const one, 1
+  binop i, add, i, one
+  jmp loop
+done:
+  ret
+}}
+
+method main() {{
+entry:
+  const r, 0
+  new open, Board
+  const zero, 0
+  putfield open, hits, zero
+  putfield open, shots, zero
+  jmp outer
+outer:
+  const rounds, {rounds}
+  binop c, lt, r, rounds
+  br c, obody, odone
+obody:
+  call _, turn_a
+  call _, turn_b
+  call _, fire, open, r
+  const one, 1
+  binop r, add, r, one
+  jmp outer
+odone:
+  getfield hs, open, hits
+  getfield ss, open, shots
+  binop out, bxor, hs, ss
+  ret out
+}}
+"""
+
+
 def listsum(n: int = 400, reps: int = 40) -> str:
     return LISTSUM.format(n=n, reps=reps)
 
@@ -628,6 +780,35 @@ def arith(n: int = 30000) -> str:
 def txnmix(n: int = 2500) -> str:
     return TXNMIX.format(n=n)
 
+
+def gradesheet(n: int = 200, reps: int = 12) -> str:
+    """Apps slice: one secrecy region plus a helper shared with plain code.
+
+    ``bump`` runs hot inside ``grade``'s region *and* from ``main``'s
+    outer loop — the dual-context shape (Section 5.3) that forces a
+    tiered engine to guard on region context, deoptimize on the
+    opposite-context call, and clone.  Compile with ``inline=False`` or
+    the compiler inlines the interesting call sites away.
+    """
+    return GRADESHEET.format(n=n, reps=reps)
+
+
+def battleship(n: int = 120, rounds: int = 10) -> str:
+    """Apps slice: two players' regions with distinct tags sharing ``fire``.
+
+    The helper is hot under three label shapes — two different in-region
+    secrecy labels plus the unlabeled caller — so a label-specializing
+    compiler must hold multiple specialized variants live at once.
+    """
+    return BATTLESHIP.format(n=n, rounds=rounds)
+
+
+#: Fig. 9-style security-region application slices (legal flows only:
+#: every configuration must finish with an empty audit log).
+REGION_APPS = {
+    "gradesheet": gradesheet,
+    "battleship": battleship,
+}
 
 #: name -> zero-argument source generator with paper-bench default sizes.
 DACAPO_LIKE = {

@@ -44,6 +44,14 @@ Counters deliberately distinguish *requested* checks (which the
 :class:`~repro.runtime.barriers.BarrierStats` counters keep tracking
 unconditionally) from *executed* set algebra — the work the caches
 elide.  ``counters.set_ops`` is the ablation's primary metric.
+
+The tier-2 template JIT (:mod:`repro.jit.tier2`) is not a flag here — it
+is enabled per-program via ``Compiler(tier="jit")`` — but its code cache
+registers a :func:`register_cache` hook: every :func:`configure` /
+:func:`clear_caches` bumps the tier-2 code epoch, discarding compiled
+bodies whose baked-in assumptions (interned label identities, cache-layer
+switches) may no longer hold.  Its ``tier2_*`` counters live here so the
+benchmark snapshots carry them.
 """
 
 from __future__ import annotations
@@ -89,6 +97,17 @@ class FastPathCounters:
     verdict_misses: int = 0
     walk_hits: int = 0
     walk_misses: int = 0
+    #: Tier-2 engine traffic (:mod:`repro.jit.tier2`): template
+    #: compilations, entries into compiled bodies (call + OSR), entry-guard
+    #: misses (deopts), per-context clone compilations, and whole-cache
+    #: invalidations from shape/epoch changes.  Surfaced here so every
+    #: ``BENCH_*.json`` snapshot carries the per-tier hit/deopt story.
+    tier2_compiles: int = 0
+    tier2_entries: int = 0
+    tier2_osr_entries: int = 0
+    tier2_deopts: int = 0
+    tier2_clones: int = 0
+    tier2_invalidations: int = 0
 
     @property
     def set_ops(self) -> int:

@@ -6,8 +6,11 @@ flow-sensitive redundant-barrier elimination (:mod:`.barrier_elim`) on a
 generic dataflow framework (:mod:`.dataflow`), inlining that widens the
 elimination's scope (:mod:`.inline`), method cloning for dual contexts
 (:mod:`.cloning`), static region-method checks (:mod:`.region_checker`),
-a text assembler for workloads (:mod:`.parser`), and an interpreter that
-executes instrumented programs against the Laminar VM (:mod:`.interpreter`).
+a text assembler for workloads (:mod:`.parser`), an interpreter that
+executes instrumented programs against the Laminar VM (:mod:`.interpreter`),
+and a profile-guided tier-2 template JIT that promotes hot methods to
+label-shape-specialized compiled code with guard/deopt recovery
+(:mod:`.tier2`).
 """
 
 from .barrier_elim import (
@@ -47,6 +50,7 @@ from .ir import (
 )
 from .parser import IRSyntaxError, parse_program
 from .region_checker import check_program_regions, check_region_method
+from .tier2 import Tier2Engine, TierPolicy
 from .verifier import VerificationError, verify_method, verify_program
 
 __all__ = [
@@ -76,6 +80,8 @@ __all__ = [
     "Program",
     "RegionSpec",
     "StaleCompilationError",
+    "Tier2Engine",
+    "TierPolicy",
     "check_program_regions",
     "check_region_method",
     "clone_count",

@@ -89,6 +89,8 @@ class CompileReport:
     barriers_final: int = 0
     machine_ops: int = 0
     seconds: float = 0.0
+    #: Execution tier the program was compiled for ("interp" or "jit").
+    tier: str = "interp"
     passes: list[str] = field(default_factory=list)
 
 
@@ -103,6 +105,8 @@ class Compiler:
         inline_threshold: int = DEFAULT_INLINE_THRESHOLD,
         clone: bool = False,
         labeled_statics: bool = False,
+        tier: str = "interp",
+        tier2: "TierPolicy | None" = None,
     ) -> None:
         # clone defaults to False because the paper's measured prototype
         # chooses one static variant at first compilation; cloning is the
@@ -123,6 +127,18 @@ class Compiler:
         #: Extension: guard statics with barriers instead of banning them
         #: from regions (Section 5.1's production alternative).
         self.labeled_statics = labeled_statics
+        #: Execution tier: "interp" runs the program in the interpreter /
+        #: handler tables; "jit" additionally attaches a
+        #: :class:`~repro.jit.tier2.TierPolicy` so interpreters over the
+        #: compiled program profile and promote hot methods to the tier-2
+        #: template JIT.  Passing an explicit ``tier2`` policy implies
+        #: ``tier="jit"``.
+        if tier2 is not None:
+            tier = "jit"
+        if tier not in ("interp", "jit"):
+            raise ValueError(f"tier must be 'interp' or 'jit', got {tier!r}")
+        self.tier = tier
+        self.tier_policy = tier2
 
     def compile(self, source: str | Program) -> tuple[Program, CompileReport]:
         report = CompileReport(config=self.config)
@@ -173,6 +189,12 @@ class Compiler:
             report.barriers_final = count_barriers(program)
         report.machine_ops = self._lower(program)
         report.passes.append("lower")
+        if self.tier == "jit":
+            from .tier2 import TierPolicy
+
+            program.tier_policy = self.tier_policy or TierPolicy()
+            report.tier = "jit"
+            report.passes.append("attach-tier2")
         report.seconds = time.perf_counter() - start
         return program, report
 

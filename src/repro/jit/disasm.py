@@ -83,3 +83,50 @@ def disassemble(program: Program) -> str:
     for method in program.methods.values():
         parts.append(disassemble_method(method))
     return "\n\n".join(parts) + "\n"
+
+
+def disassemble_tiers(program: Program, policy=None) -> str:
+    """Per-method tier report (``lamc disasm --tiers``).
+
+    For every method: the execution tier it starts in and the thresholds
+    that promote it, the barrier flavors tier-2 would bake into the
+    template, the superinstruction pairs fusion would form, the guarded
+    entry points (call-entry guard plus OSR loop headers), and the call
+    sites that re-dispatch through the engine.
+    """
+    from .tier2 import TierPolicy, plan_method
+
+    if policy is None:
+        policy = program.tier_policy or TierPolicy()
+    lines = []
+    tiered = program.tier_policy is not None
+    lines.append(
+        f"tier pipeline: interp -> table -> jit "
+        f"(invocations >= {policy.invocation_threshold} or "
+        f"back-edges >= {policy.backedge_threshold}; "
+        f"fusion {'on' if policy.fusion else 'off'}; "
+        f"{'attached' if tiered else 'not attached — plan only'})"
+    )
+    for method in program.methods.values():
+        plan = plan_method(method, policy)
+        lines.append("")
+        kind = "region method" if plan.is_region else "method"
+        lines.append(f"{kind} {method.name}:")
+        if plan.barrier_flavors:
+            flavors = ", ".join(
+                f"{name} x{count}"
+                for name, count in sorted(plan.barrier_flavors.items())
+            )
+        else:
+            flavors = "none"
+        lines.append(f"  baked barriers: {flavors}")
+        if plan.fused:
+            for label, index, fused_kind in plan.fused:
+                lines.append(f"  fused: {label}+{index} {fused_kind}")
+        else:
+            lines.append("  fused: none")
+        guards = ["entry (context key)"]
+        guards += [f"osr @{label}" for label in plan.loop_headers]
+        lines.append(f"  guards: {', '.join(guards)}")
+        lines.append(f"  call sites (re-dispatched): {plan.call_sites}")
+    return "\n".join(lines) + "\n"

@@ -21,6 +21,19 @@ Barrier flavors at execution time:
 Region methods execute inside ``vm.region(...)`` built from the method's
 :class:`~repro.jit.ir.RegionSpec`; the static region checker has already
 guaranteed they return nothing.
+
+Execution tiers.  :meth:`Interpreter._execute` dispatches either through
+the plain switch loop (tier 0) or per-method handler tables (tier 1,
+``fastpath.flags.dispatch_table``).  Handler tables are built once per
+*program* — not per interpreter — and cached on it keyed by the program's
+shape stamp; everything owned by one interpreter/VM (heap, stats, statics,
+the executing thread) reaches the shared closures through an
+:class:`ExecContext`.  When the program carries a
+:class:`~repro.jit.tier2.TierPolicy` (``Compiler(tier="jit")`` /
+``lamc --tier2``), a :class:`~repro.jit.tier2.Tier2Engine` profiles method
+invocations here and back-edges in both dispatch loops, and promotes hot
+methods to exec-compiled Python specialized to the observed label shape
+(tier 2); see :mod:`repro.jit.tier2` for the guard/deopt protocol.
 """
 
 from __future__ import annotations
@@ -92,12 +105,187 @@ _UNOPS = {
 #: return ``None`` (fall through), a block label (jump), or ``(_RET, v)``.
 _RET = object()
 
+#: The out-of-region static-barrier violation text.  Byte-compared across
+#: execution tiers (it lands in REGION_SUPPRESS audit records), so there
+#: is exactly one copy.
+_OUT_OF_REGION_MSG = "IR access to labeled object outside any security region"
+
+
+class ExecContext:
+    """Per-interpreter state threaded through the shared handler tables.
+
+    Handler closures (and tier-2 compiled bodies) are cached on the
+    :class:`~repro.jit.ir.Program` and shared by every interpreter over
+    it, so anything owned by one interpreter/VM — heap, stats, statics,
+    the executing thread — travels through this object instead of being
+    closed over at table-build time.  ``thread`` is maintained by
+    :meth:`Interpreter._execute_table` exactly like the old thread cell.
+    """
+
+    __slots__ = (
+        "interp", "program", "heap", "stats", "statics", "output",
+        "labeled", "thread",
+    )
+
+    def __init__(self, interp: "Interpreter") -> None:
+        self.interp = interp
+        self.program = interp.program
+        self.heap = interp.vm.heap
+        self.stats = interp.vm.barriers.stats
+        self.statics = interp.statics
+        self.output = interp.output
+        self.labeled = interp.vm.heap.is_labeled
+        self.thread = None
+
+
+def build_handler_table(method: Method, program: Program) -> dict[str, list]:
+    """Bind one handler closure per instruction, at method load.
+
+    Operand decoding, opcode dispatch, field-list lookups, and BINOP
+    function resolution all happen here, once per program (tables are
+    cached on the :class:`~repro.jit.ir.Program`, keyed by its shape
+    stamp).  Barrier handlers keep reading ``instr.flavor`` at run time
+    (lint/elimination passes flip flavors in place), and CALL resolves
+    its callee per execution (a method table must not pin another
+    method's identity); everything else is baked.  Handlers receive
+    ``(regs, ctx)`` where ``ctx`` is the executing interpreter's
+    :class:`ExecContext`.
+    """
+    table: dict[str, list] = {}
+    for block_label, block in method.blocks.items():
+        handlers: list = []
+        for instr in block.instrs:
+            op = instr.op
+            ops = instr.operands
+            if op is Opcode.CONST:
+                def h(regs, ctx, d=ops[0], v=ops[1]):
+                    regs[d] = v
+            elif op is Opcode.MOV:
+                def h(regs, ctx, d=ops[0], s=ops[1]):
+                    regs[d] = regs[s]
+            elif op is Opcode.BINOP:
+                def h(regs, ctx, d=ops[0], fn=_BINOPS[ops[1]], a=ops[2], b=ops[3]):
+                    regs[d] = fn(regs[a], regs[b])
+            elif op is Opcode.UNOP:
+                def h(regs, ctx, d=ops[0], fn=_UNOPS[ops[1]], a=ops[2]):
+                    regs[d] = fn(regs[a])
+            elif op is Opcode.NEW:
+                fields = tuple(program.classes[ops[1]])
+                def h(regs, ctx, d=ops[0], cname=ops[1], fields=fields):
+                    header = ctx.heap.allocate_header(LabelPair.EMPTY)
+                    regs[d] = IRObject(header, cname, dict.fromkeys(fields, 0))
+            elif op is Opcode.NEWARRAY:
+                def h(regs, ctx, d=ops[0], n=ops[1]):
+                    header = ctx.heap.allocate_header(LabelPair.EMPTY)
+                    regs[d] = IRArray(header, [0] * regs[n])
+            elif op is Opcode.GETFIELD:
+                def h(regs, ctx, d=ops[0], o=ops[1], f=ops[2]):
+                    regs[d] = regs[o].fields[f]
+            elif op is Opcode.PUTFIELD:
+                def h(regs, ctx, o=ops[0], f=ops[1], v=ops[2]):
+                    regs[o].fields[f] = regs[v]
+            elif op is Opcode.ALOAD:
+                def h(regs, ctx, d=ops[0], arr=ops[1], i=ops[2]):
+                    regs[d] = regs[arr].items[regs[i]]
+            elif op is Opcode.ASTORE:
+                def h(regs, ctx, arr=ops[0], i=ops[1], v=ops[2]):
+                    regs[arr].items[regs[i]] = regs[v]
+            elif op is Opcode.ARRAYLEN:
+                def h(regs, ctx, d=ops[0], arr=ops[1]):
+                    regs[d] = len(regs[arr].items)
+            elif op is Opcode.GETSTATIC:
+                def h(regs, ctx, d=ops[0], name=ops[1]):
+                    regs[d] = ctx.statics.get(name, 0)
+            elif op is Opcode.PUTSTATIC:
+                def h(regs, ctx, name=ops[0], v=ops[1]):
+                    ctx.statics[name] = regs[v]
+            elif op is Opcode.READBAR:
+                def h(regs, ctx, r=ops[0], instr=instr):
+                    stats = ctx.stats
+                    stats.read_barriers += 1
+                    flavor = instr.flavor
+                    if flavor is BarrierFlavor.STATIC_OUT:
+                        stats.space_checks += 1
+                        if ctx.labeled(regs[r].header):
+                            raise RegionViolation(_OUT_OF_REGION_MSG)
+                    elif flavor is BarrierFlavor.STATIC_IN:
+                        stats.label_checks += 1
+                        thread = ctx.thread
+                        cached_check_flow(
+                            thread, regs[r].header.labels, thread.labels,
+                            stats, context="IR read",
+                        )
+                    else:
+                        ctx.interp._barrier(instr, regs[r].header, is_read=True)
+            elif op is Opcode.WRITEBAR:
+                def h(regs, ctx, r=ops[0], instr=instr):
+                    stats = ctx.stats
+                    stats.write_barriers += 1
+                    flavor = instr.flavor
+                    if flavor is BarrierFlavor.STATIC_OUT:
+                        stats.space_checks += 1
+                        if ctx.labeled(regs[r].header):
+                            raise RegionViolation(_OUT_OF_REGION_MSG)
+                    elif flavor is BarrierFlavor.STATIC_IN:
+                        stats.label_checks += 1
+                        thread = ctx.thread
+                        cached_check_flow(
+                            thread, thread.labels, regs[r].header.labels,
+                            stats, context="IR write",
+                        )
+                    else:
+                        ctx.interp._barrier(instr, regs[r].header, is_read=False)
+            elif op is Opcode.ALLOCBAR:
+                def h(regs, ctx, r=ops[0], instr=instr):
+                    ctx.stats.alloc_barriers += 1
+                    flavor = instr.flavor
+                    if flavor is BarrierFlavor.STATIC_IN:
+                        ctx.heap.label_fresh(regs[r].header, ctx.thread.labels)
+                    elif flavor is not BarrierFlavor.STATIC_OUT:
+                        ctx.interp._alloc_barrier(instr, regs[r].header)
+            elif op is Opcode.SREADBAR:
+                def h(regs, ctx, name=ops[0], instr=instr):
+                    ctx.stats.read_barriers += 1
+                    ctx.interp._static_barrier(instr, name, is_read=True)
+            elif op is Opcode.SWRITEBAR:
+                def h(regs, ctx, name=ops[0], instr=instr):
+                    ctx.stats.write_barriers += 1
+                    ctx.interp._static_barrier(instr, name, is_read=False)
+            elif op is Opcode.CALL:
+                def h(regs, ctx, d=ops[0], callee=ops[1], argnames=ops[2:]):
+                    result = ctx.interp._call(
+                        ctx.program.method(callee), [regs[a] for a in argnames]
+                    )
+                    if d is not None:
+                        regs[d] = result
+            elif op is Opcode.PRINT:
+                def h(regs, ctx, s=ops[0]):
+                    ctx.output.append(regs[s])
+            elif op is Opcode.RET:
+                def h(regs, ctx, v=ops[0]):
+                    return (_RET, regs[v] if v is not None else None)
+            elif op is Opcode.JMP:
+                def h(regs, ctx, target=ops[0]):
+                    return target
+            elif op is Opcode.BR:
+                def h(regs, ctx, c=ops[0], t=ops[1], f=ops[2]):
+                    return t if regs[c] else f
+            else:  # pragma: no cover - exhaustive
+                raise AssertionError(f"unhandled opcode {op}")
+            handlers.append(h)
+        table[block_label] = handlers
+    return table
+
 
 class Interpreter:
     """Executes one program on one VM."""
 
     def __init__(
-        self, program: Program, vm: LaminarVM, verify_static: bool = False
+        self,
+        program: Program,
+        vm: LaminarVM,
+        verify_static: bool = False,
+        tier2: Any = None,
     ) -> None:
         self.program = program
         self.vm = vm
@@ -114,17 +302,21 @@ class Interpreter:
         #: Off by default because a *production* static barrier does not
         #: test the context — that absence is its whole advantage.
         self.verify_static = verify_static
-        #: Precomputed handler tables, one per method: block label -> list
-        #: of closures with operands bound at build time.  This models the
-        #: compiled code a JIT emits — decode work happens once, at method
-        #: load, instead of on every executed instruction.
-        self._tables: dict[str, dict[str, list]] = {}
-        #: One-element cell holding the executing thread; barrier handler
-        #: closures read ``cell[0]`` instead of walking ``vm.current_thread``
-        #: per instruction.  Maintained by :meth:`_execute_table`.
-        self._thread_cell: list = [None]
-        #: Program shape stamp the tables were built against (see ``run``).
-        self._table_stamp = -1
+        #: Per-interpreter state handed to the program-cached handler
+        #: tables and tier-2 compiled bodies.
+        self.ctx = ExecContext(self)
+        #: Tier-2 engine, when the program was compiled ``tier="jit"`` (or
+        #: a TierPolicy was passed explicitly).  Never active in
+        #: verify_static mode: verification is about observing *stale*
+        #: static barriers, and tier-2 exists to deopt instead of going
+        #: stale — mixing them would hide exactly what verify_static hunts.
+        policy = tier2 if tier2 is not None else program.tier_policy
+        if policy is not None and not verify_static:
+            from .tier2 import Tier2Engine
+
+            self._tier2 = Tier2Engine(self, policy)
+        else:
+            self._tier2 = None
 
     def declare_static(self, name: str, labels: LabelPair, value: Any = 0) -> None:
         """Declare a labeled static (the labeled-statics extension).
@@ -137,17 +329,19 @@ class Interpreter:
     # -- entry point ------------------------------------------------------------
 
     def run(self, method_name: str = "main", *args: Any) -> Any:
-        if fastpath.flags.dispatch_table and not self.verify_static:
+        engine = self._tier2
+        if (
+            fastpath.flags.dispatch_table or engine is not None
+        ) and not self.verify_static:
             # IR passes mutate methods in place but never *during* a run,
             # so validating once per entry suffices: if the program's shape
-            # changed since the tables were built, rebuild them lazily.
-            stamp = sum(
-                len(m.blocks) + m.instruction_count()
-                for m in self.program.methods.values()
-            )
-            if stamp != self._table_stamp:
-                self._tables.clear()
-                self._table_stamp = stamp
+            # changed since the caches were built, rebuild them lazily.
+            stamp = self.program.shape_stamp()
+            if stamp != self.program.exec_tables_stamp:
+                self.program.exec_tables.clear()
+                self.program.exec_tables_stamp = stamp
+            if engine is not None:
+                engine.validate(stamp)
         method = self.program.method(method_name)
         return self._call(method, list(args))
 
@@ -158,6 +352,12 @@ class Interpreter:
             raise TypeError(
                 f"{method.name} expects {len(method.params)} args, got {len(args)}"
             )
+        if self._tier2 is not None:
+            return self._tier2.call(method, args)
+        return self._call_cold(method, args)
+
+    def _call_cold(self, method: Method, args: list[Any]) -> Any:
+        """The untiered call path (also the tier-2 engine's deopt target)."""
         if method.is_region:
             spec = method.region_spec or RegionSpec()
             catch = None
@@ -204,6 +404,7 @@ class Interpreter:
         static_out = None if self.verify_static else BarrierFlavor.STATIC_OUT
         labeled = heap.is_labeled
         thread = self.vm.current_thread
+        osr = self._tier2.osr_probe(method) if self._tier2 is not None else None
         while True:
             block = method.blocks[label]
             jumped = False
@@ -314,6 +515,12 @@ class Interpreter:
                 # normalize() guarantees a terminator, so this is unreachable
                 # unless a pass broke the method.
                 raise AssertionError(f"block {label} fell off the end")
+            if osr is not None:
+                # On-stack replacement: a hot back-edge promotes the rest
+                # of this invocation to the tier-2 compiled body.
+                done = osr(label, regs)
+                if done is not None:
+                    return done[0]
 
     # -- table-mode execution ----------------------------------------------------------
 
@@ -326,23 +533,26 @@ class Interpreter:
         already resolved.  Handlers return ``None`` to fall through to the
         next instruction, a block label to jump, or ``(_RET, value)``.
         """
-        table = self._tables.get(method.name)
+        program = self.program
+        table = program.exec_tables.get(method.name)
         if table is None:
-            table = self._build_table(method)
-            self._tables[method.name] = table
+            table = build_handler_table(method, program)
+            program.exec_tables[method.name] = table
+            program.table_builds += 1
         regs: dict[str, Any] = dict(zip(method.params, args))
         label = method.entry
         assert label is not None
-        cell = self._thread_cell
-        prev = cell[0]
-        cell[0] = self.vm.current_thread
+        ctx = self.ctx
+        prev = ctx.thread
+        ctx.thread = self.vm.current_thread
+        osr = self._tier2.osr_probe(method) if self._tier2 is not None else None
         executed = 0
         try:
             while True:
                 result = None
                 for handler in table[label]:
                     executed += 1
-                    result = handler(regs)
+                    result = handler(regs, ctx)
                     if result is not None:
                         break
                 if result is None:
@@ -350,149 +560,13 @@ class Interpreter:
                 if result.__class__ is tuple:
                     return result[1]
                 label = result
+                if osr is not None:
+                    done = osr(label, regs)
+                    if done is not None:
+                        return done[0]
         finally:
             self.executed += executed
-            cell[0] = prev
-
-    def _build_table(self, method: Method) -> dict[str, list]:
-        """Bind one handler closure per instruction, at method load.
-
-        Operand decoding, opcode dispatch, field-list lookups, and BINOP
-        function resolution all happen here, once.  Barrier handlers keep
-        reading ``instr.flavor`` at run time (lint/elimination passes flip
-        flavors in place), and CALL resolves its callee per execution (a
-        method table must not pin another method's identity); everything
-        else is baked.  The executing thread is read from ``cell[0]``.
-        """
-        program = self.program
-        heap = self.vm.heap
-        stats = self.vm.barriers.stats
-        statics = self.statics
-        output = self.output
-        labeled = heap.is_labeled
-        cell = self._thread_cell
-        table: dict[str, list] = {}
-        for block_label, block in method.blocks.items():
-            handlers: list = []
-            for instr in block.instrs:
-                op = instr.op
-                ops = instr.operands
-                if op is Opcode.CONST:
-                    def h(regs, d=ops[0], v=ops[1]):
-                        regs[d] = v
-                elif op is Opcode.MOV:
-                    def h(regs, d=ops[0], s=ops[1]):
-                        regs[d] = regs[s]
-                elif op is Opcode.BINOP:
-                    def h(regs, d=ops[0], fn=_BINOPS[ops[1]], a=ops[2], b=ops[3]):
-                        regs[d] = fn(regs[a], regs[b])
-                elif op is Opcode.UNOP:
-                    def h(regs, d=ops[0], fn=_UNOPS[ops[1]], a=ops[2]):
-                        regs[d] = fn(regs[a])
-                elif op is Opcode.NEW:
-                    fields = tuple(program.classes[ops[1]])
-                    def h(regs, d=ops[0], cname=ops[1], fields=fields):
-                        header = heap.allocate_header(LabelPair.EMPTY)
-                        regs[d] = IRObject(header, cname, dict.fromkeys(fields, 0))
-                elif op is Opcode.NEWARRAY:
-                    def h(regs, d=ops[0], n=ops[1]):
-                        header = heap.allocate_header(LabelPair.EMPTY)
-                        regs[d] = IRArray(header, [0] * regs[n])
-                elif op is Opcode.GETFIELD:
-                    def h(regs, d=ops[0], o=ops[1], f=ops[2]):
-                        regs[d] = regs[o].fields[f]
-                elif op is Opcode.PUTFIELD:
-                    def h(regs, o=ops[0], f=ops[1], v=ops[2]):
-                        regs[o].fields[f] = regs[v]
-                elif op is Opcode.ALOAD:
-                    def h(regs, d=ops[0], arr=ops[1], i=ops[2]):
-                        regs[d] = regs[arr].items[regs[i]]
-                elif op is Opcode.ASTORE:
-                    def h(regs, arr=ops[0], i=ops[1], v=ops[2]):
-                        regs[arr].items[regs[i]] = regs[v]
-                elif op is Opcode.ARRAYLEN:
-                    def h(regs, d=ops[0], arr=ops[1]):
-                        regs[d] = len(regs[arr].items)
-                elif op is Opcode.GETSTATIC:
-                    def h(regs, d=ops[0], name=ops[1]):
-                        regs[d] = statics.get(name, 0)
-                elif op is Opcode.PUTSTATIC:
-                    def h(regs, name=ops[0], v=ops[1]):
-                        statics[name] = regs[v]
-                elif op is Opcode.READBAR:
-                    def h(regs, r=ops[0], instr=instr):
-                        stats.read_barriers += 1
-                        flavor = instr.flavor
-                        if flavor is BarrierFlavor.STATIC_OUT:
-                            stats.space_checks += 1
-                            if labeled(regs[r].header):
-                                self._static_violation(flavor)
-                        elif flavor is BarrierFlavor.STATIC_IN:
-                            stats.label_checks += 1
-                            thread = cell[0]
-                            cached_check_flow(
-                                thread, regs[r].header.labels, thread.labels,
-                                stats, context="IR read",
-                            )
-                        else:
-                            self._barrier(instr, regs[r].header, is_read=True)
-                elif op is Opcode.WRITEBAR:
-                    def h(regs, r=ops[0], instr=instr):
-                        stats.write_barriers += 1
-                        flavor = instr.flavor
-                        if flavor is BarrierFlavor.STATIC_OUT:
-                            stats.space_checks += 1
-                            if labeled(regs[r].header):
-                                self._static_violation(flavor)
-                        elif flavor is BarrierFlavor.STATIC_IN:
-                            stats.label_checks += 1
-                            thread = cell[0]
-                            cached_check_flow(
-                                thread, thread.labels, regs[r].header.labels,
-                                stats, context="IR write",
-                            )
-                        else:
-                            self._barrier(instr, regs[r].header, is_read=False)
-                elif op is Opcode.ALLOCBAR:
-                    def h(regs, r=ops[0], instr=instr):
-                        stats.alloc_barriers += 1
-                        flavor = instr.flavor
-                        if flavor is BarrierFlavor.STATIC_IN:
-                            heap.label_fresh(regs[r].header, cell[0].labels)
-                        elif flavor is not BarrierFlavor.STATIC_OUT:
-                            self._alloc_barrier(instr, regs[r].header)
-                elif op is Opcode.SREADBAR:
-                    def h(regs, name=ops[0], instr=instr):
-                        stats.read_barriers += 1
-                        self._static_barrier(instr, name, is_read=True)
-                elif op is Opcode.SWRITEBAR:
-                    def h(regs, name=ops[0], instr=instr):
-                        stats.write_barriers += 1
-                        self._static_barrier(instr, name, is_read=False)
-                elif op is Opcode.CALL:
-                    def h(regs, d=ops[0], callee=ops[1], argnames=ops[2:]):
-                        result = self._call(
-                            program.method(callee), [regs[a] for a in argnames]
-                        )
-                        if d is not None:
-                            regs[d] = result
-                elif op is Opcode.PRINT:
-                    def h(regs, s=ops[0]):
-                        output.append(regs[s])
-                elif op is Opcode.RET:
-                    def h(regs, v=ops[0]):
-                        return (_RET, regs[v] if v is not None else None)
-                elif op is Opcode.JMP:
-                    def h(regs, target=ops[0]):
-                        return target
-                elif op is Opcode.BR:
-                    def h(regs, c=ops[0], t=ops[1], f=ops[2]):
-                        return t if regs[c] else f
-                else:  # pragma: no cover - exhaustive
-                    raise AssertionError(f"unhandled opcode {op}")
-                handlers.append(h)
-            table[block_label] = handlers
-        return table
+            ctx.thread = prev
 
     # -- barrier semantics -------------------------------------------------------------
 
@@ -517,9 +591,7 @@ class Interpreter:
         return expected
 
     def _static_violation(self, flavor: Optional[BarrierFlavor]) -> None:
-        raise RegionViolation(
-            "IR access to labeled object outside any security region"
-        )
+        raise RegionViolation(_OUT_OF_REGION_MSG)
 
     def _barrier(self, instr: Instr, header: Any, is_read: bool) -> None:
         stats = self.vm.barriers.stats
@@ -540,9 +612,7 @@ class Interpreter:
         else:
             stats.space_checks += 1
             if self.vm.heap.is_labeled(header):
-                raise RegionViolation(
-                    "IR access to labeled object outside any security region"
-                )
+                raise RegionViolation(_OUT_OF_REGION_MSG)
 
     def _alloc_barrier(self, instr: Instr, header: Any) -> None:
         in_region = self._context_for(instr.flavor)

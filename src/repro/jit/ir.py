@@ -264,6 +264,38 @@ class Program:
         #: embedder grants the entry thread capabilities for these before
         #: running (``lamc run`` does).
         self.tags: dict[str, Any] = {}
+        #: Tier policy attached by ``Compiler(tier="jit")``; ``None`` means
+        #: pure interpretation.  It lives on the program because the tier
+        #: choice is a property of the compiled unit, not of one VM.
+        self.tier_policy: Any = None
+        #: Shared execution caches, validated against :meth:`shape_stamp`:
+        #: per-method handler tables (tier 1, see
+        #: :func:`repro.jit.interpreter.build_handler_table`) and tier-2
+        #: compiled code (:mod:`repro.jit.tier2`).  Both are keyed here so
+        #: every :class:`~repro.jit.interpreter.Interpreter` over the same
+        #: program shares one copy of the "compiled" artifacts.
+        self.exec_tables: dict[str, dict[str, list]] = {}
+        self.exec_tables_stamp: int = -1
+        #: How many per-method handler tables were ever built for this
+        #: program (the build-once regression test reads this).
+        self.table_builds: int = 0
+        #: (method name, context key) -> tier-2 CompiledMethod.
+        self.tier2_cache: dict = {}
+        #: (shape stamp, fastpath code epoch) the tier-2 cache is valid for.
+        self.tier2_meta: tuple = (-1, -1)
+
+    def shape_stamp(self) -> int:
+        """Cheap structural fingerprint guarding the execution caches.
+
+        IR passes mutate methods in place but never *during* a run, so
+        validating once per entry suffices: a changed stamp means blocks
+        or instructions were added/removed and cached handler tables and
+        tier-2 code must be rebuilt.
+        """
+        return sum(
+            len(m.blocks) + m.instruction_count()
+            for m in self.methods.values()
+        )
 
     def add_method(self, method: Method) -> None:
         if method.name in self.methods:

@@ -1,0 +1,926 @@
+"""Tier-2 template JIT: hot methods become exec-compiled Python.
+
+The paper's enforcement story (Section 5.1) lives in the *compiler*: the
+JIT picks a static or dynamic barrier variant per method and recovers —
+by cloning or by dynamic barriers — when the compiled assumption goes
+stale.  This module reproduces that adaptive layer as a tiered execution
+engine over the mini-JIT IR:
+
+Tier 0/1 (:mod:`repro.jit.interpreter`)
+    The switch loop and the per-method handler tables.  With a
+    :class:`Tier2Engine` attached they also *profile*: method invocations
+    are counted at :meth:`Tier2Engine.call`, back-edges at the jump
+    points of both dispatch loops.
+
+Tier 2 (this module)
+    A hot method's IR is translated to one Python function (``exec``'d
+    once, cached on the :class:`~repro.jit.ir.Program`) with registers as
+    Python locals, block dispatch as a ``while``/``elif`` chain, and —
+    the Laminar-specific part — the *static* barrier variant for the
+    label shape observed at compile time baked straight into the code:
+    in-region barriers call the verdict-cached flow check against a
+    baked-in :class:`~repro.core.labels.LabelPair` constant, out-region
+    barriers inline the labeled-space membership test, and ``DYNAMIC``
+    flavors specialize to the guarded context while still counting their
+    dispatch (so :class:`~repro.runtime.barriers.BarrierStats` stay
+    byte-identical across tiers).  Superinstruction fusion optionally
+    collapses the hot pairs ``getfield``+``binop``, ``binop``+``cjump``
+    and ``aload``+``astore`` into single statements.
+
+Guards and deoptimization
+    Compiled code is only entered through the code cache, and the cache
+    key *is* the guard: ``("out",)``, ``("in", labels)``, or ``("region",
+    labels)`` — looked up against the calling thread's actual region
+    context at every call (and at OSR points).  A miss when a different
+    variant exists is a *deopt*: the call runs in the interpreter (never
+    raising :class:`~repro.jit.interpreter.StaleCompilationError` — that
+    failure mode belongs to the static prototype, not the tiered engine),
+    and after :attr:`TierPolicy.deopt_recompile_threshold` such misses
+    the engine materializes the opposite-context variant via
+    :func:`repro.jit.cloning.clone_variant` — the paper's "a production
+    implementation would use cloning" — and compiles it for the new
+    shape.  Region-method bodies are compiled per observed in-region
+    label pair, so nested entries and mutated
+    :class:`~repro.jit.ir.RegionSpec`\\ s each get (and guard) their own
+    variant.
+
+Cache invalidation
+    Entries are validated per :meth:`Interpreter.run` against the
+    program's shape stamp (IR passes mutate methods in place) and a
+    module-wide *code epoch* bumped by every
+    :func:`repro.core.fastpath.clear_caches` /
+    :func:`~repro.core.fastpath.configure` — compiled bodies bake interned
+    label identities and cache-layer assumptions, so a fastpath
+    reconfiguration discards them wholesale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from ..core import LabelPair, RegionViolation, fastpath
+from ..runtime.barriers import cached_check_flow
+from .cloning import clone_variant
+from .interpreter import _BINOPS, IRArray, IRObject, Interpreter
+from .ir import BarrierFlavor, Method, Opcode, Program, RegionSpec
+
+__all__ = [
+    "TierPolicy",
+    "Tier2Engine",
+    "CompiledMethod",
+    "TierPlan",
+    "plan_method",
+    "find_fused_pairs",
+]
+
+#: Cap on compiled context variants per method: beyond this the method is
+#: megamorphic over label shapes and further contexts just interpret.
+MAX_VARIANTS = 4
+
+#: The single out-of-region context key (no labels to specialize on:
+#: "outside a security region threads always have empty labels").
+_OUT_KEY = ("out",)
+
+# -- code epoch ---------------------------------------------------------------
+
+#: Bumped whenever the fastpath caches flush: compiled bodies bake interned
+#: LabelPair identities and cache-layer assumptions, so they die with them.
+_CODE_EPOCH = 1
+
+
+def _bump_code_epoch() -> None:
+    global _CODE_EPOCH
+    _CODE_EPOCH += 1
+
+
+fastpath.register_cache(_bump_code_epoch)
+
+
+def code_epoch() -> int:
+    return _CODE_EPOCH
+
+
+# -- policy / profile ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TierPolicy:
+    """Thresholds and switches for the tiered engine.
+
+    Attach via ``Compiler(tier="jit")`` (which stores a policy on the
+    program) or pass directly to :class:`~repro.jit.interpreter.Interpreter`.
+    """
+
+    #: Method invocations before the entry path compiles it.
+    invocation_threshold: int = 12
+    #: Back-edges taken (per method) before OSR compiles mid-invocation.
+    backedge_threshold: int = 60
+    #: Entry-guard misses before the opposite-context clone is compiled.
+    deopt_recompile_threshold: int = 2
+    #: Superinstruction fusion: collapse ``getfield``+``binop``,
+    #: ``binop``+``cjump`` and ``aload``+``astore`` pairs into single
+    #: statements, and inline binop operators (``div`` keeps its helper:
+    #: its int/float behavior needs the function).  Off = one statement
+    #: per IR instruction through the bound-function table.
+    fusion: bool = True
+
+
+class MethodProfile:
+    """Cheap per-method counters maintained by the profiling tier."""
+
+    __slots__ = ("invocations", "backedges", "deopts")
+
+    def __init__(self) -> None:
+        self.invocations = 0
+        self.backedges = 0
+        self.deopts = 0
+
+
+class CompiledMethod:
+    """One exec-compiled context variant of a method."""
+
+    __slots__ = ("fn", "key", "variant_name", "entry_index", "fused_pairs",
+                 "source")
+
+    def __init__(
+        self,
+        fn: Callable,
+        variant_name: str,
+        entry_index: dict[str, int],
+        fused_pairs: dict,
+        source: str,
+    ) -> None:
+        self.fn = fn
+        self.key: tuple = ()
+        self.variant_name = variant_name
+        self.entry_index = entry_index
+        self.fused_pairs = fused_pairs
+        self.source = source
+
+
+# -- structural analysis ------------------------------------------------------
+
+
+def backedge_targets(method: Method) -> frozenset:
+    """Loop-header labels: targets of edges that go backwards (or to the
+    same block) in block order.  These are the OSR entry points."""
+    order = {label: i for i, label in enumerate(method.blocks)}
+    targets = set()
+    for label, block in method.blocks.items():
+        for succ in block.successors():
+            if order.get(succ, len(order)) <= order[label]:
+                targets.add(succ)
+    return frozenset(targets)
+
+
+def find_fused_pairs(method: Method) -> dict:
+    """Locate fusable superinstruction pairs: ``(block label, index of the
+    first instruction) -> kind``.
+
+    A pair fuses only when strictly adjacent and when the producing
+    register is read exactly once in the whole method (by the consumer),
+    so skipping its materialization is unobservable.
+    """
+    reads: dict[str, int] = {}
+    for instr in method.all_instrs():
+        for r in instr.used_registers():
+            reads[r] = reads.get(r, 0) + 1
+    pairs: dict = {}
+    for label, block in method.blocks.items():
+        instrs = block.instrs
+        i = 0
+        while i < len(instrs) - 1:
+            a, b = instrs[i], instrs[i + 1]
+            kind = None
+            if a.op is Opcode.GETFIELD and b.op is Opcode.BINOP:
+                t = a.operands[0]
+                if reads.get(t, 0) == 1 and (
+                    (b.operands[2] == t) != (b.operands[3] == t)
+                ):
+                    kind = "getfield+binop"
+            elif a.op is Opcode.BINOP and b.op is Opcode.BR:
+                t = a.operands[0]
+                if b.operands[0] == t and reads.get(t, 0) == 1:
+                    kind = "binop+cjump"
+            elif a.op is Opcode.ALOAD and b.op is Opcode.ASTORE:
+                t = a.operands[0]
+                if b.operands[2] == t and reads.get(t, 0) == 1:
+                    kind = "aload+astore"
+            if kind is not None:
+                pairs[(label, i)] = kind
+                i += 2
+            else:
+                i += 1
+    return pairs
+
+
+@dataclass
+class TierPlan:
+    """What tier-2 would do with one method (``lamc disasm --tiers``)."""
+
+    method: str
+    is_region: bool
+    barrier_flavors: dict[str, int]
+    fused: list[tuple[str, int, str]]
+    call_sites: int
+    loop_headers: tuple[str, ...]
+
+
+def plan_method(method: Method, policy: TierPolicy) -> TierPlan:
+    flavors: dict[str, int] = {}
+    call_sites = 0
+    for instr in method.all_instrs():
+        if instr.flavor is not None:
+            flavors[instr.flavor.value] = flavors.get(instr.flavor.value, 0) + 1
+        if instr.op is Opcode.CALL:
+            call_sites += 1
+    fused = find_fused_pairs(method) if policy.fusion else {}
+    return TierPlan(
+        method=method.name,
+        is_region=method.is_region,
+        barrier_flavors=flavors,
+        fused=[(label, i, kind) for (label, i), kind in sorted(fused.items())],
+        call_sites=call_sites,
+        loop_headers=tuple(sorted(backedge_targets(method))),
+    )
+
+
+# -- template code generation -------------------------------------------------
+
+_PYOPS = {
+    "add": "+", "sub": "-", "mul": "*", "mod": "%",
+    "lt": "<", "le": "<=", "gt": ">", "ge": ">=",
+    "eq": "==", "ne": "!=",
+    "band": "&", "bor": "|", "bxor": "^", "shl": "<<", "shr": ">>",
+    # "div" deliberately absent: its int//int-else-/ behavior needs the
+    # bound function even under fusion.
+}
+
+#: Opcodes whose generated statement cannot raise for any register
+#: contents, so their ``executed`` increment can batch with a later flush
+#: (the count stays exact at every possible raise point).
+_SAFE_OPS = frozenset({
+    Opcode.CONST, Opcode.MOV, Opcode.NEW, Opcode.GETSTATIC,
+    Opcode.PUTSTATIC, Opcode.PRINT,
+})
+
+#: The canonical out-of-region violation message (must match
+#: repro.jit.interpreter._OUT_OF_REGION_MSG byte for byte — it lands in
+#: REGION_SUPPRESS audit records).
+_OUT_MSG = "IR access to labeled object outside any security region"
+
+
+def _literal(value: Any) -> Optional[str]:
+    if isinstance(value, float) and (value != value or value in (
+        float("inf"), float("-inf")
+    )):
+        return None  # inf/nan repr is not a literal; bind as a constant
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return repr(value)
+    return None
+
+
+class _Codegen:
+    """Translate one method body to Python source for one context.
+
+    ``in_region`` + ``thread_labels`` describe the guarded context the
+    code is specialized to; barrier flavors stay faithful to the IR
+    (a STATIC_OUT barrier in in-region code still runs the out-variant,
+    exactly as the interpreter executes it), while DYNAMIC flavors
+    specialize to the context but keep counting their dispatch.
+    """
+
+    def __init__(
+        self,
+        method: Method,
+        program: Program,
+        in_region: bool,
+        thread_labels: LabelPair,
+        fusion: bool,
+        region_body: bool,
+    ) -> None:
+        self.method = method
+        self.program = program
+        self.in_region = in_region
+        self.fusion = fusion
+        self.region_body = region_body
+        self.fused = find_fused_pairs(method) if fusion else {}
+        self.globals: dict[str, Any] = {
+            "_TL": thread_labels,
+            "_EMPTY": LabelPair.EMPTY,
+            "_RV": RegionViolation,
+            "_cflow": cached_check_flow,
+            "_IRObject": IRObject,
+            "_IRArray": IRArray,
+        }
+        self.prologue: set[str] = set()
+        self.lines: list[str] = []
+        self.pending = 0
+        self._const_n = 0
+        # Registers -> collision-free local names, deterministic order.
+        names: list[str] = list(method.params)
+        seen = set(names)
+        for instr in method.all_instrs():
+            for r in (instr.defined_register(), *instr.used_registers()):
+                if r is not None and r not in seen:
+                    seen.add(r)
+                    names.append(r)
+        self.locals: dict[str, str] = {}
+        used = set()
+        for name in names:
+            base = "v_" + "".join(
+                c if (c.isalnum() or c == "_") else "_" for c in name
+            )
+            cand, i = base, 0
+            while cand in used:
+                i += 1
+                cand = f"{base}_{i}"
+            used.add(cand)
+            self.locals[name] = cand
+        # Loop headers dispatch first: the elif chain re-scans from the
+        # top on every jump, so hot targets want small indices.
+        headers = backedge_targets(method)
+        order = [l for l in method.blocks if l in headers]
+        order += [l for l in method.blocks if l not in headers]
+        self.entry_index = {label: i for i, label in enumerate(order)}
+        self.block_order = order
+
+    # -- small helpers ----------------------------------------------------
+
+    def R(self, reg: str) -> str:
+        return self.locals[reg]
+
+    def bind(self, name: str, value: Any) -> str:
+        self.globals[name] = value
+        return name
+
+    def const(self, value: Any) -> str:
+        lit = _literal(value)
+        if lit is not None:
+            return lit
+        self._const_n += 1
+        return self.bind(f"_K{self._const_n}", value)
+
+    def binop_expr(self, opname: str, a: str, b: str) -> str:
+        if self.fusion and opname in _PYOPS:
+            return f"({a} {_PYOPS[opname]} {b})"
+        fn = self.bind(f"_op_{opname}", _BINOPS[opname])
+        return f"{fn}({a}, {b})"
+
+    def emit(self, line: str, indent: int = 16) -> None:
+        self.lines.append(" " * indent + line)
+
+    def flush(self, count: int, indent: int = 16) -> None:
+        """Account ``pending`` safe instructions plus ``count`` about to
+        run, *before* a statement that can raise (matching the
+        interpreter's increment-then-execute order exactly)."""
+        total = self.pending + count
+        if total:
+            self.emit(f"_ex += {total}", indent)
+        self.pending = 0
+
+    # -- barrier sequences ------------------------------------------------
+
+    def _object_barrier(self, instr, reg: str, is_read: bool) -> list[str]:
+        counter = "read_barriers" if is_read else "write_barriers"
+        lines = [f"_stats.{counter} += 1"]
+        flavor = instr.flavor
+        if flavor is BarrierFlavor.DYNAMIC:
+            lines.append("_stats.dynamic_dispatches += 1")
+            variant_in = self.in_region
+        else:
+            variant_in = flavor is BarrierFlavor.STATIC_IN
+        r = self.R(reg)
+        if variant_in:
+            lines.append("_stats.label_checks += 1")
+            if is_read:
+                lines.append(
+                    f"_cflow(_thread, {r}.header.labels, _TL, _stats, "
+                    f"context='IR read')"
+                )
+            else:
+                lines.append(
+                    f"_cflow(_thread, _TL, {r}.header.labels, _stats, "
+                    f"context='IR write')"
+                )
+            self.prologue.add("_stats")
+        else:
+            lines.append("_stats.space_checks += 1")
+            lines.append(f"if _labeled({r}.header):")
+            lines.append(f"    raise _RV({_OUT_MSG!r})")
+            self.prologue.update(("_stats", "_labeled"))
+        return lines
+
+    def _alloc_barrier(self, instr, reg: str) -> list[str]:
+        lines = ["_stats.alloc_barriers += 1"]
+        flavor = instr.flavor
+        if flavor is BarrierFlavor.DYNAMIC:
+            lines.append("_stats.dynamic_dispatches += 1")
+            variant_in = self.in_region
+        else:
+            variant_in = flavor is BarrierFlavor.STATIC_IN
+        if variant_in:
+            lines.append(f"_heap.label_fresh({self.R(reg)}.header, _TL)")
+            self.prologue.add("_heap")
+        self.prologue.add("_stats")
+        return lines
+
+    def _static_bar(self, instr, name: str, is_read: bool) -> list[str]:
+        counter = "read_barriers" if is_read else "write_barriers"
+        lines = [f"_stats.{counter} += 1"]
+        flavor = instr.flavor
+        if flavor is BarrierFlavor.DYNAMIC:
+            lines.append("_stats.dynamic_dispatches += 1")
+            variant_in = self.in_region
+        else:
+            variant_in = flavor is BarrierFlavor.STATIC_IN
+        lines.append(f"_sl = _slabels.get({name!r}, _EMPTY)")
+        if variant_in:
+            lines.append("_stats.label_checks += 1")
+            ctxstr = f"static {name}"
+            if is_read:
+                lines.append(
+                    f"_cflow(_thread, _sl, _TL, _stats, context={ctxstr!r})"
+                )
+            else:
+                lines.append(
+                    f"_cflow(_thread, _TL, _sl, _stats, context={ctxstr!r})"
+                )
+        else:
+            msg = (
+                f"access to labeled static {name!r} outside any "
+                f"security region"
+            )
+            lines.append("_stats.space_checks += 1")
+            lines.append("if not _sl.is_empty:")
+            lines.append(f"    raise _RV({msg!r})")
+        self.prologue.update(("_stats", "_slabels"))
+        return lines
+
+    # -- per-instruction emission -----------------------------------------
+
+    def emit_instr(self, instr) -> None:
+        """One non-terminator instruction as statement(s)."""
+        op = instr.op
+        ops = instr.operands
+        R = self.R
+        if op in _SAFE_OPS:
+            self.pending += 1
+            if op is Opcode.CONST:
+                self.emit(f"{R(ops[0])} = {self.const(ops[1])}")
+            elif op is Opcode.MOV:
+                self.emit(f"{R(ops[0])} = {R(ops[1])}")
+            elif op is Opcode.NEW:
+                fields = self.bind(
+                    f"_F_{len(self.globals)}", tuple(self.program.classes[ops[1]])
+                )
+                self.prologue.add("_heap")
+                self.emit(
+                    f"{R(ops[0])} = _IRObject(_heap.allocate_header(_EMPTY), "
+                    f"{ops[1]!r}, dict.fromkeys({fields}, 0))"
+                )
+            elif op is Opcode.GETSTATIC:
+                self.prologue.add("_statics")
+                self.emit(f"{R(ops[0])} = _statics.get({ops[1]!r}, 0)")
+            elif op is Opcode.PUTSTATIC:
+                self.prologue.add("_statics")
+                self.emit(f"_statics[{ops[0]!r}] = {R(ops[1])}")
+            elif op is Opcode.PRINT:
+                self.prologue.add("_out")
+                self.emit(f"_out.append({R(ops[0])})")
+            return
+        # can-raise statements: flush executed-count first
+        if op is Opcode.BINOP:
+            self.flush(1)
+            self.emit(
+                f"{R(ops[0])} = {self.binop_expr(ops[1], R(ops[2]), R(ops[3]))}"
+            )
+        elif op is Opcode.UNOP:
+            self.flush(1)
+            expr = f"-{R(ops[2])}" if ops[1] == "neg" else f"not {R(ops[2])}"
+            self.emit(f"{R(ops[0])} = {expr}")
+        elif op is Opcode.NEWARRAY:
+            self.flush(1)
+            self.prologue.add("_heap")
+            self.emit(
+                f"{R(ops[0])} = _IRArray(_heap.allocate_header(_EMPTY), "
+                f"[0] * {R(ops[1])})"
+            )
+        elif op is Opcode.GETFIELD:
+            self.flush(1)
+            self.emit(f"{R(ops[0])} = {R(ops[1])}.fields[{ops[2]!r}]")
+        elif op is Opcode.PUTFIELD:
+            self.flush(1)
+            self.emit(f"{R(ops[0])}.fields[{ops[1]!r}] = {R(ops[2])}")
+        elif op is Opcode.ALOAD:
+            self.flush(1)
+            self.emit(f"{R(ops[0])} = {R(ops[1])}.items[{R(ops[2])}]")
+        elif op is Opcode.ASTORE:
+            self.flush(1)
+            self.emit(f"{R(ops[0])}.items[{R(ops[1])}] = {R(ops[2])}")
+        elif op is Opcode.ARRAYLEN:
+            self.flush(1)
+            self.emit(f"{R(ops[0])} = len({R(ops[1])}.items)")
+        elif op is Opcode.CALL:
+            self.flush(1)
+            self.prologue.update(("_call", "_method"))
+            args = ", ".join(R(a) for a in ops[2:])
+            call = f"_call(_method({ops[1]!r}), [{args}])"
+            if ops[0] is not None:
+                self.emit(f"{R(ops[0])} = {call}")
+            else:
+                self.emit(call)
+        elif op is Opcode.READBAR:
+            self.flush(1)
+            for line in self._object_barrier(instr, ops[0], is_read=True):
+                self.emit(line)
+        elif op is Opcode.WRITEBAR:
+            self.flush(1)
+            for line in self._object_barrier(instr, ops[0], is_read=False):
+                self.emit(line)
+        elif op is Opcode.ALLOCBAR:
+            self.flush(1)
+            for line in self._alloc_barrier(instr, ops[0]):
+                self.emit(line)
+        elif op is Opcode.SREADBAR:
+            self.flush(1)
+            for line in self._static_bar(instr, ops[0], is_read=True):
+                self.emit(line)
+        elif op is Opcode.SWRITEBAR:
+            self.flush(1)
+            for line in self._static_bar(instr, ops[0], is_read=False):
+                self.emit(line)
+        else:  # pragma: no cover - exhaustive
+            raise AssertionError(f"unhandled opcode {op}")
+
+    def emit_terminator(self, instr) -> None:
+        op, ops = instr.op, instr.operands
+        self.flush(1)
+        if op is Opcode.RET:
+            if self.region_body:
+                # Region bodies return nothing; `break` exits the dispatch
+                # loop and falls off the function (the engine holds the
+                # region context manager).
+                self.emit("break")
+            elif ops[0] is not None:
+                self.emit(f"return {self.R(ops[0])}")
+            else:
+                self.emit("return None")
+        elif op is Opcode.JMP:
+            self.emit(f"_label = {self.entry_index[ops[0]]}")
+            self.emit("continue")
+        elif op is Opcode.BR:
+            t, f = self.entry_index[ops[1]], self.entry_index[ops[2]]
+            self.emit(f"_label = {t} if {self.R(ops[0])} else {f}")
+            self.emit("continue")
+        else:  # pragma: no cover
+            raise AssertionError(f"bad terminator {op}")
+
+    def emit_fused(self, kind: str, a, b) -> None:
+        """One fused superinstruction pair: a single statement accounting
+        for both instructions (``executed`` parity holds on non-faulting
+        paths; a fault inside the pair attributes both at once)."""
+        R = self.R
+        if kind == "binop+cjump":
+            # The pair ends the block: branch directly on the comparison.
+            self.flush(2)
+            expr = self.binop_expr(a.operands[1], R(a.operands[2]), R(a.operands[3]))
+            t = self.entry_index[b.operands[1]]
+            f = self.entry_index[b.operands[2]]
+            self.emit(f"_label = {t} if {expr} else {f}")
+            self.emit("continue")
+        elif kind == "getfield+binop":
+            self.flush(2)
+            load = f"{R(a.operands[1])}.fields[{a.operands[2]!r}]"
+            t = a.operands[0]
+            if b.operands[2] == t:
+                expr = self.binop_expr(b.operands[1], load, R(b.operands[3]))
+            else:
+                expr = self.binop_expr(b.operands[1], R(b.operands[2]), load)
+            self.emit(f"{R(b.operands[0])} = {expr}")
+        elif kind == "aload+astore":
+            self.flush(2)
+            self.emit(
+                f"{R(b.operands[0])}.items[{R(b.operands[1])}] = "
+                f"{R(a.operands[1])}.items[{R(a.operands[2])}]"
+            )
+        else:  # pragma: no cover
+            raise AssertionError(kind)
+
+    # -- whole-function assembly ------------------------------------------
+
+    def generate(self) -> tuple[str, dict[str, Any]]:
+        for label in self.block_order:
+            block = self.method.blocks[label]
+            idx = self.entry_index[label]
+            head = "if" if idx == self.entry_index[self.block_order[0]] else "elif"
+            self.emit(f"{head} _label == {idx}:", 12)
+            self.pending = 0
+            instrs = block.instrs
+            i = 0
+            emitted = False
+            while i < len(instrs):
+                kind = self.fused.get((label, i))
+                if kind is not None:
+                    self.emit_fused(kind, instrs[i], instrs[i + 1])
+                    i += 2
+                    emitted = True
+                    continue
+                instr = instrs[i]
+                if instr.op in (Opcode.RET, Opcode.JMP, Opcode.BR):
+                    self.emit_terminator(instr)
+                else:
+                    self.emit_instr(instr)
+                i += 1
+                emitted = True
+            if not emitted:
+                self.emit("pass")
+            last = instrs[-1] if instrs else None
+            if last is None or (
+                last.op not in (Opcode.RET, Opcode.JMP, Opcode.BR)
+                and self.fused.get((label, len(instrs) - 2)) != "binop+cjump"
+            ):
+                # Should be unreachable after normalize(); mirror the
+                # interpreter's fell-off-the-end assertion.
+                self.flush(0)
+                self.emit(
+                    f"raise AssertionError('block {label} fell off the end')"
+                )
+        prologue_map = {
+            "_stats": "ctx.stats",
+            "_heap": "ctx.heap",
+            "_statics": "ctx.statics",
+            "_out": "ctx.output",
+            "_labeled": "ctx.labeled",
+            "_call": "ctx.interp._call",
+            "_method": "ctx.program.method",
+            "_slabels": "ctx.interp.static_labels",
+        }
+        src = [f"def _t2(ctx, _thread, regs, _entry):"]
+        for name in sorted(self.prologue):
+            src.append(f"    {name} = {prologue_map[name]}")
+        if self.locals:
+            src.append("    _rg = regs.get")
+            for reg, local in self.locals.items():
+                src.append(f"    {local} = _rg({reg!r})")
+        src.append("    _ex = 0")
+        src.append("    try:")
+        src.append("        _label = _entry")
+        src.append("        while True:")
+        src.extend(self.lines)
+        src.append("            else:")
+        src.append("                raise AssertionError('unknown tier-2 block index')")
+        src.append("    finally:")
+        src.append("        ctx.interp.executed += _ex")
+        if self.region_body:
+            src.append("    return None")
+        return "\n".join(src) + "\n", self.globals
+
+
+def compile_method(
+    method: Method,
+    program: Program,
+    in_region: bool,
+    thread_labels: LabelPair,
+    fusion: bool,
+    region_body: bool,
+    variant_name: str,
+) -> CompiledMethod:
+    """Translate ``method`` to a compiled context variant (see module doc)."""
+    gen = _Codegen(
+        method, program, in_region, thread_labels, fusion, region_body
+    )
+    source, glob = gen.generate()
+    exec(compile(source, f"<tier2:{variant_name}>", "exec"), glob)
+    return CompiledMethod(
+        glob["_t2"], variant_name, gen.entry_index, gen.fused, source
+    )
+
+
+# -- the engine ---------------------------------------------------------------
+
+
+class Tier2Engine:
+    """Profiling + code cache + guard/deopt protocol for one interpreter.
+
+    Compiled code is shared across engines through
+    ``program.tier2_cache``; profiles and event counters are per-engine
+    (they describe one interpreter's execution, and ``lamc run`` reports
+    them).
+    """
+
+    def __init__(self, interp: Interpreter, policy: TierPolicy) -> None:
+        self.interp = interp
+        self.policy = policy
+        self.program = interp.program
+        self.cache = self.program.tier2_cache
+        self.profiles: dict[str, MethodProfile] = {}
+        #: method name -> set of context keys compiled (the deopt detector:
+        #: a key miss while this is non-empty means the guard failed).
+        self._variants: dict[str, set] = {}
+        for name, key in self.cache:
+            self._variants.setdefault(name, set()).add(key)
+        self._backedges: dict[str, frozenset] = {}
+        self._uncompilable: set[str] = set()
+        # Per-engine event counters (lamc run's tier-2 report line).
+        self.compiles = 0
+        self.entries = 0
+        self.deopts = 0
+        self.osr_entries = 0
+
+    # -- cache validity ---------------------------------------------------
+
+    def validate(self, stamp: int) -> None:
+        """Discard compiled code when the program shape or the fastpath
+        code epoch moved (called once per ``Interpreter.run``)."""
+        meta = (stamp, _CODE_EPOCH)
+        if self.program.tier2_meta != meta:
+            if self.cache:
+                fastpath.counters.tier2_invalidations += 1
+            self.cache.clear()
+            self.program.tier2_meta = meta
+            self._variants.clear()
+            self._backedges.clear()
+            self._uncompilable.clear()
+            self.profiles.clear()
+
+    # -- profiling + dispatch ---------------------------------------------
+
+    def call(self, method: Method, args: list) -> Any:
+        profile = self.profiles.get(method.name)
+        if profile is None:
+            profile = self.profiles[method.name] = MethodProfile()
+        profile.invocations += 1
+        if method.is_region:
+            return self._call_region(method, args, profile)
+        thread = self.interp.vm.current_thread
+        key = ("in", thread.labels) if thread.in_region else _OUT_KEY
+        compiled = self.cache.get((method.name, key))
+        if compiled is None:
+            compiled = self._maybe_compile(method, key, profile)
+        if compiled is None:
+            return self.interp._call_cold(method, args)
+        return self._enter(
+            compiled, thread, dict(zip(method.params, args)),
+            compiled.entry_index[method.entry],
+        )
+
+    def _call_region(
+        self, method: Method, args: list, profile: MethodProfile
+    ) -> None:
+        """Region prologue/epilogue live in the engine: enter the region,
+        then dispatch the *body* on the label pair actually observed
+        inside (nesting-proof, and spec mutations change the key)."""
+        interp = self.interp
+        spec = method.region_spec or RegionSpec()
+        catch = None
+        if spec.catch is not None:
+            handler = self.program.method(spec.catch)
+
+            def catch(exc: BaseException) -> None:
+                interp._execute(handler, [])
+
+        with interp.vm.region(
+            secrecy=spec.secrecy,
+            integrity=spec.integrity,
+            caps=spec.caps,
+            catch=catch,
+            name=method.name,
+        ):
+            thread = interp.vm.current_thread
+            key = ("region", thread.labels)
+            compiled = self.cache.get((method.name, key))
+            if compiled is None:
+                compiled = self._maybe_compile(method, key, profile)
+            if compiled is None:
+                interp._execute(method, args)
+            else:
+                self._enter(
+                    compiled, thread, dict(zip(method.params, args)),
+                    compiled.entry_index[method.entry],
+                )
+        return None
+
+    def _enter(self, compiled: CompiledMethod, thread, regs, entry: int) -> Any:
+        stats = self.interp.vm.barriers.stats
+        stats.tier2_entries += 1
+        fastpath.counters.tier2_entries += 1
+        self.entries += 1
+        return compiled.fn(self.interp.ctx, thread, regs, entry)
+
+    def _maybe_compile(
+        self, method: Method, key: tuple, profile: MethodProfile
+    ) -> Optional[CompiledMethod]:
+        if method.name in self._uncompilable:
+            return None
+        existing = self._variants.get(method.name)
+        if existing:
+            # Entry-guard miss: compiled code exists, but for a different
+            # region context / label shape.  Deoptimize to the interpreter
+            # (never raise StaleCompilationError); recompile this context
+            # as its own clone once the misses repeat.
+            profile.deopts += 1
+            self.deopts += 1
+            self.interp.vm.barriers.stats.tier2_deopts += 1
+            fastpath.counters.tier2_deopts += 1
+            if len(existing) >= MAX_VARIANTS:
+                return None
+            if profile.deopts < self.policy.deopt_recompile_threshold:
+                return None
+            return self._compile(method, key)
+        policy = self.policy
+        if (
+            profile.invocations >= policy.invocation_threshold
+            or profile.backedges >= policy.backedge_threshold
+        ):
+            return self._compile(method, key)
+        return None
+
+    def _compile(self, method: Method, key: tuple) -> Optional[CompiledMethod]:
+        kind = key[0]
+        if kind == "in":
+            # The per-context clone of Section 5.1: materialized through
+            # the cloning pass's machinery, compiled for the in-region
+            # label shape that kept deopting.
+            src_method = clone_variant(method, True)
+            in_region, labels = True, key[1]
+        elif kind == "region":
+            src_method, in_region, labels = method, True, key[1]
+        else:
+            src_method, in_region, labels = method, False, LabelPair.EMPTY
+        try:
+            compiled = compile_method(
+                src_method, self.program,
+                in_region=in_region,
+                thread_labels=labels,
+                fusion=self.policy.fusion,
+                region_body=method.is_region,
+                variant_name=src_method.name,
+            )
+        except Exception:
+            # Codegen must never take execution down: mark and interpret.
+            self._uncompilable.add(method.name)
+            return None
+        compiled.key = key
+        self.cache[(method.name, key)] = compiled
+        self._variants.setdefault(method.name, set()).add(key)
+        self.compiles += 1
+        fastpath.counters.tier2_compiles += 1
+        if kind == "in":
+            fastpath.counters.tier2_clones += 1
+        return compiled
+
+    # -- OSR --------------------------------------------------------------
+
+    def osr_probe(self, method: Method) -> Optional[Callable]:
+        """A per-invocation back-edge hook for the interpreter loops.
+
+        Returns ``None`` for loop-free methods (zero overhead); otherwise
+        a closure the dispatch loop calls at every taken jump.  The
+        closure counts back-edges and, past the threshold, compiles for
+        the *current* context and transfers execution into the compiled
+        body at the loop header (on-stack replacement) — returning the
+        method result wrapped in a 1-tuple.
+        """
+        targets = self._backedges.get(method.name)
+        if targets is None:
+            targets = self._backedges[method.name] = backedge_targets(method)
+        if not targets:
+            return None
+        profile = self.profiles.get(method.name)
+        if profile is None:
+            profile = self.profiles[method.name] = MethodProfile()
+        policy = self.policy
+        thread = self.interp.vm.current_thread
+
+        def probe(label: str, regs: dict) -> Optional[tuple]:
+            if label not in targets:
+                return None
+            profile.backedges += 1
+            if profile.backedges < policy.backedge_threshold:
+                return None
+            if method.name in self._uncompilable:
+                return None
+            if method.is_region:
+                key: tuple = ("region", thread.labels)
+            elif thread.in_region:
+                key = ("in", thread.labels)
+            else:
+                key = _OUT_KEY
+            compiled = self.cache.get((method.name, key))
+            if compiled is None:
+                existing = self._variants.get(method.name)
+                if existing and len(existing) >= MAX_VARIANTS:
+                    return None
+                compiled = self._compile(method, key)
+                if compiled is None:
+                    return None
+            self.osr_entries += 1
+            fastpath.counters.tier2_osr_entries += 1
+            result = self._enter(
+                compiled, thread, regs, compiled.entry_index[label]
+            )
+            return (result,)
+
+        return probe

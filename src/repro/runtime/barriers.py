@@ -112,6 +112,12 @@ class BarrierStats:
     #: configurations.
     flow_cache_hits: int = 0
     flow_cache_misses: int = 0
+    #: Tier-2 execution accounting (the tiered engine of repro.jit.tier2):
+    #: entries into exec-compiled method bodies and entry-guard misses that
+    #: fell back to the interpreter.  These describe *which engine ran*,
+    #: not what enforcement did, so :meth:`enforcement` excludes them.
+    tier2_entries: int = 0
+    tier2_deopts: int = 0
 
     def reset(self) -> None:
         self.read_barriers = 0
@@ -122,10 +128,32 @@ class BarrierStats:
         self.space_checks = 0
         self.flow_cache_hits = 0
         self.flow_cache_misses = 0
+        self.tier2_entries = 0
+        self.tier2_deopts = 0
 
     @property
     def total(self) -> int:
         return self.read_barriers + self.write_barriers + self.alloc_barriers
+
+    def enforcement(self) -> dict[str, int]:
+        """The cross-tier comparable counters.
+
+        Every field describing what *enforcement* observed — barrier
+        executions, context dispatches, label/space checks, verdict-cache
+        traffic — which must be identical whichever execution tier ran
+        the code.  Excludes the ``tier2_*`` engine accounting, which is
+        legitimately nonzero only when tier-2 code ran.
+        """
+        return {
+            "read_barriers": self.read_barriers,
+            "write_barriers": self.write_barriers,
+            "alloc_barriers": self.alloc_barriers,
+            "dynamic_dispatches": self.dynamic_dispatches,
+            "label_checks": self.label_checks,
+            "space_checks": self.space_checks,
+            "flow_cache_hits": self.flow_cache_hits,
+            "flow_cache_misses": self.flow_cache_misses,
+        }
 
 
 class BarrierEngine:

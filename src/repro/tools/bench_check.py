@@ -1,0 +1,229 @@
+"""``bench_check`` — guard committed benchmark snapshots against drift.
+
+Every benchmark writes a machine-readable ``BENCH_*.json`` at the
+repository root, and those snapshots are committed.  CI regenerates them
+on every push and compares fresh numbers against the committed ones with
+this tool::
+
+    python -m repro.tools.bench_check <committed-dir> [<fresh-dir>]
+
+Two kinds of fields are checked, declared per file in :data:`SPECS`:
+
+* **ratio fields** — relative performance metrics (speedups, geomeans of
+  normalized throughput).  These are machine-noise-resistant because
+  both sides of the ratio ran on the same machine; a fresh value below
+  ``committed * (1 - tolerance)`` is a throughput regression and fails
+  the check (one-sided: getting *faster* never fails).
+* **exact fields** — invariants of the security record: equivalence
+  booleans, barrier/step/retry counts, deterministic fault totals.  Any
+  difference is drift in *what the system does*, not how fast it does
+  it, and fails the check regardless of direction.
+
+Raw ``seconds`` / ``ops_per_sec`` numbers are deliberately *not* gated:
+absolute wall-clock on shared CI runners is too noisy to compare across
+machines.  The committed snapshot documents one machine's run; the
+gates above catch real regressions without flaking on scheduler jitter.
+
+Exit status: 0 when every present snapshot passes, 1 on any failure.
+A file listed in :data:`SPECS` but absent from the committed directory
+is skipped (the benchmark has not been committed yet); a committed file
+whose fresh counterpart is missing fails (the benchmark stopped
+producing its snapshot).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional, Sequence
+
+#: One-sided tolerance band for ratio fields: fresh may not fall more
+#: than this fraction below the committed value.
+DEFAULT_TOLERANCE = 0.15
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """What to compare in one ``BENCH_*.json`` snapshot."""
+
+    file: str
+    ratio_fields: tuple[str, ...] = ()
+    exact_fields: tuple[str, ...] = ()
+    tolerance: float = DEFAULT_TOLERANCE
+
+
+SPECS: tuple[BenchSpec, ...] = (
+    BenchSpec(
+        file="BENCH_label_cache.json",
+        ratio_fields=("speedup_all_on",),
+        exact_fields=(
+            "observables_identical",
+            "configs.all_on.set_ops",
+            "configs.all_off.set_ops",
+        ),
+    ),
+    BenchSpec(
+        file="BENCH_os_throughput.json",
+        ratio_fields=("batched_speedup",),
+        exact_fields=(
+            "observables_identical",
+            "configs.vanilla.ops",
+            "configs.laminar.ops",
+            "configs.laminar.steps",
+            "configs.laminar_batched.steps",
+            "configs.laminar.pipe_drops",
+        ),
+    ),
+    BenchSpec(
+        file="BENCH_degraded_throughput.json",
+        exact_fields=(
+            "points.0.ops",
+            "points.0.retries",
+            "points.50.retries",
+            "points.50.faults_fired",
+            "points.10.retries",
+            "points.10.faults_fired",
+        ),
+    ),
+    BenchSpec(
+        file="BENCH_jit_tier.json",
+        ratio_fields=(
+            "geomean_fig8_tier2_vs_interp",
+            "geomean_fig8_tier2_vs_table",
+        ),
+        exact_fields=("observables_identical",),
+    ),
+)
+
+
+@dataclass
+class CheckResult:
+    """Outcome of comparing one snapshot pair."""
+
+    file: str
+    failures: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def lookup(payload: Any, path: str) -> Any:
+    """Resolve a dotted ``a.b.c`` path into nested dicts."""
+    node = payload
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            raise KeyError(path)
+        node = node[part]
+    return node
+
+
+def check_payloads(
+    committed: dict, fresh: dict, spec: BenchSpec
+) -> CheckResult:
+    """Compare one committed/fresh snapshot pair against its spec."""
+    result = CheckResult(spec.file)
+    for path in spec.ratio_fields:
+        try:
+            base = lookup(committed, path)
+        except KeyError:
+            # Committed snapshot predates the field: nothing to gate yet.
+            result.notes.append(f"{path}: not in committed snapshot, skipped")
+            continue
+        try:
+            value = lookup(fresh, path)
+        except KeyError:
+            result.failures.append(f"{path}: missing from fresh snapshot")
+            continue
+        floor = base * (1.0 - spec.tolerance)
+        if value < floor:
+            result.failures.append(
+                f"{path}: {value:.3f} regressed below "
+                f"{floor:.3f} (committed {base:.3f}, "
+                f"tolerance {spec.tolerance:.0%})"
+            )
+        else:
+            result.notes.append(
+                f"{path}: {value:.3f} vs committed {base:.3f} ok"
+            )
+    for path in spec.exact_fields:
+        try:
+            base = lookup(committed, path)
+        except KeyError:
+            result.notes.append(f"{path}: not in committed snapshot, skipped")
+            continue
+        try:
+            value = lookup(fresh, path)
+        except KeyError:
+            result.failures.append(f"{path}: missing from fresh snapshot")
+            continue
+        if value != base:
+            result.failures.append(
+                f"{path}: {value!r} drifted from committed {base!r}"
+            )
+        else:
+            result.notes.append(f"{path}: {value!r} ok")
+    return result
+
+
+def check_dirs(
+    committed_dir: Path, fresh_dir: Path, specs: Sequence[BenchSpec] = SPECS
+) -> list[CheckResult]:
+    """Check every spec whose committed snapshot exists."""
+    results = []
+    for spec in specs:
+        committed_path = committed_dir / spec.file
+        if not committed_path.exists():
+            result = CheckResult(spec.file)
+            result.notes.append("no committed snapshot, skipped")
+            results.append(result)
+            continue
+        fresh_path = fresh_dir / spec.file
+        if not fresh_path.exists():
+            result = CheckResult(spec.file)
+            result.failures.append(
+                f"committed snapshot exists but {fresh_path} was not "
+                f"regenerated"
+            )
+            results.append(result)
+            continue
+        committed = json.loads(committed_path.read_text())
+        fresh = json.loads(fresh_path.read_text())
+        results.append(check_payloads(committed, fresh, spec))
+    return results
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    parser = argparse.ArgumentParser(
+        prog="bench_check",
+        description="compare fresh BENCH_*.json snapshots against "
+        "committed ones",
+    )
+    parser.add_argument("committed", help="directory with committed snapshots")
+    parser.add_argument(
+        "fresh",
+        nargs="?",
+        default=".",
+        help="directory with freshly generated snapshots (default: .)",
+    )
+    args = parser.parse_args(argv)
+    results = check_dirs(Path(args.committed), Path(args.fresh))
+    failed = False
+    for result in results:
+        status = "FAIL" if result.failures else "ok"
+        print(f"{result.file}: {status}", file=out)
+        for line in result.notes:
+            print(f"  {line}", file=out)
+        for line in result.failures:
+            print(f"  FAIL {line}", file=out)
+        failed = failed or bool(result.failures)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -5,8 +5,10 @@ for when debugging a workload or a pass::
 
     python -m repro.tools.lamc compile prog.ir --config dynamic --dump
     python -m repro.tools.lamc run prog.ir --config static --entry main
+    python -m repro.tools.lamc run prog.ir --tier2 --tier2-threshold 4
     python -m repro.tools.lamc verify prog.ir
     python -m repro.tools.lamc disasm prog.ir
+    python -m repro.tools.lamc disasm prog.ir --tiers --tier2
     python -m repro.tools.lamc lint prog.ir --json
     python -m repro.tools.lamc fsck --seed 1234 --points 40
 
@@ -51,6 +53,21 @@ def _read_source(path: str) -> str:
         return handle.read()
 
 
+def _tier_policy(args: argparse.Namespace):
+    if not getattr(args, "tier2", False):
+        return None
+    from ..jit.tier2 import TierPolicy
+
+    threshold = getattr(args, "tier2_threshold", None)
+    if threshold is None:
+        return TierPolicy()
+    # One knob scales both promotion points; back-edges run hotter than
+    # invocations by the same 5x ratio as the defaults.
+    return TierPolicy(
+        invocation_threshold=threshold, backedge_threshold=5 * threshold
+    )
+
+
 def _build_compiler(args: argparse.Namespace) -> Compiler:
     if args.no_elim:
         optimize = False
@@ -64,6 +81,7 @@ def _build_compiler(args: argparse.Namespace) -> Compiler:
         inline=not args.no_inline,
         clone=args.clone,
         labeled_statics=args.labeled_statics,
+        tier2=_tier_policy(args),
     )
 
 
@@ -117,6 +135,13 @@ def cmd_run(args: argparse.Namespace, out) -> int:
         f"{stats.alloc_barriers}a, {stats.dynamic_dispatches} dispatches)",
         file=out,
     )
+    engine = interp._tier2
+    if engine is not None:
+        print(
+            f"tier-2:   {engine.compiles} compiles, {engine.entries} entries, "
+            f"{engine.deopts} deopts, {engine.osr_entries} OSR entries",
+            file=out,
+        )
     if interp.output:
         print("output:", file=out)
         for item in interp.output:
@@ -135,6 +160,18 @@ def cmd_verify(args: argparse.Namespace, out) -> int:
 
 
 def cmd_disasm(args: argparse.Namespace, out) -> int:
+    if getattr(args, "tiers", False):
+        # Tier report wants the *compiled* program: barrier flavors and
+        # fusable pairs only exist after the pipeline runs.
+        from ..jit.disasm import disassemble_tiers
+
+        program, _report = _build_compiler(args).compile(
+            _read_source(args.file)
+        )
+        print(
+            disassemble_tiers(program, _tier_policy(args)), file=out
+        )
+        return 0
     print(disassemble(parse_program(_read_source(args.file))), file=out)
     return 0
 
@@ -214,6 +251,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--interproc", action="store_true",
                        help="also eliminate barriers using whole-program "
                             "(interprocedural) proven-safe facts")
+        p.add_argument("--tier2", action="store_true",
+                       help="attach the tier-2 template JIT (profile-guided "
+                            "promotion of hot methods to compiled code)")
+        p.add_argument("--tier2-threshold", type=int, default=None,
+                       metavar="N",
+                       help="tier-2 promotion threshold: compile after N "
+                            "invocations (back-edge OSR at 5*N)")
 
     p_compile = sub.add_parser("compile", help="compile and report")
     common(p_compile)
@@ -231,7 +275,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.set_defaults(fn=cmd_verify)
 
     p_disasm = sub.add_parser("disasm", help="parse and pretty-print")
-    p_disasm.add_argument("file", help="IR source file ('-' for stdin)")
+    common(p_disasm)
+    p_disasm.add_argument("--tiers", action="store_true",
+                          help="compile and print the per-method tier plan "
+                               "(tier, baked barrier flavors, fused "
+                               "superinstructions, guard points)")
     p_disasm.set_defaults(fn=cmd_disasm)
 
     p_lint = sub.add_parser(

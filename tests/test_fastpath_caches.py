@@ -262,10 +262,28 @@ class TestDispatchTable:
         vm = LaminarVM(Kernel())
         interp = Interpreter(program, vm)
         interp.run("main")
-        assert set(interp._tables) == {"main", "build", "sum"}
-        tables = dict(interp._tables)
+        assert set(program.exec_tables) == {"main", "build", "sum"}
+        assert program.table_builds == 3
+        tables = dict(program.exec_tables)
         interp.run("main")
-        assert all(interp._tables[k] is tables[k] for k in tables)
+        assert all(program.exec_tables[k] is tables[k] for k in tables)
+        assert program.table_builds == 3
+
+    def test_tables_are_shared_across_interpreters(self):
+        """Tables cache on the *program*, not the interpreter: a second
+        interpreter (fresh VM) over the same program must not rebuild."""
+        program, _ = compile_source(WORKLOAD, JITConfig.STATIC, inline=False)
+        first = Interpreter(program, LaminarVM(Kernel()))
+        r1 = first.run("main")
+        builds = program.table_builds
+        assert builds == 3
+        second = Interpreter(program, LaminarVM(Kernel()))
+        r2 = second.run("main")
+        assert r1 == r2
+        assert program.table_builds == builds, (
+            "second interpreter rebuilt handler tables"
+        )
+        assert first.executed == second.executed
 
     def test_ir_mutation_rebuilds_tables(self):
         """Passes mutate methods in place between runs; the shape stamp
@@ -276,7 +294,7 @@ class TestDispatchTable:
         vm = LaminarVM(Kernel())
         interp = Interpreter(program, vm)
         first = interp.run("main")
-        stale = interp._tables["sum"]
+        stale = program.exec_tables["sum"]
         # Rewrite sum's body: return the constant 9 immediately.
         method = program.method("sum")
         entry = method.blocks[method.entry]
@@ -287,11 +305,11 @@ class TestDispatchTable:
         second = interp.run("main")
         assert first != second
         assert second == 9
-        assert interp._tables["sum"] is not stale
+        assert program.exec_tables["sum"] is not stale
 
     def test_verify_static_bypasses_tables(self):
         program, _ = compile_source(WORKLOAD, JITConfig.STATIC)
         vm = LaminarVM(Kernel())
         interp = Interpreter(program, vm, verify_static=True)
         interp.run("main")
-        assert not interp._tables
+        assert not program.exec_tables

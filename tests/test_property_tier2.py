@@ -1,0 +1,200 @@
+"""Property-based equivalence sweep: tier-2 ≡ interpreter.
+
+Hypothesis generates the same random programs as
+:mod:`tests.test_property_jit` (straight-line/branchy arithmetic and heap
+traffic, and security-region programs with a shared helper and catch
+handlers), runs each one through the interpreter and through the tiered
+engine with aggressive promotion thresholds (so even tiny methods reach
+tier 2 / OSR), and asserts the full observable record is identical:
+
+* return value (or escaped exception type),
+* printed output,
+* enforcement counters (:meth:`BarrierStats.enforcement` — barrier
+  executions, dynamic dispatches, label/space checks, verdict-cache
+  traffic),
+* the audit log, byte for byte,
+* ``executed`` instruction counts (on non-faulting runs; a fault inside
+  a fused superinstruction pair legitimately attributes both of the
+  pair's instructions at once).
+
+Both fusion settings are swept, and region programs run under both the
+static and dynamic barrier configurations.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given, settings
+
+from repro.core import CapabilitySet
+from repro.jit import Compiler, Interpreter, JITConfig, TierPolicy
+from repro.osim import Kernel, LaminarSecurityModule
+from repro.osim.filesystem import Inode
+from repro.runtime import LaminarVM
+from repro.runtime.heap import ObjectHeader
+
+from .test_property_jit import random_program, region_program
+
+#: Everything is hot: methods compile on their first call, loops OSR
+#: almost immediately, and a single opposite-context call already clones.
+AGGRESSIVE = TierPolicy(
+    invocation_threshold=1, backedge_threshold=2, deopt_recompile_threshold=1
+)
+AGGRESSIVE_NOFUSE = TierPolicy(
+    invocation_threshold=1, backedge_threshold=2, deopt_recompile_threshold=1,
+    fusion=False,
+)
+
+
+def _reset_id_counters() -> None:
+    Inode._ino_counter = itertools.count(1)
+    ObjectHeader._oid_counter = itertools.count(1)
+
+
+def _observe(source, config, policy, **compile_kw):
+    _reset_id_counters()
+    program, _ = Compiler(config, **compile_kw).compile(source)
+    kernel = Kernel(LaminarSecurityModule())
+    vm = LaminarVM(kernel)
+    if program.tags:
+        vm.current_thread.gain_capabilities(
+            CapabilitySet.dual(*program.tags.values())
+        )
+    interp = Interpreter(program, vm, tier2=policy)
+    try:
+        result = interp.run("main")
+        exc = None
+    except Exception as error:  # noqa: BLE001 - differential capture
+        result = None
+        exc = type(error).__name__
+    return {
+        "result": result,
+        "exc": exc,
+        "output": tuple(interp.output),
+        "executed": interp.executed,
+        "enforcement": vm.barriers.stats.enforcement(),
+        "audit": tuple(str(entry) for entry in kernel.audit.entries()),
+    }
+
+
+def _assert_equivalent(cold, hot, source):
+    assert hot["exc"] == cold["exc"], (
+        f"tier-2 changed the escaped exception on:\n{source}"
+    )
+    assert hot["result"] == cold["result"], (
+        f"tier-2 changed the result on:\n{source}"
+    )
+    assert hot["output"] == cold["output"], (
+        f"tier-2 changed printed output on:\n{source}"
+    )
+    assert hot["enforcement"] == cold["enforcement"], (
+        f"tier-2 changed enforcement counters on:\n{source}"
+    )
+    assert hot["audit"] == cold["audit"], (
+        f"tier-2 changed the audit log on:\n{source}"
+    )
+    if cold["exc"] is None:
+        assert hot["executed"] == cold["executed"], (
+            f"tier-2 changed the executed-instruction count on:\n{source}"
+        )
+
+
+class TestPlainProgramEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(random_program())
+    def test_static_config(self, source):
+        cold = _observe(source, JITConfig.STATIC, None)
+        hot = _observe(source, JITConfig.STATIC, AGGRESSIVE)
+        _assert_equivalent(cold, hot, source)
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_program())
+    def test_dynamic_config_without_fusion(self, source):
+        cold = _observe(source, JITConfig.DYNAMIC, None)
+        hot = _observe(source, JITConfig.DYNAMIC, AGGRESSIVE_NOFUSE)
+        _assert_equivalent(cold, hot, source)
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_program())
+    def test_baseline_config_uninstrumented(self, source):
+        cold = _observe(source, JITConfig.BASELINE, None)
+        hot = _observe(source, JITConfig.BASELINE, AGGRESSIVE)
+        _assert_equivalent(cold, hot, source)
+
+
+class TestRegionProgramEquivalence:
+    """Region programs are where the specialization could go wrong: the
+    compiled body bakes the observed label pair, the shared helper is
+    called from both contexts (deopt + clone territory), and IFC
+    violations must surface identically — including the suppressed
+    exception text landing in the audit log."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(region_program())
+    def test_dynamic_config(self, source):
+        cold = _observe(source, JITConfig.DYNAMIC, None, inline=False)
+        hot = _observe(source, JITConfig.DYNAMIC, AGGRESSIVE, inline=False)
+        _assert_equivalent(cold, hot, source)
+
+    @settings(max_examples=30, deadline=None)
+    @given(region_program())
+    def test_static_config(self, source):
+        cold = _observe(source, JITConfig.STATIC, None, inline=False)
+        hot = _observe(source, JITConfig.STATIC, AGGRESSIVE, inline=False)
+        _assert_equivalent(cold, hot, source)
+
+    @settings(max_examples=20, deadline=None)
+    @given(region_program())
+    def test_dynamic_config_without_fusion(self, source):
+        cold = _observe(source, JITConfig.DYNAMIC, None, inline=False)
+        hot = _observe(source, JITConfig.DYNAMIC, AGGRESSIVE_NOFUSE,
+                       inline=False)
+        _assert_equivalent(cold, hot, source)
+
+    @settings(max_examples=20, deadline=None)
+    @given(region_program())
+    def test_never_raises_stale_compilation(self, source):
+        hot = _observe(source, JITConfig.STATIC, AGGRESSIVE, inline=False)
+        assert hot["exc"] != "StaleCompilationError", (
+            f"tier-2 leaked a stale static barrier on:\n{source}"
+        )
+
+
+class TestAmbientRegionContext:
+    """The same compiled program, entered from inside an ambient region:
+    the context key (thread labels at entry) must route to a different
+    variant and the record must still match the interpreter."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_program())
+    def test_in_region_entry_matches_interpreter(self, source):
+        from repro.runtime import LaminarAPI
+
+        def observe(policy):
+            _reset_id_counters()
+            program, _ = Compiler(JITConfig.DYNAMIC).compile(source)
+            kernel = Kernel(LaminarSecurityModule())
+            vm = LaminarVM(kernel)
+            api = LaminarAPI(vm)
+            tag = api.create_and_add_capability("ambient")
+            interp = Interpreter(program, vm, tier2=policy)
+            from repro.core import Label
+
+            with vm.region(secrecy=Label.of(tag),
+                           caps=CapabilitySet.dual(tag)):
+                try:
+                    result = interp.run("main")
+                    exc = None
+                except Exception as error:  # noqa: BLE001
+                    result = None
+                    exc = type(error).__name__
+            return (
+                result, exc, tuple(interp.output),
+                vm.barriers.stats.enforcement(),
+                tuple(str(entry) for entry in kernel.audit.entries()),
+            )
+
+        assert observe(None) == observe(AGGRESSIVE), (
+            f"tier-2 diverged under an ambient region on:\n{source}"
+        )

@@ -1,0 +1,522 @@
+"""Directed tests for the tier-2 template JIT engine.
+
+Covers the tiered-execution contract: profile-guided promotion (entry and
+OSR), observational equivalence with the interpreter (results, executed
+counts, enforcement counters, audit bytes), the guard/deopt protocol
+(opposite-context calls fall back to the interpreter and materialize
+clones — never :class:`StaleCompilationError`), code-cache invalidation
+on IR mutation and fastpath reconfiguration, and the CLI surface
+(``lamc run --tier2``, ``lamc disasm --tiers``).
+"""
+
+from __future__ import annotations
+
+import io
+import itertools
+
+import pytest
+
+from repro.baselines import vanilla_kernel
+from repro.core import CapabilitySet, Label, fastpath
+from repro.jit import (
+    Compiler,
+    Interpreter,
+    JITConfig,
+    RegionSpec,
+    StaleCompilationError,
+    TierPolicy,
+    compile_source,
+)
+from repro.osim import Kernel, LaminarSecurityModule
+from repro.osim.filesystem import Inode
+from repro.runtime import LaminarVM
+from repro.runtime.heap import ObjectHeader
+from repro.tools.lamc import main as lamc_main
+
+#: Aggressive promotion so small tests reach tier 2 quickly.
+HOT = TierPolicy(
+    invocation_threshold=2, backedge_threshold=6, deopt_recompile_threshold=2
+)
+
+LOOP_SRC = """
+class Box { val }
+
+method sum(n) {
+entry:
+  const acc, 0
+  const i, 0
+  new b, Box
+loop:
+  binop c, lt, i, n
+  br c, body, done
+body:
+  putfield b, val, i
+  getfield t, b, val
+  binop acc, add, acc, t
+  const one, 1
+  binop i, add, i, one
+  jmp loop
+done:
+  ret acc
+}
+
+method main() {
+entry:
+  const n, 50
+  const r, 0
+  const j, 0
+outer:
+  const lim, 6
+  binop c, lt, j, lim
+  br c, obody, odone
+obody:
+  call r, sum, n
+  const one, 1
+  binop j, add, j, one
+  jmp outer
+odone:
+  ret r
+}
+"""
+
+#: A helper called from inside a region *and* from plain code: the shape
+#: that makes the static prototype raise StaleCompilationError and makes
+#: tier-2 deopt and clone instead.
+DUAL_CONTEXT_SRC = """
+class Cell { v }
+
+method touch(o, x) {
+entry:
+  putfield o, v, x
+  getfield y, o, v
+  ret y
+}
+
+region method work() secrecy(alpha) {
+entry:
+  const i, 0
+  new c, Cell
+loop:
+  const lim, 20
+  binop cond, lt, i, lim
+  br cond, body, done
+body:
+  call y, touch, c, i
+  const one, 1
+  binop i, add, i, one
+  jmp loop
+done:
+  ret
+}
+
+method main() {
+entry:
+  const j, 0
+  const z, 0
+outer:
+  const lim, 8
+  binop cond, lt, j, lim
+  br cond, obody, odone
+obody:
+  call _, work
+  new d, Cell
+  const k, 5
+  call z, touch, d, k
+  const one, 1
+  binop j, add, j, one
+  jmp outer
+odone:
+  ret z
+}
+"""
+
+#: A region body that violates IFC (writes region-labeled data into an
+#: unlabeled parameter object): the violation is suppressed at region
+#: exit and lands in the audit log — the byte-compared observable.
+VIOLATING_SRC = """
+class Box { v }
+
+region method leak(b) secrecy(alpha) {
+entry:
+  const i, 0
+loop:
+  const lim, 4
+  binop c, lt, i, lim
+  br c, body, done
+body:
+  const x, 1
+  putfield b, v, x
+  const one, 1
+  binop i, add, i, one
+  jmp loop
+done:
+  ret
+}
+
+method main() {
+entry:
+  new b, Box
+  const j, 0
+outer:
+  const lim, 5
+  binop c, lt, j, lim
+  br c, obody, odone
+obody:
+  call _, leak, b
+  const one, 1
+  binop j, add, j, one
+  jmp outer
+odone:
+  getfield r, b, v
+  ret r
+}
+"""
+
+
+def _reset_id_counters() -> None:
+    # Ids leak into audit text; restart per run for byte comparison.
+    Inode._ino_counter = itertools.count(1)
+    ObjectHeader._oid_counter = itertools.count(1)
+
+
+def _observe(source, config=JITConfig.STATIC, policy=None, **compile_kw):
+    """Compile and run on a fresh VM; return every cross-tier observable
+    plus the interpreter (for engine inspection)."""
+    _reset_id_counters()
+    program, _ = Compiler(config, **compile_kw).compile(source)
+    kernel = Kernel(LaminarSecurityModule())
+    vm = LaminarVM(kernel)
+    if program.tags:
+        vm.current_thread.gain_capabilities(
+            CapabilitySet.dual(*program.tags.values())
+        )
+    interp = Interpreter(program, vm, tier2=policy)
+    try:
+        result = interp.run("main")
+        exc = None
+    except Exception as error:  # noqa: BLE001 - differential capture
+        result = None
+        exc = type(error).__name__
+    audit = tuple(str(entry) for entry in kernel.audit.entries())
+    return {
+        "result": result,
+        "exc": exc,
+        "output": tuple(interp.output),
+        "executed": interp.executed,
+        "enforcement": vm.barriers.stats.enforcement(),
+        "audit": audit,
+        "interp": interp,
+        "program": program,
+        "stats": vm.barriers.stats,
+    }
+
+
+def _equivalent(cold, hot):
+    for key in ("result", "exc", "output", "executed", "enforcement", "audit"):
+        assert cold[key] == hot[key], f"tier-2 diverged on {key}"
+
+
+class TestPromotion:
+    def test_hot_method_compiles_and_agrees(self):
+        cold = _observe(LOOP_SRC)
+        hot = _observe(LOOP_SRC, policy=HOT)
+        _equivalent(cold, hot)
+        engine = hot["interp"]._tier2
+        assert engine.compiles >= 1
+        assert engine.entries >= 1
+        assert hot["stats"].tier2_entries == engine.entries
+        assert engine.deopts == 0
+
+    def test_cold_program_stays_interpreted(self):
+        lukewarm = TierPolicy(invocation_threshold=10_000,
+                              backedge_threshold=1_000_000)
+        run = _observe(LOOP_SRC, policy=lukewarm)
+        engine = run["interp"]._tier2
+        assert engine.compiles == 0
+        assert run["stats"].tier2_entries == 0
+
+    def test_osr_promotes_long_running_invocation(self):
+        # Entry threshold unreachable (each method called a handful of
+        # times), back-edge threshold low: only OSR can reach tier 2.
+        policy = TierPolicy(invocation_threshold=10_000, backedge_threshold=20)
+        cold = _observe(LOOP_SRC)
+        hot = _observe(LOOP_SRC, policy=policy)
+        _equivalent(cold, hot)
+        engine = hot["interp"]._tier2
+        assert engine.osr_entries >= 1
+        assert engine.compiles >= 1
+
+    def test_dynamic_config_agrees(self):
+        cold = _observe(LOOP_SRC, config=JITConfig.DYNAMIC)
+        hot = _observe(LOOP_SRC, config=JITConfig.DYNAMIC, policy=HOT)
+        _equivalent(cold, hot)
+        assert hot["interp"]._tier2.compiles >= 1
+
+    def test_fusion_off_agrees(self):
+        nofuse = TierPolicy(invocation_threshold=2, backedge_threshold=6,
+                            fusion=False)
+        cold = _observe(LOOP_SRC)
+        hot = _observe(LOOP_SRC, policy=nofuse)
+        _equivalent(cold, hot)
+        assert hot["interp"]._tier2.compiles >= 1
+
+    def test_fusion_forms_superinstructions(self):
+        from repro.jit.tier2 import find_fused_pairs
+
+        program, _ = compile_source(LOOP_SRC, JITConfig.BASELINE)
+        fused = {}
+        for method in program.methods.values():
+            fused.update(find_fused_pairs(method))
+        assert "binop+cjump" in fused.values()
+
+
+class TestDeoptAndClone:
+    def test_opposite_context_deopts_then_clones(self):
+        cold = _observe(DUAL_CONTEXT_SRC, config=JITConfig.DYNAMIC,
+                        inline=False)
+        hot = _observe(DUAL_CONTEXT_SRC, config=JITConfig.DYNAMIC,
+                       inline=False, policy=HOT)
+        _equivalent(cold, hot)
+        engine = hot["interp"]._tier2
+        assert engine.deopts >= HOT.deopt_recompile_threshold
+        assert hot["stats"].tier2_deopts == engine.deopts
+        # The helper was compiled for both contexts: the out variant and
+        # an in-region clone materialized after repeated deopts.
+        touch_keys = {k for (name, k) in hot["program"].tier2_cache
+                      if name == "touch"}
+        assert ("out",) in touch_keys
+        assert any(k[0] == "in" for k in touch_keys), (
+            "expected an in-region clone after repeated deopts"
+        )
+
+    def test_no_stale_compilation_error_escapes(self):
+        # verify_static on the same shape *does* raise (the prototype's
+        # failure mode) while the tier-2 engine never does.
+        program, _ = Compiler(JITConfig.STATIC, inline=False).compile(
+            DUAL_CONTEXT_SRC
+        )
+        vm = LaminarVM(Kernel(LaminarSecurityModule()))
+        vm.current_thread.gain_capabilities(
+            CapabilitySet.dual(*program.tags.values())
+        )
+        with pytest.raises(StaleCompilationError):
+            Interpreter(program, vm, verify_static=True).run("main")
+        hot = _observe(DUAL_CONTEXT_SRC, config=JITConfig.STATIC,
+                       inline=False, policy=HOT)
+        assert hot["exc"] != "StaleCompilationError"
+
+    def test_below_threshold_deopts_keep_interpreting(self):
+        patient = TierPolicy(invocation_threshold=2, backedge_threshold=6,
+                             deopt_recompile_threshold=10_000)
+        hot = _observe(DUAL_CONTEXT_SRC, config=JITConfig.DYNAMIC,
+                       inline=False, policy=patient)
+        engine = hot["interp"]._tier2
+        assert engine.deopts >= 1
+        # touch runs hot inside work's region first, so its first (and,
+        # below the recompile threshold, only) variant is the in-region
+        # one; the out-context calls keep deopting to the interpreter
+        # instead of materializing a second variant.
+        touch_keys = {k for (name, k) in hot["program"].tier2_cache
+                      if name == "touch"}
+        assert len(touch_keys) == 1, touch_keys
+
+
+class TestGuardsAndInvalidation:
+    def test_fastpath_reconfigure_invalidates_code_cache(self):
+        _reset_id_counters()
+        program, _ = compile_source(LOOP_SRC, JITConfig.STATIC)
+        vm = LaminarVM(Kernel(LaminarSecurityModule()))
+        interp = Interpreter(program, vm, tier2=HOT)
+        first = interp.run("main")
+        assert program.tier2_cache
+        before = fastpath.counters.tier2_invalidations
+        # Any reconfiguration flushes caches and bumps the code epoch:
+        # compiled bodies bake interned labels and layer assumptions.
+        fastpath.configure(**fastpath.flags.as_dict())
+        second = interp.run("main")
+        assert second == first
+        assert fastpath.counters.tier2_invalidations == before + 1
+
+    def test_ir_mutation_invalidates_and_recompiles(self):
+        from repro.jit.ir import Instr, Opcode
+
+        program, _ = compile_source(LOOP_SRC, JITConfig.BASELINE,
+                                    inline=False)
+        vm = LaminarVM(Kernel(LaminarSecurityModule()))
+        interp = Interpreter(program, vm, tier2=HOT)
+        first = interp.run("main")
+        assert ("sum", ("out",)) in program.tier2_cache
+        method = program.method("sum")
+        entry = method.blocks[method.entry]
+        entry.instrs[:] = [
+            Instr(Opcode.CONST, ("acc", 123)),
+            Instr(Opcode.RET, ("acc",)),
+        ]
+        second = interp.run("main")
+        assert first != second
+        assert second == 123
+
+    def test_region_spec_mutation_compiles_new_variant(self):
+        src = """
+        class Box { v }
+        region method work() {
+        entry:
+          const i, 0
+        loop:
+          const lim, 10
+          binop c, lt, i, lim
+          br c, body, done
+        body:
+          const one, 1
+          binop i, add, i, one
+          jmp loop
+        done:
+          ret
+        }
+        method main() {
+        entry:
+          const j, 0
+        outer:
+          const lim, 4
+          binop c, lt, j, lim
+          br c, obody, odone
+        obody:
+          call _, work
+          const one, 1
+          binop j, add, j, one
+          jmp outer
+        odone:
+          ret j
+        }
+        """
+        from repro.runtime import LaminarAPI
+
+        program, _ = compile_source(src, JITConfig.BASELINE)
+        vm = LaminarVM(Kernel(LaminarSecurityModule()))
+        api = LaminarAPI(vm)
+        tag = api.create_and_add_capability("t")
+        interp = Interpreter(program, vm, tier2=HOT)
+        interp.run("main")
+        keys_before = {
+            k for (name, k) in program.tier2_cache if name == "work"
+        }
+        assert len(keys_before) == 1
+        # Mutating the spec is legal between runs; the label pair observed
+        # inside the region IS the cache key, so the old variant can never
+        # run for the new labels.
+        program.method("work").region_spec = RegionSpec(
+            secrecy=Label.of(tag), caps=CapabilitySet.dual(tag)
+        )
+        interp.run("main")
+        keys_after = {
+            k for (name, k) in program.tier2_cache if name == "work"
+        }
+        assert len(keys_after) == 2
+        assert keys_before < keys_after
+
+    def test_verify_static_disables_engine(self):
+        program, _ = compile_source(LOOP_SRC, JITConfig.STATIC)
+        vm = LaminarVM(Kernel(LaminarSecurityModule()))
+        interp = Interpreter(program, vm, verify_static=True, tier2=HOT)
+        assert interp._tier2 is None
+        interp.run("main")
+        assert not program.tier2_cache
+
+
+class TestAuditParity:
+    def test_violating_region_audit_is_byte_identical(self):
+        cold = _observe(VIOLATING_SRC, config=JITConfig.DYNAMIC, inline=False)
+        hot = _observe(VIOLATING_SRC, config=JITConfig.DYNAMIC, inline=False,
+                       policy=TierPolicy(invocation_threshold=1,
+                                         backedge_threshold=4))
+        assert any("REGION_SUPPRESS" in line or "suppress" in line.lower()
+                   for line in cold["audit"]), cold["audit"]
+        _equivalent(cold, hot)
+        assert hot["interp"]._tier2.compiles >= 1
+
+
+class TestCompilerWiring:
+    def test_tier_jit_attaches_policy(self):
+        program, report = Compiler(JITConfig.STATIC, tier="jit").compile(
+            LOOP_SRC
+        )
+        assert isinstance(program.tier_policy, TierPolicy)
+        assert report.tier == "jit"
+        assert "attach-tier2" in report.passes
+        vm = LaminarVM(Kernel(LaminarSecurityModule()))
+        interp = Interpreter(program, vm)
+        assert interp._tier2 is not None
+        assert interp._tier2.policy is program.tier_policy
+
+    def test_explicit_policy_implies_jit(self):
+        policy = TierPolicy(invocation_threshold=3)
+        program, report = Compiler(JITConfig.STATIC, tier2=policy).compile(
+            LOOP_SRC
+        )
+        assert program.tier_policy is policy
+        assert report.tier == "jit"
+
+    def test_default_tier_is_interp(self):
+        program, report = Compiler(JITConfig.STATIC).compile(LOOP_SRC)
+        assert program.tier_policy is None
+        assert report.tier == "interp"
+        vm = LaminarVM(Kernel(LaminarSecurityModule()))
+        assert Interpreter(program, vm)._tier2 is None
+
+    def test_bad_tier_rejected(self):
+        with pytest.raises(ValueError):
+            Compiler(tier="turbo")
+
+
+class TestCLI:
+    def _run_cli(self, *argv):
+        out = io.StringIO()
+        code = lamc_main(list(argv), out=out)
+        return code, out.getvalue()
+
+    def test_run_tier2_reports_engine(self, tmp_path):
+        path = tmp_path / "loop.ir"
+        path.write_text(LOOP_SRC)
+        code, text = self._run_cli(
+            "run", str(path), "--tier2", "--tier2-threshold", "2"
+        )
+        assert code == 0
+        assert "tier-2:" in text
+        assert "compiles" in text and "deopts" in text
+
+    def test_run_without_tier2_has_no_report(self, tmp_path):
+        path = tmp_path / "loop.ir"
+        path.write_text(LOOP_SRC)
+        code, text = self._run_cli("run", str(path))
+        assert code == 0
+        assert "tier-2:" not in text
+
+    def test_tier2_run_matches_interpreter_result(self, tmp_path):
+        path = tmp_path / "loop.ir"
+        path.write_text(LOOP_SRC)
+        _, plain = self._run_cli("run", str(path))
+        _, tiered = self._run_cli("run", str(path), "--tier2",
+                                  "--tier2-threshold", "2")
+        line = next(l for l in plain.splitlines() if l.startswith("result:"))
+        assert line in tiered
+
+    def test_disasm_tiers(self, tmp_path):
+        path = tmp_path / "dual.ir"
+        path.write_text(DUAL_CONTEXT_SRC)
+        code, text = self._run_cli(
+            "disasm", str(path), "--tiers", "--config", "dynamic"
+        )
+        assert code == 0
+        assert "tier pipeline:" in text
+        assert "baked barriers:" in text
+        assert "guards: entry (context key)" in text
+        assert "osr @" in text  # loop headers are OSR guard points
+        assert "fused:" in text
+
+    def test_plain_disasm_unchanged(self, tmp_path):
+        path = tmp_path / "loop.ir"
+        path.write_text(LOOP_SRC)
+        code, text = self._run_cli("disasm", str(path))
+        assert code == 0
+        assert "class Box { val }" in text
+        assert "tier pipeline:" not in text
