@@ -1,0 +1,197 @@
+"""Ablation: certificate-driven static barrier elimination (lamverify).
+
+The interprocedural pass (see ``test_ablation_lint_elim``) removes a
+barrier only when every calling context has already performed the same
+check.  The certifier goes further: when a method carries a
+:class:`~repro.analysis.typecheck.SecurityCertificate` — every runtime
+obligation statically discharged, transitively leak-free, race-free,
+context known — *all* of its barriers fall, because the certificate is a
+proof that none of them can ever fire.  This ablation quantifies the
+extra static barriers removed on the workload suite (Fig. 8 loops,
+txnmix, and the gradesheet/battleship region apps) and checks the
+acceptance criterion: certified elimination removes strictly more
+barriers than interprocedural on at least one workload, with
+byte-identical observables (result, printed output, audit log) on every
+workload.
+
+Machine-readable results land in ``BENCH_static_elim.json`` at the
+repository root; CI regenerates and gates it with
+``repro.tools.bench_check``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from conftest import publish
+from repro.bench import ALL_WORKLOADS
+from repro.bench.workloads import REGION_APPS
+from repro.core import CapabilitySet
+from repro.jit import Compiler, Interpreter, JITConfig
+from repro.osim import Kernel, LaminarSecurityModule
+from repro.runtime import LaminarVM
+
+pytestmark = pytest.mark.bench
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_static_elim.json"
+
+#: Every workload in the sweep: name -> zero-argument source generator.
+WORKLOADS = {**ALL_WORKLOADS, **REGION_APPS}
+
+MODES = ("interprocedural", "certified")
+
+
+def _compile(name: str, mode):
+    # inline=False keeps the dual-context call sites that make the
+    # region apps interesting (see the gradesheet docstring).
+    compiler = Compiler(JITConfig.DYNAMIC, optimize_barriers=mode, inline=False)
+    return compiler.compile(WORKLOADS[name]())
+
+
+def _execute(program):
+    kernel = Kernel(LaminarSecurityModule())
+    vm = LaminarVM(kernel)
+    if program.tags:
+        vm.current_thread.gain_capabilities(
+            CapabilitySet.dual(*program.tags.values())
+        )
+    interp = Interpreter(program, vm)
+    result = interp.run("main")
+    audit = tuple(str(entry) for entry in kernel.audit.entries())
+    return (result, tuple(interp.output), audit), vm.barriers.stats.total
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    rows = {}
+    for name in WORKLOADS:
+        row = {}
+        observables = {}
+        for mode in MODES:
+            program, report = _compile(name, mode)
+            obs, executed = _execute(program)
+            observables[mode] = obs
+            key = "interproc" if mode == "interprocedural" else "certified"
+            row[f"static_{key}"] = report.barriers_final
+            row[f"exec_{key}"] = executed
+            if mode == "certified":
+                row["removed_certified"] = report.barriers_removed_certified
+                row["certified_methods"] = sorted(program.certified_methods)
+        assert observables["interprocedural"] == observables["certified"], (
+            f"{name}: certified elimination changed observables"
+        )
+        row["observables_identical"] = True
+        rows[name] = row
+    return rows
+
+
+def test_static_elim_report(sweep):
+    payload = {
+        "benchmark": "static_elim_ablation",
+        "modes": list(MODES),
+        "workloads": {
+            name: {
+                "static_interproc": row["static_interproc"],
+                "static_certified": row["static_certified"],
+                "removed_certified": row["removed_certified"],
+                "exec_interproc": row["exec_interproc"],
+                "exec_certified": row["exec_certified"],
+                "certified_methods": row["certified_methods"],
+            }
+            for name, row in sweep.items()
+        },
+        "totals": {
+            "static_interproc": sum(
+                r["static_interproc"] for r in sweep.values()
+            ),
+            "static_certified": sum(
+                r["static_certified"] for r in sweep.values()
+            ),
+            "removed_certified": sum(
+                r["removed_certified"] for r in sweep.values()
+            ),
+            "exec_interproc": sum(r["exec_interproc"] for r in sweep.values()),
+            "exec_certified": sum(r["exec_certified"] for r in sweep.values()),
+        },
+        "strictly_better": any(
+            r["static_certified"] < r["static_interproc"]
+            for r in sweep.values()
+        ),
+        "observables_identical": all(
+            r["observables_identical"] for r in sweep.values()
+        ),
+    }
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = [
+        "Ablation — certificate-driven barrier elimination (lamverify)",
+        "=" * 72,
+        f"{'workload':<12}{'interproc':>10}{'certified':>10}{'extra':>7}"
+        f"{'exec saved':>12}  certified methods",
+        "-" * 72,
+    ]
+    for name, row in sweep.items():
+        saved = row["exec_interproc"] - row["exec_certified"]
+        methods = ", ".join(row["certified_methods"]) or "-"
+        lines.append(
+            f"{name:<12}{row['static_interproc']:>10}"
+            f"{row['static_certified']:>10}{row['removed_certified']:>7}"
+            f"{saved:>12}  {methods}"
+        )
+    totals = payload["totals"]
+    lines += [
+        "",
+        f"static barriers: {totals['static_interproc']} interproc -> "
+        f"{totals['static_certified']} certified "
+        f"({totals['removed_certified']} removed by certificates)",
+        f"executed checks: {totals['exec_interproc']} -> "
+        f"{totals['exec_certified']}",
+        f"observables identical: {payload['observables_identical']}",
+    ]
+    publish("ablation_static_elim", "\n".join(lines))
+
+
+def test_certified_never_adds_barriers(sweep):
+    for name, row in sweep.items():
+        assert row["static_certified"] <= row["static_interproc"], name
+        assert row["exec_certified"] <= row["exec_interproc"], name
+
+
+def test_certified_strictly_better_somewhere(sweep):
+    """Acceptance criterion: on at least one workload the certifier
+    removes strictly more static barriers than the interprocedural pass
+    — with observables asserted identical inside the sweep fixture."""
+    winners = [
+        name for name, row in sweep.items()
+        if row["static_certified"] < row["static_interproc"]
+    ]
+    assert winners, "certified elimination never beat interprocedural"
+
+
+def test_certified_saves_runtime_checks(sweep):
+    total_inter = sum(r["exec_interproc"] for r in sweep.values())
+    total_cert = sum(r["exec_certified"] for r in sweep.values())
+    assert total_cert < total_inter
+
+
+def test_json_snapshot_written(sweep):
+    payload = json.loads(JSON_PATH.read_text())
+    assert payload["observables_identical"] is True
+    assert payload["strictly_better"] is True
+
+
+def test_certified_benchmark(benchmark):
+    """pytest-benchmark hook: sortbench under certified elimination."""
+    program, _ = Compiler(
+        JITConfig.DYNAMIC, optimize_barriers="certified"
+    ).compile(ALL_WORKLOADS["sortbench"]())
+
+    def run():
+        vm = LaminarVM(Kernel(LaminarSecurityModule()))
+        return Interpreter(program, vm).run("main")
+
+    benchmark(run)

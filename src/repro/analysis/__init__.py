@@ -1,4 +1,4 @@
-"""lamlint: whole-program static analysis for the mini-JIT.
+"""lamlint + lamverify: whole-program static analysis for the mini-JIT.
 
 Layered on the generalized dataflow framework in :mod:`repro.jit.dataflow`:
 
@@ -10,18 +10,42 @@ Layered on the generalized dataflow framework in :mod:`repro.jit.dataflow`:
 * :mod:`repro.analysis.labelflow` — definitely-unlabeled and may-taint
   label-flow passes with provenance;
 * :mod:`repro.analysis.diagnostics` / :mod:`repro.analysis.lint` — the
-  LAM rule set behind ``lamc lint``.
+  LAM rule set behind ``lamc lint``;
+* :mod:`repro.analysis.typecheck` — the security-type certifier issuing
+  machine-checkable per-method :class:`~.typecheck.SecurityCertificate`\\ s
+  (consumed by ``Compiler(optimize_barriers="certified")`` and tier-2);
+* :mod:`repro.analysis.races` — the lockset + happens-before label-race
+  detector (LAM007/LAM008);
+* :mod:`repro.analysis.verify` — the ``lamc verify`` driver combining
+  lint, races and certification (LAM009);
+* :mod:`repro.analysis.secretswap` — the two-run noninterference oracle
+  backing the certifier's soundness tests.
 """
 
 from .callgraph import CallGraph, CallSite, build_callgraph
-from .diagnostics import Diagnostic, SEVERITY_OF
+from .diagnostics import Diagnostic, RULE_SUMMARIES, SEVERITY_OF, to_sarif
 from .labelflow import FlowStep, TaintAnalysis, UnlabeledAnalysis
 from .lint import LintReport, RULES, run_lint
+from .races import RaceReport, detect_races
 from .safety import (
     InterproceduralFacts,
     compute_interprocedural_facts,
     may_raise_suppressible,
 )
+from .secretswap import (
+    Observables,
+    assert_swap_indistinguishable,
+    collect_observables,
+    swap_check,
+)
+from .typecheck import (
+    Obligation,
+    SecurityCertificate,
+    TypecheckResult,
+    check_certificate,
+    typecheck_program,
+)
+from .verify import VerifyReport, run_verify
 
 __all__ = [
     "CallGraph",
@@ -30,12 +54,27 @@ __all__ = [
     "FlowStep",
     "InterproceduralFacts",
     "LintReport",
+    "Obligation",
+    "Observables",
+    "RaceReport",
     "RULES",
+    "RULE_SUMMARIES",
     "SEVERITY_OF",
+    "SecurityCertificate",
     "TaintAnalysis",
+    "TypecheckResult",
     "UnlabeledAnalysis",
+    "VerifyReport",
+    "assert_swap_indistinguishable",
     "build_callgraph",
+    "check_certificate",
+    "collect_observables",
     "compute_interprocedural_facts",
+    "detect_races",
     "may_raise_suppressible",
     "run_lint",
+    "run_verify",
+    "swap_check",
+    "to_sarif",
+    "typecheck_program",
 ]

@@ -27,7 +27,21 @@ LAM005    warning   statics smuggling: a non-region helper that may run
 LAM006    warning   possible secret leak: a value that may derive from
                     secrecy-labeled data reaches an unchecked output
                     channel (print, unlabeled static)
+LAM007    error     label race: two threads can observe the same shared
+                    object under different label contexts (a write under
+                    one set of region labels races with an access under
+                    another), so enforcement depends on scheduling
+LAM008    warning   unsynchronized shared write in a region: concurrent
+                    threads write the same object with no common lock
+                    while at least one runs under region labels
+LAM009    info      certified secure: every check obligation in the
+                    method is discharged by the security type system, so
+                    its barriers are eliminable without changing behavior
 ========  ========  =====================================================
+
+``LAM000``–``LAM006`` are produced by ``lamc lint`` (:mod:`.lint`);
+``LAM007``–``LAM009`` only by ``lamc verify`` (:mod:`.verify`), which
+layers the race detector and the security-type certifier on top.
 """
 
 from __future__ import annotations
@@ -53,6 +67,23 @@ SEVERITY_OF = {
     "LAM004": WARNING,
     "LAM005": WARNING,
     "LAM006": WARNING,
+    "LAM007": ERROR,
+    "LAM008": WARNING,
+    "LAM009": INFO,
+}
+
+#: One-line rule descriptions, surfaced in SARIF output and ``--help``.
+RULE_SUMMARIES = {
+    "LAM000": "front-end rejection (parser / verifier / region check)",
+    "LAM001": "guaranteed label-flow violation (Bell-LaPadula or Biba)",
+    "LAM002": "every label check in a region method is provably redundant",
+    "LAM003": "unreachable code in a region method",
+    "LAM004": "declared catch handler can never run",
+    "LAM005": "statics smuggling past the region checker's static ban",
+    "LAM006": "possible secret leak to an unchecked output channel",
+    "LAM007": "label race: threads may observe different label states",
+    "LAM008": "unsynchronized shared write in a region",
+    "LAM009": "certified secure: all check obligations discharged",
 }
 
 
@@ -128,3 +159,83 @@ def make(code: str, method: str, message: str, *, block: str | None = None,
         index=index,
         trace=tuple(trace),
     )
+
+
+# -- SARIF 2.1.0 --------------------------------------------------------------
+
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Diagnostic severity -> SARIF result level.
+_SARIF_LEVEL = {ERROR: "error", WARNING: "warning", INFO: "note"}
+
+
+def to_sarif(
+    diagnostics, tool_name: str, artifact: str | None = None
+) -> dict:
+    """Render diagnostics as a SARIF 2.1.0 log (one run).
+
+    Findings have no source positions — the IR location (method / block /
+    instruction index) goes into a logical location and the message.  The
+    rule table lists every code the tool can emit, so empty runs still
+    carry the rule metadata CI dashboards key on.
+    """
+    results = []
+    for diag in diagnostics:
+        location: dict = {
+            "logicalLocations": [
+                {"fullyQualifiedName": diag.location(), "kind": "function"}
+            ]
+        }
+        if artifact is not None:
+            location["physicalLocation"] = {
+                "artifactLocation": {"uri": artifact}
+            }
+        result = {
+            "ruleId": diag.code,
+            "level": _SARIF_LEVEL.get(diag.severity, "warning"),
+            "message": {"text": f"{diag.location()}: {diag.message}"},
+            "locations": [location],
+        }
+        if diag.trace:
+            result["codeFlows"] = [{
+                "threadFlows": [{
+                    "locations": [
+                        {
+                            "location": {
+                                "logicalLocations": [{
+                                    "fullyQualifiedName": step.location(),
+                                }],
+                                "message": {"text": step.note},
+                            }
+                        }
+                        for step in diag.trace
+                    ]
+                }]
+            }]
+        results.append(result)
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": tool_name,
+                    "informationUri": "https://example.invalid/laminar-repro",
+                    "rules": [
+                        {
+                            "id": code,
+                            "shortDescription": {"text": summary},
+                            "defaultConfiguration": {
+                                "level": _SARIF_LEVEL[SEVERITY_OF[code]]
+                            },
+                        }
+                        for code, summary in sorted(RULE_SUMMARIES.items())
+                    ],
+                }
+            },
+            "results": results,
+        }],
+    }

@@ -454,10 +454,20 @@ class TaintAnalysis:
                                 _PARAM_TOKEN
                             ):
                                 incoming[site.callee].add((param, token))
-                new_summary = TaintSummary(
-                    ret_from_params=frozenset(ret_from_params),
-                    ret_regions=frozenset(ret_regions),
-                )
+                if method.is_declassifier:
+                    # Declared declassification module (the IR analog of
+                    # runtime/declassifiers.py): its return value is
+                    # *audited policy output*, released on purpose.  The
+                    # laundered result must not stay may-tainted, or every
+                    # legitimate release downstream becomes a LAM006 false
+                    # positive.  Taint flowing *into* the module is still
+                    # tracked — only the return boundary launders.
+                    new_summary = TaintSummary()
+                else:
+                    new_summary = TaintSummary(
+                        ret_from_params=frozenset(ret_from_params),
+                        ret_regions=frozenset(ret_regions),
+                    )
                 if new_summary != self.summaries[name]:
                     self.summaries[name] = new_summary
                     changed = True

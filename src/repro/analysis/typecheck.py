@@ -1,0 +1,753 @@
+"""Security-type certifier: flow-sensitive label typing over the IR.
+
+This is the PR's static-analysis tentpole: a security type system whose
+judgments run over the existing CFG/dataflow framework and whose output
+is a per-method :class:`SecurityCertificate` — a machine-checkable list
+of the runtime checks the method would perform, each either *discharged*
+(statically proven to pass, or proven to be a no-op) or left open.  A
+method whose every obligation is discharged, whose body (transitively)
+moves no secret to an observable channel, and which is free of label
+races is **certified**: its barriers can be deleted wholesale without
+changing any observable behavior, and the tier-2 JIT can skip its
+shape/deopt guards (there is nothing left for a guard to protect).
+
+Judgments
+---------
+
+Per-register label types come from two existing interprocedural facts
+(:mod:`.labelflow`), plus a method-local freshness fact (:mod:`.safety`):
+
+* ``fresh(r)``      — ``r`` definitely holds an object allocated in this
+  method (must-analysis); such an object carries exactly the labels of
+  the context that allocated it, so every check on it passes in every
+  barrier variant (the same premise the intraprocedural eliminator
+  uses).
+* ``unlabeled(r)``  — ``r`` definitely holds a label-free object
+  (whole-program must-analysis).
+* ``ctx(m)``        — the contexts the body may run in, a subset of
+  ``{"in", "out"}`` from the call graph; ``S(m)`` / ``I(m)`` — whether
+  every region that can govern ``m`` declares empty secrecy / integrity.
+
+Discharge rules per obligation kind (each names the rule and the facts
+used, so :func:`check_certificate` can re-derive it):
+
+===============  =============================================================
+obligation       discharged when
+===============  =============================================================
+read check       ``fresh(r)``, or ``unlabeled(r)`` and every in-region
+                 context has empty integrity (Biba read-up cannot fail
+                 against the empty object label; the out-of-region space
+                 check passes on an unlabeled object)
+write check      ``fresh(r)``, or ``unlabeled(r)`` and every in-region
+                 context has empty secrecy (Bell-LaPadula write-down)
+alloc labeling   the thread's labels are provably empty in every context
+                 (labeling a fresh object is then a no-op, so removing the
+                 allocation barrier leaves the heap byte-identical)
+static check     never (static label maps are populated at run time, so
+                 no static proof exists; methods guarding statics keep
+                 their barriers)
+===============  =============================================================
+
+pc-labels
+---------
+
+Branches on secret-derived conditions raise the *program-counter label*:
+everything control-dependent on the branch — the blocks between it and
+its immediate postdominator — executes or not depending on a secret.
+The certifier computes postdominators per method, assigns the branch
+condition's taint to every register defined in the dependent blocks, and
+treats an observable effect (``print``, ``putstatic``, and ``ret`` in a
+closed-world entry method) under a tainted pc as an implicit leak.  Both
+explicit leaks (the LAM006 sinks) and implicit leaks block
+certification.
+
+Method summaries over SCCs
+--------------------------
+
+Leak-freedom must be transitive: a certified method may not call (or
+spawn) its way to a leak.  A bottom-up pass over the call graph's
+strongly connected components computes ``clean*(m) = clean(m) and
+clean*(callee)`` for every call and spawn edge, with SCC members sharing
+one verdict; spawn edges (not part of the call graph) are closed over by
+an outer fixpoint.
+
+Closed-world entry assumption
+-----------------------------
+
+Certificates trust the call-graph context facts, which assume programs
+are entered at a root method outside any region — the same assumption
+the static barrier flavors already compile in (an ambient-region entry
+raises ``StaleCompilationError`` there, and would equally void a
+certificate here).  Certificates for methods whose context cannot be
+pinned down (unreachable code) are never issued.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..jit.barrier_insertion import BARRIER_OPS, _accessed_register
+from ..jit.cfg import CFG
+from ..jit.ir import (
+    ALLOC_OPS,
+    Method,
+    Opcode,
+    Program,
+    READ_OPS,
+    WRITE_OPS,
+)
+from .callgraph import CallGraph, IN_REGION
+from .labelflow import TaintAnalysis, UnlabeledAnalysis
+from .safety import region_fresh_registers
+
+#: Obligation kinds.
+READ_CHECK = "read-check"
+WRITE_CHECK = "write-check"
+ALLOC_LABEL = "alloc-label"
+STATIC_READ = "static-read-check"
+STATIC_WRITE = "static-write-check"
+
+#: Discharge rule names (stable API: certificates carry them and
+#: :func:`check_certificate` re-derives them).
+RULE_FRESH = "region-fresh"
+RULE_UNLABELED_INTEGRITY = "unlabeled-empty-integrity"
+RULE_UNLABELED_SECRECY = "unlabeled-empty-secrecy"
+RULE_CONTEXT_LABEL_FREE = "context-label-free"
+
+
+@dataclass(frozen=True)
+class Obligation:
+    """One runtime check the method performs, with its static verdict."""
+
+    kind: str
+    method: str
+    block: str
+    index: int
+    #: The checked register (object checks) or static name.
+    subject: str
+    discharged: bool
+    #: Discharge rule applied, or ``None`` when the obligation is open.
+    rule: str | None = None
+    #: Human-readable premises the rule consumed (the proof sketch).
+    evidence: tuple[str, ...] = ()
+
+    def location(self) -> str:
+        return f"{self.method}/{self.block}[{self.index}]"
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "block": self.block,
+            "index": self.index,
+            "subject": self.subject,
+            "discharged": self.discharged,
+            "rule": self.rule,
+            "evidence": list(self.evidence),
+        }
+
+
+@dataclass(frozen=True)
+class LeakFinding:
+    """A secret-to-observable flow inside one method (explicit sink or
+    implicit flow under a tainted pc)."""
+
+    method: str
+    block: str
+    index: int
+    register: str
+    regions: frozenset
+    kind: str  # "explicit" | "implicit"
+    note: str
+
+    def to_dict(self) -> dict:
+        return {
+            "block": self.block,
+            "index": self.index,
+            "register": self.register,
+            "regions": sorted(self.regions),
+            "kind": self.kind,
+            "note": self.note,
+        }
+
+
+@dataclass(frozen=True)
+class SecurityCertificate:
+    """The certifier's verdict for one method.
+
+    ``certified`` is true iff every obligation is discharged, the method
+    is transitively leak-free, it is implicated in no label race, and
+    its execution context is known under the closed-world entry
+    assumption.  The obligation list with its rules and evidence is the
+    machine-checkable proof sketch — :func:`check_certificate` re-derives
+    every discharged rule from scratch.
+    """
+
+    method: str
+    contexts: frozenset
+    governors: frozenset
+    obligations: tuple[Obligation, ...] = ()
+    leaks: tuple[LeakFinding, ...] = ()
+    #: Human-readable summaries of race findings implicating this method.
+    races: tuple[str, ...] = ()
+    transitively_clean: bool = True
+    certified: bool = False
+
+    @property
+    def discharged(self) -> int:
+        return sum(1 for ob in self.obligations if ob.discharged)
+
+    @property
+    def open(self) -> tuple[Obligation, ...]:
+        return tuple(ob for ob in self.obligations if not ob.discharged)
+
+    def to_dict(self) -> dict:
+        return {
+            "method": self.method,
+            "certified": self.certified,
+            "contexts": sorted(self.contexts),
+            "governors": sorted(self.governors),
+            "obligations": [ob.to_dict() for ob in self.obligations],
+            "discharged": self.discharged,
+            "leaks": [leak.to_dict() for leak in self.leaks],
+            "races": list(self.races),
+            "transitively_clean": self.transitively_clean,
+        }
+
+
+# ---------------------------------------------------------------------------
+# postdominators / pc-taint
+# ---------------------------------------------------------------------------
+
+_VIRTUAL_EXIT = "\0exit\0"
+
+
+def postdominators(method: Method) -> dict[str, frozenset]:
+    """Per block, the labels that postdominate it (including itself).
+
+    Blocks with no successors postdominate through a shared virtual exit,
+    so diamonds with multiple ``ret`` blocks still meet.  Unreachable
+    blocks keep the full set (vacuously true), which keeps callers total.
+    """
+    cfg = CFG(method)
+    labels = list(method.blocks)
+    exits = [l for l in labels if not cfg.succs[l]]
+    everything = frozenset(labels) | {_VIRTUAL_EXIT}
+    post: dict[str, frozenset] = {l: everything for l in labels}
+    post[_VIRTUAL_EXIT] = frozenset({_VIRTUAL_EXIT})
+    changed = True
+    while changed:
+        changed = False
+        for label in reversed(labels):
+            succs = cfg.succs[label] or (_VIRTUAL_EXIT,)
+            if label in exits:
+                succs = (_VIRTUAL_EXIT,)
+            merged = frozenset.intersection(*(post[s] for s in succs))
+            new = merged | {label}
+            if new != post[label]:
+                post[label] = new
+                changed = True
+    return {l: post[l] - {_VIRTUAL_EXIT} for l in labels}
+
+
+def _influence_region(
+    method: Method, branch_block: str, post: dict[str, frozenset]
+) -> frozenset:
+    """Blocks control-dependent on the branch terminating ``branch_block``:
+    everything reachable from its successors before the branch's nearest
+    postdominator (the rejoin point)."""
+    cfg = CFG(method)
+    stop = post[branch_block] - {branch_block}
+    seen: set[str] = set()
+    work = [s for s in cfg.succs[branch_block] if s not in stop]
+    while work:
+        label = work.pop()
+        if label in seen:
+            continue
+        seen.add(label)
+        for succ in cfg.succs[label]:
+            if succ not in stop and succ not in seen:
+                work.append(succ)
+    return frozenset(seen)
+
+
+def _pc_tainted_registers(
+    method: Method, taint: TaintAnalysis, name: str
+) -> tuple[dict[str, frozenset], list[LeakFinding]]:
+    """pc-label tracking: registers whose *value* may depend on a secret
+    branch (defined under a tainted pc), and observable effects sitting
+    directly inside a tainted influence region.
+
+    Returns ``(tainted_defs, implicit_leaks)`` where ``tainted_defs``
+    maps registers to the regions their pc-taint derives from.  The
+    register set is then closed under data flow by the caller.
+    """
+    post = postdominators(method)
+    tainted_defs: dict[str, set] = {}
+    leaks: list[LeakFinding] = []
+    for label, block in method.blocks.items():
+        term = block.instrs[-1] if block.instrs else None
+        if term is None or term.op is not Opcode.BR:
+            continue
+        cond = term.operands[0]
+        regions = taint.tainted_regions(
+            name, label, len(block.instrs) - 1, cond
+        )
+        if not regions:
+            continue
+        influence = _influence_region(method, label, post)
+        for dep_label in influence:
+            for index, instr in enumerate(method.blocks[dep_label].instrs):
+                defined = instr.defined_register()
+                if defined is not None:
+                    tainted_defs.setdefault(defined, set()).update(regions)
+                if instr.op in (Opcode.PRINT, Opcode.PUTSTATIC):
+                    channel = (
+                        "print" if instr.op is Opcode.PRINT
+                        else f"static '{instr.operands[0]}'"
+                    )
+                    leaks.append(LeakFinding(
+                        name, dep_label, index,
+                        cond, frozenset(regions), "implicit",
+                        f"{channel} is control-dependent on secret branch "
+                        f"condition {cond!r} at {name}/{label}",
+                    ))
+    return (
+        {reg: frozenset(rs) for reg, rs in tainted_defs.items()},
+        leaks,
+    )
+
+
+def _close_over_dataflow(method: Method, seeds: dict[str, frozenset]):
+    """Flow-insensitive closure of pc-taint over the method's def-use
+    chains (a register computed from a pc-tainted register is itself
+    pc-tainted).  Over-approximate by design: pc-taint gates
+    certification, it does not feed diagnostics with traces."""
+    tainted = {reg: set(rs) for reg, rs in seeds.items()}
+    changed = True
+    while changed:
+        changed = False
+        for instr in method.all_instrs():
+            defined = instr.defined_register()
+            if defined is None:
+                continue
+            incoming: set = set()
+            for used in instr.used_registers():
+                incoming |= tainted.get(used, set())
+            if incoming and not incoming <= tainted.get(defined, set()):
+                tainted.setdefault(defined, set()).update(incoming)
+                changed = True
+    return {reg: frozenset(rs) for reg, rs in tainted.items()}
+
+
+# ---------------------------------------------------------------------------
+# obligation discharge
+# ---------------------------------------------------------------------------
+
+
+def _governor_labels_empty(
+    program: Program, governors: frozenset, which: str
+) -> bool:
+    """Every region that can govern the method declares an empty ``which``
+    label set (so the thread's ``which`` labels are provably empty while
+    the body runs in-region)."""
+    if not governors:
+        return False  # in-region with unknown governor: prove nothing
+    for gov in governors:
+        spec = program.methods[gov].region_spec
+        if spec is None:
+            continue  # no declared spec = empty labels
+        labels = spec.secrecy if which == "secrecy" else spec.integrity
+        if not labels.is_empty:
+            return False
+    return True
+
+
+class _MethodFacts:
+    """The per-method fact bundle the discharge rules consume."""
+
+    def __init__(
+        self,
+        program: Program,
+        name: str,
+        contexts: frozenset,
+        governors: frozenset,
+        unlabeled: UnlabeledAnalysis,
+    ) -> None:
+        self.name = name
+        self.contexts = contexts
+        self.governors = governors
+        self.fresh = region_fresh_registers(program.methods[name])
+        self.unlabeled = unlabeled
+        self.may_be_in = IN_REGION in contexts
+        self.known_context = bool(contexts)
+        self.secrecy_empty = not self.may_be_in or _governor_labels_empty(
+            program, governors, "secrecy"
+        )
+        self.integrity_empty = not self.may_be_in or _governor_labels_empty(
+            program, governors, "integrity"
+        )
+
+    def ctx_evidence(self) -> str:
+        return f"ctx({self.name})={{{', '.join(sorted(self.contexts))}}}"
+
+
+def _discharge(
+    facts: _MethodFacts,
+    kind: str,
+    subject: str,
+    block: str,
+    index: int,
+    unlabeled_here: frozenset,
+) -> tuple[str | None, tuple[str, ...]]:
+    """Apply the discharge rules; returns ``(rule, evidence)`` or
+    ``(None, ())`` when the obligation stays open."""
+    if not facts.known_context:
+        return None, ()
+    if kind in (READ_CHECK, WRITE_CHECK):
+        if subject in facts.fresh[block][index]:
+            return RULE_FRESH, (
+                f"fresh({subject})@{block}[{index}]", facts.ctx_evidence()
+            )
+        if subject in unlabeled_here:
+            if kind is READ_CHECK or kind == READ_CHECK:
+                if facts.integrity_empty:
+                    return RULE_UNLABELED_INTEGRITY, (
+                        f"unlabeled({subject})@{block}[{index}]",
+                        facts.ctx_evidence(),
+                        "integrity(governors)=empty",
+                    )
+            else:
+                if facts.secrecy_empty:
+                    return RULE_UNLABELED_SECRECY, (
+                        f"unlabeled({subject})@{block}[{index}]",
+                        facts.ctx_evidence(),
+                        "secrecy(governors)=empty",
+                    )
+        return None, ()
+    if kind == ALLOC_LABEL:
+        if facts.secrecy_empty and facts.integrity_empty:
+            return RULE_CONTEXT_LABEL_FREE, (
+                facts.ctx_evidence(),
+                "labels(governors)=empty",
+            )
+        return None, ()
+    # Static checks: labels are attached at run time, never provable.
+    return None, ()
+
+
+def _method_obligations(
+    program: Program, name: str, facts: _MethodFacts
+) -> list[Obligation]:
+    """Generate and discharge the method's obligations.
+
+    On an instrumented method (barriers present) obligations attach to
+    the barrier instructions — exactly the checks certified elimination
+    would delete.  On source programs they attach to the heap accesses
+    the compiler *would* instrument, so ``lamc verify`` reports the same
+    verdicts without compiling first.
+    """
+    method = program.methods[name]
+    instrumented = any(
+        instr.op in BARRIER_OPS for instr in method.all_instrs()
+    )
+    out: list[Obligation] = []
+    for label, block in method.blocks.items():
+        unlabeled_list = facts.unlabeled.facts_before(name, label)
+        for index, instr in enumerate(block.instrs):
+            op = instr.op
+            kind = subject = None
+            if instrumented:
+                if op is Opcode.READBAR:
+                    kind, subject = READ_CHECK, instr.operands[0]
+                elif op is Opcode.WRITEBAR:
+                    kind, subject = WRITE_CHECK, instr.operands[0]
+                elif op is Opcode.ALLOCBAR:
+                    kind, subject = ALLOC_LABEL, instr.operands[0]
+                elif op is Opcode.SREADBAR:
+                    kind, subject = STATIC_READ, instr.operands[0]
+                elif op is Opcode.SWRITEBAR:
+                    kind, subject = STATIC_WRITE, instr.operands[0]
+            else:
+                if op in READ_OPS:
+                    kind, subject = READ_CHECK, _accessed_register(instr)
+                elif op in WRITE_OPS:
+                    kind, subject = WRITE_CHECK, _accessed_register(instr)
+                elif op in ALLOC_OPS:
+                    kind, subject = ALLOC_LABEL, instr.operands[0]
+            if kind is None:
+                continue
+            rule, evidence = _discharge(
+                facts, kind, subject, label, index, unlabeled_list[index]
+            )
+            out.append(Obligation(
+                kind=kind, method=name, block=label, index=index,
+                subject=subject, discharged=rule is not None,
+                rule=rule, evidence=evidence,
+            ))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# leak detection (explicit sinks + implicit pc flows)
+# ---------------------------------------------------------------------------
+
+
+def _method_leaks(
+    program: Program,
+    name: str,
+    cg: CallGraph,
+    taint: TaintAnalysis,
+) -> list[LeakFinding]:
+    method = program.methods[name]
+    is_root = not cg.callers[name]
+    leaks: list[LeakFinding] = []
+    pc_seeds, implicit = _pc_tainted_registers(method, taint, name)
+    leaks.extend(implicit)
+    pc_tainted = _close_over_dataflow(method, pc_seeds)
+    for label, block in method.blocks.items():
+        for index, instr in enumerate(block.instrs):
+            op = instr.op
+            if op is Opcode.PRINT:
+                reg, channel = instr.operands[0], "print"
+            elif op is Opcode.PUTSTATIC:
+                reg, channel = (
+                    instr.operands[1], f"static '{instr.operands[0]}'"
+                )
+            elif op is Opcode.RET and is_root and instr.operands[0]:
+                # Closed world: a root method's return value goes to the
+                # embedder and is observable (lamc run prints it).
+                reg, channel = instr.operands[0], "entry return value"
+            else:
+                continue
+            regions = taint.tainted_regions(name, label, index, reg)
+            if regions:
+                leaks.append(LeakFinding(
+                    name, label, index, reg, frozenset(regions), "explicit",
+                    f"{reg!r} may derive from secrecy region(s) "
+                    f"{', '.join(sorted(regions))} and reaches {channel}",
+                ))
+            pc_regions = pc_tainted.get(reg, frozenset())
+            if pc_regions and not regions:
+                leaks.append(LeakFinding(
+                    name, label, index, reg, pc_regions, "implicit",
+                    f"{reg!r} was computed under a pc tainted by secrecy "
+                    f"region(s) {', '.join(sorted(pc_regions))} and "
+                    f"reaches {channel}",
+                ))
+    return leaks
+
+
+def _spawn_targets(program: Program) -> dict[str, set[str]]:
+    out: dict[str, set[str]] = {m: set() for m in program.methods}
+    for name, method in program.methods.items():
+        for instr in method.all_instrs():
+            if instr.op is Opcode.SPAWN and instr.operands[1] in program.methods:
+                out[name].add(instr.operands[1])
+    return out
+
+
+def _transitive_clean(
+    program: Program, cg: CallGraph, local_clean: dict[str, bool]
+) -> dict[str, bool]:
+    """Bottom-up summary pass over call-graph SCCs: a method is
+    transitively clean iff it and everything it can call or spawn is.
+    Call edges resolve in one SCC walk (components arrive callees-first);
+    spawn edges, which the call graph does not carry, are closed by the
+    outer fixpoint."""
+    spawns = _spawn_targets(program)
+    trans = dict(local_clean)
+    for _ in range(len(program.methods) + 1):
+        changed = False
+        for scc in cg.sccs():  # reverse topological: callees first
+            ok = all(trans[m] for m in scc)
+            if ok:
+                for m in scc:
+                    for callee in cg.callees[m] | spawns[m]:
+                        if callee not in scc and not trans[callee]:
+                            ok = False
+                            break
+                    if not ok:
+                        break
+            if not ok:
+                for m in scc:
+                    if trans[m]:
+                        trans[m] = False
+                        changed = True
+        if not changed:
+            break
+    return trans
+
+
+# ---------------------------------------------------------------------------
+# the certifier
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TypecheckResult:
+    """Certificates for every method of one program."""
+
+    program: Program
+    certificates: dict[str, SecurityCertificate] = field(default_factory=dict)
+
+    def certified(self) -> frozenset:
+        return frozenset(
+            name
+            for name, cert in self.certificates.items()
+            if cert.certified
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            name: cert.to_dict()
+            for name, cert in sorted(self.certificates.items())
+        }
+
+
+def typecheck_program(
+    program: Program,
+    labeled_statics: bool = False,
+    callgraph: CallGraph | None = None,
+    races=None,
+    taint: TaintAnalysis | None = None,
+    unlabeled: UnlabeledAnalysis | None = None,
+) -> TypecheckResult:
+    """Certify every method of a (verified) program.
+
+    ``races`` is an optional :class:`repro.analysis.races.RaceReport`;
+    when given, methods implicated in a race finding are never certified
+    (a method containing thread operations is certified only when the
+    detector proved it race-free).  ``labeled_statics`` matches the
+    compiler flag: it turns static accesses into (undischargeable)
+    obligations instead of leaving them to the region checker's ban.
+    """
+    cg = callgraph or CallGraph(program)
+    contexts = cg.region_contexts()
+    governors = cg.governing_regions()
+    unlabeled = unlabeled or UnlabeledAnalysis(program, cg)
+    taint = taint or TaintAnalysis(program, cg)
+
+    obligations: dict[str, list[Obligation]] = {}
+    leaks: dict[str, list[LeakFinding]] = {}
+    for name in program.methods:
+        facts = _MethodFacts(
+            program, name, contexts[name], governors[name], unlabeled
+        )
+        obligations[name] = _method_obligations(program, name, facts)
+        leaks[name] = _method_leaks(program, name, cg, taint)
+
+    local_clean = {name: not leaks[name] for name in program.methods}
+    trans_clean = _transitive_clean(program, cg, local_clean)
+
+    race_notes: dict[str, list[str]] = {m: [] for m in program.methods}
+    if races is not None:
+        for name, notes in races.implicated.items():
+            if name in race_notes:
+                race_notes[name] = list(notes)
+        # Implication is transitive like leak-freedom: calling (or
+        # spawning) into a race-implicated method forfeits certification.
+        race_free = _transitive_clean(
+            program, cg, {m: not race_notes[m] for m in program.methods}
+        )
+        for name in program.methods:
+            if not race_free[name] and not race_notes[name]:
+                race_notes[name] = ["calls into a race-implicated method"]
+
+    result = TypecheckResult(program)
+    for name in program.methods:
+        cert_obligations = tuple(obligations[name])
+        cert_leaks = tuple(leaks[name])
+        notes = tuple(race_notes.get(name, ()))
+        certified = (
+            bool(contexts[name])
+            and all(ob.discharged for ob in cert_obligations)
+            and not cert_leaks
+            and trans_clean[name]
+            and not notes
+        )
+        result.certificates[name] = SecurityCertificate(
+            method=name,
+            contexts=contexts[name],
+            governors=governors[name],
+            obligations=cert_obligations,
+            leaks=cert_leaks,
+            races=notes,
+            transitively_clean=trans_clean[name],
+            certified=certified,
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# the machine checker
+# ---------------------------------------------------------------------------
+
+
+def check_certificate(
+    program: Program,
+    cert: SecurityCertificate,
+    callgraph: CallGraph | None = None,
+) -> list[str]:
+    """Re-derive a certificate's proof sketch from scratch.
+
+    Returns the list of complaints (empty means the certificate checks
+    out): every discharged obligation's rule must re-prove from freshly
+    computed facts, and a ``certified`` verdict must be backed by fully
+    discharged obligations and empty leak/race lists.  This is the
+    "machine-checkable" half of the certificate story — a consumer does
+    not have to trust the certifier, only this ~50-line checker.
+    """
+    problems: list[str] = []
+    cg = callgraph or CallGraph(program)
+    if cert.method not in program.methods:
+        return [f"unknown method {cert.method!r}"]
+    contexts = cg.region_contexts()
+    governors = cg.governing_regions()
+    unlabeled = UnlabeledAnalysis(program, cg)
+    facts = _MethodFacts(
+        program, cert.method, contexts[cert.method],
+        governors[cert.method], unlabeled,
+    )
+    if cert.contexts != contexts[cert.method]:
+        problems.append(
+            f"{cert.method}: recorded contexts {sorted(cert.contexts)} != "
+            f"recomputed {sorted(contexts[cert.method])}"
+        )
+    method = program.methods[cert.method]
+    for ob in cert.obligations:
+        if not ob.discharged:
+            continue
+        block = method.blocks.get(ob.block)
+        if block is None or ob.index >= len(block.instrs):
+            problems.append(f"{ob.location()}: obligation points nowhere")
+            continue
+        unlabeled_here = unlabeled.facts_before(cert.method, ob.block)[
+            ob.index
+        ]
+        rule, _ = _discharge(
+            facts, ob.kind, ob.subject, ob.block, ob.index, unlabeled_here
+        )
+        if rule is None:
+            problems.append(
+                f"{ob.location()}: claimed rule {ob.rule!r} does not "
+                f"re-derive for {ob.kind} on {ob.subject!r}"
+            )
+        elif rule != ob.rule:
+            problems.append(
+                f"{ob.location()}: claimed rule {ob.rule!r}, re-derivation "
+                f"gives {rule!r}"
+            )
+    if cert.certified:
+        if any(not ob.discharged for ob in cert.obligations):
+            problems.append(
+                f"{cert.method}: certified with open obligations"
+            )
+        if cert.leaks:
+            problems.append(f"{cert.method}: certified with leak findings")
+        if cert.races:
+            problems.append(f"{cert.method}: certified with race findings")
+        if not cert.contexts:
+            problems.append(
+                f"{cert.method}: certified with unknown execution context"
+            )
+    return problems

@@ -28,6 +28,7 @@ integrity comparisons point in opposite directions.
 
 from __future__ import annotations
 
+from .barrier_insertion import BARRIER_OPS
 from .cfg import CFG
 from .dataflow import ForwardMustAnalysis
 from .ir import ALLOC_OPS, Instr, Method, Opcode, Program
@@ -143,6 +144,49 @@ def eliminate_interprocedural_barriers(program: Program) -> int:
             ]
             removed += len(block.instrs) - len(kept)
             block.instrs = kept
+    return removed
+
+
+def eliminate_certified_barriers(
+    program: Program, labeled_statics: bool = False
+) -> int:
+    """Certificate-driven elimination: delete *every* barrier in methods
+    the security-type certifier fully discharges.
+
+    Strictly subsumes the interprocedural pass: that pass removes a
+    barrier when its specific check provably already ran, while a
+    certificate proves every check in the method passes (or is a no-op)
+    in every reachable context — so whole methods go barrier-free,
+    including the allocation barriers no redundancy argument can touch.
+    Label races void certificates (see :mod:`repro.analysis.races`):
+    a method two threads can drive under different label contexts keeps
+    its barriers even when each context individually discharges.
+
+    Records the certified set on ``program.certified_methods`` so tier-2
+    can compile guard-free universal variants.  Returns the number of
+    barrier instructions removed."""
+    # Imported lazily: repro.analysis builds on this module.
+    from ..analysis.callgraph import CallGraph
+    from ..analysis.races import detect_races
+    from ..analysis.typecheck import typecheck_program
+
+    cg = CallGraph(program)
+    races = detect_races(program, cg)
+    result = typecheck_program(
+        program, labeled_statics=labeled_statics, callgraph=cg, races=races
+    )
+    certified = result.certified()
+    removed = 0
+    for name in certified:
+        method = program.methods[name]
+        for block in method.blocks.values():
+            kept = [
+                instr for instr in block.instrs
+                if instr.op not in BARRIER_OPS
+            ]
+            removed += len(block.instrs) - len(kept)
+            block.instrs = kept
+    program.certified_methods = certified
     return removed
 
 

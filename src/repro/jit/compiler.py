@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 
 from .barrier_elim import (
     count_barriers,
+    eliminate_certified_barriers,
     eliminate_interprocedural_barriers,
     eliminate_redundant_barriers,
 )
@@ -86,6 +87,9 @@ class CompileReport:
     barriers_removed: int = 0
     #: Removed only thanks to cross-call facts (the interprocedural mode).
     barriers_removed_interproc: int = 0
+    #: Removed because the security-type certifier discharged every check
+    #: in the method (the "certified" mode).
+    barriers_removed_certified: int = 0
     barriers_final: int = 0
     machine_ops: int = 0
     seconds: float = 0.0
@@ -113,12 +117,17 @@ class Compiler:
         # production alternative and is exercised by the cloning ablation.
         self.config = config
         # optimize_barriers: False (keep every barrier), True (the paper's
-        # intraprocedural elimination), or "interprocedural" (additionally
-        # consume whole-program proven-safe facts from repro.analysis).
-        if optimize_barriers not in (True, False, "interprocedural"):
+        # intraprocedural elimination), "interprocedural" (additionally
+        # consume whole-program proven-safe facts from repro.analysis), or
+        # "certified" (additionally delete *every* barrier in methods the
+        # security-type certifier fully discharges — strictly subsumes
+        # the interprocedural mode).
+        if optimize_barriers not in (
+            True, False, "interprocedural", "certified"
+        ):
             raise ValueError(
-                f"optimize_barriers must be True, False or "
-                f"'interprocedural', got {optimize_barriers!r}"
+                f"optimize_barriers must be True, False, 'interprocedural' "
+                f"or 'certified', got {optimize_barriers!r}"
             )
         self.optimize_barriers = optimize_barriers
         self.inline = inline
@@ -181,11 +190,18 @@ class Compiler:
             if self.optimize_barriers:
                 report.barriers_removed = eliminate_redundant_barriers(program)
                 report.passes.append("eliminate-redundant-barriers")
-            if self.optimize_barriers == "interprocedural":
+            if self.optimize_barriers in ("interprocedural", "certified"):
                 report.barriers_removed_interproc = (
                     eliminate_interprocedural_barriers(program)
                 )
                 report.passes.append("interprocedural-barrier-elim")
+            if self.optimize_barriers == "certified":
+                report.barriers_removed_certified = (
+                    eliminate_certified_barriers(
+                        program, labeled_statics=self.labeled_statics
+                    )
+                )
+                report.passes.append("certified-barrier-elim")
             report.barriers_final = count_barriers(program)
         report.machine_ops = self._lower(program)
         report.passes.append("lower")

@@ -64,7 +64,12 @@ def _region_attrs(method: Method) -> str:
 
 
 def disassemble_method(method: Method) -> str:
-    keyword = "region method" if method.is_region else "method"
+    if method.is_region:
+        keyword = "region method"
+    elif method.is_declassifier:
+        keyword = "declassifier method"
+    else:
+        keyword = "method"
     attrs = _region_attrs(method)
     lines = [f"{keyword} {method.name}({', '.join(method.params)}){attrs} {{"]
     for label, block in method.blocks.items():

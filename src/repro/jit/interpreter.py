@@ -77,6 +77,32 @@ class IRArray:
         return f"IRArray(#{self.header.oid}, len={len(self.items)})"
 
 
+class IRThreadHandle:
+    """A spawned-but-not-joined IR thread.
+
+    The mini-JIT executes threads *join-synchronously*: ``spawn`` creates
+    the VM thread (outside any region, like :meth:`LaminarVM.create_thread`
+    requires) and captures the call; ``join`` runs the body to completion
+    as that thread.  Execution is therefore deterministic — one fixed
+    interleaving out of the many a preemptive scheduler could choose —
+    which is exactly why the *static* race detector
+    (:mod:`repro.analysis.races`) exists: it reasons about every
+    interleaving, not just the one the interpreter picks.
+    """
+
+    __slots__ = ("callee", "args", "thread", "done")
+
+    def __init__(self, callee: str, args: list[Any], thread: Any) -> None:
+        self.callee = callee
+        self.args = args
+        self.thread = thread
+        self.done = False
+
+    def __repr__(self) -> str:
+        state = "joined" if self.done else "pending"
+        return f"IRThreadHandle({self.callee}, {state})"
+
+
 _BINOPS = {
     "add": lambda a, b: a + b,
     "sub": lambda a, b: a - b,
@@ -261,6 +287,17 @@ def build_handler_table(method: Method, program: Program) -> dict[str, list]:
             elif op is Opcode.PRINT:
                 def h(regs, ctx, s=ops[0]):
                     ctx.output.append(regs[s])
+            elif op is Opcode.SPAWN:
+                def h(regs, ctx, d=ops[0], callee=ops[1], argnames=ops[2:]):
+                    regs[d] = ctx.interp._spawn(
+                        callee, [regs[a] for a in argnames]
+                    )
+            elif op is Opcode.JOIN:
+                def h(regs, ctx, handle=ops[0]):
+                    ctx.interp._join(regs[handle])
+            elif op in (Opcode.LOCK, Opcode.UNLOCK):
+                def h(regs, ctx, r=ops[0]):
+                    regs[r]  # deterministic runtime: locks are markers only
             elif op is Opcode.RET:
                 def h(regs, ctx, v=ops[0]):
                     return (_RET, regs[v] if v is not None else None)
@@ -498,6 +535,14 @@ class Interpreter:
                         regs[dst] = result
                 elif op is Opcode.PRINT:
                     self.output.append(regs[ops[0]])
+                elif op is Opcode.SPAWN:
+                    regs[ops[0]] = self._spawn(
+                        ops[1], [regs[a] for a in ops[2:]]
+                    )
+                elif op is Opcode.JOIN:
+                    self._join(regs[ops[0]])
+                elif op in (Opcode.LOCK, Opcode.UNLOCK):
+                    regs[ops[0]]  # markers for the static race detector
                 elif op is Opcode.RET:
                     value = ops[0]
                     return regs[value] if value is not None else None
@@ -567,6 +612,24 @@ class Interpreter:
         finally:
             self.executed += executed
             ctx.thread = prev
+
+    # -- threads -----------------------------------------------------------------------
+
+    def _spawn(self, callee: str, args: list[Any]) -> IRThreadHandle:
+        """Create the VM thread now (so the outside-regions rule is
+        enforced at the spawn point) and defer the body to ``join``."""
+        method = self.program.method(callee)  # validated by the verifier
+        thread = self.vm.create_thread(name=f"ir:{callee}")
+        return IRThreadHandle(method.name, args, thread)
+
+    def _join(self, handle: Any) -> None:
+        if not isinstance(handle, IRThreadHandle):
+            raise TypeError(f"join of a non-thread value: {handle!r}")
+        if handle.done:
+            return  # joining twice is a no-op, as with pthread semantics
+        with self.vm.running(handle.thread):
+            self._call(self.program.method(handle.callee), list(handle.args))
+        handle.done = True
 
     # -- barrier semantics -------------------------------------------------------------
 

@@ -51,6 +51,15 @@ class Opcode(enum.Enum):
     JMP = "jmp"            # jmp label
     BR = "br"              # br cond, then_label, else_label
     PRINT = "print"        # print src (debug aid)
+    # threads (Section 2.2: threads share the labeled heap; regions are
+    # per-thread).  ``spawn`` names a plain method run on a fresh thread
+    # and yields a handle; ``join`` waits for it.  ``lock``/``unlock``
+    # bracket accesses to a shared object for the race detector — the
+    # runtime itself is deterministic, so they are no-ops at execution.
+    SPAWN = "spawn"        # spawn dst, method, args...
+    JOIN = "join"          # join handle
+    LOCK = "lock"          # lock obj
+    UNLOCK = "unlock"      # unlock obj
     # barriers (inserted by the compiler, never written by hand)
     READBAR = "readbar"    # readbar obj
     WRITEBAR = "writebar"  # writebar obj
@@ -110,7 +119,7 @@ class Instr:
         if op in (
             Opcode.CONST, Opcode.MOV, Opcode.BINOP, Opcode.UNOP, Opcode.NEW,
             Opcode.NEWARRAY, Opcode.GETFIELD, Opcode.ALOAD, Opcode.ARRAYLEN,
-            Opcode.GETSTATIC,
+            Opcode.GETSTATIC, Opcode.SPAWN,
         ):
             return self.operands[0]
         if op is Opcode.CALL:
@@ -151,6 +160,10 @@ class Instr:
         if op in (Opcode.READBAR, Opcode.WRITEBAR):
             return (ops[0],)
         if op is Opcode.ALLOCBAR:
+            return (ops[0],)
+        if op is Opcode.SPAWN:
+            return tuple(ops[2:])
+        if op in (Opcode.JOIN, Opcode.LOCK, Opcode.UNLOCK):
             return (ops[0],)
         return ()
 
@@ -210,10 +223,16 @@ class Method:
         name: str,
         params: tuple[str, ...] = (),
         is_region: bool = False,
+        is_declassifier: bool = False,
     ) -> None:
         self.name = name
         self.params = params
         self.is_region = is_region
+        #: Declared trusted declassification module (``declassifier
+        #: method``): the analog of :class:`repro.runtime.declassifiers.
+        #: Declassifier` — its return value is audited policy output, so
+        #: the taint analyses treat it as laundered, not as secret.
+        self.is_declassifier = is_declassifier
         self.region_spec: Optional[RegionSpec] = None
         self.blocks: dict[str, BasicBlock] = {}
         self.entry: Optional[str] = None
@@ -249,7 +268,12 @@ class Method:
         return out
 
     def __repr__(self) -> str:
-        kind = "region method" if self.is_region else "method"
+        if self.is_region:
+            kind = "region method"
+        elif self.is_declassifier:
+            kind = "declassifier method"
+        else:
+            kind = "method"
         return f"Method({self.name!r}, {kind}, {len(self.blocks)} blocks)"
 
 
@@ -283,6 +307,12 @@ class Program:
         self.tier2_cache: dict = {}
         #: (shape stamp, fastpath code epoch) the tier-2 cache is valid for.
         self.tier2_meta: tuple = (-1, -1)
+        #: Methods whose :class:`~repro.analysis.typecheck.
+        #: SecurityCertificate` fully discharged, set by the compiler's
+        #: ``optimize_barriers="certified"`` mode.  Tier-2 uses this to
+        #: compile one universal (guard-free) variant per certified
+        #: method; empty outside certified builds.
+        self.certified_methods: frozenset = frozenset()
 
     def shape_stamp(self) -> int:
         """Cheap structural fingerprint guarding the execution caches.

@@ -46,7 +46,8 @@ class IRSyntaxError(ValueError):
 _IDENT = r"[A-Za-z_][A-Za-z0-9_]*"
 _CLASS_RE = re.compile(rf"^class\s+({_IDENT})\s*\{{(.*)\}}\s*$")
 _METHOD_RE = re.compile(
-    rf"^(region\s+)?method\s+({_IDENT})\s*\(([^)]*)\)\s*(.*?)\{{\s*$"
+    rf"^(region\s+|declassifier\s+)?method\s+({_IDENT})\s*\(([^)]*)\)\s*"
+    rf"(.*?)\{{\s*$"
 )
 #: Region attributes between the parameter list and the opening brace:
 #: ``secrecy(a, b)``, ``integrity(c)``, ``catch(handler)``.
@@ -239,6 +240,19 @@ def _parse_instr(opname: str, args: list[str], lineno: int) -> Instr:
     if op is Opcode.PRINT:
         need(1)
         return Instr(op, (_reg(args[0], lineno, "src"),))
+    if op is Opcode.SPAWN:
+        if len(args) < 2:
+            raise IRSyntaxError(lineno, "spawn needs a handle and a method")
+        dst = _reg(args[0], lineno, "handle")
+        callee = args[1]
+        spawn_args = tuple(_reg(a, lineno, "arg") for a in args[2:])
+        return Instr(op, (dst, callee, *spawn_args))
+    if op is Opcode.JOIN:
+        need(1)
+        return Instr(op, (_reg(args[0], lineno, "handle"),))
+    if op in (Opcode.LOCK, Opcode.UNLOCK):
+        need(1)
+        return Instr(op, (_reg(args[0], lineno, "obj"),))
     raise IRSyntaxError(
         lineno, f"{opname!r} is compiler-internal and cannot be written by hand"
     )
@@ -327,12 +341,19 @@ def parse_program(text: str) -> Program:
         if method_match:
             if method is not None:
                 raise IRSyntaxError(lineno, "nested method declaration")
-            is_region = bool(method_match.group(1))
+            qualifier = (method_match.group(1) or "").strip()
+            is_region = qualifier == "region"
+            is_declassifier = qualifier == "declassifier"
             name = method_match.group(2)
             params = tuple(
                 p.strip() for p in method_match.group(3).split(",") if p.strip()
             )
-            method = Method(name, params, is_region=is_region)
+            method = Method(
+                name,
+                params,
+                is_region=is_region,
+                is_declassifier=is_declassifier,
+            )
             attrs = method_match.group(4).strip()
             if attrs:
                 if not is_region:
@@ -405,3 +426,25 @@ def _validate(program: Program) -> None:
                         f"{method.name}: new of undeclared class "
                         f"{instr.operands[1]!r}",
                     )
+                if instr.op is Opcode.SPAWN:
+                    callee = program.methods.get(instr.operands[1])
+                    if callee is None:
+                        raise IRSyntaxError(
+                            0,
+                            f"{method.name}: spawn of unknown method "
+                            f"{instr.operands[1]!r}",
+                        )
+                    if callee.is_region:
+                        raise IRSyntaxError(
+                            0,
+                            f"{method.name}: spawn of region method "
+                            f"{callee.name!r} (threads start outside "
+                            f"regions; the thread body may *call* one)",
+                        )
+                    if len(callee.params) != len(instr.operands) - 2:
+                        raise IRSyntaxError(
+                            0,
+                            f"{method.name}: spawn of {callee.name!r} with "
+                            f"{len(instr.operands) - 2} args, expected "
+                            f"{len(callee.params)}",
+                        )

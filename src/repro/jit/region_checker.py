@@ -41,6 +41,8 @@ def _check_param_use(method: Method, instr: Instr, violations: list[str]) -> Non
         allowed = set(ops[2:])
     elif op in (Opcode.READBAR, Opcode.WRITEBAR, Opcode.ALLOCBAR):
         allowed = {ops[0]}
+    elif op in (Opcode.LOCK, Opcode.UNLOCK):
+        allowed = {ops[0]}  # lock brackets name a reference, not its value
     for reg in instr.used_registers():
         if reg in params and reg not in allowed:
             violations.append(
@@ -71,6 +73,11 @@ def check_region_method(method: Method, allow_statics: bool = False) -> None:
             ):
                 violations.append(
                     f"static access in region method: '{instr!r}'"
+                )
+            if instr.op in (Opcode.SPAWN, Opcode.JOIN):
+                violations.append(
+                    f"thread operation in region method: '{instr!r}' "
+                    f"(threads are created and joined outside regions)"
                 )
             _check_param_use(method, instr, violations)
     if violations:

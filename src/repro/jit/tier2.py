@@ -81,6 +81,12 @@ MAX_VARIANTS = 4
 #: The single out-of-region context key (no labels to specialize on:
 #: "outside a security region threads always have empty labels").
 _OUT_KEY = ("out",)
+#: Universal variant key for certified methods (see
+#: :mod:`repro.analysis.typecheck`): a certificate proves every check in
+#: the method discharged in every reachable context, and the certified
+#: build already deleted its barriers — so one guard-free variant serves
+#: all label shapes and contexts, and entry-guard deopts cannot happen.
+_CERT_KEY = ("cert",)
 
 # -- code epoch ---------------------------------------------------------------
 
@@ -755,7 +761,12 @@ class Tier2Engine:
         if method.is_region:
             return self._call_region(method, args, profile)
         thread = self.interp.vm.current_thread
-        key = ("in", thread.labels) if thread.in_region else _OUT_KEY
+        if method.name in self.program.certified_methods:
+            key: tuple = _CERT_KEY
+        elif thread.in_region:
+            key = ("in", thread.labels)
+        else:
+            key = _OUT_KEY
         compiled = self.cache.get((method.name, key))
         if compiled is None:
             compiled = self._maybe_compile(method, key, profile)
@@ -789,7 +800,10 @@ class Tier2Engine:
             name=method.name,
         ):
             thread = interp.vm.current_thread
-            key = ("region", thread.labels)
+            if method.name in self.program.certified_methods:
+                key = _CERT_KEY
+            else:
+                key = ("region", thread.labels)
             compiled = self.cache.get((method.name, key))
             if compiled is None:
                 compiled = self._maybe_compile(method, key, profile)
@@ -839,7 +853,14 @@ class Tier2Engine:
 
     def _compile(self, method: Method, key: tuple) -> Optional[CompiledMethod]:
         kind = key[0]
-        if kind == "in":
+        if kind == "cert":
+            # Certified method: barriers are already gone, so the code is
+            # context-independent — one universal variant, no label-shape
+            # specialization and no entry guard to deopt on.
+            src_method, in_region, labels = (
+                method, method.is_region, LabelPair.EMPTY
+            )
+        elif kind == "in":
             # The per-context clone of Section 5.1: materialized through
             # the cloning pass's machinery, compiled for the in-region
             # label shape that kept deopting.
@@ -902,8 +923,10 @@ class Tier2Engine:
                 return None
             if method.name in self._uncompilable:
                 return None
-            if method.is_region:
-                key: tuple = ("region", thread.labels)
+            if method.name in self.program.certified_methods:
+                key: tuple = _CERT_KEY
+            elif method.is_region:
+                key = ("region", thread.labels)
             elif thread.in_region:
                 key = ("in", thread.labels)
             else:

@@ -68,22 +68,32 @@ def verify_method(method: Method, program: Program) -> list[str]:
     # -- call integrity ---------------------------------------------------------
     for block in method.blocks.values():
         for instr in block.instrs:
-            if instr.op is not Opcode.CALL:
+            if instr.op not in (Opcode.CALL, Opcode.SPAWN):
                 continue
+            verb = instr.op.value
             callee_name = instr.operands[1]
             callee = program.methods.get(callee_name)
             if callee is None:
                 errors.append(
-                    f"{method.name}: call to unknown method {callee_name!r}"
+                    f"{method.name}: {verb} of unknown method {callee_name!r}"
                 )
                 continue
             arity = len(instr.operands) - 2
             if arity != len(callee.params):
                 errors.append(
-                    f"{method.name}: call to {callee_name} with {arity} "
+                    f"{method.name}: {verb} of {callee_name} with {arity} "
                     f"args, expected {len(callee.params)}"
                 )
-            if callee.is_region and instr.operands[0] is not None:
+            if instr.op is Opcode.SPAWN and callee.is_region:
+                errors.append(
+                    f"{method.name}: spawn of region method {callee_name} "
+                    f"(threads are created outside security regions)"
+                )
+            if (
+                instr.op is Opcode.CALL
+                and callee.is_region
+                and instr.operands[0] is not None
+            ):
                 errors.append(
                     f"{method.name}: region method {callee_name} used as "
                     f"an expression (regions produce no value)"

@@ -64,6 +64,13 @@ _SAFE_BUILTINS = frozenset(
 )
 
 
+#: Callable names (bare or attribute) that create a concurrent thread of
+#: execution: the runtime's own APIs plus the stdlib spellings.
+_THREAD_CREATORS = frozenset(
+    ["Thread", "create_thread", "spawn", "spawn_task", "fork", "start_new_thread"]
+)
+
+
 class _RegionVisitor(ast.NodeVisitor):
     """Walks a region function's AST collecting violations."""
 
@@ -180,6 +187,25 @@ class _RegionVisitor(ast.NodeVisitor):
         self.generic_visit(node)
 
     def visit_Call(self, node: ast.Call) -> None:
+        # Thread creation inside a region escapes the region discipline:
+        # the child starts label-free (threads have empty labels outside a
+        # region) while sharing references with the region body, so every
+        # hand-off becomes a schedule-dependent label race — the exact
+        # LAM007 shape the IR-level detector (repro.analysis.races) flags.
+        # The race detector models spawn/join at the IR level only, so
+        # Python region bodies must not create threads at all.
+        callee = node.func
+        callee_name = (
+            callee.id if isinstance(callee, ast.Name)
+            else callee.attr if isinstance(callee, ast.Attribute)
+            else None
+        )
+        if callee_name in _THREAD_CREATORS:
+            self.violations.append(
+                f"line {node.lineno}: thread creation ({callee_name!r}) "
+                f"inside a security region; spawned threads run label-free "
+                f"and race the region's label checks"
+            )
         # Calling a function is not a static *data* read (Java static method
         # calls are likewise not static accesses), so the function position
         # is exempt.  *Local* references may be passed as arguments (the

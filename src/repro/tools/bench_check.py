@@ -89,6 +89,16 @@ SPECS: tuple[BenchSpec, ...] = (
         ),
     ),
     BenchSpec(
+        file="BENCH_static_elim.json",
+        exact_fields=(
+            "observables_identical",
+            "strictly_better",
+            "totals.static_interproc",
+            "totals.static_certified",
+            "totals.removed_certified",
+        ),
+    ),
+    BenchSpec(
         file="BENCH_jit_tier.json",
         ratio_fields=(
             "geomean_fig8_tier2_vs_interp",

@@ -6,7 +6,7 @@ for when debugging a workload or a pass::
     python -m repro.tools.lamc compile prog.ir --config dynamic --dump
     python -m repro.tools.lamc run prog.ir --config static --entry main
     python -m repro.tools.lamc run prog.ir --tier2 --tier2-threshold 4
-    python -m repro.tools.lamc verify prog.ir
+    python -m repro.tools.lamc verify prog.ir --format sarif
     python -m repro.tools.lamc disasm prog.ir
     python -m repro.tools.lamc disasm prog.ir --tiers --tier2
     python -m repro.tools.lamc lint prog.ir --json
@@ -15,9 +15,12 @@ for when debugging a workload or a pass::
 ``compile`` prints the pass pipeline and barrier accounting (optionally
 the instrumented program); ``run`` executes on a fresh VM over a vanilla
 kernel and reports the result plus barrier statistics; ``verify`` runs
-only the bytecode verifier; ``disasm`` parses and pretty-prints; ``lint``
+the deep pipeline — lint, the label-race detector (LAM007/LAM008) and
+the security-type certifier (LAM009 + per-method certificates), exit 1
+on any error; ``disasm`` parses and pretty-prints; ``lint``
 runs the whole-program lamlint analyses and reports IFC findings (exit 1
-when any error-severity finding exists, 2 on syntax errors); ``fsck``
+when any error-severity finding exists, 2 on syntax errors); both
+``lint`` and ``verify`` speak ``--format sarif`` for CI upload; ``fsck``
 runs the OS-layer crash-consistency sweep (deterministic by default,
 seed-randomized with ``--seed`` — the command CI prints for replaying a
 nightly chaos failure) and exits 1 on any recovery-invariant violation.
@@ -30,7 +33,7 @@ import json
 import sys
 from typing import Optional, Sequence
 
-from ..analysis import run_lint
+from ..analysis import run_lint, run_verify, to_sarif
 from ..baselines import vanilla_kernel
 from ..core import CapabilitySet
 from ..jit import (
@@ -71,6 +74,8 @@ def _tier_policy(args: argparse.Namespace):
 def _build_compiler(args: argparse.Namespace) -> Compiler:
     if args.no_elim:
         optimize = False
+    elif getattr(args, "certified", False):
+        optimize = "certified"
     elif getattr(args, "interproc", False):
         optimize = "interprocedural"
     else:
@@ -98,12 +103,22 @@ def cmd_compile(args: argparse.Namespace, out) -> int:
         if report.barriers_removed_interproc
         else ""
     )
+    certified = (
+        f" (+{report.barriers_removed_certified} certified)"
+        if report.barriers_removed_certified
+        else ""
+    )
     print(
         f"barriers: {report.barriers_inserted} inserted, "
-        f"{report.barriers_removed} removed{interproc}, "
+        f"{report.barriers_removed} removed{interproc}{certified}, "
         f"{report.barriers_final} final",
         file=out,
     )
+    if program.certified_methods:
+        print(
+            f"certified: {', '.join(sorted(program.certified_methods))}",
+            file=out,
+        )
     print(
         f"inlined:  {report.inlined_calls} call sites   "
         f"lowered: {report.machine_ops} ops   "
@@ -150,13 +165,18 @@ def cmd_run(args: argparse.Namespace, out) -> int:
 
 
 def cmd_verify(args: argparse.Namespace, out) -> int:
-    try:
-        verify_program(parse_program(_read_source(args.file)))
-    except VerificationError as exc:
-        print(str(exc), file=out)
-        return 1
-    print("ok", file=out)
-    return 0
+    program = parse_program(_read_source(args.file))
+    report = run_verify(program, labeled_statics=args.labeled_statics)
+    fmt = getattr(args, "format", "human")
+    if fmt == "json":
+        json.dump(report.to_dict(), out, indent=2)
+        print(file=out)
+    elif fmt == "sarif":
+        json.dump(report.to_sarif(artifact=args.file), out, indent=2)
+        print(file=out)
+    else:
+        print(report.format_human(), file=out)
+    return 1 if report.errors else 0
 
 
 def cmd_disasm(args: argparse.Namespace, out) -> int:
@@ -218,8 +238,17 @@ def cmd_fsck(args: argparse.Namespace, out) -> int:
 def cmd_lint(args: argparse.Namespace, out) -> int:
     program = parse_program(_read_source(args.file))
     report = run_lint(program, labeled_statics=args.labeled_statics)
-    if args.json:
+    fmt = getattr(args, "format", None) or (
+        "json" if args.json else "human"
+    )
+    if fmt == "json":
         json.dump(report.to_dicts(), out, indent=2)
+        print(file=out)
+    elif fmt == "sarif":
+        json.dump(
+            to_sarif(report.diagnostics, "lamlint", artifact=args.file),
+            out, indent=2,
+        )
         print(file=out)
     else:
         print(report.format_human(), file=out)
@@ -251,6 +280,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--interproc", action="store_true",
                        help="also eliminate barriers using whole-program "
                             "(interprocedural) proven-safe facts")
+        p.add_argument("--certified", action="store_true",
+                       help="additionally delete every barrier in methods "
+                            "the security-type certifier fully discharges "
+                            "(implies --interproc)")
         p.add_argument("--tier2", action="store_true",
                        help="attach the tier-2 template JIT (profile-guided "
                             "promotion of hot methods to compiled code)")
@@ -270,8 +303,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--entry", default="main", help="entry method")
     p_run.set_defaults(fn=cmd_run)
 
-    p_verify = sub.add_parser("verify", help="bytecode-verify only")
+    p_verify = sub.add_parser(
+        "verify",
+        help="run the security-type certifier and race detector "
+             "(lint + LAM007-LAM009 + per-method certificates)",
+    )
     p_verify.add_argument("file", help="IR source file ('-' for stdin)")
+    p_verify.add_argument("--format", choices=("human", "json", "sarif"),
+                          default="human",
+                          help="output format (default: human)")
+    p_verify.add_argument("--labeled-statics", action="store_true",
+                          help="verify under the labeled-statics extension")
     p_verify.set_defaults(fn=cmd_verify)
 
     p_disasm = sub.add_parser("disasm", help="parse and pretty-print")
@@ -287,7 +329,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_lint.add_argument("file", help="IR source file ('-' for stdin)")
     p_lint.add_argument("--json", action="store_true",
-                        help="emit findings as JSON")
+                        help="emit findings as JSON (same as --format json)")
+    p_lint.add_argument("--format", choices=("human", "json", "sarif"),
+                        default=None,
+                        help="output format (default: human)")
     p_lint.add_argument("--labeled-statics", action="store_true",
                         help="lint under the labeled-statics extension")
     p_lint.set_defaults(fn=cmd_lint)

@@ -110,6 +110,25 @@ class TestChecker:
         with pytest.raises(StaticCheckError):
             check_region_function(region)
 
+    def test_thread_creation_rejected(self):
+        def region(vm, obj):
+            t = vm.create_thread(obj)
+            obj.set("x", 1)
+
+        with pytest.raises(StaticCheckError) as err:
+            check_region_function(region)
+        assert "thread creation" in str(err.value)
+
+    def test_stdlib_thread_creation_rejected(self):
+        def region(vm, obj):
+            import threading
+
+            t = threading.Thread(target=obj.get)
+
+        with pytest.raises(StaticCheckError) as err:
+            check_region_function(region)
+        assert "thread creation" in str(err.value)
+
     def test_first_param_is_trusted_handle(self):
         # The vm handle may be used by value (it's the TCB connection).
         def region(vm, obj):

@@ -233,3 +233,141 @@ entry:
         result_a = [l for l in text_a.splitlines() if "result:" in l]
         result_b = [l for l in text_b.splitlines() if "result:" in l]
         assert result_a == result_b
+
+
+class TestVerifyDeep:
+    """The `lamc verify` deep pipeline: certificates, races, SARIF."""
+
+    def test_certifies_real_example(self):
+        code, text = run_cli("verify", "examples/labeled_pipeline.ir")
+        assert code == 0
+        assert "LAM009" in text
+        assert "certified secure" in text
+        assert "ok:" in text
+
+    def test_planted_leak_exits_nonzero(self):
+        code, text = run_cli("verify", "tests/fixtures/planted_leak.ir")
+        assert code == 1
+        assert "LAM007" in text
+        assert "label race" in text
+
+    def test_region_write_race_warns(self):
+        code, text = run_cli(
+            "verify", "tests/fixtures/region_write_race.ir"
+        )
+        assert code == 0  # warnings only
+        assert "LAM008" in text
+        assert "0/3 methods certified" in text
+
+    def test_declassifier_launders_lam006(self):
+        # Satellite regression: the declassified print stays clean under
+        # both lint and verify, and the program still certifies.
+        code, text = run_cli("lint", "tests/fixtures/declassify_launder.ir")
+        assert code == 0 and "LAM006" not in text
+        code, text = run_cli(
+            "verify", "tests/fixtures/declassify_launder.ir"
+        )
+        assert code == 0
+        assert "4/4 methods certified" in text
+
+    def test_json_embeds_certificates(self):
+        import json as json_mod
+
+        code, text = run_cli(
+            "verify", "examples/labeled_pipeline.ir", "--format", "json"
+        )
+        assert code == 0
+        payload = json_mod.loads(text)
+        assert set(payload) == {"diagnostics", "certificates", "certified"}
+        assert "ingest" in payload["certified"]
+        cert = payload["certificates"]["ingest"]
+        assert cert["certified"] is True
+        assert all(ob["discharged"] for ob in cert["obligations"])
+        rules = {ob["rule"] for ob in cert["obligations"]}
+        assert "region-fresh" in rules
+
+    def test_verify_front_end_rejection_skips_deep_passes(self, tmp_path):
+        path = tmp_path / "bad.ir"
+        path.write_text(BAD_VERIFY)
+        code, text = run_cli("verify", str(path))
+        assert code == 1
+        assert "LAM000" in text
+        assert "deep analysis skipped" in text
+
+
+class TestSarif:
+    """--format sarif envelopes for lint and verify."""
+
+    def _load(self, text):
+        import json as json_mod
+
+        return json_mod.loads(text)
+
+    def test_lint_sarif_envelope(self, violation_file=None):
+        code, text = run_cli(
+            "lint", "tests/fixtures/secrecy_violation.ir",
+            "--format", "sarif",
+        )
+        assert code == 1
+        log = self._load(text)
+        assert log["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in log["$schema"]
+        (run,) = log["runs"]
+        assert run["tool"]["driver"]["name"] == "lamlint"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"LAM000", "LAM006", "LAM007", "LAM009"} <= rule_ids
+        assert any(r["ruleId"] == "LAM001" for r in run["results"])
+        for result in run["results"]:
+            assert result["level"] in ("error", "warning", "note")
+            (loc,) = result["locations"]
+            assert loc["logicalLocations"][0]["fullyQualifiedName"]
+            assert (
+                loc["physicalLocation"]["artifactLocation"]["uri"]
+                == "tests/fixtures/secrecy_violation.ir"
+            )
+
+    def test_verify_sarif_has_race_result_and_code_flow(self):
+        code, text = run_cli(
+            "verify", "tests/fixtures/label_race.ir", "--format", "sarif",
+        )
+        assert code == 1
+        log = self._load(text)
+        (run,) = log["runs"]
+        assert run["tool"]["driver"]["name"] == "lamverify"
+        lam007 = [r for r in run["results"] if r["ruleId"] == "LAM007"]
+        assert lam007
+        assert lam007[0]["level"] == "error"
+        flows = lam007[0]["codeFlows"][0]["threadFlows"][0]["locations"]
+        assert len(flows) == 2  # both racing accesses
+
+    def test_clean_sarif_still_carries_rule_table(self, good_file):
+        code, text = run_cli("lint", good_file, "--format", "sarif")
+        assert code == 0
+        log = self._load(text)
+        (run,) = log["runs"]
+        assert run["results"] == []
+        assert len(run["tool"]["driver"]["rules"]) == 10
+
+
+class TestCertifiedCompile:
+    def test_certified_flag_removes_more_than_interproc(self):
+        src = "examples/labeled_pipeline.ir"
+        code_i, text_i = run_cli("compile", src, "--interproc")
+        code_c, text_c = run_cli("compile", src, "--certified")
+        assert code_i == code_c == 0
+        assert "certified-barrier-elim" in text_c
+
+        def final(text):
+            (line,) = [l for l in text.splitlines() if "final" in l]
+            return int(line.split(",")[-1].split()[0])
+
+        assert final(text_c) < final(text_i)
+        assert "certified: " in text_c
+
+    def test_certified_run_matches_plain(self):
+        src = "examples/labeled_pipeline.ir"
+        code_a, text_a = run_cli("run", src)
+        code_b, text_b = run_cli("run", src, "--certified")
+        assert code_a == code_b == 0
+        result = lambda t: [l for l in t.splitlines() if "result:" in l]
+        assert result(text_a) == result(text_b)
