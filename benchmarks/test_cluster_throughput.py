@@ -1,0 +1,318 @@
+"""Cluster throughput: sharded multi-kernel scaling under open-loop load.
+
+The cluster (:mod:`repro.osim.cluster`) runs N full kernels behind the
+label-aware router.  This benchmark measures the deployment-scale claims:
+
+* **scaling** — with the multiprocess executor and ``defer_work`` on,
+  each worker *sleeps off* its shards' simulated service time, so service
+  overlaps across processes the way it would across machines; aggregate
+  throughput at 4 workers must be at least 3x one worker's.
+* **parity** — the merged cluster audit and traffic logs are
+  byte-identical to a single kernel replaying the same routed trace,
+  under a workload with real denials (a gateway tainted cluster-wide via
+  ``CapSync`` keeps issuing writes and transmits that must be refused).
+* **open-loop tail latency** — measured per-request service times replay
+  through a virtual-time per-shard FIFO (:mod:`repro.bench.loadgen`) to
+  give p50/p95/p99 at a fixed rate plus a saturation curve; virtual time
+  makes the distribution reproducible anywhere.
+* **population scale** — the trace generator draws from a 10^5 (and, in
+  the dedicated arm, 10^6) user id space multiplexed onto the gateway
+  principals, Zipfian over keys.
+* **Flume baseline, distributed** — ``mediation="flume"`` pays the
+  per-op monitor hop with no batch amortization; the deterministic
+  deferred-work totals give an exact virtual slowdown.
+
+Machine-readable results land in ``BENCH_cluster_throughput.json`` at
+the repository root (full mode only).  ``CLUSTER_BENCH_SMOKE=1`` runs a
+small same-process configuration for CI: every equivalence assertion
+still fires, but no wall-clock scaling is asserted and the committed
+snapshot is left alone.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.bench.loadgen import (
+    UserWorld,
+    build_trace,
+    open_loop_arrivals,
+    saturation_curve,
+    simulate_queueing,
+)
+from repro.core import CapabilitySet, Label, LabelPair
+from repro.core.tags import Tag
+from repro.osim import Cluster, ShardSpec, Sqe, boot_shard, render_audit
+from repro.osim.cluster import ClusterRequest
+from repro.osim.rpc import CapSync, ShardRequest
+
+from conftest import publish
+
+pytestmark = pytest.mark.bench
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_cluster_throughput.json"
+
+SMOKE = os.environ.get("CLUSTER_BENCH_SMOKE") == "1"
+
+#: Wall-clock arm: nanoseconds of service per deferred work unit.  A
+#: 4-op request defers ~800 units, so 2500 ns/unit makes a request ~2 ms
+#: of simulated service — large against IPC overhead, small enough that
+#: the shard sweep finishes in seconds.
+WORK_NS = 0.0 if SMOKE else 2500.0
+#: Virtual-time arms (latency, saturation, Flume) always price deferred
+#: work at this rate, independent of whether the wall-clock arm slept.
+SIM_NS = 2500.0
+
+REQUESTS = 32 if SMOKE else 288
+USERS = 2_000 if SMOKE else 100_000
+MILLION_USERS = 10_000 if SMOKE else 1_000_000
+SHARD_SWEEP = (1, 2) if SMOKE else (1, 2, 4, 8)
+EXECUTOR = "same-process" if SMOKE else "multiprocess"
+FLUME_REQUESTS = 12 if SMOKE else 48
+PARITY_SHARDS = 2 if SMOKE else 4
+
+
+def _timed_run(world, trace, shards: int, *, mediation: str = "laminar"):
+    """Boot a cluster (boot is not timed), run the trace as one wave,
+    return (cluster, seconds)."""
+    cluster = Cluster(
+        world,
+        shards=shards,
+        executor=EXECUTOR,
+        workers=shards,
+        defer_work=True,
+        work_ns=WORK_NS,
+        mediation=mediation,
+    )
+    start = time.perf_counter()
+    cluster.run_trace(trace)
+    seconds = time.perf_counter() - start
+    return cluster, seconds
+
+
+def _makespan(cluster, ns: float) -> float:
+    """Virtual completion time: the busiest shard's total service."""
+    per_shard: dict[int, int] = {}
+    for resp in cluster.responses:
+        per_shard[resp.shard_id] = per_shard.get(resp.shard_id, 0) + resp.deferred
+    return max(per_shard.values()) * ns * 1e-9
+
+
+def _parity_trace(world: UserWorld) -> list[ClusterRequest]:
+    """Data-plane traffic plus a transmit heartbeat per gateway — once
+    gw0 is tainted cluster-wide, its writes and transmits are denials and
+    the rest are network-visible traffic, so audit AND traffic parity are
+    both non-trivial."""
+    trace = build_trace(
+        world,
+        REQUESTS // 2,
+        users=USERS,
+        seed=42,
+        write_fraction=0.3,
+        tainted_fraction=0.25,
+    )
+    for i in range(world.gateways):
+        trace.append(
+            ClusterRequest(
+                f"gw{i}", LabelPair.EMPTY, (Sqe("transmit", f"beat{i}".encode()),)
+            )
+        )
+    return trace
+
+
+@pytest.fixture(scope="module")
+def results():
+    out: dict = {
+        "benchmark": "cluster_throughput",
+        "smoke": SMOKE,
+    }
+    world = UserWorld(gateways=8 if SMOKE else 16, keys=8 if SMOKE else 32)
+
+    # -- parity arm: denials + traffic vs the single-kernel replay --------
+    trace = _parity_trace(world)
+    taint = LabelPair(Label.of(Tag(world.tag_values[0], "zone0")))
+    triples = (("gw0", taint, CapabilitySet.EMPTY),)
+    cluster = Cluster(world, shards=PARITY_SHARDS)
+    acks = cluster.sync_caps(triples)
+    assert all(a.applied for a in acks)
+    cluster.run_trace(trace)
+    merged_audit = cluster.merged_audit()
+    merged_traffic = cluster.merged_traffic()
+
+    single = boot_shard(world, ShardSpec(0, "edge"))
+    single.handle(CapSync(1, triples))
+    for seq, req in enumerate(trace, 1):
+        single.execute(ShardRequest(seq, req.principal, tuple(req.sqes)))
+    single_audit = render_audit(single.kernel.audit)
+    reference = single.kernel.net.transmitted
+    out["parity"] = {
+        "shards": PARITY_SHARDS,
+        "requests": len(trace),
+        "audit_parity": merged_audit == single_audit,
+        "traffic_parity": list(merged_traffic) == list(reference)
+        and merged_traffic.total_messages == reference.total_messages,
+        "audit_entries": len(merged_audit),
+        "denials": sum("denial" in line for line in merged_audit),
+        "net_messages": merged_traffic.total_messages,
+    }
+
+    # -- wall-clock scaling arm ------------------------------------------
+    load = build_trace(world, REQUESTS, users=USERS, seed=9)
+    total_ops = sum(len(req.sqes) for req in load)
+    scaling: dict[str, dict] = {}
+    latency_cluster = None
+    for shards in SHARD_SWEEP:
+        cluster, seconds = _timed_run(world, load, shards)
+        agg = cluster.aggregate()
+        scaling[str(shards)] = {
+            "shards": shards,
+            "workers": shards if EXECUTOR == "multiprocess" else 0,
+            "seconds": seconds,
+            "requests_per_sec": len(load) / seconds,
+            "ops_per_sec": total_ops / seconds,
+            "deferred_work": agg["deferred_work"],
+            "virtual_makespan_s": _makespan(cluster, SIM_NS),
+        }
+        if shards == SHARD_SWEEP[-1]:
+            # Reuse the widest run for latency simulation + counters.
+            latency_cluster = cluster
+            out["fastpath"] = agg["fastpath"]
+            out["syscalls"] = agg["syscalls"]
+    out["workload"] = {
+        "users": USERS,
+        "gateways": world.gateways,
+        "keys": world.keys,
+        "requests": REQUESTS,
+        "ops": total_ops,
+        "zipf_s": 1.1,
+        "work_ns": WORK_NS,
+        "sim_ns": SIM_NS,
+        "executor": EXECUTOR,
+    }
+    out["scaling"] = scaling
+    base = scaling[str(SHARD_SWEEP[0])]["requests_per_sec"]
+    for shards in SHARD_SWEEP[1:]:
+        out[f"scaling_ratio_{shards}x"] = (
+            scaling[str(shards)]["requests_per_sec"] / base
+        )
+
+    # -- open-loop latency + saturation (virtual time) -------------------
+    responses = sorted(latency_cluster.responses, key=lambda r: r.seq)
+    service_s = [r.deferred * SIM_NS * 1e-9 for r in responses]
+    shard_ids = [r.shard_id for r in responses]
+    mean_service = sum(service_s) / len(service_s)
+    capacity_rps = len(set(shard_ids)) / mean_service
+    rate = 0.6 * capacity_rps
+    arrivals = open_loop_arrivals(len(service_s), rate, seed=3)
+    out["latency"] = simulate_queueing(arrivals, shard_ids, service_s, rate).summary()
+    out["saturation"] = saturation_curve(
+        shard_ids,
+        service_s,
+        [round(f * capacity_rps, 2) for f in (0.4, 0.6, 0.8, 0.95, 1.1)],
+        seed=3,
+    )
+
+    # -- million-user arm -------------------------------------------------
+    big = build_trace(world, REQUESTS, users=MILLION_USERS, seed=17)
+    cluster, seconds = _timed_run(world, big, SHARD_SWEEP[-1])
+    out["population"] = {
+        "users": MILLION_USERS,
+        "requests": len(big),
+        "distinct_principals": len({req.principal for req in big}),
+        "seconds": seconds,
+        "requests_per_sec": len(big) / seconds,
+    }
+
+    # -- Flume baseline, distributed (virtual time, deterministic) -------
+    flume_trace = build_trace(world, FLUME_REQUESTS, users=USERS, seed=5)
+    arms = {}
+    for mediation in ("laminar", "flume"):
+        cluster = Cluster(
+            world, shards=2, defer_work=True, work_ns=0.0, mediation=mediation
+        )
+        cluster.run_trace(flume_trace)
+        arms[mediation] = cluster.aggregate()["deferred_work"]
+    out["flume"] = {
+        "requests": FLUME_REQUESTS,
+        "laminar_deferred": arms["laminar"],
+        "flume_deferred": arms["flume"],
+        "virtual_slowdown": arms["flume"] / arms["laminar"],
+    }
+    return out
+
+
+class TestClusterBench:
+    def test_audit_and_traffic_parity(self, results):
+        assert results["parity"]["audit_parity"] is True
+        assert results["parity"]["traffic_parity"] is True
+        # The parity run was adversarial, not vacuous.
+        assert results["parity"]["denials"] > 0
+        assert results["parity"]["net_messages"] > 0
+
+    def test_scaling(self, results):
+        assert set(results["scaling"]) == {str(s) for s in SHARD_SWEEP}
+        if not SMOKE:
+            # The acceptance floor: 4 multiprocessing workers deliver at
+            # least 3x the aggregate throughput of 1.
+            assert results["scaling_ratio_4x"] >= 3.0
+        # Virtual makespan shrinks monotonically as shards are added —
+        # executor-independent, so smoke checks it too.
+        spans = [
+            results["scaling"][str(s)]["virtual_makespan_s"] for s in SHARD_SWEEP
+        ]
+        assert all(b < a for a, b in zip(spans, spans[1:]))
+
+    def test_open_loop_tail(self, results):
+        lat = results["latency"]
+        assert lat["requests"] == REQUESTS
+        assert lat["p50_ms"] <= lat["p95_ms"] <= lat["p99_ms"] <= lat["max_ms"]
+        # Open-loop saturation: past capacity the tail blows up.
+        curve = results["saturation"]
+        assert curve[-1]["p99_ms"] > curve[0]["p99_ms"]
+
+    def test_flume_pays_the_monitor_hops(self, results):
+        assert results["flume"]["virtual_slowdown"] > 2.0
+
+    def test_publish(self, results):
+        lines = [
+            f"cluster throughput ({'smoke' if SMOKE else 'full'} mode, "
+            f"{EXECUTOR} executor, {USERS} users)",
+            "",
+            f"{'shards':>6} {'workers':>7} {'req/s':>10} {'ops/s':>10} "
+            f"{'virtual_makespan':>16}",
+        ]
+        for shards in SHARD_SWEEP:
+            row = results["scaling"][str(shards)]
+            lines.append(
+                f"{row['shards']:>6} {row['workers']:>7} "
+                f"{row['requests_per_sec']:>10.0f} {row['ops_per_sec']:>10.0f} "
+                f"{row['virtual_makespan_s']:>15.4f}s"
+            )
+        for shards in SHARD_SWEEP[1:]:
+            lines.append(
+                f"scaling {shards}x vs 1: "
+                f"{results[f'scaling_ratio_{shards}x']:.2f}x"
+            )
+        lat = results["latency"]
+        lines += [
+            "",
+            f"open-loop @ {lat['rate_rps']:.0f} rps: "
+            f"p50 {lat['p50_ms']:.2f} ms  p95 {lat['p95_ms']:.2f} ms  "
+            f"p99 {lat['p99_ms']:.2f} ms",
+            f"population arm: {results['population']['users']} users, "
+            f"{results['population']['requests_per_sec']:.0f} req/s",
+            f"flume virtual slowdown: "
+            f"{results['flume']['virtual_slowdown']:.1f}x",
+            f"audit parity: {results['parity']['audit_parity']}   "
+            f"traffic parity: {results['parity']['traffic_parity']}   "
+            f"denials: {results['parity']['denials']}",
+        ]
+        publish("cluster_throughput", "\n".join(lines))
+        if not SMOKE:
+            JSON_PATH.write_text(json.dumps(results, indent=2, sort_keys=True))

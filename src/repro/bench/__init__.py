@@ -13,6 +13,16 @@ from .harness import (
     render_breakdown,
     render_table,
 )
+from .loadgen import (
+    DEFAULT_USERS,
+    QueueStats,
+    UserWorld,
+    ZipfianSampler,
+    build_trace,
+    open_loop_arrivals,
+    saturation_curve,
+    simulate_queueing,
+)
 from .lmbench import (
     LMBENCH_EXTENDED_ROWS,
     LMBENCH_ROWS,
@@ -25,6 +35,14 @@ __all__ = [
     "ALL_WORKLOADS",
     "DACAPO_LIKE",
     "DEFAULT_TRIALS",
+    "DEFAULT_USERS",
+    "QueueStats",
+    "UserWorld",
+    "ZipfianSampler",
+    "build_trace",
+    "open_loop_arrivals",
+    "saturation_curve",
+    "simulate_queueing",
     "LMBENCH_EXTENDED_ROWS",
     "LMBENCH_ROWS",
     "PAPER_TABLE2_OVERHEAD_PCT",

@@ -182,5 +182,13 @@ class CapabilitySet:
         inner = ",".join(repr(c) for c in sorted(self._caps, key=Capability.sort_key))
         return f"C({inner})"
 
+    def __reduce__(self):
+        # Constructor-based pickling, like Label/LabelPair: slotted classes
+        # have no __dict__ for the default protocol, and going through
+        # __init__ re-derives ``_hash`` on the receiving side.  Sorting
+        # makes the wire bytes canonical, so capability-store replication
+        # frames are deterministic across shards.
+        return (CapabilitySet, (tuple(sorted(self._caps, key=Capability.sort_key)),))
+
 
 CapabilitySet.EMPTY = CapabilitySet()

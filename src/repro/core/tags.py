@@ -17,7 +17,6 @@ system").
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 
 #: Size of the tag universe.  Tags are 64-bit integers in the paper.
@@ -81,19 +80,60 @@ class TagAllocator:
         if not 0 <= first < limit <= TAG_UNIVERSE:
             raise ValueError("invalid tag allocator range")
         self._limit = limit
-        self._counter = itertools.count(first)
+        self._next = first
         self._allocated: dict[int, Tag] = {}
+        #: Monotonic replication epoch: bumped by every local allocation
+        #: and advanced by :meth:`apply_snapshot`.  Cluster shards use it
+        #: for epoch-stamped invalidation of the replicated tag namespace:
+        #: a snapshot older than what a shard already applied is stale and
+        #: must be ignored (see repro.osim.rpc.TagSync).
+        self.epoch = 0
 
     def alloc(self, name: str = "") -> Tag:
         """Return a fresh, never-before-seen tag."""
-        value = next(self._counter)
+        value = self._next
         if value >= self._limit:
             raise TagExhaustedError(
                 f"tag universe of {self._limit} values exhausted"
             )
+        self._next = value + 1
         tag = Tag(value, name)
         self._allocated[value] = tag
+        self.epoch += 1
         return tag
+
+    # -- cluster replication (repro.osim.cluster) ---------------------------
+
+    def snapshot(self) -> tuple[int, int, tuple[tuple[int, str], ...]]:
+        """The replicable allocator state: ``(epoch, next_value, entries)``.
+
+        Entries are (value, name) pairs in allocation order, so applying a
+        snapshot on a peer reproduces the exact same :class:`Tag` values —
+        the "shared interned-tag namespace" a sharded deployment needs
+        ("Alice's program uses the same label namespace present in the
+        file system", across every shard).
+        """
+        entries = tuple(
+            (value, tag.name) for value, tag in sorted(self._allocated.items())
+        )
+        return (self.epoch, self._next, entries)
+
+    def apply_snapshot(
+        self, epoch: int, next_value: int, entries: tuple[tuple[int, str], ...]
+    ) -> bool:
+        """Install a peer's snapshot.  Returns ``False`` (and changes
+        nothing) when the snapshot's epoch is not newer than what this
+        allocator has already seen — the epoch-stamped invalidation rule
+        that makes replication idempotent and reordering-safe."""
+        if epoch <= self.epoch:
+            return False
+        for value, name in entries:
+            if value not in self._allocated:
+                self._allocated[value] = Tag(value, name)
+        if next_value > self._next:
+            self._next = next_value
+        self.epoch = epoch
+        return True
 
     def lookup(self, value: int) -> Tag | None:
         """Return the allocated tag with ``value``, or ``None``.

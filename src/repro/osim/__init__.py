@@ -10,9 +10,24 @@ the unlabeled network (:mod:`.sockets`), the syscall layer (:mod:`.kernel`),
 and persistent per-user capabilities with login (:mod:`.persistence`).
 The throughput layer lives in :mod:`.sched` (cooperative scheduler with
 label-oblivious blocking I/O) and :meth:`.kernel.Kernel.sys_submit`
-(io_uring-style batched submission).
+(io_uring-style batched submission).  Scale-out lives in :mod:`.cluster`
+(sharded multi-kernel deployments behind a label-aware router) and
+:mod:`.rpc` (the inter-shard wire protocol).
 """
 
+from .cluster import (
+    Cluster,
+    ClusterRequest,
+    LabelAwareRouter,
+    RoutingError,
+    ShardSpec,
+    TIER_CAPACITY,
+    boot_shard,
+    make_specs,
+    render_audit,
+    replay_single,
+    tier_can_hold,
+)
 from .faults import FaultKind, FaultPlan, FaultRule, KernelCrash
 from .filesystem import (
     BLOCK_SIZE,
@@ -56,6 +71,16 @@ from .persistence import (
     revoke_by_relabel,
     store_user_capabilities,
 )
+from .rpc import (
+    CapSync,
+    ShardRequest,
+    ShardResponse,
+    ShardServer,
+    TagSync,
+    WorkerReport,
+    decode_frame,
+    encode_frame,
+)
 from .sockets import DEFAULT_TRAFFIC_LOG_CAP, Network, Socket, TrafficLog
 from .task import (
     EACCES,
@@ -78,6 +103,9 @@ from .task import (
 
 __all__ = [
     "BLOCK_SIZE",
+    "CapSync",
+    "Cluster",
+    "ClusterRequest",
     "Cqe",
     "DEFAULT_PIPE_CAPACITY",
     "DEFAULT_TRAFFIC_LOG_CAP",
@@ -105,6 +133,7 @@ __all__ = [
     "Journal",
     "Kernel",
     "KernelCrash",
+    "LabelAwareRouter",
     "LaminarSecurityModule",
     "Mapping",
     "Mask",
@@ -114,34 +143,49 @@ __all__ = [
     "Pipe",
     "RecoveryInvariantError",
     "RecoveryReport",
+    "RoutingError",
     "SIGKILL",
     "SIGTERM",
     "Scheduler",
     "SecurityModule",
+    "ShardRequest",
+    "ShardResponse",
+    "ShardServer",
+    "ShardSpec",
     "Socket",
     "Sqe",
     "SyscallError",
     "TCB_TAG",
+    "TIER_CAPACITY",
+    "TagSync",
     "Task",
     "TrafficLog",
+    "WorkerReport",
     "XATTR_INTEGRITY",
     "XATTR_SECRECY",
+    "boot_shard",
     "check_recovery_invariants",
     "decode_capabilities",
+    "decode_frame",
     "decode_label",
     "encode_capabilities",
+    "encode_frame",
     "encode_label",
     "fork",
     "freeze",
     "grant_persistent",
     "load_user_capabilities",
     "login",
+    "make_specs",
     "read_blocking",
     "recover",
     "recv_blocking",
+    "render_audit",
+    "replay_single",
     "revoke_by_relabel",
     "store_user_capabilities",
     "submit",
     "syscall",
+    "tier_can_hold",
     "yield_",
 ]

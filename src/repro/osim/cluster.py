@@ -1,0 +1,516 @@
+"""Sharded multi-kernel cluster: executors, label-aware routing, merging.
+
+One simulated :class:`~repro.osim.kernel.Kernel` is one machine.  This
+module scales the reproduction out the way the paper's data-lineage
+discussion scales Laminar out: N kernels ("shards"), each a full machine
+image with its own LSM, filesystem, and audit log, fronted by a
+**label-aware router**.
+
+* :class:`LabelAwareRouter` hashes (principal, secrecy tags) to a shard
+  — but only among shards whose *trust tier* can hold the request's
+  labels.  Tiers mirror the deployment story of the MapReduce-style
+  lineage systems (edge collectors may hold any user's raw taint, a
+  shuffle tier only narrow aggregates, a central tier only fully
+  declassified data): :data:`TIER_CAPACITY` caps the number of secrecy
+  tags a shard may be asked to hold.  Routing is a pure function of the
+  request's (principal, labels) — the router never looks at verdicts, so
+  a denied request takes exactly the route and produces exactly the
+  (empty) observable a successful one would: denied ≡ empty holds at the
+  router, not just inside each kernel.
+* Two executors run the shards: :class:`SameProcessExecutor` (every
+  shard in this process, deterministic, for tests) and
+  :class:`MultiprocessExecutor` (each worker process hosts one or more
+  shards and sleeps off their simulated work, so service time overlaps
+  the way it would across machines).  Both move every message through
+  the wire codec (:mod:`repro.osim.rpc`), so label re-interning and
+  canonical capability encoding are exercised either way.
+* The shared namespaces replicate by epoch-stamped frames —
+  :meth:`Cluster.sync_tags` (interned-tag namespace) and
+  :meth:`Cluster.sync_caps` (capability stores) — and every applied
+  ``CapSync`` bumps the receiving kernel's ``fd_epoch``, orphaning
+  permission memos recorded under the pre-replication state.
+* Observables merge deterministically: every request carries a
+  router-assigned global sequence number; :meth:`Cluster.merged_audit`
+  and :meth:`Cluster.merged_traffic` reassemble the per-shard deltas in
+  stamp order, which makes cluster-mode audit and traffic byte-identical
+  to :func:`replay_single` running the same routed trace on one kernel.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import Counter
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from ..core import LabelPair
+from ..core import fastpath
+from ..core.audit import AuditEntry, AuditKind
+from .kernel import Kernel
+from .lsm import LaminarSecurityModule
+from .rpc import (
+    CapSync,
+    ShardRequest,
+    ShardServer,
+    Shutdown,
+    TagSync,
+    WorkerReport,
+    decode_frame,
+    encode_frame,
+    worker_serve,
+)
+from .sockets import TrafficLog
+
+if TYPE_CHECKING:
+    from .task import Task
+
+#: Trust tiers and the most secrecy tags each may be asked to hold.
+#: ``None`` means unbounded (an edge shard is trusted with any user's raw
+#: taint); a central shard only ever sees fully declassified requests.
+TIER_CAPACITY: dict[str, Optional[int]] = {
+    "edge": None,
+    "shuffle": 1,
+    "central": 0,
+}
+
+
+class RoutingError(Exception):
+    """No shard's trust tier can hold the request's labels."""
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """A shard's identity and trust tier."""
+
+    shard_id: int
+    tier: str = "edge"
+
+    def __post_init__(self) -> None:
+        if self.tier not in TIER_CAPACITY:
+            raise ValueError(f"unknown tier {self.tier!r}")
+
+
+@dataclass(frozen=True)
+class ClusterRequest:
+    """One client request before routing: who, under what labels, doing
+    which batch.  ``labels`` is what the router sees — the submitting
+    principal's label pair at routing time."""
+
+    principal: str
+    labels: LabelPair
+    sqes: tuple
+
+
+def make_specs(shards: int, topology: str = "edge") -> list[ShardSpec]:
+    """Build shard specs from a topology string: a comma-separated tier
+    list, cycled over the shard count (``"edge"`` → all edge,
+    ``"edge,edge,shuffle,central"`` → mixed tiers)."""
+    tiers = [t.strip() for t in topology.split(",") if t.strip()]
+    if not tiers:
+        raise ValueError("empty topology")
+    return [ShardSpec(i, tiers[i % len(tiers)]) for i in range(shards)]
+
+
+def tier_can_hold(tier: str, labels: LabelPair) -> bool:
+    """True iff a shard of this tier may be handed a request carrying
+    ``labels``.  The capacity bound is on secrecy tags: secrecy is what a
+    compromised low-trust shard could leak."""
+    cap = TIER_CAPACITY[tier]
+    return cap is None or len(labels.secrecy) <= cap
+
+
+class LabelAwareRouter:
+    """Hash (principal, secrecy tags) onto the label-eligible shards.
+
+    The hash is :func:`zlib.crc32` over the principal name chained
+    through the sorted secrecy tag values — stable across processes and
+    Python hash randomization, so a trace routes identically everywhere
+    (the determinism the observable merge depends on).  Every decision is
+    appended to ``trace`` for the tier-invariant property tests.
+    """
+
+    def __init__(self, specs: Sequence[ShardSpec]) -> None:
+        self.specs = list(specs)
+        if not self.specs:
+            raise ValueError("router needs at least one shard")
+        #: Routing decisions: (principal, labels, shard_id) in order.
+        self.trace: list[tuple[str, LabelPair, int]] = []
+
+    def eligible(self, labels: LabelPair) -> list[ShardSpec]:
+        return [spec for spec in self.specs if tier_can_hold(spec.tier, labels)]
+
+    @staticmethod
+    def route_key(principal: str, labels: LabelPair) -> int:
+        key = zlib.crc32(principal.encode())
+        for tag in labels.secrecy:
+            key = zlib.crc32(str(tag.value).encode(), key)
+        return key
+
+    def route(self, principal: str, labels: LabelPair) -> ShardSpec:
+        shards = self.eligible(labels)
+        if not shards:
+            raise RoutingError(
+                f"no shard tier can hold {labels!r} "
+                f"(secrecy width {len(labels.secrecy)})"
+            )
+        spec = shards[self.route_key(principal, labels) % len(shards)]
+        self.trace.append((principal, labels, spec.shard_id))
+        return spec
+
+
+# ----------------------------------------------------------------- booting
+
+
+def boot_shard(
+    world,
+    spec: ShardSpec,
+    *,
+    defer_work: bool = False,
+    work_ns: float = 0.0,
+    mediation: str = "laminar",
+) -> ShardServer:
+    """Boot one shard: a fresh kernel, the replicated world image built
+    onto it by ``world.build(kernel)`` (every shard builds the *same*
+    world — identical setup sequences produce identical inode numbers,
+    which is what lets denial details compare byte-for-byte against a
+    single-kernel replay), wrapped in a :class:`ShardServer`."""
+    kernel = Kernel(LaminarSecurityModule(), shard_id=spec.shard_id)
+    # World building always defers its simulated work (boot cost is not
+    # service time, and busy-looping through a large world would serialize
+    # worker start-up); the server constructor drains the balance.
+    kernel.defer_work = True
+    tasks = world.build(kernel)
+    server = ShardServer(
+        spec.shard_id,
+        kernel,
+        tasks,
+        tier=spec.tier,
+        work_ns=work_ns,
+        mediation=mediation,
+    )
+    kernel.defer_work = defer_work
+    return server
+
+
+def replay_single(world, trace: Sequence[ClusterRequest], *, mediation: str = "laminar"):
+    """Run an already-routed trace, in global sequence order, on ONE
+    kernel holding the full world — the parity baseline.  Returns
+    ``(server, responses)``; the server's kernel audit/traffic are what
+    cluster-mode merges must reproduce byte-for-byte."""
+    server = boot_shard(world, ShardSpec(0, "edge"), mediation=mediation)
+    responses = [
+        server.execute(ShardRequest(seq, req.principal, tuple(req.sqes)))
+        for seq, req in enumerate(trace, 1)
+    ]
+    return server, responses
+
+
+def render_audit(entries) -> list[str]:
+    """Render audit entries (an :class:`AuditLog` or iterable) to their
+    canonical one-line forms — the byte-comparison currency."""
+    return [str(entry) for entry in entries]
+
+
+# --------------------------------------------------------------- executors
+
+
+class SameProcessExecutor:
+    """Every shard lives in the calling process.  Deterministic (no real
+    concurrency), but every wave still round-trips through the wire codec
+    so serialization — label re-interning above all — is exercised."""
+
+    def __init__(self, servers: dict[int, ShardServer]) -> None:
+        self.servers = servers
+
+    def submit_wave(self, wave: list) -> list:
+        decoded, _ = decode_frame(encode_frame(list(wave)))
+        replies = [self.servers[shard_id].handle(msg) for shard_id, msg in decoded]
+        return decode_frame(encode_frame(replies))[0]
+
+    def shutdown(self) -> list[WorkerReport]:
+        return [
+            WorkerReport(
+                worker_id=0,
+                fastpath_counters=fastpath.counters.snapshot(),
+                shards=tuple(
+                    self.servers[sid].report() for sid in sorted(self.servers)
+                ),
+            )
+        ]
+
+
+def _cluster_worker_main(
+    conn, worker_id, specs, world, defer_work, work_ns, mediation
+) -> None:
+    """Entry point of a forked cluster worker: boot this worker's shards,
+    signal readiness (so the driver never times boot as service), serve."""
+    servers = {
+        spec.shard_id: boot_shard(
+            world,
+            spec,
+            defer_work=defer_work,
+            work_ns=work_ns,
+            mediation=mediation,
+        )
+        for spec in specs
+    }
+    conn.send_bytes(encode_frame(("ready", sorted(servers))))
+    worker_serve(conn, worker_id, servers)
+
+
+class MultiprocessExecutor:
+    """Each worker process hosts one or more shards (round-robin when
+    ``workers`` < shards) and serves waves over a pipe.
+
+    A wave is split into per-worker sub-waves, all sent before any reply
+    is awaited — every worker is busy at once, which is where the
+    near-linear scaling comes from: in ``defer_work`` mode each worker
+    *sleeps off* its shards' simulated work, and sleeps overlap across
+    processes regardless of host core count, exactly as service time
+    overlaps across real machines."""
+
+    def __init__(
+        self,
+        world,
+        specs: Sequence[ShardSpec],
+        *,
+        workers: Optional[int] = None,
+        defer_work: bool = True,
+        work_ns: float = 0.0,
+        mediation: str = "laminar",
+    ) -> None:
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        nworkers = max(1, min(workers or len(specs), len(specs)))
+        self.worker_of = {
+            spec.shard_id: i % nworkers for i, spec in enumerate(specs)
+        }
+        assignment: list[list[ShardSpec]] = [[] for _ in range(nworkers)]
+        for i, spec in enumerate(specs):
+            assignment[i % nworkers].append(spec)
+        self.conns = []
+        self.procs = []
+        for wid in range(nworkers):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_cluster_worker_main,
+                args=(
+                    child_conn,
+                    wid,
+                    assignment[wid],
+                    world,
+                    defer_work,
+                    work_ns,
+                    mediation,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self.conns.append(parent_conn)
+            self.procs.append(proc)
+        for conn in self.conns:
+            decode_frame(conn.recv_bytes())  # ready handshake
+        self._down = False
+
+    def submit_wave(self, wave: list) -> list:
+        by_worker: dict[int, list[tuple[int, int, object]]] = {}
+        for idx, (shard_id, msg) in enumerate(wave):
+            by_worker.setdefault(self.worker_of[shard_id], []).append(
+                (idx, shard_id, msg)
+            )
+        for wid, items in by_worker.items():
+            self.conns[wid].send_bytes(
+                encode_frame([(shard_id, msg) for _, shard_id, msg in items])
+            )
+        results: list = [None] * len(wave)
+        for wid, items in by_worker.items():
+            replies, _ = decode_frame(self.conns[wid].recv_bytes())
+            for (idx, _, _), reply in zip(items, replies):
+                results[idx] = reply
+        return results
+
+    def shutdown(self) -> list[WorkerReport]:
+        if self._down:
+            return []
+        self._down = True
+        reports = []
+        for conn in self.conns:
+            conn.send_bytes(encode_frame(Shutdown()))
+        for conn in self.conns:
+            report, _ = decode_frame(conn.recv_bytes())
+            reports.append(report)
+            conn.close()
+        for proc in self.procs:
+            proc.join(timeout=30)
+        return reports
+
+
+# ------------------------------------------------------------------ cluster
+
+
+class Cluster:
+    """The deployment object: router + executor + observable merging.
+
+    ``world`` is any object with a ``build(kernel) -> dict[name, Task]``
+    method; every shard (and the single-kernel parity replay) builds the
+    same world image.  ``executor`` is ``"same-process"`` (deterministic,
+    default) or ``"multiprocess"``.
+    """
+
+    def __init__(
+        self,
+        world,
+        *,
+        shards: int = 2,
+        topology: str = "edge",
+        executor: str = "same-process",
+        workers: Optional[int] = None,
+        defer_work: Optional[bool] = None,
+        work_ns: float = 0.0,
+        mediation: str = "laminar",
+    ) -> None:
+        self.world = world
+        self.specs = make_specs(shards, topology)
+        self.router = LabelAwareRouter(self.specs)
+        self.responses: list = []
+        self._next_seq = 1
+        self._sync_epoch = 0
+        self._reports: Optional[list[WorkerReport]] = None
+        if executor == "same-process":
+            defer = False if defer_work is None else defer_work
+            self.servers: Optional[dict[int, ShardServer]] = {
+                spec.shard_id: boot_shard(
+                    world,
+                    spec,
+                    defer_work=defer,
+                    work_ns=work_ns,
+                    mediation=mediation,
+                )
+                for spec in self.specs
+            }
+            self.executor = SameProcessExecutor(self.servers)
+        elif executor == "multiprocess":
+            defer = True if defer_work is None else defer_work
+            self.servers = None
+            self.executor = MultiprocessExecutor(
+                world,
+                self.specs,
+                workers=workers,
+                defer_work=defer,
+                work_ns=work_ns,
+                mediation=mediation,
+            )
+        else:
+            raise ValueError(f"unknown executor {executor!r}")
+
+    # -- request plane ------------------------------------------------------
+
+    def route(self, request: ClusterRequest) -> ShardSpec:
+        return self.router.route(request.principal, request.labels)
+
+    def run_trace(
+        self, trace: Sequence[ClusterRequest], wave_size: Optional[int] = None
+    ) -> list:
+        """Route and execute a trace.  Requests are numbered by the
+        router's global sequence *before* dispatch — the logical clock the
+        merge sorts on — then dispatched in waves (default: one wave)."""
+        size = wave_size or len(trace) or 1
+        responses: list = []
+        for start in range(0, len(trace), size):
+            wave = []
+            for req in trace[start : start + size]:
+                spec = self.router.route(req.principal, req.labels)
+                wave.append(
+                    (
+                        spec.shard_id,
+                        ShardRequest(self._next_seq, req.principal, tuple(req.sqes)),
+                    )
+                )
+                self._next_seq += 1
+            responses.extend(self.executor.submit_wave(wave))
+        self.responses.extend(responses)
+        return responses
+
+    # -- replication plane --------------------------------------------------
+
+    def sync_tags(self, allocator) -> list:
+        """Broadcast the coordinator's interned-tag namespace snapshot to
+        every shard (epoch-stamped; stale frames are rejected)."""
+        epoch, next_value, entries = allocator.snapshot()
+        message = TagSync(epoch, next_value, entries)
+        return self.executor.submit_wave(
+            [(spec.shard_id, message) for spec in self.specs]
+        )
+
+    def sync_caps(self, principals) -> list:
+        """Broadcast principal security state — (name, LabelPair,
+        CapabilitySet) triples — to every shard.  Each applied frame bumps
+        the shard's ``fd_epoch``, orphaning pre-replication memos."""
+        self._sync_epoch += 1
+        message = CapSync(self._sync_epoch, tuple(principals))
+        return self.executor.submit_wave(
+            [(spec.shard_id, message) for spec in self.specs]
+        )
+
+    # -- observable merge ---------------------------------------------------
+
+    def merged_audit(self) -> list[str]:
+        """Deterministically merge per-shard audit deltas: concatenate in
+        global-sequence order, re-stamp 1..n, render.  A pure function of
+        the routed trace — byte-identical across executors and to the
+        single-kernel replay of the same trace."""
+        items: list[tuple[str, str, str, str]] = []
+        for resp in sorted(self.responses, key=lambda r: r.seq):
+            items.extend(resp.audit)
+        return [
+            str(AuditEntry(seq, AuditKind(kind), subsystem, principal, detail))
+            for seq, (kind, subsystem, principal, detail) in enumerate(items, 1)
+        ]
+
+    def worker_logs(self) -> list[TrafficLog]:
+        """Rebuild each shard's traffic log from the stamped deltas in its
+        responses (ordered by global sequence, as shipped)."""
+        logs: dict[int, TrafficLog] = {}
+        for resp in sorted(self.responses, key=lambda r: r.seq):
+            log = logs.setdefault(
+                resp.shard_id, TrafficLog(worker_id=resp.shard_id)
+            )
+            for stamp, payload in resp.traffic:
+                log.append_stamped(stamp, payload)
+        return [logs[sid] for sid in sorted(logs)]
+
+    def merged_traffic(self) -> TrafficLog:
+        return TrafficLog.merge(self.worker_logs())
+
+    # -- lifecycle / accounting ---------------------------------------------
+
+    def shutdown(self) -> list[WorkerReport]:
+        if self._reports is None:
+            self._reports = self.executor.shutdown()
+        return self._reports
+
+    def aggregate(self) -> dict:
+        """Cross-worker totals: fastpath counters, per-opcode syscall
+        counts, LSM hook counts, denials, audit volume, deferred work."""
+        fastpath_total: Counter = Counter()
+        syscalls: Counter = Counter()
+        hooks: Counter = Counter()
+        denials: Counter = Counter()
+        audit_entries = 0
+        for report in self.shutdown():
+            fastpath_total.update(report.fastpath_counters)
+            for shard in report.shards:
+                syscalls.update(shard.syscall_counts)
+                hooks.update(shard.hook_calls)
+                denials.update(shard.denials)
+                audit_entries += shard.audit_len
+        return {
+            "fastpath": dict(fastpath_total),
+            "syscalls": dict(syscalls),
+            "hooks": dict(hooks),
+            "denials": dict(denials),
+            "audit_entries": audit_entries,
+            "deferred_work": sum(r.deferred for r in self.responses),
+        }

@@ -183,7 +183,18 @@ class Filesystem:
     """
 
     def __init__(self, root_labels: LabelPair = LabelPair.EMPTY) -> None:
+        #: Per-filesystem inode numbering.  Regular files and directories
+        #: are renumbered from this counter when they enter the tree
+        #: (:meth:`adopt_inode`), so two kernels that perform the same
+        #: setup sequence produce byte-identical ino values — regardless
+        #: of how many other kernels live in the process or what anonymous
+        #: pipe/socket inodes were created in between.  That determinism
+        #: is what lets a sharded cluster's merged audit log (denial
+        #: details embed ``Inode`` reprs) compare byte-for-byte against a
+        #: single-kernel replay (repro.osim.cluster).
+        self._ino_counter = itertools.count(1)
         self.root = Inode(InodeType.DIRECTORY, root_labels, mode=0o755)
+        self.adopt_inode(self.root)
         #: Fault-injection plan shared with the kernel; ``None`` (the
         #: default) keeps every write on the unchunked fast path.
         self.faults = None
@@ -269,6 +280,18 @@ class Filesystem:
 
     # -- structural mutation (no DIFC checks; kernel hooks do those) -----------
 
+    def adopt_inode(self, inode: Inode) -> Inode:
+        """Assign ``inode`` a number from this filesystem's own counter.
+
+        Idempotent: an inode already adopted by this filesystem keeps its
+        number.  Anonymous inodes (pipes, sockets, devices) are never
+        adopted — they keep the process-global provisional numbering from
+        the :class:`Inode` constructor."""
+        if getattr(inode, "_ino_home", None) is not self:
+            inode.ino = next(self._ino_counter)
+            inode._ino_home = self
+        return inode
+
     def link_child(self, parent: Inode, name: str, child: Inode) -> None:
         if not parent.is_dir:
             raise SyscallError(ENOTDIR, name)
@@ -276,6 +299,8 @@ class Filesystem:
             raise SyscallError(EEXIST, name)
         if not name or "/" in name:
             raise SyscallError(EINVAL, name)
+        if child.itype in (InodeType.REGULAR, InodeType.DIRECTORY):
+            self.adopt_inode(child)
         parent.children[name] = child
         if child.itype in (InodeType.REGULAR, InodeType.DIRECTORY):
             self.exposed.setdefault(child.ino, []).append(child.labels)

@@ -85,9 +85,24 @@ class Sqe:
         self.op = op
         self.args = args
 
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Sqe)
+            and self.op == other.op
+            and self.args == other.args
+        )
+
+    __hash__ = object.__hash__
+
     def __repr__(self) -> str:
         inner = ", ".join(repr(a) for a in self.args)
         return f"Sqe({self.op!r}{', ' if inner else ''}{inner})"
+
+    def __reduce__(self):
+        # Constructor-based: slots have no __dict__ for default pickling,
+        # and re-entering __init__ lets label arguments re-intern on the
+        # receiving side (the cluster RPC framing pickles whole batches).
+        return (Sqe, (self.op, *self.args))
 
 
 class Cqe:
@@ -116,6 +131,9 @@ class Cqe:
 
     def __repr__(self) -> str:
         return f"Cqe({self.op!r}, {self.result!r}, errno={self.errno})"
+
+    def __reduce__(self):
+        return (Cqe, (self.op, self.result, self.errno))
 
 
 class Kernel:
@@ -176,8 +194,39 @@ class Kernel:
     #: Extra simulated work per additional iovec segment in readv/writev.
     VECTOR_SEGMENT_WORK = 40
 
-    def __init__(self, security: Optional[SecurityModule] = None) -> None:
+    def __init__(
+        self,
+        security: Optional[SecurityModule] = None,
+        *,
+        shard_id: int = 0,
+    ) -> None:
         self.security = security if security is not None else LaminarSecurityModule()
+        #: Which cluster shard this kernel is (0 for a standalone machine).
+        #: Baked into every persistent submit-memo key so a verdict proved
+        #: on one shard can never be replayed on another (see
+        #: :meth:`sys_submit` and repro.osim.cluster).
+        self.shard_id = shard_id
+        #: Replication clock: the newest cluster replication event this
+        #: kernel has applied (epoch-stamped invalidation — stale events
+        #: are rejected).  0 means "never replicated".
+        self.replication_epoch = 0
+        #: fd/capability-store epoch: bumped whenever replication lands
+        #: (capability stores, principal labels, or the tag namespace may
+        #: have changed under running tasks).  Persistent permission memos
+        #: key on it, so a memo recorded before a replication event is
+        #: unreachable after it.
+        self.fd_epoch = 0
+        #: Simulated-work accounting mode.  ``False`` (default): syscalls
+        #: burn their ``SYSCALL_WORK`` busy loops inline, exactly as
+        #: before.  ``True``: the iterations are *accumulated* into
+        #: ``deferred_work`` instead, and the execution driver pays them
+        #: as wall-clock waits (the cluster worker sleeps them off after
+        #: each request).  On a host with fewer cores than shards this is
+        #: what lets multiprocessing workers overlap service time the way
+        #: distinct machines would; observables are unaffected — only
+        #: *when* the simulated work is paid changes.
+        self.defer_work = False
+        self.deferred_work = 0
         self.tags = TagAllocator(first=1)
         self.fs = Filesystem()
         #: Fault-injection plan (``repro.osim.faults``); ``None`` keeps
@@ -185,6 +234,11 @@ class Kernel:
         #: and a ``None`` test is the entire disabled-mode cost.
         self.faults: Optional[FaultPlan] = None
         self.net = Network()
+        # The network device inode joins the per-filesystem ino namespace:
+        # anonymous inodes normally draw from a process-global counter, but
+        # this one appears in audit details (denied transmits), which must
+        # be byte-identical across shard boots and single-kernel replays.
+        self.fs.adopt_inode(self.net.inode)
         self.tasks: dict[int, Task] = {}
         self._tid_counter = itertools.count(1)
         self._pgid_counter = itertools.count(1)
@@ -201,6 +255,14 @@ class Kernel:
         #: per-task label epoch in the cache key; direct inode relabels by
         #: the per-entry label-identity revalidation.)
         self._walk_gen = 0
+        #: Persistent success-only permission memo for :meth:`sys_submit`,
+        #: surviving across batches: (shard_id, fd_epoch, tid, label_epoch,
+        #: inode, write?) -> the inode's LabelPair identity at proof time.
+        #: Hits replay the hook count; denials are never memoized; entries
+        #: are revalidated against the inode's current label identity; and
+        #: the shard/fd-epoch key components make memos unreplayable across
+        #: shards or across capability-store replication events.
+        self._submit_memo: dict[tuple, LabelPair] = {}
         self._refresh_security_module()
         #: Per-opcode batch work: SYSCALL_WORK minus the amortized entry
         #: share (floor 0 — close, for one, is mostly crossing cost).
@@ -228,6 +290,7 @@ class Kernel:
         self.security.audit = self.audit
         self._walk_gen += 1
         self._walk_cache.clear()
+        self._submit_memo.clear()
         # The walk cache replays a module's *decision* without re-running
         # its hook body, which is only sound for hook implementations
         # known to be pure functions of (task labels, inode labels).  A
@@ -236,6 +299,13 @@ class Kernel:
         self._walk_cacheable = impl in (
             SecurityModule.inode_permission,
             LaminarSecurityModule.inode_permission,
+        )
+        # Same purity requirement for the persistent submit memo, which
+        # replays file_permission verdicts across batches.
+        fimpl = type(self.security).file_permission
+        self._perm_memo_ok = fimpl in (
+            SecurityModule.file_permission,
+            LaminarSecurityModule.file_permission,
         )
 
     # ------------------------------------------------------------------ boot
@@ -294,7 +364,11 @@ class Kernel:
         if self.faults is not None:
             self._fault_gate(f"syscall:{name}")
         self.syscall_counts[name] += 1
-        for _ in range(self.SYSCALL_WORK.get(name, 0)):
+        work = self.SYSCALL_WORK.get(name, 0)
+        if self.defer_work:
+            self.deferred_work += work
+            return
+        for _ in range(work):
             pass
 
     def _fault_gate(self, site: str) -> None:
@@ -338,6 +412,7 @@ class Kernel:
         self.install_faults(None)
         self._walk_cache.clear()
         self._walk_gen += 1
+        self._submit_memo.clear()
 
     def remount(self):
         """Mount after a crash (or cleanly): run journal recovery, then
@@ -351,6 +426,23 @@ class Kernel:
         if not self.tasks:
             self.init_task = self.spawn_task("init", user="root")
         return report
+
+    def apply_replication(self, epoch: int) -> bool:
+        """Note that a cluster replication event (capability stores,
+        principal labels, tag namespace) has landed on this shard.
+
+        Epoch-stamped invalidation: an event not newer than what this
+        kernel already applied returns ``False`` and changes nothing, so
+        re-delivered or reordered replication frames are harmless.  A
+        fresh event bumps ``fd_epoch``, which orphans every persistent
+        submit memo recorded under the previous capability-store state —
+        the (shard, fd-epoch) keying that makes memo replay across
+        replication lag impossible."""
+        if epoch <= self.replication_epoch:
+            return False
+        self.replication_epoch = epoch
+        self.fd_epoch += 1
+        return True
 
     def _require_alive(self, task: Task) -> None:
         if not task.alive:
@@ -611,6 +703,10 @@ class Kernel:
         if faults is None:
             self.fs.link_child(parent, name, inode)
             return
+        # Adopt the inode into this filesystem's numbering *before* the
+        # journal record references it — link_child would adopt anyway,
+        # but by then the begin record would hold the provisional number.
+        self.fs.adopt_inode(inode)
         self._fault_gate("journal.append")
         rec = self.fs.journal.begin(
             "create", parent_ino=parent.ino, name=name, ino=inode.ino
@@ -735,8 +831,18 @@ class Kernel:
         return sum(write(file, data) for data in buffers)
 
     def _extra_work(self, iterations: int) -> None:
+        if self.defer_work:
+            self.deferred_work += iterations
+            return
         for _ in range(iterations):
             pass
+
+    def drain_deferred_work(self) -> int:
+        """Return and zero the accumulated deferred iterations (the
+        execution driver converts them to wall-clock waits)."""
+        work = self.deferred_work
+        self.deferred_work = 0
+        return work
 
     # -- batched submission (io_uring-style) ---------------------------------
 
@@ -779,10 +885,15 @@ class Kernel:
         * ``_require_alive`` is hoisted (sound: no batchable op changes
           aliveness);
         * hot read/write entries run through an inlined fast path with a
-          per-batch fd→file memo and a per-batch allowed-verdict memo
+          per-batch fd→file memo and a *persistent* allowed-verdict memo
           (successes only — denials re-run the full hook so audit and
           denial counters never depend on memo state; hook counts are
-          replayed on memo hits).
+          replayed on memo hits).  The memo survives across batches: it
+          is keyed on (shard, fd-epoch, tid, label epoch, inode, mask)
+          and each entry stores the inode's label identity at proof time,
+          so task label changes, inode relabels, security-module swaps,
+          crashes, and cluster capability-store replication each make the
+          old entries unreachable or invalid.
         """
         self._count("submit")
         self._require_alive(task)
@@ -790,6 +901,7 @@ class Kernel:
         security = self.security
         counts = self.syscall_counts
         batch_work = self._batch_work
+        defer = self.defer_work
         fs_read = self.fs.read
         fs_write = self.fs.write
         hook_calls = security.hook_calls
@@ -797,11 +909,12 @@ class Kernel:
         #: fd -> (file, pipe) resolved once per batch; dropped on close
         #: (the freed number may be reused by a later open in this batch).
         fd_memo: dict[int, tuple] = {}
-        #: inode -> True for inodes this batch already proved accessible
-        #: under the given mask.  Keyed on the inode *object* (keeps it
-        #: alive, so no id() reuse) — valid because no batchable op can
-        #: change the task's labels, and relabels don't happen mid-batch.
-        perm_memo: dict[tuple, bool] = {}
+        # Persistent success memo (see __init__).  The key prefix is
+        # hoisted: no batchable op can change the submitting task's
+        # aliveness or labels, and replication never lands mid-syscall.
+        perm_memo = self._submit_memo
+        memo_ok = self._perm_memo_ok
+        kprefix = (self.shard_id, self.fd_epoch, task.tid, task.security.label_epoch)
         cqes: list[Cqe] = []
         for sqe in sqes:
             op = sqe.op
@@ -820,8 +933,11 @@ class Kernel:
                 if op == "read":
                     fd, count = (sqe.args + (-1,))[:2]
                     counts["read"] += 1
-                    for _ in range(batch_work["read"]):
-                        pass
+                    if defer:
+                        self.deferred_work += batch_work["read"]
+                    else:
+                        for _ in range(batch_work["read"]):
+                            pass
                     cached = fd_memo.get(fd)
                     if cached is None:
                         file = task.lookup_fd(fd)
@@ -833,12 +949,15 @@ class Kernel:
                         result = pipe.read(task, security)
                     else:
                         inode = file.inode
-                        pkey = (inode, False)
-                        if pkey in perm_memo:
+                        pkey = kprefix + (inode, False)
+                        if perm_memo.get(pkey) is inode.labels:
                             hook_calls["file_permission"] += 1
                         else:
                             file_permission(task, file, Mask.READ)
-                            perm_memo[pkey] = True
+                            if memo_ok:
+                                if len(perm_memo) >= 4096:
+                                    perm_memo.clear()
+                                perm_memo[pkey] = inode.labels
                         if not file.readable():
                             raise SyscallError(EBADF, "fd not open for reading")
                         if inode.itype is InodeType.DEVICE:
@@ -848,8 +967,11 @@ class Kernel:
                 elif op == "write":
                     fd, data = sqe.args
                     counts["write"] += 1
-                    for _ in range(batch_work["write"]):
-                        pass
+                    if defer:
+                        self.deferred_work += batch_work["write"]
+                    else:
+                        for _ in range(batch_work["write"]):
+                            pass
                     cached = fd_memo.get(fd)
                     if cached is None:
                         file = task.lookup_fd(fd)
@@ -861,12 +983,15 @@ class Kernel:
                         result = pipe.write(task, data, security)
                     else:
                         inode = file.inode
-                        pkey = (inode, True)
-                        if pkey in perm_memo:
+                        pkey = kprefix + (inode, True)
+                        if perm_memo.get(pkey) is inode.labels:
                             hook_calls["file_permission"] += 1
                         else:
                             file_permission(task, file, Mask.WRITE)
-                            perm_memo[pkey] = True
+                            if memo_ok:
+                                if len(perm_memo) >= 4096:
+                                    perm_memo.clear()
+                                perm_memo[pkey] = inode.labels
                         if not file.writable():
                             raise SyscallError(EBADF, "fd not open for writing")
                         if inode.itype is InodeType.DEVICE:

@@ -11,6 +11,8 @@ for when debugging a workload or a pass::
     python -m repro.tools.lamc disasm prog.ir --tiers --tier2
     python -m repro.tools.lamc lint prog.ir --json
     python -m repro.tools.lamc fsck --seed 1234 --points 40
+    python -m repro.tools.lamc cluster --shards 4 --workers 2 \
+        --topology edge,shuffle,central
 
 ``compile`` prints the pass pipeline and barrier accounting (optionally
 the instrumented program); ``run`` executes on a fresh VM over a vanilla
@@ -23,7 +25,10 @@ when any error-severity finding exists, 2 on syntax errors); both
 ``lint`` and ``verify`` speak ``--format sarif`` for CI upload; ``fsck``
 runs the OS-layer crash-consistency sweep (deterministic by default,
 seed-randomized with ``--seed`` — the command CI prints for replaying a
-nightly chaos failure) and exits 1 on any recovery-invariant violation.
+nightly chaos failure) and exits 1 on any recovery-invariant violation;
+``cluster`` boots N kernel shards behind the label-aware router, runs a
+generated trace, and exits 1 unless the merged cluster audit is
+byte-identical to a single-kernel replay of the same routed trace.
 """
 
 from __future__ import annotations
@@ -235,6 +240,107 @@ def cmd_fsck(args: argparse.Namespace, out) -> int:
     return 0 if result.ok else 1
 
 
+def cmd_cluster(args: argparse.Namespace, out) -> int:
+    import time
+    from collections import Counter
+
+    from ..bench.loadgen import UserWorld, build_trace
+    from ..osim.cluster import (
+        Cluster,
+        LabelAwareRouter,
+        RoutingError,
+        render_audit,
+        replay_single,
+    )
+
+    world = UserWorld()
+    trace = build_trace(
+        world,
+        args.requests,
+        users=args.users,
+        tainted_fraction=args.tainted,
+    )
+    cluster = Cluster(
+        world,
+        shards=args.shards,
+        topology=args.topology,
+        executor=args.executor,
+        workers=args.workers,
+        defer_work=True,
+        work_ns=args.work_ns,
+    )
+    # Pre-filter with a throwaway router (routing is a pure function of
+    # (principal, labels)): requests no tier can hold fail closed at the
+    # router and never reach a shard.
+    probe = LabelAwareRouter(cluster.specs)
+    routable, refused = [], 0
+    for req in trace:
+        try:
+            probe.route(req.principal, req.labels)
+        except RoutingError:
+            refused += 1
+        else:
+            routable.append(req)
+    start = time.perf_counter()
+    responses = cluster.run_trace(routable)
+    seconds = time.perf_counter() - start
+    merged = cluster.merged_audit()
+    single, _ = replay_single(world, routable)
+    parity = merged == render_audit(single.kernel.audit)
+    agg = cluster.aggregate()
+    per_shard = Counter(resp.shard_id for resp in responses)
+    if args.json:
+        json.dump(
+            {
+                "shards": [
+                    {
+                        "shard_id": spec.shard_id,
+                        "tier": spec.tier,
+                        "requests": per_shard.get(spec.shard_id, 0),
+                    }
+                    for spec in cluster.specs
+                ],
+                "executor": args.executor,
+                "requests": len(routable),
+                "refused_at_router": refused,
+                "seconds": seconds,
+                "requests_per_sec": len(routable) / seconds,
+                "denials": sum(agg["denials"].values()),
+                "audit_entries": len(merged),
+                "audit_parity": parity,
+            },
+            out,
+            indent=2,
+        )
+        print(file=out)
+    else:
+        print(
+            f"cluster:  {args.shards} shards ({args.topology}), "
+            f"{args.executor} executor",
+            file=out,
+        )
+        for spec in cluster.specs:
+            print(
+                f"  shard {spec.shard_id} [{spec.tier:>7}]: "
+                f"{per_shard.get(spec.shard_id, 0)} requests",
+                file=out,
+            )
+        print(
+            f"routed:   {len(routable)} requests "
+            f"({refused} refused at router)   "
+            f"{len(routable) / seconds:.0f} req/s",
+            file=out,
+        )
+        print(
+            f"audit:    {len(merged)} entries, "
+            f"{sum(agg['denials'].values())} denials, "
+            f"parity {'ok' if parity else 'MISMATCH'}",
+            file=out,
+        )
+    cluster.shutdown()
+    return 0 if parity else 1
+
+
 def cmd_lint(args: argparse.Namespace, out) -> int:
     program = parse_program(_read_source(args.file))
     report = run_lint(program, labeled_statics=args.labeled_statics)
@@ -348,6 +454,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_fsck.add_argument("--json", action="store_true",
                         help="emit the sweep result as JSON")
     p_fsck.set_defaults(fn=cmd_fsck)
+
+    p_cluster = sub.add_parser(
+        "cluster",
+        help="boot N kernel shards behind the label-aware router, run a "
+             "generated trace, and check single-kernel audit parity",
+    )
+    p_cluster.add_argument("--shards", type=int, default=2,
+                           help="number of kernel shards (default: 2)")
+    p_cluster.add_argument("--workers", type=int, default=None, metavar="M",
+                           help="worker processes for the multiprocess "
+                                "executor (default: one per shard)")
+    p_cluster.add_argument("--topology", default="edge",
+                           help="comma-separated trust tiers, cycled over "
+                                "the shards (default: edge; e.g. "
+                                "edge,shuffle,central)")
+    p_cluster.add_argument("--executor",
+                           choices=("same-process", "multiprocess"),
+                           default="same-process",
+                           help="shard executor (default: same-process)")
+    p_cluster.add_argument("--requests", type=int, default=64,
+                           help="generated trace length (default: 64)")
+    p_cluster.add_argument("--users", type=int, default=100_000,
+                           help="simulated user id space (default: 100000)")
+    p_cluster.add_argument("--tainted", type=float, default=0.0,
+                           metavar="FRACTION",
+                           help="fraction of requests carrying a secrecy "
+                                "tag (default: 0.0)")
+    p_cluster.add_argument("--work-ns", type=float, default=0.0,
+                           help="nanoseconds slept per deferred work unit "
+                                "(default: 0)")
+    p_cluster.add_argument("--json", action="store_true",
+                           help="emit the run summary as JSON")
+    p_cluster.set_defaults(fn=cmd_cluster)
 
     return parser
 

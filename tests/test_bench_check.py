@@ -149,3 +149,12 @@ class TestRegistry:
         spec = {s.file: s for s in SPECS}["BENCH_jit_tier.json"]
         assert "geomean_fig8_tier2_vs_interp" in spec.ratio_fields
         assert "observables_identical" in spec.exact_fields
+
+    def test_registry_gates_the_cluster_snapshot(self):
+        spec = {s.file: s for s in SPECS}["BENCH_cluster_throughput.json"]
+        assert "scaling_ratio_4x" in spec.ratio_fields
+        assert "parity.audit_parity" in spec.exact_fields
+        assert "parity.traffic_parity" in spec.exact_fields
+        assert "flume.flume_deferred" in spec.exact_fields
+        # Multiprocess wall-clock ratios are noisier than in-process ones.
+        assert spec.tolerance > 0.15

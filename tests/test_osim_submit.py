@@ -292,3 +292,84 @@ class TestVectoredIO:
         fd = kernel.sys_open(task, "/tmp/s", "w")
         with pytest.raises(SyscallError):
             kernel.sys_lseek(task, fd, -1)
+
+
+class TestSubmitMemoEpochs:
+    """The persistent allowed-verdict memo keys on (shard, fd-epoch): a
+    verdict proved on one shard, or before a replication event landed,
+    must be unreachable afterwards."""
+
+    def _booted(self, shard_id: int = 0):
+        Inode._ino_counter = itertools.count(1)
+        kernel = Kernel(LaminarSecurityModule(), shard_id=shard_id)
+        task = kernel.spawn_task("gw")
+        fd = kernel.sys_open(task, "/tmp/m", "w+")
+        return kernel, task, fd
+
+    def test_memo_keys_carry_shard_and_fd_epoch(self):
+        kernel, task, fd = self._booted(shard_id=7)
+        kernel.sys_submit(task, [Sqe("write", fd, b"x")])
+        assert kernel._submit_memo
+        for key in kernel._submit_memo:
+            shard, fd_epoch, tid, label_epoch, _inode, _is_write = key
+            assert shard == 7
+            assert fd_epoch == kernel.fd_epoch == 0
+            assert tid == task.tid
+            assert label_epoch == task.security.label_epoch
+        # The same verdict proved on a different shard lives under a
+        # different key: migrated memo state can never collide.
+        other, task2, fd2 = self._booted(shard_id=8)
+        other.sys_submit(task2, [Sqe("write", fd2, b"x")])
+        assert not (set(kernel._submit_memo) & set(other._submit_memo))
+
+    def test_memo_not_replayed_across_replication_lag(self):
+        """The ISSUE's directed scenario: a memo recorded before a
+        capability-store replication event must not replay after it.
+
+        The sharp case: replication *rebuilds* the principal's security
+        field from the wire image, so the rebuilt ``label_epoch`` restarts
+        at exactly the value the memo was recorded under, and the inode's
+        label object is untouched — neither the epoch in the key nor the
+        identity revalidation can catch the change.  Only the fd-epoch
+        component (bumped by ``apply_replication``) keeps the stale allow
+        verdict unreachable."""
+        from repro.core import CapabilitySet
+        from repro.core.principal import Principal
+
+        kernel, task, fd = self._booted()
+        kernel.sys_submit(task, [Sqe("write", fd, b"x")])
+        hooks = kernel.security.hook_calls["file_permission"]
+        kernel.sys_submit(task, [Sqe("write", fd, b"x")])
+        # Replay accounting: the memo hit still counts the hook.
+        assert kernel.security.hook_calls["file_permission"] == hooks + 1
+        assert kernel._submit_memo
+
+        # Replication lands: the authoritative capability store says gw is
+        # now tainted with a secrecy tag it cannot shed.  The sync path
+        # materializes a fresh Principal from the frame — label_epoch
+        # restarts at 0, colliding with the epoch the memo recorded.
+        tag = kernel.tags.alloc("s")
+        assert task.security.label_epoch == 0
+        task.security = Principal(
+            task.name, LabelPair(Label.of(tag)), CapabilitySet.EMPTY
+        )
+        assert task.security.label_epoch == 0  # the collision
+        assert kernel.apply_replication(1)
+        assert kernel.fd_epoch == 1
+
+        denials = len(kernel.audit.denials())
+        cqes = kernel.sys_submit(task, [Sqe("write", fd, b"x")])
+        # Without the (shard, fd-epoch) keying this replays the stale
+        # allow; with it, the full hook runs and denies the write-down.
+        assert cqes[0].errno == EACCES
+        assert len(kernel.audit.denials()) == denials + 1
+
+    def test_stale_replication_is_rejected(self):
+        kernel, task, fd = self._booted()
+        assert kernel.apply_replication(3)
+        epoch_after = kernel.fd_epoch
+        assert not kernel.apply_replication(3)  # re-delivered frame
+        assert not kernel.apply_replication(1)  # reordered older frame
+        assert kernel.fd_epoch == epoch_after
+        assert kernel.apply_replication(4)
+        assert kernel.fd_epoch == epoch_after + 1

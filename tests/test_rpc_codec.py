@@ -1,0 +1,124 @@
+"""The cluster wire codec and the cross-process interning contract.
+
+The property that makes labels cheap cluster-wide: a Label (or LabelPair,
+CapabilitySet, Sqe, Cqe) that crosses the wire re-enters through its
+constructor on the receiving side, so with interning on, a
+pickled-and-returned Label is *the same object* — identity-based fast
+paths (``is``-subset checks, the verdict AVC, the persistent submit
+memo's ``is``-revalidation) keep working after an RPC hop.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CapabilitySet, Label, LabelPair
+from repro.core.fastpath import counters, flags
+from repro.core.tags import Tag
+from repro.osim import Cqe, Sqe
+from repro.osim.rpc import (
+    CapSync,
+    HEADER,
+    ShardRequest,
+    ShardResponse,
+    TagSync,
+    decode_frame,
+    encode_frame,
+)
+
+tags_strategy = st.lists(
+    st.integers(min_value=1, max_value=64).map(lambda v: Tag(v, f"t{v}")),
+    max_size=6,
+    unique=True,
+)
+
+
+class TestLabelReinterning:
+    """Satellite: the cross-process label interning property."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(tags=tags_strategy)
+    def test_pickled_label_reinterns_to_same_identity(self, tags):
+        assert flags.label_interning  # default configuration
+        label = Label.of(*tags)
+        clone = pickle.loads(pickle.dumps(label))
+        assert clone is label
+
+    @settings(max_examples=40, deadline=None)
+    @given(secrecy=tags_strategy, integrity=tags_strategy)
+    def test_pickled_labelpair_components_reintern(self, secrecy, integrity):
+        pair = LabelPair(Label.of(*secrecy), Label.of(*integrity))
+        clone = pickle.loads(pickle.dumps(pair))
+        assert clone == pair
+        assert clone.secrecy is pair.secrecy
+        assert clone.integrity is pair.integrity
+
+    def test_round_trip_counts_as_intern_hit(self):
+        label = Label.of(Tag(7, "t7"))
+        before = counters.intern_hits
+        clone = pickle.loads(pickle.dumps(label))
+        assert clone is label
+        assert counters.intern_hits > before
+
+    def test_frame_hop_preserves_identity(self):
+        """Same property through the actual wire framing, not bare pickle."""
+        label = Label.of(Tag(3, "t3"), Tag(9, "t9"))
+        pair = LabelPair(label)
+        message, rest = decode_frame(encode_frame(("req", pair)))
+        assert rest == b""
+        assert message[1].secrecy is label
+
+    @settings(max_examples=40, deadline=None)
+    @given(tags=tags_strategy)
+    def test_capability_set_round_trip(self, tags):
+        caps = CapabilitySet.dual(*tags)
+        clone = pickle.loads(pickle.dumps(caps))
+        assert clone == caps
+        assert hash(clone) == hash(caps)
+        assert all(clone.can_add(t) and clone.can_remove(t) for t in tags)
+
+    def test_sqe_cqe_round_trip(self):
+        sqe = Sqe("write", 4, b"payload")
+        clone = pickle.loads(pickle.dumps(sqe))
+        assert clone == sqe  # op + args equality
+        cqe = Cqe("read", b"data", 0)
+        assert pickle.loads(pickle.dumps(cqe)) == cqe
+
+
+class TestFraming:
+    def test_frame_stream_decodes_in_order(self):
+        buf = encode_frame(1) + encode_frame("two") + encode_frame([3])
+        one, buf = decode_frame(buf)
+        two, buf = decode_frame(buf)
+        three, buf = decode_frame(buf)
+        assert (one, two, three) == (1, "two", [3])
+        assert buf == b""
+
+    def test_truncated_frame_raises(self):
+        frame = encode_frame({"k": "v"})
+        with pytest.raises(ValueError):
+            decode_frame(frame[:-1])
+        with pytest.raises(ValueError):
+            decode_frame(frame[: HEADER.size - 1])
+
+    def test_oversize_header_rejected_without_allocation(self):
+        bogus = HEADER.pack(1 << 30) + b"x"
+        with pytest.raises(ValueError):
+            decode_frame(bogus)
+
+    def test_request_response_messages_survive_the_wire(self):
+        req = ShardRequest(5, "gw1", (Sqe("read", 3, 16), Sqe("lseek", 3, 0)))
+        resp = ShardResponse(
+            5, 2, (Cqe("read", b"x", 0),), (("denial", "lsm", "gw1", "why"),),
+            (((5, 2, 1), b"pkt"),), 120,
+        )
+        sync = TagSync(4, 9, ((1, "a"), (2, "b")))
+        caps = CapSync(1, (("gw1", LabelPair.EMPTY, CapabilitySet.EMPTY),))
+        for msg in (req, resp, sync, caps):
+            clone, rest = decode_frame(encode_frame(msg))
+            assert clone == msg
+            assert rest == b""

@@ -1,6 +1,7 @@
 """The lamc CLI driver."""
 
 import io
+import json
 
 import pytest
 
@@ -371,3 +372,38 @@ class TestCertifiedCompile:
         assert code_a == code_b == 0
         result = lambda t: [l for l in t.splitlines() if "result:" in l]
         assert result(text_a) == result(text_b)
+
+
+class TestCluster:
+    def test_cluster_reports_shards_and_parity(self):
+        code, text = run_cli(
+            "cluster", "--shards", "3", "--topology", "edge,shuffle",
+            "--requests", "24",
+        )
+        assert code == 0
+        assert "3 shards" in text
+        assert "[shuffle]" in text
+        assert "parity ok" in text
+
+    def test_cluster_json_summary(self):
+        code, text = run_cli(
+            "cluster", "--shards", "2", "--requests", "16", "--json"
+        )
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["audit_parity"] is True
+        assert payload["requests"] == 16
+        assert len(payload["shards"]) == 2
+        assert sum(s["requests"] for s in payload["shards"]) == 16
+
+    def test_cluster_refuses_unroutable_taint(self):
+        """A central-only topology cannot hold tainted requests: they are
+        refused at the router, and the rest still reach parity."""
+        code, text = run_cli(
+            "cluster", "--shards", "2", "--topology", "central",
+            "--requests", "40", "--tainted", "0.5", "--json",
+        )
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["refused_at_router"] > 0
+        assert payload["requests"] + payload["refused_at_router"] == 40
