@@ -23,22 +23,45 @@ Three claims are demonstrated:
   scheduling change performance, never a verdict);
 * **scaling** — ops/sec is reported across a task-count sweep.
 
+A fourth arm measures the **multi-core** backend: the same server,
+partitioned user-per-group across a :class:`repro.osim.psched.
+ParallelScheduler` fork pool with per-syscall simulated service time
+(``defer_work`` + ``work_ns``, so service time overlaps across worker
+processes the way it overlaps across real cores).  The claims:
+
+* near-linear wall-clock scaling — at least 3x at 4 workers and 5x at
+  8 workers over the single-threaded cooperative baseline;
+* merged audit text and transmitted traffic *byte-identical* to the
+  single-threaded replay at every worker count (the workload includes
+  denied transmits, silent pipe drops, and courier traffic, so the
+  parity checks are not vacuous);
+* nonzero compiled-hook-chain activity (:mod:`repro.osim.hookchain`).
+
+Environment knobs for CI tiers: ``OS_MULTICORE_SMOKE=1`` runs a
+same-process (inline) 2-point sweep with parity checks only and does
+not rewrite the JSON; ``OS_MULTICORE_WORKERS=N`` runs a fork sweep at
+(1, N) with a soft scaling floor and no JSON rewrite.
+
 Machine-readable results land in ``BENCH_os_throughput.json`` at the
-repository root, including a :mod:`repro.core.fastpath` counter snapshot.
+repository root, including a :mod:`repro.core.fastpath` counter snapshot
+(which carries the ``hookchain_*`` counters).
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
+from collections import Counter
 from pathlib import Path
 
 import pytest
 
 from repro.bench.harness import fastpath_snapshot
-from repro.bench.workloads import setup_os_server
+from repro.bench.workloads import OSServerWorld, setup_os_server
 from repro.core import fastpath
 from repro.osim import Kernel, LaminarSecurityModule, NullSecurityModule
+from repro.osim.psched import ParallelScheduler
 
 from conftest import publish
 
@@ -55,6 +78,19 @@ CHUNK_SIZE = 96
 USER_SWEEP = (1, 2, 4, 8)
 MAIN_USERS = 4
 TRIALS = 3
+
+#: Multi-core arm shape: one group per user across the fork pool, with
+#: 2µs of simulated service time per deferred kernel work unit.  Sized
+#: so virtual service time dominates real Python compute, which is what
+#: lets worker sleeps overlap like real cores even on a 1-core host.
+MC_USERS = 8
+MC_REQUESTS = 12
+MC_CHUNKS = 8
+MC_CHUNK_SIZE = 64
+MC_WORK_NS = 2000.0
+MC_SWEEP = (1, 4, 8)
+MC_SEED = 1729
+MC_TRIALS = 2
 
 CONFIGS = {
     "vanilla": (NullSecurityModule, False),
@@ -110,18 +146,123 @@ def _measure(name: str, users: int) -> dict:
     return best
 
 
+def _multicore_mode() -> str:
+    if os.environ.get("OS_MULTICORE_SMOKE") == "1":
+        return "smoke"
+    if os.environ.get("OS_MULTICORE_WORKERS"):
+        return f"workers={int(os.environ['OS_MULTICORE_WORKERS'])}"
+    return "full"
+
+
+def _measure_multicore() -> dict:
+    """The multi-core arm: serial cooperative baseline vs the fork pool,
+    with byte-parity asserted at every sweep point."""
+    mode = _multicore_mode()
+    if mode == "smoke":
+        executor, sweep_counts = "inline", (1, 2)
+    elif mode.startswith("workers="):
+        executor, sweep_counts = "fork", (1, int(mode.split("=")[1]))
+    else:
+        executor, sweep_counts = "fork", MC_SWEEP
+    world = OSServerWorld(
+        users=MC_USERS,
+        requests=MC_REQUESTS,
+        chunks=MC_CHUNKS,
+        chunk_size=MC_CHUNK_SIZE,
+    )
+
+    def serial_run():
+        ps = ParallelScheduler(
+            world,
+            workers=1,
+            executor="inline",
+            defer_work=True,
+            work_ns=MC_WORK_NS,
+            seed=MC_SEED,
+        )
+        ps.run()
+        ps.shutdown()
+        return ps
+
+    baseline = min((serial_run() for _ in range(MC_TRIALS)),
+                   key=lambda ps: ps.elapsed)
+    base_obs = baseline.observables()
+
+    elapsed: dict[int, float] = {}
+    hookchain: Counter = Counter()
+    audit_parity = traffic_parity = True
+    for workers in sweep_counts:
+        best = None
+        for _ in range(MC_TRIALS):
+            ps = ParallelScheduler(
+                world,
+                workers=workers,
+                executor=executor,
+                defer_work=True,
+                work_ns=MC_WORK_NS,
+                seed=MC_SEED,
+            )
+            ps.run()
+            obs = ps.observables()
+            audit_parity &= obs["audit"] == base_obs["audit"]
+            traffic_parity &= obs["traffic"] == base_obs["traffic"]
+            assert obs == base_obs, f"observable divergence at {workers} workers"
+            agg = ps.aggregate()
+            if best is None or ps.elapsed < best:
+                best = ps.elapsed
+                for key in ("hookchain_compiles", "hookchain_hits",
+                            "hookchain_deopts"):
+                    hookchain[key] = agg["fastpath"].get(key, 0)
+        elapsed[workers] = best
+
+    scaling = {w: baseline.elapsed / t for w, t in elapsed.items()}
+    return {
+        "mode": mode,
+        "executor": executor,
+        "workers_sweep": list(sweep_counts),
+        "users": MC_USERS,
+        "requests_per_client": MC_REQUESTS,
+        "work_ns": MC_WORK_NS,
+        "seed": MC_SEED,
+        "ops": base_obs["ops"],
+        "steps": base_obs["steps"],
+        "audit_entries": len(base_obs["audit"]),
+        "traffic_messages": len(base_obs["traffic"]),
+        "denials": sum(dict(base_obs["denials"]).values()),
+        "pipe_drops": base_obs["pipe_drops"],
+        "serial_seconds": baseline.elapsed,
+        "elapsed_seconds": {str(w): t for w, t in elapsed.items()},
+        "scaling": {str(w): r for w, r in scaling.items()},
+        "scaling_ratio_4x": scaling.get(4),
+        "scaling_ratio_8x": scaling.get(8),
+        "audit_parity": audit_parity,
+        "traffic_parity": traffic_parity,
+        "hookchain": dict(hookchain),
+        "hookchain_active": hookchain["hookchain_compiles"] > 0
+        and hookchain["hookchain_hits"] > 0,
+    }
+
+
 @pytest.fixture(scope="module")
 def sweep():
     fastpath.clear_caches()
     fastpath.counters.reset()
     results: dict[str, dict] = {}
     scaling: dict[str, dict[int, float]] = {name: {} for name in CONFIGS}
-    for name in CONFIGS:
-        for users in USER_SWEEP:
-            measured = _measure(name, users)
-            scaling[name][users] = measured["ops_per_sec"]
-            if users == MAIN_USERS:
-                results[name] = measured
+    # Ablation hygiene: the three legacy configs isolate *batching*, so
+    # they run with hook-chain compilation off — otherwise the compiled
+    # chains speed up the sequential arm and the batched/sequential
+    # ratio stops measuring batching.  The multi-core arm below runs
+    # with default flags and reports the hook-chain counters.
+    with fastpath.configured(hook_chain_compile=False):
+        for name in CONFIGS:
+            for users in USER_SWEEP:
+                measured = _measure(name, users)
+                scaling[name][users] = measured["ops_per_sec"]
+                if users == MAIN_USERS:
+                    results[name] = measured
+
+    multicore = _measure_multicore()
 
     payload = {
         "benchmark": "os_throughput",
@@ -132,6 +273,7 @@ def sweep():
             "user_sweep": list(USER_SWEEP),
             "main_users": MAIN_USERS,
         },
+        "multicore": multicore,
         "configs": results,
         "scaling_ops_per_sec": {
             name: {str(u): ops for u, ops in curve.items()}
@@ -153,7 +295,10 @@ def sweep():
         ),
         "fastpath_counters": fastpath_snapshot(),
     }
-    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    # Reduced CI tiers (smoke / fixed-worker) measure a different sweep:
+    # they must never overwrite the committed full-mode numbers.
+    if multicore["mode"] == "full":
+        JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
     lines = [
         "OS throughput: multi-user labeled file server "
@@ -178,6 +323,22 @@ def sweep():
         f"batched speedup (laminar):   {payload['batched_speedup']:.2f}x",
         f"laminar overhead (seq):      {payload['laminar_overhead_pct']:.1f}%",
         f"observables identical:       {payload['observables_identical']}",
+        "",
+        f"multi-core ({multicore['mode']}, {multicore['executor']} executor, "
+        f"{multicore['users']} groups, work_ns={multicore['work_ns']:.0f}):",
+    ]
+    for w in multicore["workers_sweep"]:
+        ratio = multicore["scaling"][str(w)]
+        secs = multicore["elapsed_seconds"][str(w)]
+        lines.append(f"  {w} worker(s): {secs:.3f}s  ({ratio:.2f}x)")
+    lines += [
+        f"  audit parity:     {multicore['audit_parity']} "
+        f"({multicore['audit_entries']} entries)",
+        f"  traffic parity:   {multicore['traffic_parity']} "
+        f"({multicore['traffic_messages']} messages)",
+        f"  hook chains:      {multicore['hookchain'].get('hookchain_compiles', 0)} "
+        f"compiled, {multicore['hookchain'].get('hookchain_hits', 0)} hits, "
+        f"{multicore['hookchain'].get('hookchain_deopts', 0)} deopts",
     ]
     publish("os_throughput", "\n".join(lines))
     return payload
@@ -213,3 +374,46 @@ def test_json_report_written(sweep):
     assert payload["batched_speedup"] >= 2.0
     assert "fastpath_counters" in payload
     assert "walk_hits" in payload["fastpath_counters"]
+    assert "hookchain_compiles" in payload["fastpath_counters"]
+    assert "multicore" in payload
+
+
+def test_multicore_audit_and_traffic_parity(sweep):
+    """Byte parity at every sweep point: merged audit text and merged
+    transmitted traffic from the fork pool equal the single-threaded
+    cooperative replay — with denials, drops, and traffic present, so
+    the comparison has teeth."""
+    mc = sweep["multicore"]
+    assert mc["audit_parity"] is True
+    assert mc["traffic_parity"] is True
+    assert mc["audit_entries"] == MC_USERS * MC_REQUESTS
+    assert mc["traffic_messages"] == MC_USERS * MC_REQUESTS
+    assert mc["pipe_drops"] == MC_USERS * MC_REQUESTS
+    assert mc["denials"] > 0
+    assert mc["ops"] == MC_USERS * MC_REQUESTS * MC_CHUNKS
+
+
+def test_multicore_hook_chains_engaged(sweep):
+    mc = sweep["multicore"]
+    assert mc["hookchain_active"] is True
+    assert mc["hookchain"]["hookchain_compiles"] > 0
+    assert mc["hookchain"]["hookchain_hits"] > 0
+
+
+def test_multicore_scaling(sweep):
+    """The acceptance floors: >=3x at 4 workers and >=5x at 8 over the
+    single-threaded cooperative baseline (full mode); a reduced
+    fixed-worker CI tier asserts a soft floor instead; the same-process
+    smoke tier asserts parity only (covered above)."""
+    mc = sweep["multicore"]
+    if mc["mode"] == "full":
+        assert mc["scaling_ratio_4x"] >= 3.0, mc["scaling"]
+        assert mc["scaling_ratio_8x"] >= 5.0, mc["scaling"]
+    elif mc["mode"].startswith("workers="):
+        workers = int(mc["mode"].split("=")[1])
+        if workers >= 2:
+            assert mc["scaling"][str(workers)] >= 1.5, mc["scaling"]
+    else:
+        assert mc["mode"] == "smoke"
+        for ratio in mc["scaling"].values():
+            assert ratio > 0.0

@@ -1118,3 +1118,204 @@ def setup_degraded_os_server(
         "bytes_served": lambda: sum(served),
     }
     return sched, stats
+
+
+# =========================================================================
+# Group-partitioned mode: the same server as a ParallelScheduler world
+# =========================================================================
+#
+# The parallel scheduler backend (repro.osim.psched) partitions *task
+# groups* — sets of tasks sharing fds only with each other — across a
+# worker pool.  One user of the file server is exactly such a group:
+# their server, client, and courier tasks touch only the user's own
+# labeled file, pipes, and tag.  ``OSServerWorld`` packages a user-per-
+# group build of the server so the identical world can be replicated
+# onto every worker's kernel image (same creation order → same tids,
+# inode numbers, and tag values → byte-identical denial text).
+#
+# Unlike the all-legal workload above, every group also exercises the
+# *denied* paths so executor-equivalence checks are not vacuous: the
+# labeled client attempts a network transmit each round (denied and
+# audited — labeled data must not reach the unlabeled world), writes a
+# probe into an unlabeled pipe (silently dropped: denied ≡ empty), and
+# an unlabeled courier task transmits a heartbeat (delivered: one
+# traffic-log entry).  The server stats its file once per request, so
+# the hot path exercises compiled LSM hook chains (walk + getattr and
+# per-chunk file_permission) as well.
+
+
+def _psrv_server_body(kernel, batched, path, req_fd, resp_fd, chunks, chunk_size):
+    from ..osim.kernel import Sqe
+    from ..osim.sched import read_blocking, submit, syscall
+
+    def body(task):
+        fd = yield syscall("open", path, "r")
+        if batched:
+            sqes = [Sqe("lseek", fd, 0)]
+            sqes += [Sqe("read", fd, chunk_size) for _ in range(chunks)]
+        while True:
+            request = yield read_blocking(req_fd)
+            if not request:
+                break
+            # Freshness check before serving: the per-request stat is
+            # what makes the walk+getattr hook chain hot.
+            yield syscall("stat", path)
+            if batched:
+                cqes = yield submit(sqes)
+                payload = b"".join(c.result for c in cqes[1:])
+            else:
+                yield syscall("lseek", fd, 0)
+                parts = []
+                for _ in range(chunks):
+                    parts.append((yield syscall("read", fd, chunk_size)))
+                payload = b"".join(parts)
+            yield syscall("write", resp_fd, payload)
+        yield syscall("close", resp_fd)
+
+    return body
+
+
+def _psrv_client_body(
+    user, requests, req_fd, resp_fd, drop_fd, expected_len, served, denied
+):
+    from ..osim.sched import read_blocking, syscall
+    from ..osim.task import EACCES, SyscallError
+
+    def body(task):
+        for _ in range(requests):
+            yield syscall("write", req_fd, b"get")
+        yield syscall("close", req_fd)
+        for k in range(requests):
+            response = yield read_blocking(resp_fd)
+            if len(response) != expected_len:
+                raise AssertionError(
+                    f"short response: {len(response)} != {expected_len}"
+                )
+            served.append(len(response))
+            # Exfiltration attempt: a labeled task may not reach the
+            # unlabeled network.  Denied loudly (audit + EACCES) — the
+            # network is outside the denied≡empty regime.
+            try:
+                yield syscall("transmit", f"exfil:{user}:{k}".encode())
+            except SyscallError as exc:
+                if exc.errno != EACCES:
+                    raise
+                denied.append(k)
+            # Leak probe into an unlabeled pipe: silently dropped (the
+            # write "succeeds"), counted only by the pipe's drop counter.
+            yield syscall("write", drop_fd, b"leak?")
+
+    return body
+
+
+def _psrv_courier_body(user, requests, transmitted):
+    from ..osim.sched import syscall, yield_
+
+    def body(task):
+        for k in range(requests):
+            n = yield syscall("transmit", f"hb:{user}:{k}".encode())
+            transmitted.append(n)
+            yield yield_()
+
+    return body
+
+
+class OSServerWorld:
+    """The multi-user file server as a replicable task-group world.
+
+    Satisfies the :class:`repro.osim.psched.ParallelScheduler` world
+    protocol: ``group_count`` plus ``build(kernel)`` returning one
+    :class:`~repro.osim.psched.GroupHandle` per user.  ``build`` performs
+    the *same* setup sequence on every kernel image it is given, so every
+    worker's replica allocates identical tids, inode numbers, and tags.
+    """
+
+    def __init__(
+        self,
+        *,
+        users: int = 4,
+        requests: int = 12,
+        chunks: int = 8,
+        chunk_size: int = 64,
+        batched: bool = False,
+        heartbeat: bool = True,
+    ) -> None:
+        self.users = users
+        self.requests = requests
+        self.chunks = chunks
+        self.chunk_size = chunk_size
+        self.batched = batched
+        self.heartbeat = heartbeat
+        self.group_count = users
+
+    def build(self, kernel):
+        from ..core import Label, LabelPair
+        from ..osim.psched import GroupHandle
+
+        setup = kernel.spawn_task("psrv-setup")
+        kernel.sys_mkdir(setup, "/tmp/psrv")
+        handles = []
+        for i in range(self.users):
+            tag, _caps = kernel.sys_alloc_tag(setup, f"pu{i}")
+            secret = LabelPair(Label.of(tag))
+            home = f"/tmp/psrv/user{i}"
+            path = f"{home}/data"
+            kernel.sys_mkdir(setup, home)
+            fd = kernel.sys_create_file_labeled(setup, path, secret)
+            kernel.sys_write(
+                setup, fd, bytes([i % 251]) * (self.chunks * self.chunk_size)
+            )
+            kernel.sys_close(setup, fd)
+
+            server = kernel.spawn_task(f"psrv{i}", labels=secret)
+            client = kernel.spawn_task(f"pcli{i}", labels=secret)
+            req_r, req_w = kernel.sys_pipe(setup, labels=secret)
+            resp_r, resp_w = kernel.sys_pipe(setup, labels=secret)
+            drop_r, drop_w = kernel.sys_pipe(setup, labels=LabelPair.EMPTY)
+            s_req = kernel.share_fd(setup, req_r, server)
+            s_resp = kernel.share_fd(setup, resp_w, server)
+            c_req = kernel.share_fd(setup, req_w, client)
+            c_resp = kernel.share_fd(setup, resp_r, client)
+            c_drop = kernel.share_fd(setup, drop_w, client)
+            drop_pipe = setup.lookup_fd(drop_r).inode.pipe
+            for fd_ in (req_r, req_w, resp_r, resp_w, drop_r, drop_w):
+                kernel.sys_close(setup, fd_)
+
+            served: list[int] = []
+            denied: list[int] = []
+            transmitted: list[int] = []
+            server_body = _psrv_server_body(
+                kernel, self.batched, path, s_req, s_resp,
+                self.chunks, self.chunk_size,
+            )
+            client_body = _psrv_client_body(
+                i, self.requests, c_req, c_resp, c_drop,
+                self.chunks * self.chunk_size, served, denied,
+            )
+            courier = None
+            courier_body = None
+            if self.heartbeat:
+                courier = kernel.spawn_task(f"pcour{i}")
+                courier_body = _psrv_courier_body(i, self.requests, transmitted)
+
+            def spawn(sched, _sb=server_body, _srv=server, _cb=client_body,
+                      _cli=client, _hb=courier_body, _cour=courier):
+                sched.spawn(_sb, task=_srv)
+                sched.spawn(_cb, task=_cli)
+                if _hb is not None:
+                    sched.spawn(_hb, task=_cour)
+
+            def stats(_served=served, _denied=denied, _tx=transmitted,
+                      _pipe=drop_pipe, _n=self.requests, _c=self.chunks,
+                      _cs=self.chunk_size):
+                assert sum(_served) == _n * _c * _cs, (sum(_served), _n, _c, _cs)
+                return {
+                    "ops": _n * _c,
+                    "bytes_served": sum(_served),
+                    "denied_transmits": len(_denied),
+                    "heartbeats": len(_tx),
+                    "pipe_drops": _pipe.dropped,
+                }
+
+            handles.append(GroupHandle(f"user{i}", spawn, stats))
+        return handles

@@ -70,6 +70,9 @@ class FastPathFlags:
     thread_barrier_cache: bool = True
     dispatch_table: bool = True
     path_walk_cache: bool = True
+    #: Tier-2 for the OS: bake hot (walk prefix, permission hook) chains
+    #: into exec-generated closures (:mod:`repro.osim.hookchain`).
+    hook_chain_compile: bool = True
 
     def as_dict(self) -> dict[str, bool]:
         return {f.name: getattr(self, f.name) for f in fields(self)}
@@ -108,6 +111,12 @@ class FastPathCounters:
     tier2_deopts: int = 0
     tier2_clones: int = 0
     tier2_invalidations: int = 0
+    #: Hook-chain engine traffic (:mod:`repro.osim.hookchain`): chains
+    #: baked into closures, verdicts replayed from a baked chain, and
+    #: guard failures that discarded a chain and re-ran the full hooks.
+    hookchain_compiles: int = 0
+    hookchain_hits: int = 0
+    hookchain_deopts: int = 0
 
     @property
     def set_ops(self) -> int:

@@ -684,6 +684,22 @@ class _Codegen:
         return "\n".join(src) + "\n", self.globals
 
 
+def bake_closure(source: str, bindings: dict, entry: str, filename: str):
+    """Exec-compile generated ``source`` with constants pre-bound as its
+    globals and return the ``entry`` function.
+
+    The tier-2 template compiler and the OS hook-chain compiler
+    (:mod:`repro.osim.hookchain`) share this step: both emit plain
+    Python whose free names are baked constants (interned labels, inode
+    references, handler tables), so the generated code runs with zero
+    per-call environment lookups beyond the globals dict.  ``bindings``
+    is copied — callers may reuse their template dictionaries.
+    """
+    glob = dict(bindings)
+    exec(compile(source, filename, "exec"), glob)
+    return glob[entry]
+
+
 def compile_method(
     method: Method,
     program: Program,
@@ -698,10 +714,8 @@ def compile_method(
         method, program, in_region, thread_labels, fusion, region_body
     )
     source, glob = gen.generate()
-    exec(compile(source, f"<tier2:{variant_name}>", "exec"), glob)
-    return CompiledMethod(
-        glob["_t2"], variant_name, gen.entry_index, gen.fused, source
-    )
+    fn = bake_closure(source, glob, "_t2", f"<tier2:{variant_name}>")
+    return CompiledMethod(fn, variant_name, gen.entry_index, gen.fused, source)
 
 
 # -- the engine ---------------------------------------------------------------

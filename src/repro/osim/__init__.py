@@ -9,10 +9,12 @@ module (:mod:`.lsm`), unreliable labeled pipes (:mod:`.pipes`), sockets and
 the unlabeled network (:mod:`.sockets`), the syscall layer (:mod:`.kernel`),
 and persistent per-user capabilities with login (:mod:`.persistence`).
 The throughput layer lives in :mod:`.sched` (cooperative scheduler with
-label-oblivious blocking I/O) and :meth:`.kernel.Kernel.sys_submit`
-(io_uring-style batched submission).  Scale-out lives in :mod:`.cluster`
-(sharded multi-kernel deployments behind a label-aware router) and
-:mod:`.rpc` (the inter-shard wire protocol).
+label-oblivious blocking I/O), :meth:`.kernel.Kernel.sys_submit`
+(io_uring-style batched submission), :mod:`.psched` (parallel scheduler
+backend partitioning task groups across a fork worker pool), and
+:mod:`.hookchain` (tier-2 compilation of hot LSM hook chains).  Scale-out
+lives in :mod:`.cluster` (sharded multi-kernel deployments behind a
+label-aware router) and :mod:`.rpc` (the inter-shard wire protocol).
 """
 
 from .cluster import (
@@ -29,6 +31,7 @@ from .cluster import (
     tier_can_hold,
 )
 from .faults import FaultKind, FaultPlan, FaultRule, KernelCrash
+from .hookchain import HookChainEngine
 from .filesystem import (
     BLOCK_SIZE,
     File,
@@ -62,6 +65,14 @@ from .sched import (
     syscall,
     yield_,
 )
+from .psched import (
+    GroupHandle,
+    GroupResult,
+    ParallelScheduler,
+    PschedWorkerReport,
+    replay_cooperative,
+    run_group,
+)
 from .persistence import (
     decode_capabilities,
     encode_capabilities,
@@ -80,6 +91,8 @@ from .rpc import (
     WorkerReport,
     decode_frame,
     encode_frame,
+    seed_worker_rng,
+    worker_seed,
 )
 from .sockets import DEFAULT_TRAFFIC_LOG_CAP, Network, Socket, TrafficLog
 from .task import (
@@ -128,6 +141,9 @@ __all__ = [
     "FaultRule",
     "File",
     "Filesystem",
+    "GroupHandle",
+    "GroupResult",
+    "HookChainEngine",
     "Inode",
     "InodeType",
     "Journal",
@@ -140,7 +156,9 @@ __all__ = [
     "Network",
     "NullSecurityModule",
     "OpenMode",
+    "ParallelScheduler",
     "Pipe",
+    "PschedWorkerReport",
     "RecoveryInvariantError",
     "RecoveryReport",
     "RoutingError",
@@ -180,12 +198,16 @@ __all__ = [
     "read_blocking",
     "recover",
     "recv_blocking",
+    "seed_worker_rng",
     "render_audit",
+    "replay_cooperative",
     "replay_single",
+    "run_group",
     "revoke_by_relabel",
     "store_user_capabilities",
     "submit",
     "syscall",
     "tier_can_hold",
+    "worker_seed",
     "yield_",
 ]

@@ -57,6 +57,8 @@ from .rpc import (
     WorkerReport,
     decode_frame,
     encode_frame,
+    seed_worker_rng,
+    worker_seed,
     worker_serve,
 )
 from .sockets import TrafficLog
@@ -219,8 +221,12 @@ class SameProcessExecutor:
     concurrency), but every wave still round-trips through the wire codec
     so serialization — label re-interning above all — is exercised."""
 
-    def __init__(self, servers: dict[int, ShardServer]) -> None:
+    def __init__(self, servers: dict[int, ShardServer], seed: int = 0) -> None:
         self.servers = servers
+        # Derive (but do not install) worker 0's seed: this process is the
+        # caller's, and its RNG state is the caller's business; reseeding
+        # matters only in forked workers, which inherit parent state.
+        self.seed = worker_seed(seed, 0)
 
     def submit_wave(self, wave: list) -> list:
         decoded, _ = decode_frame(encode_frame(list(wave)))
@@ -235,15 +241,21 @@ class SameProcessExecutor:
                 shards=tuple(
                     self.servers[sid].report() for sid in sorted(self.servers)
                 ),
+                seed=self.seed,
             )
         ]
 
 
 def _cluster_worker_main(
-    conn, worker_id, specs, world, defer_work, work_ns, mediation
+    conn, worker_id, specs, world, defer_work, work_ns, mediation, seed=0
 ) -> None:
-    """Entry point of a forked cluster worker: boot this worker's shards,
-    signal readiness (so the driver never times boot as service), serve."""
+    """Entry point of a forked cluster worker: reseed this process's RNG
+    under the deterministic per-worker rule (fork inherits the parent's
+    RNG state, so unseeded workers would all share one stream whose
+    consumption depended on pre-fork parent activity), boot this worker's
+    shards, signal readiness (so the driver never times boot as
+    service), serve."""
+    wseed = seed_worker_rng(seed, worker_id)
     servers = {
         spec.shard_id: boot_shard(
             world,
@@ -255,7 +267,7 @@ def _cluster_worker_main(
         for spec in specs
     }
     conn.send_bytes(encode_frame(("ready", sorted(servers))))
-    worker_serve(conn, worker_id, servers)
+    worker_serve(conn, worker_id, servers, seed=wseed)
 
 
 class MultiprocessExecutor:
@@ -278,6 +290,7 @@ class MultiprocessExecutor:
         defer_work: bool = True,
         work_ns: float = 0.0,
         mediation: str = "laminar",
+        seed: int = 0,
     ) -> None:
         import multiprocessing
 
@@ -303,6 +316,7 @@ class MultiprocessExecutor:
                     defer_work,
                     work_ns,
                     mediation,
+                    seed,
                 ),
                 daemon=True,
             )
@@ -370,8 +384,10 @@ class Cluster:
         defer_work: Optional[bool] = None,
         work_ns: float = 0.0,
         mediation: str = "laminar",
+        seed: int = 0,
     ) -> None:
         self.world = world
+        self.seed = seed
         self.specs = make_specs(shards, topology)
         self.router = LabelAwareRouter(self.specs)
         self.responses: list = []
@@ -390,7 +406,7 @@ class Cluster:
                 )
                 for spec in self.specs
             }
-            self.executor = SameProcessExecutor(self.servers)
+            self.executor = SameProcessExecutor(self.servers, seed=seed)
         elif executor == "multiprocess":
             defer = True if defer_work is None else defer_work
             self.servers = None
@@ -401,6 +417,7 @@ class Cluster:
                 defer_work=defer,
                 work_ns=work_ns,
                 mediation=mediation,
+                seed=seed,
             )
         else:
             raise ValueError(f"unknown executor {executor!r}")

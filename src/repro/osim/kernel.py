@@ -46,7 +46,8 @@ from .filesystem import (
     InodeType,
     OpenMode,
 )
-from .lsm import LaminarSecurityModule, Mask, SecurityModule
+from .hookchain import HookChainEngine
+from .lsm import LaminarSecurityModule, Mask, SecurityModule, chain_bakeable_hooks
 from .pipes import Pipe
 from .sockets import Network, Socket
 from .task import (
@@ -263,7 +264,14 @@ class Kernel:
         #: the shard/fd-epoch key components make memos unreplayable across
         #: shards or across capability-store replication events.
         self._submit_memo: dict[tuple, LabelPair] = {}
+        #: Bumped on every security-module (re)install; the hook-chain
+        #: engine compares it lazily, so a policy swap retires every
+        #: baked chain without the kernel walking the engine's tables.
+        self.policy_epoch = 0
         self._refresh_security_module()
+        #: Tier-2 for the OS: hot (walk prefix, permission hook) chains
+        #: baked into closures (:mod:`repro.osim.hookchain`).
+        self.hookchain = HookChainEngine(self)
         #: Per-opcode batch work: SYSCALL_WORK minus the amortized entry
         #: share (floor 0 — close, for one, is mostly crossing cost).
         self._batch_work = {
@@ -291,6 +299,10 @@ class Kernel:
         self._walk_gen += 1
         self._walk_cache.clear()
         self._submit_memo.clear()
+        self.policy_epoch += 1
+        #: Hooks of this module safe to replay from baked chains (pure
+        #: functions of interned labels); see repro.osim.hookchain.
+        self._chain_hooks = chain_bakeable_hooks(self.security)
         # The walk cache replays a module's *decision* without re-running
         # its hook body, which is only sound for hook implementations
         # known to be pure functions of (task labels, inode labels).  A
@@ -413,6 +425,7 @@ class Kernel:
         self._walk_cache.clear()
         self._walk_gen += 1
         self._submit_memo.clear()
+        self.hookchain.invalidate()
 
     def remount(self):
         """Mount after a crash (or cleanly): run journal recovery, then
@@ -423,6 +436,7 @@ class Kernel:
         report = recover(self)
         self._walk_cache.clear()
         self._walk_gen += 1
+        self.hookchain.invalidate()
         if not self.tasks:
             self.init_task = self.spawn_task("init", user="root")
         return report
@@ -448,8 +462,13 @@ class Kernel:
         if not task.alive:
             raise SyscallError(ESRCH, f"{task.name} has exited")
 
-    def _walk_checked(self, task: Task, path: str) -> None:
+    def _walk_checked(self, task: Task, path: str) -> Optional[tuple]:
         """Run the search-permission hook on every traversed directory.
+
+        Returns the observed ``((inode, labels), ...)`` prefix when the
+        walk ran on the cacheable fast path (the hook-chain profiler's
+        raw material; see :mod:`repro.osim.hookchain`), else ``None`` —
+        a ``None`` return means the chain must not be baked.
 
         Relative walks do *not* re-check the starting directory — holding
         it (as cwd / an open directory, openat-style) is the authorization,
@@ -480,7 +499,7 @@ class Kernel:
                 security.inode_permission(task, first, Mask.EXEC)
             for directory in components:
                 security.inode_permission(task, directory, Mask.EXEC)
-            return
+            return None
         relative = not path.startswith("/") and task.cwd is not None
         head, _, _leaf = path.rpartition("/")
         key = (
@@ -500,7 +519,7 @@ class Kernel:
                 _fp_counters.walk_hits += 1
                 if nhooks:
                     security.hook_calls["inode_permission"] += nhooks
-                return
+                return observed
         _fp_counters.walk_misses += 1
         components = self.fs.walk_components(path, task.cwd)
         first = next(components, None)
@@ -513,7 +532,9 @@ class Kernel:
             observed.append((directory, directory.labels))
         if len(self._walk_cache) >= 4096:
             self._walk_cache.clear()
-        self._walk_cache[key] = (self._walk_gen, len(observed), tuple(observed))
+        recorded = tuple(observed)
+        self._walk_cache[key] = (self._walk_gen, len(recorded), recorded)
+        return recorded
 
     def sys_chdir(self, task: Task, path: str) -> None:
         """Change the working directory (the handle relative resolution
@@ -734,25 +755,38 @@ class Kernel:
         self._count("open")
         self._require_alive(task)
         flags = OpenMode.parse(mode)
-        self._walk_checked(task, path)
-        parent, name = self.fs.resolve_parent(path, task.cwd)
-        inode = parent if name is None else parent.children.get(name)
+        chain_op = ("open", flags.value)
+        inode = self.hookchain.lookup_path(chain_op, task, path)
         if inode is None:
-            if not flags & OpenMode.CREATE:
-                raise SyscallError(ENOENT, path)
-            # Plain creat: the new file takes the creating thread's labels
-            # (Section 4.5, "other system resources use the label of their
-            # creating thread").
-            labels = task.labels
-            self.security.inode_create(task, parent, labels)
-            inode = Inode(InodeType.REGULAR, labels)
-            self._journaled_link(parent, name, inode)  # type: ignore[arg-type]
-        mask = Mask(0)
-        if flags & OpenMode.READ:
-            mask |= Mask.READ
-        if flags & OpenMode.WRITE:
-            mask |= Mask.WRITE
-        self.security.inode_permission(task, inode, mask)
+            observed = self._walk_checked(task, path)
+            parent, name = self.fs.resolve_parent(path, task.cwd)
+            inode = parent if name is None else parent.children.get(name)
+            created = False
+            if inode is None:
+                if not flags & OpenMode.CREATE:
+                    raise SyscallError(ENOENT, path)
+                # Plain creat: the new file takes the creating thread's
+                # labels (Section 4.5, "other system resources use the
+                # label of their creating thread").
+                labels = task.labels
+                self.security.inode_create(task, parent, labels)
+                inode = Inode(InodeType.REGULAR, labels)
+                self._journaled_link(parent, name, inode)  # type: ignore[arg-type]
+                created = True
+            mask = Mask(0)
+            if flags & OpenMode.READ:
+                mask |= Mask.READ
+            if flags & OpenMode.WRITE:
+                mask |= Mask.WRITE
+            self.security.inode_permission(task, inode, mask)
+            # Only existing-file opens are bakeable: a chain that created
+            # would have run inode_create, and the existing-file case is
+            # reachable again only until an unlink (which bumps _walk_gen
+            # and kills the chain).
+            if observed is not None and not created:
+                self.hookchain.profile_path(
+                    chain_op, task, path, observed, inode, "inode_permission"
+                )
         file = File(inode, flags)
         return task.install_fd(file)
 
@@ -767,7 +801,9 @@ class Kernel:
         pipe: Pipe | None = getattr(file.inode, "pipe", None)
         if pipe is not None:
             return pipe.read(task, self.security)
-        self.security.file_permission(task, file, Mask.READ)
+        if not self.hookchain.replay_fd(task, file, False):
+            self.security.file_permission(task, file, Mask.READ)
+            self.hookchain.profile_fd(task, file, False)
         if not file.readable():
             raise SyscallError(EBADF, "fd not open for reading")
         if file.inode.itype is InodeType.DEVICE:
@@ -781,7 +817,9 @@ class Kernel:
         pipe: Pipe | None = getattr(file.inode, "pipe", None)
         if pipe is not None:
             return pipe.write(task, data, self.security)
-        self.security.file_permission(task, file, Mask.WRITE)
+        if not self.hookchain.replay_fd(task, file, True):
+            self.security.file_permission(task, file, Mask.WRITE)
+            self.hookchain.profile_fd(task, file, True)
         if not file.writable():
             raise SyscallError(EBADF, "fd not open for writing")
         if file.inode.itype is InodeType.DEVICE:
@@ -1042,9 +1080,16 @@ class Kernel:
     def sys_stat(self, task: Task, path: str) -> dict[str, object]:
         self._count("stat")
         self._require_alive(task)
-        self._walk_checked(task, path)
-        inode = self.fs.resolve(path, task.cwd)
-        self.security.inode_getattr(task, inode)
+        chain_op = ("stat", 0)
+        inode = self.hookchain.lookup_path(chain_op, task, path)
+        if inode is None:
+            observed = self._walk_checked(task, path)
+            inode = self.fs.resolve(path, task.cwd)
+            self.security.inode_getattr(task, inode)
+            if observed is not None:
+                self.hookchain.profile_path(
+                    chain_op, task, path, observed, inode, "inode_getattr"
+                )
         return {
             "ino": inode.ino,
             "type": inode.itype.value,

@@ -290,3 +290,36 @@ class LaminarSecurityModule(SecurityModule):
     def mmap_file(self, task: "Task", file: "File", mask: Mask) -> None:
         self.hook_calls["mmap_file"] += 1
         self._check_object_access(task, file.inode, mask, "mmap_file")
+
+
+#: Hook implementations whose verdict is a pure function of the interned
+#: (task labels, object labels) pair — the soundness condition for the
+#: hook-chain compiler (:mod:`repro.osim.hookchain`) to replay an allow
+#: verdict without re-running the hook body.  A subclass that overrides
+#: one of these hooks (extra state, side effects, ambient conditions)
+#: drops out of the set and its chains are never baked — same discipline
+#: as the kernel's ``_walk_cacheable`` / ``_perm_memo_ok`` checks.
+_PURE_HOOK_IMPLS: dict[str, tuple] = {
+    "inode_permission": (
+        SecurityModule.inode_permission,
+        LaminarSecurityModule.inode_permission,
+    ),
+    "file_permission": (
+        SecurityModule.file_permission,
+        LaminarSecurityModule.file_permission,
+    ),
+    "inode_getattr": (
+        SecurityModule.inode_getattr,
+        LaminarSecurityModule.inode_getattr,
+    ),
+}
+
+
+def chain_bakeable_hooks(module: SecurityModule) -> frozenset[str]:
+    """Names of ``module``'s hooks safe to bake into compiled chains."""
+    cls = type(module)
+    return frozenset(
+        name
+        for name, impls in _PURE_HOOK_IMPLS.items()
+        if getattr(cls, name, None) in impls
+    )

@@ -1,0 +1,461 @@
+"""Parallel scheduler backend: task groups across a fork worker pool.
+
+The PR 3 scheduler (:mod:`repro.osim.sched`) is cooperative and
+single-threaded; this module is the wall-clock-scale backend beneath it.
+The unit of parallelism is the **task group**: a set of tasks that share
+fds, pipes, and files only with each other (one user's server+client
+pair in the file-server workload).  Groups are partitioned across a
+``multiprocessing`` fork pool by ``group_index % workers`` — a pure
+function of the trace, never of verdicts or timing — and each group
+runs to completion under an ordinary cooperative :class:`Scheduler`
+inside its worker, so the generator task API (and the park/wake
+discipline that keeps denied ≡ empty) is exactly the PR 3 code path.
+
+Determinism is inherited from the PR 7 cluster machinery rather than
+reinvented:
+
+* **Replicated worlds.**  Generators cannot cross a process boundary,
+  so every worker builds the *same* full world (identical setup
+  sequence → identical tids, inode numbers, and tag values) and runs
+  only its assigned groups' bodies.  Denial detail strings — which
+  embed task names, labels, and inode numbers — therefore compare
+  byte-for-byte across workers and against the single-process replay.
+* **Deterministic merge.**  Each group's audit and traffic deltas are
+  captured around its run and stamped with the group's global index
+  (the ``(stamp, worker, local)`` triples of
+  :class:`~repro.osim.sockets.TrafficLog`); the driver concatenates
+  deltas in global group order and re-stamps 1..n, exactly like
+  :meth:`repro.osim.cluster.Cluster.merged_audit`.  Because groups are
+  fd-disjoint, a group's observables are independent of which other
+  groups ran before it on the same kernel image — so the merged record
+  is byte-identical to :func:`replay_cooperative` running every group
+  sequentially on one kernel.
+* **Per-worker seeding.**  Forked workers inherit the parent's RNG
+  state; each worker reseeds under the deterministic rule of
+  :func:`repro.osim.rpc.worker_seed`, so repeated runs are
+  bit-reproducible.
+* **Overlapped service time.**  In ``defer_work`` mode each worker
+  sleeps off its groups' simulated syscall work (``work_ns`` per
+  deferred iteration) after each group — sleeps overlap across worker
+  processes regardless of host core count, exactly as service time
+  overlaps across real cores.
+
+Group bodies must not ``fork`` new kernel tasks at run time: a task id
+allocated mid-run would depend on which groups ran earlier on that
+worker's kernel image, breaking cross-executor byte parity.  (Bodies
+built at world-build time may use any task created there.)
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..core import fastpath
+from ..core.audit import AuditEntry, AuditKind
+from .kernel import Kernel
+from .lsm import LaminarSecurityModule
+from .rpc import Shutdown, decode_frame, encode_frame, seed_worker_rng, worker_seed
+from .sched import DEFAULT_MAX_STEPS, Scheduler
+
+
+@dataclass
+class GroupHandle:
+    """One schedulable task group, produced worker-side by the world's
+    ``build(kernel)``.
+
+    ``spawn(sched)`` admits the group's (already created) tasks and
+    generator bodies to a cooperative scheduler; ``stats()`` returns a
+    small picklable dict of group-local outcome numbers (ops served,
+    pipe drops, bytes) read after the group ran."""
+
+    name: str
+    spawn: Callable[[Scheduler], None]
+    stats: Optional[Callable[[], dict]] = None
+
+
+@dataclass(frozen=True)
+class GroupResult:
+    """Observables of one completed task group (picklable)."""
+
+    group: int
+    worker: int
+    name: str
+    steps: int
+    #: (kind value, subsystem, principal, detail) audit delta tuples.
+    audit: tuple = ()
+    #: ((stamp, worker, local), payload) traffic delta pairs.
+    traffic: tuple = ()
+    #: Sorted (hook name, count) denial-counter delta.
+    denials: tuple = ()
+    #: Sorted (hook name, count) hook-call delta.
+    hooks: tuple = ()
+    #: Tids left permanently parked (normally empty).
+    stuck: tuple = ()
+    #: Deferred simulated-work iterations the group accrued.
+    deferred: int = 0
+    #: Scheduling-event trace ``(event, tid)`` when tracing was on.
+    sched_trace: tuple = ()
+    stats: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class PschedWorkerReport:
+    """Final per-worker state, returned on shutdown."""
+
+    worker_id: int
+    seed: int
+    groups_run: tuple = ()
+    fastpath_counters: dict = field(default_factory=dict)
+
+
+def _counter_delta(after: Counter, before: dict) -> tuple:
+    return tuple(
+        sorted(
+            (name, count - before.get(name, 0))
+            for name, count in after.items()
+            if count - before.get(name, 0)
+        )
+    )
+
+
+def run_group(
+    kernel: Kernel,
+    index: int,
+    handle: GroupHandle,
+    *,
+    worker: int = 0,
+    trace: bool = False,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> GroupResult:
+    """Run one group to completion under a cooperative scheduler and
+    capture its observable deltas.  Shared by the fork workers and the
+    sequential replay, so both sides' capture logic is one code path."""
+    sched = Scheduler(kernel, trace=trace)
+    handle.spawn(sched)
+    log = kernel.net.transmitted
+    log.stamp = index + 1  # group's global index = the merge stamp
+    audit_entries = kernel.audit._entries
+    audit_before = len(audit_entries)
+    traffic_before = log.total_messages
+    denials_before = dict(kernel.security.denials)
+    hooks_before = dict(kernel.security.hook_calls)
+    stuck = sched.run(max_steps)
+    audit = tuple(
+        (e.kind.value, e.subsystem, e.principal, e.detail)
+        for e in audit_entries[audit_before:]
+    )
+    delta = log.total_messages - traffic_before
+    traffic = tuple(log.stamped()[-delta:]) if delta else ()
+    return GroupResult(
+        group=index,
+        worker=worker,
+        name=handle.name,
+        steps=sched.steps,
+        audit=audit,
+        traffic=traffic,
+        denials=_counter_delta(kernel.security.denials, denials_before),
+        hooks=_counter_delta(kernel.security.hook_calls, hooks_before),
+        stuck=tuple(t.tid for t in stuck),
+        deferred=kernel.drain_deferred_work(),
+        sched_trace=tuple(sched.trace) if sched.trace is not None else (),
+        stats=dict(handle.stats()) if handle.stats is not None else {},
+    )
+
+
+def boot_world(world, *, worker_id: int = 0, defer_work: bool = False):
+    """Boot one kernel image and build the (replicated) world onto it.
+    Build-time simulated work is always deferred and drained — boot cost
+    is not service time."""
+    make_security = getattr(world, "security_module", None)
+    security = make_security() if make_security is not None else LaminarSecurityModule()
+    kernel = Kernel(security)
+    kernel.net.transmitted.worker_id = worker_id
+    kernel.defer_work = True
+    handles = list(world.build(kernel))
+    kernel.drain_deferred_work()
+    kernel.defer_work = defer_work
+    return kernel, handles
+
+
+def _psched_worker_main(
+    conn, worker_id, indices, world, defer_work, work_ns, seed, trace
+) -> None:
+    """Entry point of a forked scheduler worker: reseed deterministically,
+    build the full world, signal readiness, wait for "go", run the
+    assigned groups in global-index order, ship results, report."""
+    wseed = seed_worker_rng(seed, worker_id)
+    try:
+        kernel, handles = boot_world(
+            world, worker_id=worker_id, defer_work=defer_work
+        )
+        # The fork inherited the parent's process-global fastpath counter
+        # state; zero it so the shutdown report covers only this worker's
+        # assigned groups (reports sum cleanly across the pool).
+        fastpath.counters.reset()
+        conn.send_bytes(encode_frame(("ready", worker_id)))
+        decode_frame(conn.recv_bytes())  # "go" — the timing barrier
+        results = []
+        for index in indices:
+            result = run_group(
+                kernel, index, handles[index], worker=worker_id, trace=trace
+            )
+            if work_ns and result.deferred:
+                time.sleep(result.deferred * work_ns * 1e-9)
+            results.append(result)
+        conn.send_bytes(encode_frame(("results", results)))
+    except BaseException as exc:  # ship the failure; a silent EOF is opaque
+        conn.send_bytes(encode_frame(("error", repr(exc))))
+        raise
+    while True:
+        message, _ = decode_frame(conn.recv_bytes())
+        if isinstance(message, Shutdown):
+            conn.send_bytes(
+                encode_frame(
+                    PschedWorkerReport(
+                        worker_id=worker_id,
+                        seed=wseed,
+                        groups_run=tuple(indices),
+                        fastpath_counters=fastpath.counters.snapshot(),
+                    )
+                )
+            )
+            break
+    conn.close()
+
+
+class ParallelScheduler:
+    """Run a group world across a worker pool with deterministic merge.
+
+    ``world`` must expose ``group_count`` (int) and
+    ``build(kernel) -> list[GroupHandle]`` building the identical world
+    on every kernel image (and optionally ``security_module()``).
+
+    ``executor``:
+
+    * ``"fork"`` — one forked process per worker; workers build their
+      world during construction (excluded from the timed window), run
+      concurrently after a "go" barrier, and sleep off deferred
+      simulated work so service time overlaps across processes.
+    * ``"inline"`` — every group runs in this process on one kernel in
+      global group order: the deterministic CI fallback *and* the
+      single-threaded cooperative baseline (:func:`replay_cooperative`).
+      Results still round-trip through the wire codec, so pickling of
+      every observable is exercised identically.
+    """
+
+    def __init__(
+        self,
+        world,
+        *,
+        workers: int = 1,
+        executor: str = "fork",
+        defer_work: bool = False,
+        work_ns: float = 0.0,
+        seed: int = 0,
+        trace: bool = False,
+    ) -> None:
+        if executor not in ("fork", "inline"):
+            raise ValueError(f"unknown executor {executor!r}")
+        groups = int(world.group_count)
+        self.world = world
+        self.workers = max(1, min(workers, groups)) if groups else 1
+        self.executor = executor
+        self.defer_work = defer_work
+        self.work_ns = work_ns
+        self.seed = seed
+        self.trace = trace
+        self.group_count = groups
+        #: group index -> worker id; a pure function of the trace.
+        self.worker_of = {i: i % self.workers for i in range(groups)}
+        self.results: list[GroupResult] = []
+        self.reports: list[PschedWorkerReport] = []
+        self.elapsed = 0.0
+        self._conns: list = []
+        self._procs: list = []
+        self._kernel: Optional[Kernel] = None
+        self._handles: list[GroupHandle] = []
+        self._fp_base: dict = {}
+        if executor == "inline":
+            self._kernel, self._handles = boot_world(
+                world, defer_work=defer_work
+            )
+            # Inline shares the caller's process-global counters; report
+            # the delta over this baseline so inline and fork reports
+            # mean the same thing (this scheduler's groups only).
+            self._fp_base = fastpath.counters.snapshot()
+        else:
+            self._start_workers()
+
+    # -- fork pool -----------------------------------------------------------
+
+    def _start_workers(self) -> None:
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        assignment: list[list[int]] = [[] for _ in range(self.workers)]
+        for index in range(self.group_count):
+            assignment[self.worker_of[index]].append(index)
+        for wid in range(self.workers):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_psched_worker_main,
+                args=(
+                    child_conn,
+                    wid,
+                    assignment[wid],
+                    self.world,
+                    self.defer_work,
+                    self.work_ns,
+                    self.seed,
+                    self.trace,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+        for conn in self._conns:
+            message, _ = decode_frame(conn.recv_bytes())
+            if message[0] != "ready":
+                raise RuntimeError(f"worker failed during boot: {message[1]}")
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, max_steps: int = DEFAULT_MAX_STEPS) -> list[GroupResult]:
+        """Run every group; returns results ordered by global group index.
+        ``elapsed`` covers dispatch to last result received — world
+        construction (and fork/boot) is excluded on both executors."""
+        if self.executor == "inline":
+            start = time.perf_counter()
+            results = []
+            for index in range(self.group_count):
+                result = run_group(
+                    self._kernel,
+                    index,
+                    self._handles[index],
+                    worker=self.worker_of[index],
+                    trace=self.trace,
+                    max_steps=max_steps,
+                )
+                if self.work_ns and result.deferred:
+                    time.sleep(result.deferred * self.work_ns * 1e-9)
+                results.append(decode_frame(encode_frame(result))[0])
+            self.elapsed = time.perf_counter() - start
+            self.results = results
+            return results
+        start = time.perf_counter()
+        for conn in self._conns:
+            conn.send_bytes(encode_frame("go"))
+        by_group: dict[int, GroupResult] = {}
+        for conn in self._conns:
+            message, _ = decode_frame(conn.recv_bytes())
+            if message[0] == "error":
+                raise RuntimeError(f"worker failed: {message[1]}")
+            for result in message[1]:
+                by_group[result.group] = result
+        self.elapsed = time.perf_counter() - start
+        self.results = [by_group[i] for i in sorted(by_group)]
+        return self.results
+
+    def shutdown(self) -> list[PschedWorkerReport]:
+        if self.reports:
+            return self.reports
+        if self.executor == "inline":
+            snap = fastpath.counters.snapshot()
+            delta = {k: v - self._fp_base.get(k, 0) for k, v in snap.items()}
+            self.reports = [
+                PschedWorkerReport(
+                    worker_id=0,
+                    seed=worker_seed(self.seed, 0),
+                    groups_run=tuple(range(self.group_count)),
+                    fastpath_counters=delta,
+                )
+            ]
+            return self.reports
+        for conn in self._conns:
+            conn.send_bytes(encode_frame(Shutdown()))
+        for conn in self._conns:
+            report, _ = decode_frame(conn.recv_bytes())
+            self.reports.append(report)
+            conn.close()
+        for proc in self._procs:
+            proc.join(timeout=30)
+        return self.reports
+
+    # -- deterministic observable merge --------------------------------------
+
+    def merged_audit(self) -> list[str]:
+        """Concatenate per-group audit deltas in global group order and
+        re-stamp 1..n — byte-identical across executors and worker counts
+        (and to the sequential replay) because groups are fd-disjoint."""
+        items: list[tuple] = []
+        for result in self.results:
+            items.extend(result.audit)
+        return [
+            str(AuditEntry(seq, AuditKind(kind), subsystem, principal, detail))
+            for seq, (kind, subsystem, principal, detail) in enumerate(items, 1)
+        ]
+
+    def merged_traffic(self) -> list:
+        """Transmitted payloads in canonical ``(stamp, worker, local)``
+        order; the stamp is the group index, so the order is a pure
+        function of the trace."""
+        entries: list[tuple] = []
+        for result in self.results:
+            entries.extend(result.traffic)
+        entries.sort(key=lambda item: item[0][0])
+        return [payload for _, payload in entries]
+
+    def observables(self) -> dict:
+        """The equivalence currency for the parallel ≡ cooperative tests:
+        everything here must be identical across executors, worker
+        counts, and repeated runs."""
+        denials: Counter = Counter()
+        hooks: Counter = Counter()
+        for result in self.results:
+            denials.update(dict(result.denials))
+            hooks.update(dict(result.hooks))
+        return {
+            "audit": tuple(self.merged_audit()),
+            "traffic": tuple(self.merged_traffic()),
+            "denials": tuple(sorted(denials.items())),
+            "hooks": tuple(sorted(hooks.items())),
+            "pipe_drops": sum(
+                r.stats.get("pipe_drops", 0) for r in self.results
+            ),
+            "ops": sum(r.stats.get("ops", 0) for r in self.results),
+            "steps": sum(r.steps for r in self.results),
+            "stuck": tuple(
+                (r.group, r.stuck) for r in self.results if r.stuck
+            ),
+        }
+
+    def aggregate(self) -> dict:
+        """Cross-worker totals (fastpath counters above all) for the
+        benchmark snapshot."""
+        totals: Counter = Counter()
+        for report in self.shutdown():
+            totals.update(report.fastpath_counters)
+        return {
+            "fastpath": dict(totals),
+            "deferred_work": sum(r.deferred for r in self.results),
+            "seeds": {r.worker_id: r.seed for r in self.shutdown()},
+        }
+
+
+def replay_cooperative(
+    world, *, trace: bool = False, max_steps: int = DEFAULT_MAX_STEPS
+) -> ParallelScheduler:
+    """The single-threaded cooperative baseline: every group, in global
+    group order, on ONE kernel under the PR 3 scheduler.  Returns the
+    (already run) inline ParallelScheduler whose merged observables are
+    what every parallel run must reproduce byte-for-byte."""
+    sched = ParallelScheduler(
+        world, workers=1, executor="inline", defer_work=False, trace=trace
+    )
+    sched.run(max_steps)
+    return sched

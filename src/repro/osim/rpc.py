@@ -35,8 +35,10 @@ boundary:
 from __future__ import annotations
 
 import pickle
+import random
 import struct
 import time
+import zlib
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
@@ -53,6 +55,28 @@ HEADER = struct.Struct(">I")
 #: Ceiling on a single frame's payload (a corrupt header must not make a
 #: receiver try to allocate gigabytes).
 MAX_FRAME_PAYLOAD = 1 << 28
+
+
+def worker_seed(base: int, worker_id: int) -> int:
+    """The deterministic per-worker seeding rule (DESIGN.md §15).
+
+    Every forked worker — cluster shard host or parallel-scheduler
+    worker — derives its RNG seed as ``crc32("{base}:{worker_id}")``:
+    stable across processes and Python hash randomization, distinct per
+    worker, and a pure function of the run's base seed and the worker's
+    id.  Workers reseed the global ``random`` module with it at entry
+    (:func:`seed_worker_rng`), so two runs with the same base seed are
+    bit-reproducible regardless of fork timing or host scheduling."""
+    return zlib.crc32(f"{base}:{worker_id}".encode())
+
+
+def seed_worker_rng(base: int, worker_id: int) -> int:
+    """Reseed this process's RNGs for worker ``worker_id``; returns the
+    derived seed (reported in :class:`WorkerReport` for reproducibility
+    audits)."""
+    seed = worker_seed(base, worker_id)
+    random.seed(seed)
+    return seed
 
 
 def encode_frame(message: object) -> bytes:
@@ -164,6 +188,9 @@ class WorkerReport:
     worker_id: int
     fastpath_counters: dict = field(default_factory=dict)
     shards: tuple = ()
+    #: The derived per-worker RNG seed (:func:`worker_seed`); 0 when the
+    #: hosting executor predates seeding or runs unseeded.
+    seed: int = 0
 
 
 # ------------------------------------------------------------ shard server
@@ -319,7 +346,9 @@ class ShardServer:
 # ------------------------------------------------------- worker serve loop
 
 
-def worker_serve(conn, worker_id: int, servers: "dict[int, ShardServer]") -> None:
+def worker_serve(
+    conn, worker_id: int, servers: "dict[int, ShardServer]", seed: int = 0
+) -> None:
     """Serve wire frames on a ``multiprocessing`` connection until a
     :class:`Shutdown` frame (or EOF) arrives.
 
@@ -341,6 +370,7 @@ def worker_serve(conn, worker_id: int, servers: "dict[int, ShardServer]") -> Non
                 shards=tuple(
                     servers[sid].report() for sid in sorted(servers)
                 ),
+                seed=seed,
             )
             conn.send_bytes(encode_frame(report))
             break

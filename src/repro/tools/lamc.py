@@ -259,6 +259,7 @@ def cmd_cluster(args: argparse.Namespace, out) -> int:
         args.requests,
         users=args.users,
         tainted_fraction=args.tainted,
+        seed=args.seed,
     )
     cluster = Cluster(
         world,
@@ -268,6 +269,7 @@ def cmd_cluster(args: argparse.Namespace, out) -> int:
         workers=args.workers,
         defer_work=True,
         work_ns=args.work_ns,
+        seed=args.seed,
     )
     # Pre-filter with a throwaway router (routing is a pure function of
     # (principal, labels)): requests no tier can hold fail closed at the
@@ -301,6 +303,7 @@ def cmd_cluster(args: argparse.Namespace, out) -> int:
                     for spec in cluster.specs
                 ],
                 "executor": args.executor,
+                "seed": args.seed,
                 "requests": len(routable),
                 "refused_at_router": refused,
                 "seconds": seconds,
@@ -481,6 +484,11 @@ def build_parser() -> argparse.ArgumentParser:
                            metavar="FRACTION",
                            help="fraction of requests carrying a secrecy "
                                 "tag (default: 0.0)")
+    p_cluster.add_argument("--seed", type=int, default=0,
+                           help="base seed for trace generation and the "
+                                "per-worker RNG derivation rule (workers "
+                                "reseed with crc32(f'{seed}:{worker_id}'), "
+                                "so repeated runs are bit-reproducible)")
     p_cluster.add_argument("--work-ns", type=float, default=0.0,
                            help="nanoseconds slept per deferred work unit "
                                 "(default: 0)")

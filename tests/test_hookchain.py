@@ -1,0 +1,250 @@
+"""Compiled LSM hook chains (:mod:`repro.osim.hookchain`).
+
+The contract under test: baking a hot (walk prefix, permission hook)
+chain into an exec-generated closure is *pure performance* — hook-call
+counters, audit entries, denials, and syscall results are byte-identical
+to the uncompiled kernel — and every event that could change a verdict
+(task relabel, inode relabel, namespace mutation, security-policy swap,
+fast-path reconfiguration) deoptimizes before the stale chain can
+answer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Label, LabelPair, LabelType, fastpath
+from repro.osim import (
+    EACCES,
+    Kernel,
+    LaminarSecurityModule,
+    SyscallError,
+)
+from repro.osim.hookchain import COMPILE_THRESHOLD
+
+
+@pytest.fixture(autouse=True)
+def _clean_fastpath():
+    fastpath.configure()  # all layers on, caches flushed
+    fastpath.counters.reset()
+    yield
+    fastpath.configure()
+
+
+def make_kernel():
+    kernel = Kernel(LaminarSecurityModule())
+    task = kernel.spawn_task("app")
+    kernel.sys_mkdir(task, "/tmp/hc")
+    fd = kernel.sys_open(task, "/tmp/hc/data", "w")
+    kernel.sys_write(task, fd, b"payload-bytes")
+    kernel.sys_close(task, fd)
+    return kernel, task
+
+
+def hookchain_counts():
+    snap = fastpath.counters.snapshot()
+    return {k: v for k, v in snap.items() if k.startswith("hookchain")}
+
+
+class TestCompileAndHit:
+    def test_stat_chain_compiles_then_replays(self):
+        kernel, task = make_kernel()
+        first = kernel.sys_stat(task, "/tmp/hc/data")
+        for _ in range(2 * COMPILE_THRESHOLD):
+            assert kernel.sys_stat(task, "/tmp/hc/data") == first
+        counts = hookchain_counts()
+        assert counts["hookchain_compiles"] >= 1
+        assert counts["hookchain_hits"] >= COMPILE_THRESHOLD
+        assert counts["hookchain_deopts"] == 0
+        assert kernel.hookchain.stats()["path_chains"] >= 1
+
+    def test_open_chain_keyed_on_flags(self):
+        kernel, task = make_kernel()
+        for _ in range(2 * COMPILE_THRESHOLD):
+            fd = kernel.sys_open(task, "/tmp/hc/data", "r")
+            kernel.sys_close(task, fd)
+        base = hookchain_counts()
+        assert base["hookchain_compiles"] >= 1
+        assert base["hookchain_hits"] >= 1
+        # A different open mode is a different chain key, never a hit on
+        # the read-mode chain.
+        fd = kernel.sys_open(task, "/tmp/hc/data", "w")
+        kernel.sys_close(task, fd)
+
+    def test_fd_read_chain_compiles_then_replays(self):
+        kernel, task = make_kernel()
+        fd = kernel.sys_open(task, "/tmp/hc/data", "r")
+        reads = []
+        for _ in range(2 * COMPILE_THRESHOLD):
+            kernel.sys_lseek(task, fd, 0)
+            reads.append(kernel.sys_read(task, fd, 7))
+        assert len(set(reads)) == 1
+        counts = hookchain_counts()
+        assert counts["hookchain_compiles"] >= 1
+        assert counts["hookchain_hits"] >= COMPILE_THRESHOLD - 1
+        assert kernel.hookchain.stats()["fd_chains"] >= 1
+
+    def test_denied_chains_never_bake(self):
+        """Denials re-run the full hook stack every time: the audit log
+        gains one entry per attempt and nothing ever compiles."""
+        kernel, task = make_kernel()
+        owner = kernel.spawn_task("owner")
+        tag, _ = kernel.sys_alloc_tag(owner, "s")
+        kernel.sys_create_file_labeled(owner, "/tmp/hc/secret", LabelPair(Label.of(tag)))
+        before = hookchain_counts()["hookchain_compiles"]
+        for _ in range(2 * COMPILE_THRESHOLD):
+            with pytest.raises(SyscallError) as exc:
+                kernel.sys_stat(task, "/tmp/hc/secret")
+            assert exc.value.errno == EACCES
+        assert hookchain_counts()["hookchain_compiles"] == before
+        denial_entries = [e for e in kernel.audit if "denial" in str(e)]
+        assert len(denial_entries) == 2 * COMPILE_THRESHOLD
+
+
+def run_mixed_stream(kernel, task):
+    """A deterministic op stream mixing hot allowed chains with denials;
+    returns every application-visible outcome."""
+    outcomes = []
+    for i in range(3 * COMPILE_THRESHOLD):
+        outcomes.append(kernel.sys_stat(task, "/tmp/hc/data")["ino"])
+        fd = kernel.sys_open(task, "/tmp/hc/data", "r")
+        outcomes.append(kernel.sys_read(task, fd, 5))
+        kernel.sys_close(task, fd)
+        if i % 4 == 0:
+            try:
+                kernel.sys_stat(task, "/tmp/hc/locked")
+            except SyscallError as exc:
+                outcomes.append(exc.errno)
+    return outcomes
+
+
+def build_mixed_world():
+    kernel, task = make_kernel()
+    owner = kernel.spawn_task("owner")
+    tag, _ = kernel.sys_alloc_tag(owner, "s")
+    kernel.sys_create_file_labeled(owner, "/tmp/hc/locked", LabelPair(Label.of(tag)))
+    return kernel, task
+
+
+class TestObservableParity:
+    def test_hooks_audit_results_identical_with_chains_off(self):
+        kernel_on, task_on = build_mixed_world()
+        out_on = run_mixed_stream(kernel_on, task_on)
+        assert hookchain_counts()["hookchain_hits"] > 0
+        hooks_on = dict(kernel_on.security.hook_calls)
+        audit_on = [str(e) for e in kernel_on.audit]
+
+        with fastpath.configured(hook_chain_compile=False):
+            fastpath.counters.reset()
+            kernel_off, task_off = build_mixed_world()
+            out_off = run_mixed_stream(kernel_off, task_off)
+            assert hookchain_counts() == {
+                "hookchain_compiles": 0,
+                "hookchain_hits": 0,
+                "hookchain_deopts": 0,
+            }
+            assert kernel_off.hookchain.stats()["path_chains"] == 0
+            hooks_off = dict(kernel_off.security.hook_calls)
+            audit_off = [str(e) for e in kernel_off.audit]
+
+        assert out_on == out_off
+        assert hooks_on == hooks_off
+        assert audit_on == audit_off
+
+
+class TestDeopt:
+    def test_task_relabel_retires_the_key(self):
+        """Raising the task's label moves its label epoch: the old chain
+        key is unreachable and the first post-relabel stat is a full
+        interpreted walk, not a replay."""
+        kernel, task = make_kernel()
+        tag, _ = kernel.sys_alloc_tag(task, "mine")
+        for _ in range(2 * COMPILE_THRESHOLD):
+            kernel.sys_stat(task, "/tmp/hc/data")
+        hits_before = hookchain_counts()["hookchain_hits"]
+        assert hits_before > 0
+        kernel.sys_set_task_label(
+            task, LabelType.SECRECY, task.labels.secrecy.with_tag(tag)
+        )
+        kernel.sys_stat(task, "/tmp/hc/data")  # allowed: reading less-secret
+        assert hookchain_counts()["hookchain_hits"] == hits_before
+
+    def test_inode_relabel_mid_stream_denies_correctly(self):
+        """The recovery-style direct relabel: the closure's label-identity
+        guard must fail, the chain is discarded, and the full hooks deny
+        with a fresh audit entry — never a stale allow."""
+        kernel, task = make_kernel()
+        for _ in range(2 * COMPILE_THRESHOLD):
+            kernel.sys_stat(task, "/tmp/hc/data")
+        owner = kernel.spawn_task("owner")
+        tag, _ = kernel.sys_alloc_tag(owner, "s")
+        inode = kernel.fs.resolve("/tmp/hc/data", None)
+        inode.labels = LabelPair(Label.of(tag))
+        audit_before = len(list(kernel.audit))
+        deopts_before = hookchain_counts()["hookchain_deopts"]
+        with pytest.raises(SyscallError) as exc:
+            kernel.sys_stat(task, "/tmp/hc/data")
+        assert exc.value.errno == EACCES
+        assert hookchain_counts()["hookchain_deopts"] == deopts_before + 1
+        assert len(list(kernel.audit)) == audit_before + 1
+
+    def test_fd_chain_inode_relabel_denies_correctly(self):
+        kernel, task = make_kernel()
+        fd = kernel.sys_open(task, "/tmp/hc/data", "r")
+        for _ in range(2 * COMPILE_THRESHOLD):
+            kernel.sys_lseek(task, fd, 0)
+            kernel.sys_read(task, fd, 4)
+        owner = kernel.spawn_task("owner")
+        tag, _ = kernel.sys_alloc_tag(owner, "s")
+        kernel.fs.resolve("/tmp/hc/data", None).labels = LabelPair(Label.of(tag))
+        deopts_before = hookchain_counts()["hookchain_deopts"]
+        with pytest.raises(SyscallError):
+            kernel.sys_read(task, fd, 4)
+        assert hookchain_counts()["hookchain_deopts"] == deopts_before + 1
+
+    def test_namespace_mutation_invalidates_path_chains(self):
+        """An unlink anywhere moves the namespace generation: path chains
+        deopt (then re-bake), and results stay correct."""
+        kernel, task = make_kernel()
+        fd = kernel.sys_open(task, "/tmp/hc/other", "w")
+        kernel.sys_close(task, fd)
+        first = kernel.sys_stat(task, "/tmp/hc/data")
+        for _ in range(2 * COMPILE_THRESHOLD):
+            kernel.sys_stat(task, "/tmp/hc/data")
+        deopts_before = hookchain_counts()["hookchain_deopts"]
+        kernel.sys_unlink(task, "/tmp/hc/other")
+        assert kernel.sys_stat(task, "/tmp/hc/data") == first
+        assert hookchain_counts()["hookchain_deopts"] == deopts_before + 1
+
+    def test_policy_swap_drops_every_chain(self):
+        kernel, task = make_kernel()
+        for _ in range(2 * COMPILE_THRESHOLD):
+            kernel.sys_stat(task, "/tmp/hc/data")
+        assert kernel.hookchain.stats()["path_chains"] >= 1
+        kernel.set_security_module(LaminarSecurityModule())
+        kernel.sys_stat(task, "/tmp/hc/data")
+        assert kernel.hookchain.stats()["path_chains"] == 0
+
+    def test_fastpath_reconfigure_drops_every_chain(self):
+        """configure()/clear_caches() may retire interned label
+        identities; chains baked against them must not survive."""
+        kernel, task = make_kernel()
+        for _ in range(2 * COMPILE_THRESHOLD):
+            kernel.sys_stat(task, "/tmp/hc/data")
+        assert kernel.hookchain.stats()["path_chains"] >= 1
+        fastpath.configure()
+        kernel.sys_stat(task, "/tmp/hc/data")
+        assert kernel.hookchain.stats()["path_chains"] == 0
+
+    def test_flag_off_disables_compilation_entirely(self):
+        with fastpath.configured(hook_chain_compile=False):
+            fastpath.counters.reset()
+            kernel, task = make_kernel()
+            for _ in range(3 * COMPILE_THRESHOLD):
+                kernel.sys_stat(task, "/tmp/hc/data")
+            assert hookchain_counts()["hookchain_compiles"] == 0
+            assert kernel.hookchain.stats() == {
+                "path_chains": 0,
+                "fd_chains": 0,
+                "profiled_keys": 0,
+            }
