@@ -1,0 +1,100 @@
+"""lamfuzz coverage/throughput snapshot.
+
+A fixed-seed fuzz sweep across the full execution matrix (cooperative,
+replicated-parallel, fault-composed arms) plus the planted-leak
+negative-control budgets.  Everything gated here is *seed-deterministic*
+— trace counts, total ops, op-kind coverage, violation count, and the
+number of traces each planted leak needs before it is caught — so the
+``bench_check`` spec uses exact fields only; wall-clock throughput is
+reported for the experiment log but never gated (CI runners are noisy).
+
+Machine-readable results land in ``BENCH_fuzz_coverage.json`` at the
+repository root; CI regenerates and gates it with
+``repro.tools.bench_check``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from conftest import publish
+from repro.analysis.fuzz import (
+    ARMS,
+    OP_KINDS,
+    fuzz_sweep,
+    leak_catch_budget,
+)
+from repro.osim.lsm import LeakySecurityModule
+
+pytestmark = pytest.mark.bench
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_fuzz_coverage.json"
+
+BASE_SEED = 5000
+TRACES = 16
+LEAK_BUDGET = 5
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    t0 = time.perf_counter()
+    report = fuzz_sweep(BASE_SEED, TRACES, arms=ARMS)
+    elapsed = time.perf_counter() - t0
+    assert report.ok, [
+        (v.seed, [str(x) for x in v.violations]) for v in report.failures
+    ]
+    budgets = {}
+    for leak in LeakySecurityModule.LEAKS:
+        caught = leak_catch_budget(
+            leak, base_seed=BASE_SEED, max_traces=LEAK_BUDGET
+        )
+        assert caught is not None, f"planted {leak} leak escaped the budget"
+        budgets[leak] = caught
+    return report, budgets, elapsed
+
+
+def test_fuzz_coverage_report(sweep):
+    report, budgets, elapsed = sweep
+    payload = {
+        "benchmark": "fuzz_coverage",
+        "base_seed": BASE_SEED,
+        "arms": list(ARMS),
+        "traces": report.traces,
+        "ops_total": report.ops_total,
+        "violations": sum(len(v.violations) for v in report.verdicts),
+        "kinds_covered": len(report.coverage),
+        "kinds_total": len(OP_KINDS),
+        "coverage": report.coverage,
+        "leak_budgets": budgets,
+        # Informational only — never gated (noisy on shared runners).
+        "seconds": round(elapsed, 3),
+        "traces_per_sec": round(report.traces / elapsed, 2),
+    }
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = [
+        "lamfuzz — noninterference fuzz coverage snapshot",
+        "=" * 64,
+        f"seeds {BASE_SEED}..{BASE_SEED + TRACES - 1}, "
+        f"arms: {', '.join(ARMS)}",
+        f"{'traces':>8}{'ops':>8}{'kinds':>8}{'violations':>12}"
+        f"{'traces/s':>10}",
+        "-" * 64,
+        f"{report.traces:>8}{report.ops_total:>8}"
+        f"{len(report.coverage):>3}/{len(OP_KINDS):<4}"
+        f"{payload['violations']:>12}{payload['traces_per_sec']:>10}",
+        "",
+        "planted-leak negative controls (traces until caught):",
+    ]
+    lines.extend(
+        f"  {leak:<12} caught in {n} trace(s)" for leak, n in budgets.items()
+    )
+    publish("fuzz_coverage", "\n".join(lines))
+
+    assert payload["violations"] == 0
+    assert payload["kinds_covered"] == len(OP_KINDS)

@@ -19,10 +19,23 @@ Layered on the generalized dataflow framework in :mod:`repro.jit.dataflow`:
 * :mod:`repro.analysis.verify` — the ``lamc verify`` driver combining
   lint, races and certification (LAM009);
 * :mod:`repro.analysis.secretswap` — the two-run noninterference oracle
-  backing the certifier's soundness tests.
+  backing the certifier's soundness tests;
+* :mod:`repro.analysis.fuzz` — lamfuzz, the production-scale fuzzer
+  scaling the secret-swap oracle to whole-OS workloads across the
+  execution matrix (``lamc fuzz``).
 """
 
 from .callgraph import CallGraph, CallSite, build_callgraph
+from .fuzz import (
+    FuzzReport,
+    TracePlan,
+    TraceVerdict,
+    check_trace,
+    fuzz_sweep,
+    generate_plan,
+    leak_catch_budget,
+    shrink_trace,
+)
 from .diagnostics import Diagnostic, RULE_SUMMARIES, SEVERITY_OF, to_sarif
 from .labelflow import FlowStep, TaintAnalysis, UnlabeledAnalysis
 from .lint import LintReport, RULES, run_lint
@@ -52,6 +65,7 @@ __all__ = [
     "CallSite",
     "Diagnostic",
     "FlowStep",
+    "FuzzReport",
     "InterproceduralFacts",
     "LintReport",
     "Obligation",
@@ -62,17 +76,24 @@ __all__ = [
     "SEVERITY_OF",
     "SecurityCertificate",
     "TaintAnalysis",
+    "TracePlan",
+    "TraceVerdict",
     "TypecheckResult",
     "UnlabeledAnalysis",
     "VerifyReport",
     "assert_swap_indistinguishable",
     "build_callgraph",
     "check_certificate",
+    "check_trace",
     "collect_observables",
     "compute_interprocedural_facts",
     "detect_races",
+    "fuzz_sweep",
+    "generate_plan",
+    "leak_catch_budget",
     "may_raise_suppressible",
     "run_lint",
+    "shrink_trace",
     "run_verify",
     "swap_check",
     "to_sarif",

@@ -52,7 +52,13 @@ from .recovery import (
     check_recovery_invariants,
     recover,
 )
-from .lsm import LaminarSecurityModule, Mask, NullSecurityModule, SecurityModule
+from .lsm import (
+    LaminarSecurityModule,
+    LeakySecurityModule,
+    Mask,
+    NullSecurityModule,
+    SecurityModule,
+)
 from .pipes import DEFAULT_PIPE_CAPACITY, Pipe, freeze
 from .sched import (
     SIGKILL,
@@ -151,6 +157,7 @@ __all__ = [
     "KernelCrash",
     "LabelAwareRouter",
     "LaminarSecurityModule",
+    "LeakySecurityModule",
     "Mapping",
     "Mask",
     "Network",

@@ -292,6 +292,75 @@ class LaminarSecurityModule(SecurityModule):
         self._check_object_access(task, file.inode, mask, "mmap_file")
 
 
+class LeakySecurityModule(LaminarSecurityModule):
+    """Deliberately leaky LSM — the lamfuzz negative control.
+
+    Each toggle in :data:`LEAKS` suppresses exactly one enforcement
+    point while leaving the hook counters and audit record behaving
+    normally, so the leak manifests only in *data* observables — the
+    fuzzer must catch it through the extended extractor, not through a
+    trivially different denial count.  If the fuzz oracle cannot catch
+    either leak within its bounded budget, the CI gate fails: the oracle
+    has gone blind.
+
+    Overriding ``inode_permission``/``file_permission`` also drops this
+    module out of :data:`_PURE_HOOK_IMPLS`, so the hook-chain compiler,
+    walk cache, and permission memo all disable themselves — the leak is
+    observed through the real hook bodies on every call.
+    """
+
+    name = "laminar-leaky"
+
+    #: Supported planted leaks:
+    #: ``pipe-read``  — secret pipes deliver to unlabeled readers;
+    #: ``file-read``  — read-denials on secret files are swallowed.
+    LEAKS = ("pipe-read", "file-read")
+
+    def __init__(self, leak: str) -> None:
+        if leak not in self.LEAKS:
+            raise ValueError(f"unknown leak {leak!r}; expected one of {self.LEAKS}")
+        super().__init__()
+        self.leak = leak
+
+    def pipe_read_allowed(self, task: "Task", pipe: "Inode") -> bool:
+        ok = super().pipe_read_allowed(task, pipe)
+        if self.leak == "pipe-read":
+            return True
+        return ok
+
+    def _leaky_object_access(self, call, mask: Mask) -> None:
+        from .task import SyscallError
+
+        try:
+            call()
+        except SyscallError:
+            # Swallow only pure-read denials: a write-up failure leaking
+            # through would corrupt label invariants, not just leak data.
+            if (
+                self.leak == "file-read"
+                and (mask & _READ_LIKE)
+                and not (mask & _WRITE_LIKE)
+            ):
+                return
+            raise
+
+    def inode_permission(self, task: "Task", inode: "Inode", mask: Mask) -> None:
+        self._leaky_object_access(
+            lambda: super(LeakySecurityModule, self).inode_permission(
+                task, inode, mask
+            ),
+            mask,
+        )
+
+    def file_permission(self, task: "Task", file: "File", mask: Mask) -> None:
+        self._leaky_object_access(
+            lambda: super(LeakySecurityModule, self).file_permission(
+                task, file, mask
+            ),
+            mask,
+        )
+
+
 #: Hook implementations whose verdict is a pure function of the interned
 #: (task labels, object labels) pair — the soundness condition for the
 #: hook-chain compiler (:mod:`repro.osim.hookchain`) to replay an allow

@@ -138,6 +138,22 @@ SPECS: tuple[BenchSpec, ...] = (
         tolerance=0.30,
     ),
     BenchSpec(
+        file="BENCH_fuzz_coverage.json",
+        # Everything here is seed-deterministic — trace counts, op
+        # totals, kind coverage, the zero-violation invariant, and the
+        # planted-leak catch budgets — so only exact fields are gated;
+        # traces/sec is informational (shared runners are too noisy).
+        exact_fields=(
+            "traces",
+            "ops_total",
+            "violations",
+            "kinds_covered",
+            "kinds_total",
+            "leak_budgets.pipe-read",
+            "leak_budgets.file-read",
+        ),
+    ),
+    BenchSpec(
         file="BENCH_jit_tier.json",
         ratio_fields=(
             "geomean_fig8_tier2_vs_interp",

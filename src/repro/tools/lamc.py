@@ -11,6 +11,8 @@ for when debugging a workload or a pass::
     python -m repro.tools.lamc disasm prog.ir --tiers --tier2
     python -m repro.tools.lamc lint prog.ir --json
     python -m repro.tools.lamc fsck --seed 1234 --points 40
+    python -m repro.tools.lamc fuzz --seed 7 --traces 50
+    python -m repro.tools.lamc fuzz --seed 7 --ops 3 --leak pipe-read
     python -m repro.tools.lamc cluster --shards 4 --workers 2 \
         --topology edge,shuffle,central
 
@@ -28,7 +30,12 @@ seed-randomized with ``--seed`` — the command CI prints for replaying a
 nightly chaos failure) and exits 1 on any recovery-invariant violation;
 ``cluster`` boots N kernel shards behind the label-aware router, runs a
 generated trace, and exits 1 unless the merged cluster audit is
-byte-identical to a single-kernel replay of the same routed trace.
+byte-identical to a single-kernel replay of the same routed trace;
+``fuzz`` runs lamfuzz — seed-deterministic whole-OS workloads under the
+two-run secret-swap noninterference oracle across the execution matrix
+(cooperative / replicated-parallel / fault-composed arms), shrinking any
+violation to a minimal op sequence and printing the one-line
+``lamc fuzz --seed N --ops K`` replay command (exit 1 on violation).
 """
 
 from __future__ import annotations
@@ -238,6 +245,118 @@ def cmd_fsck(args: argparse.Namespace, out) -> int:
         if not result.ok and args.seed is not None:
             print(f"replay locally: lamc fsck --seed {args.seed}", file=out)
     return 0 if result.ok else 1
+
+
+def cmd_fuzz(args: argparse.Namespace, out) -> int:
+    import hashlib
+    from pathlib import Path
+
+    from ..analysis.fuzz import (
+        ALL_ARMS,
+        check_trace,
+        fuzz_sweep,
+        generate_plan,
+        shrink_trace,
+    )
+    from ..osim.lsm import LeakySecurityModule
+
+    arms = tuple(args.arms.split(","))
+    for arm in arms:
+        if arm not in ALL_ARMS:
+            print(f"error: unknown arm {arm!r} (known: {ALL_ARMS})", file=out)
+            return 2
+    if args.leak is not None and args.leak not in LeakySecurityModule.LEAKS:
+        print(
+            f"error: unknown leak {args.leak!r} "
+            f"(known: {LeakySecurityModule.LEAKS})",
+            file=out,
+        )
+        return 2
+
+    if args.dump_trace:
+        for i in range(args.traces):
+            plan = generate_plan(args.seed + i)
+            if args.ops is not None:
+                plan = plan.truncated(args.ops)
+            print(plan.serialize(), file=out, end="")
+        return 0
+
+    report = fuzz_sweep(
+        args.seed,
+        args.traces,
+        ops=args.ops,
+        leak=args.leak,
+        arms=arms,
+        workers=args.workers,
+    )
+
+    payload = {
+        "base_seed": args.seed,
+        "traces": report.traces,
+        "ops_total": report.ops_total,
+        "arms": list(arms),
+        "leak": args.leak,
+        "coverage": report.coverage,
+        "ok": report.ok,
+        "violations": [],
+    }
+    replay = None
+    for verdict in report.failures:
+        plan = verdict.plan
+        k, minimal = len(plan.ops), plan
+        if not args.no_shrink:
+            k, minimal = shrink_trace(
+                plan, leak=args.leak, arms=("coop",), workers=args.workers
+            )
+        replay = f"lamc fuzz --seed {verdict.seed} --ops {k}"
+        if args.leak:
+            replay += f" --leak {args.leak}"
+        payload["violations"].append(
+            {
+                "seed": verdict.seed,
+                "ops": k,
+                "replay": replay,
+                "minimal_trace": minimal.serialize(),
+                "plan_sha256": hashlib.sha256(
+                    plan.serialize().encode()
+                ).hexdigest(),
+                "findings": [
+                    {"arm": v.arm, "kind": v.kind, "detail": v.detail}
+                    for v in verdict.violations
+                ],
+            }
+        )
+        if args.artifacts:
+            artifact_dir = Path(args.artifacts)
+            artifact_dir.mkdir(parents=True, exist_ok=True)
+            lines = [f"# replay locally: {replay}", ""]
+            lines.extend(
+                f"# {v.arm}/{v.kind}: {v.detail}" for v in verdict.violations
+            )
+            lines.append("")
+            lines.append(minimal.serialize())
+            (artifact_dir / f"fuzz_seed{verdict.seed}.trace").write_text(
+                "\n".join(lines)
+            )
+        break  # stop_on_violation: at most one failing verdict
+
+    if args.json:
+        json.dump(payload, out, indent=2, default=str)
+        print(file=out)
+    else:
+        print(f"lamfuzz: {report.summary()} [arms: {','.join(arms)}]", file=out)
+        for entry in payload["violations"]:
+            for finding in entry["findings"][:8]:
+                print(
+                    f"  {finding['arm']}/{finding['kind']}: "
+                    f"{finding['detail'][:200]}",
+                    file=out,
+                )
+            print(f"  minimal failing trace ({entry['ops']} ops):", file=out)
+            for line in entry["minimal_trace"].rstrip().splitlines():
+                print(f"    {line}", file=out)
+            print(f"replay locally: {entry['replay']}", file=out)
+    return 0 if report.ok else 1
 
 
 def cmd_cluster(args: argparse.Namespace, out) -> int:
@@ -457,6 +576,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_fsck.add_argument("--json", action="store_true",
                         help="emit the sweep result as JSON")
     p_fsck.set_defaults(fn=cmd_fsck)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="seed-deterministic whole-OS noninterference fuzzing under "
+             "the secret-swap oracle across the execution matrix",
+    )
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="base seed; trace i uses seed+i (default: 0)")
+    p_fuzz.add_argument("--traces", type=int, default=1,
+                        help="number of consecutive seeds to check "
+                             "(default: 1)")
+    p_fuzz.add_argument("--ops", type=int, default=None, metavar="K",
+                        help="truncate each trace to its first K ops (the "
+                             "shrinker's replay form)")
+    p_fuzz.add_argument("--arms", default="coop,par2,fault",
+                        help="comma-separated execution arms (default: "
+                             "coop,par2,fault; add 'fork' for the real "
+                             "fork-worker pool)")
+    p_fuzz.add_argument("--workers", type=int, default=2,
+                        help="replicas/workers for the parallel arms "
+                             "(default: 2)")
+    p_fuzz.add_argument("--leak", default=None,
+                        help="plant a deliberate kernel leak (negative "
+                             "control; pipe-read or file-read) — the run "
+                             "must exit 1")
+    p_fuzz.add_argument("--no-shrink", action="store_true",
+                        help="skip shrinking failing traces")
+    p_fuzz.add_argument("--dump-trace", action="store_true",
+                        help="print the generated trace plan(s) and exit")
+    p_fuzz.add_argument("--artifacts", default=None, metavar="DIR",
+                        help="write shrunk failing traces to DIR (one "
+                             ".trace file per failing seed)")
+    p_fuzz.add_argument("--json", action="store_true",
+                        help="emit the sweep report as JSON")
+    p_fuzz.set_defaults(fn=cmd_fuzz)
 
     p_cluster = sub.add_parser(
         "cluster",
