@@ -200,6 +200,31 @@ def open_loop_arrivals(n: int, rate: float, seed: int = 0) -> list[float]:
     return out
 
 
+def coalesced_plan(
+    trace: Sequence[ClusterRequest],
+    rate: float,
+    *,
+    seed: int = 0,
+    target_bytes: int = 4096,
+    max_wave: int = 64,
+) -> dict:
+    """Keyword arguments for a coalesced ``Cluster.run_trace`` call:
+    an open-loop Poisson arrival schedule for the trace plus an
+    :class:`~repro.osim.lamwire.AdaptiveCoalescer` sized for it —
+    ``cluster.run_trace(trace, **coalesced_plan(trace, rate))``.  The
+    schedule is seeded, so the wave plan (and therefore the framing) is
+    reproducible; the merged observables are wave-plan-independent
+    either way."""
+    from ..osim.lamwire import AdaptiveCoalescer
+
+    return {
+        "arrivals": open_loop_arrivals(len(trace), rate, seed=seed),
+        "coalescer": AdaptiveCoalescer(
+            target_bytes=target_bytes, max_wave=max_wave
+        ),
+    }
+
+
 @dataclass
 class QueueStats:
     """Latency distribution from one virtual-time queueing replay."""

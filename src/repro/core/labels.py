@@ -121,6 +121,22 @@ class Label:
         return cls(tags)
 
     @classmethod
+    def from_wire(cls, entries: Iterable[tuple[int, str]]) -> "Label":
+        """Trusted decode path for the binary wire codec: rebuild a label
+        from ``(tag value, tag name)`` pairs *in encoded order*.
+
+        The encoder emits ``label.tags()``, which is sorted by tag value
+        (names are excluded from Tag ordering), so the received sequence
+        is already normalized and construction can go straight through
+        :meth:`_from_normalized` — one intern-table probe, no sorting, no
+        per-tag validation.  Only wire decoders may call this; arbitrary
+        input must use the ordinary constructor.
+        """
+        return cls._from_normalized(
+            tuple(Tag(value, name) for value, name in entries)
+        )
+
+    @classmethod
     def empty(cls) -> "Label":
         return cls.EMPTY
 

@@ -14,7 +14,9 @@ label-oblivious blocking I/O), :meth:`.kernel.Kernel.sys_submit`
 backend partitioning task groups across a fork worker pool), and
 :mod:`.hookchain` (tier-2 compilation of hot LSM hook chains).  Scale-out
 lives in :mod:`.cluster` (sharded multi-kernel deployments behind a
-label-aware router) and :mod:`.rpc` (the inter-shard wire protocol).
+label-aware router), :mod:`.rpc` (the inter-shard message surface), and
+:mod:`.lamwire` (the zero-copy binary data plane: schema'd codec,
+per-connection label dictionaries, adaptive coalescing).
 """
 
 from .cluster import (
@@ -45,6 +47,14 @@ from .filesystem import (
     encode_label,
 )
 from .kernel import Cqe, Kernel, Mapping, Sqe, TCB_TAG
+from .lamwire import (
+    AdaptiveCoalescer,
+    BinaryWireCodec,
+    PickleWire,
+    WIRE_MODES,
+    make_wire,
+    request_size_hint,
+)
 from .recovery import (
     Journal,
     RecoveryInvariantError,
@@ -121,7 +131,9 @@ from .task import (
 )
 
 __all__ = [
+    "AdaptiveCoalescer",
     "BLOCK_SIZE",
+    "BinaryWireCodec",
     "CapSync",
     "Cluster",
     "ClusterRequest",
@@ -164,6 +176,7 @@ __all__ = [
     "NullSecurityModule",
     "OpenMode",
     "ParallelScheduler",
+    "PickleWire",
     "Pipe",
     "PschedWorkerReport",
     "RecoveryInvariantError",
@@ -185,6 +198,7 @@ __all__ = [
     "TagSync",
     "Task",
     "TrafficLog",
+    "WIRE_MODES",
     "WorkerReport",
     "XATTR_INTEGRITY",
     "XATTR_SECRECY",
@@ -202,9 +216,11 @@ __all__ = [
     "load_user_capabilities",
     "login",
     "make_specs",
+    "make_wire",
     "read_blocking",
     "recover",
     "recv_blocking",
+    "request_size_hint",
     "seed_worker_rng",
     "render_audit",
     "replay_cooperative",

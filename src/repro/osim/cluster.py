@@ -22,13 +22,23 @@ image with its own LSM, filesystem, and audit log, fronted by a
   :class:`MultiprocessExecutor` (each worker process hosts one or more
   shards and sleeps off their simulated work, so service time overlaps
   the way it would across machines).  Both move every message through
-  the wire codec (:mod:`repro.osim.rpc`), so label re-interning and
-  canonical capability encoding are exercised either way.
+  a wire codec — the binary lamwire data plane by default, legacy
+  pickle as the differential-testing fallback (``wire="pickle"``) — so
+  label encoding and the per-connection dictionaries are exercised
+  either way.
 * The shared namespaces replicate by epoch-stamped frames —
   :meth:`Cluster.sync_tags` (interned-tag namespace) and
   :meth:`Cluster.sync_caps` (capability stores) — and every applied
   ``CapSync`` bumps the receiving kernel's ``fd_epoch``, orphaning
-  permission memos recorded under the pre-replication state.
+  permission memos recorded under the pre-replication state.  Both
+  planes are **delta-encoded** against a per-peer high-water mark: a
+  shard that already acknowledged tag values below ``v`` is never sent
+  them again, and a principal whose (labels, capabilities) state is
+  unchanged since the last applied ``CapSync`` is omitted from the next
+  one.  Deltas change bytes only, never outcomes: ``apply_snapshot``
+  ignores already-present entries and an empty ``CapSync`` still bumps
+  ``fd_epoch``, so the merged observables stay byte-identical to the
+  full-broadcast protocol.
 * Observables merge deterministically: every request carries a
   router-assigned global sequence number; :meth:`Cluster.merged_audit`
   and :meth:`Cluster.merged_traffic` reassemble the per-shard deltas in
@@ -48,6 +58,7 @@ from ..core import fastpath
 from ..core.audit import AuditEntry, AuditKind
 from .kernel import Kernel
 from .lsm import LaminarSecurityModule
+from .lamwire import AdaptiveCoalescer, make_wire, request_size_hint
 from .rpc import (
     CapSync,
     ShardRequest,
@@ -55,8 +66,6 @@ from .rpc import (
     Shutdown,
     TagSync,
     WorkerReport,
-    decode_frame,
-    encode_frame,
     seed_worker_rng,
     worker_seed,
     worker_serve,
@@ -219,19 +228,42 @@ def render_audit(entries) -> list[str]:
 class SameProcessExecutor:
     """Every shard lives in the calling process.  Deterministic (no real
     concurrency), but every wave still round-trips through the wire codec
-    so serialization — label re-interning above all — is exercised."""
+    so serialization — the label dictionary and batch dictionaries on the
+    binary wire, re-interning on pickle — is exercised.
 
-    def __init__(self, servers: dict[int, ShardServer], seed: int = 0) -> None:
+    One codec instance plays both endpoints: every encode is immediately
+    decoded from the same in-order stream, so the encoder dictionary and
+    the decoder dictionary stay in lockstep exactly as a connected pair
+    would."""
+
+    def __init__(
+        self,
+        servers: dict[int, ShardServer],
+        seed: int = 0,
+        wire: str = "binary",
+    ) -> None:
         self.servers = servers
+        self.codec = make_wire(wire)
+        for server in servers.values():
+            self.codec.bind_allocator(server.kernel.tags)
         # Derive (but do not install) worker 0's seed: this process is the
         # caller's, and its RNG state is the caller's business; reseeding
         # matters only in forked workers, which inherit parent state.
         self.seed = worker_seed(seed, 0)
 
     def submit_wave(self, wave: list) -> list:
-        decoded, _ = decode_frame(encode_frame(list(wave)))
+        codec = self.codec
+        decoded, _ = codec.decode(codec.encode(list(wave)))
         replies = [self.servers[shard_id].handle(msg) for shard_id, msg in decoded]
-        return decode_frame(encode_frame(replies))[0]
+        return codec.decode(codec.encode(replies))[0]
+
+    def bump_label_epoch(self) -> None:
+        self.codec.bump_label_epoch()
+
+    def wire_stats(self) -> dict:
+        stats = self.codec.stats()
+        stats["connections"] = 1
+        return stats
 
     def shutdown(self) -> list[WorkerReport]:
         return [
@@ -247,7 +279,8 @@ class SameProcessExecutor:
 
 
 def _cluster_worker_main(
-    conn, worker_id, specs, world, defer_work, work_ns, mediation, seed=0
+    conn, worker_id, specs, world, defer_work, work_ns, mediation, seed=0,
+    wire: str = "binary",
 ) -> None:
     """Entry point of a forked cluster worker: reseed this process's RNG
     under the deterministic per-worker rule (fork inherits the parent's
@@ -266,8 +299,14 @@ def _cluster_worker_main(
         )
         for spec in specs
     }
-    conn.send_bytes(encode_frame(("ready", sorted(servers))))
-    worker_serve(conn, worker_id, servers, seed=wseed)
+    codec = make_wire(wire)
+    # The fork inherited the parent's process-global fastpath counter
+    # state, and boot just added the world build on top; zero it so the
+    # shutdown report covers only this worker's served requests (reports
+    # sum cleanly across the pool — same rule as the psched workers).
+    fastpath.counters.reset()
+    conn.send_bytes(codec.encode(("ready", sorted(servers))))
+    worker_serve(conn, worker_id, servers, seed=wseed, codec=codec)
 
 
 class MultiprocessExecutor:
@@ -291,6 +330,7 @@ class MultiprocessExecutor:
         work_ns: float = 0.0,
         mediation: str = "laminar",
         seed: int = 0,
+        wire: str = "binary",
     ) -> None:
         import multiprocessing
 
@@ -304,6 +344,11 @@ class MultiprocessExecutor:
             assignment[i % nworkers].append(spec)
         self.conns = []
         self.procs = []
+        #: One parent-side codec per connection: wire dictionaries are
+        #: per-connection state (the worker's decoder must see exactly the
+        #: definitions this encoder emitted, in order), so codecs can
+        #: never be shared across pipes.
+        self.codecs = []
         for wid in range(nworkers):
             parent_conn, child_conn = ctx.Pipe()
             proc = ctx.Process(
@@ -317,6 +362,7 @@ class MultiprocessExecutor:
                     work_ns,
                     mediation,
                     seed,
+                    wire,
                 ),
                 daemon=True,
             )
@@ -324,8 +370,9 @@ class MultiprocessExecutor:
             child_conn.close()
             self.conns.append(parent_conn)
             self.procs.append(proc)
-        for conn in self.conns:
-            decode_frame(conn.recv_bytes())  # ready handshake
+            self.codecs.append(make_wire(wire))
+        for wid, conn in enumerate(self.conns):
+            self.codecs[wid].decode(conn.recv_bytes())  # ready handshake
         self._down = False
 
     def submit_wave(self, wave: list) -> list:
@@ -336,24 +383,42 @@ class MultiprocessExecutor:
             )
         for wid, items in by_worker.items():
             self.conns[wid].send_bytes(
-                encode_frame([(shard_id, msg) for _, shard_id, msg in items])
+                self.codecs[wid].encode(
+                    [(shard_id, msg) for _, shard_id, msg in items]
+                )
             )
         results: list = [None] * len(wave)
         for wid, items in by_worker.items():
-            replies, _ = decode_frame(self.conns[wid].recv_bytes())
+            replies, _ = self.codecs[wid].decode(self.conns[wid].recv_bytes())
             for (idx, _, _), reply in zip(items, replies):
                 results[idx] = reply
         return results
+
+    def bump_label_epoch(self) -> None:
+        for codec in self.codecs:
+            codec.bump_label_epoch()
+
+    def wire_stats(self) -> dict:
+        stats: dict = {"wire": self.codecs[0].name, "connections": len(self.codecs)}
+        for codec in self.codecs:
+            for key, value in codec.stats().items():
+                if key == "wire":
+                    continue
+                if key == "label_epoch":  # in lockstep, not additive
+                    stats[key] = max(stats.get(key, 0), value)
+                else:
+                    stats[key] = stats.get(key, 0) + value
+        return stats
 
     def shutdown(self) -> list[WorkerReport]:
         if self._down:
             return []
         self._down = True
         reports = []
-        for conn in self.conns:
-            conn.send_bytes(encode_frame(Shutdown()))
-        for conn in self.conns:
-            report, _ = decode_frame(conn.recv_bytes())
+        for wid, conn in enumerate(self.conns):
+            conn.send_bytes(self.codecs[wid].encode(Shutdown()))
+        for wid, conn in enumerate(self.conns):
+            report, _ = self.codecs[wid].decode(conn.recv_bytes())
             reports.append(report)
             conn.close()
         for proc in self.procs:
@@ -385,15 +450,29 @@ class Cluster:
         work_ns: float = 0.0,
         mediation: str = "laminar",
         seed: int = 0,
+        wire: str = "binary",
     ) -> None:
         self.world = world
         self.seed = seed
+        self.wire = make_wire(wire).name  # validate and normalize the name
         self.specs = make_specs(shards, topology)
         self.router = LabelAwareRouter(self.specs)
         self.responses: list = []
         self._next_seq = 1
         self._sync_epoch = 0
         self._reports: Optional[list[WorkerReport]] = None
+        #: Per-peer tag high-water mark: the allocator ``next_value`` as
+        #: of the last TagSync the shard *applied*.  Entries below it are
+        #: already replicated there and are not re-shipped.
+        self._tag_hwm: dict[int, int] = {}
+        #: Per-peer last-applied principal state: shard_id -> name ->
+        #: (LabelPair, CapabilitySet).  Unchanged principals are omitted
+        #: from the next CapSync to that shard.
+        self._cap_sent: dict[int, dict] = {}
+        #: Cache for :meth:`worker_logs`, keyed by response count (the
+        #: logs are a pure function of the responses seen so far).
+        self._logs_cache: Optional[tuple[int, list[TrafficLog]]] = None
+        self.coalescer: Optional[AdaptiveCoalescer] = None
         if executor == "same-process":
             defer = False if defer_work is None else defer_work
             self.servers: Optional[dict[int, ShardServer]] = {
@@ -406,7 +485,9 @@ class Cluster:
                 )
                 for spec in self.specs
             }
-            self.executor = SameProcessExecutor(self.servers, seed=seed)
+            self.executor = SameProcessExecutor(
+                self.servers, seed=seed, wire=wire
+            )
         elif executor == "multiprocess":
             defer = True if defer_work is None else defer_work
             self.servers = None
@@ -418,6 +499,7 @@ class Cluster:
                 work_ns=work_ns,
                 mediation=mediation,
                 seed=seed,
+                wire=wire,
             )
         else:
             raise ValueError(f"unknown executor {executor!r}")
@@ -428,16 +510,47 @@ class Cluster:
         return self.router.route(request.principal, request.labels)
 
     def run_trace(
-        self, trace: Sequence[ClusterRequest], wave_size: Optional[int] = None
+        self,
+        trace: Sequence[ClusterRequest],
+        wave_size: Optional[int] = None,
+        *,
+        arrivals: Optional[Sequence[float]] = None,
+        coalescer: Optional[AdaptiveCoalescer] = None,
     ) -> list:
         """Route and execute a trace.  Requests are numbered by the
         router's global sequence *before* dispatch — the logical clock the
-        merge sorts on — then dispatched in waves (default: one wave)."""
-        size = wave_size or len(trace) or 1
+        merge sorts on — then dispatched in waves.
+
+        Wave boundaries come from one of three places: a fixed
+        ``wave_size``, an :class:`~repro.osim.lamwire.AdaptiveCoalescer`
+        fed the trace's open-loop ``arrivals`` (Nagle-style bytes-or-
+        deadline windows sized from the observed arrival rate), or —
+        the default — one wave for the whole trace.  Coalescing decides
+        *when* frames flush, never what is in them or in what order:
+        sequence numbers are assigned before windowing, so merged audit
+        and traffic are byte-identical for every wave plan, including for
+        denied requests (denied ≡ empty is per-request, not per-wave)."""
+        if coalescer is not None:
+            if wave_size is not None:
+                raise ValueError("pass wave_size or coalescer, not both")
+            if arrivals is None or len(arrivals) != len(trace):
+                raise ValueError(
+                    "coalescer needs one arrival time per request"
+                )
+            sizes = [request_size_hint(req) for req in trace]
+            plan = coalescer.plan(list(arrivals), sizes)
+            self.coalescer = coalescer
+        else:
+            size = wave_size or len(trace) or 1
+            plan = [
+                min(size, len(trace) - start)
+                for start in range(0, len(trace), size)
+            ]
         responses: list = []
-        for start in range(0, len(trace), size):
+        start = 0
+        for count in plan:
             wave = []
-            for req in trace[start : start + size]:
+            for req in trace[start : start + count]:
                 spec = self.router.route(req.principal, req.labels)
                 wave.append(
                     (
@@ -446,6 +559,7 @@ class Cluster:
                     )
                 )
                 self._next_seq += 1
+            start += count
             responses.extend(self.executor.submit_wave(wave))
         self.responses.extend(responses)
         return responses
@@ -453,23 +567,56 @@ class Cluster:
     # -- replication plane --------------------------------------------------
 
     def sync_tags(self, allocator) -> list:
-        """Broadcast the coordinator's interned-tag namespace snapshot to
-        every shard (epoch-stamped; stale frames are rejected)."""
+        """Ship the coordinator's interned-tag namespace to every shard
+        (epoch-stamped; stale frames are rejected), **delta-encoded**: a
+        shard only receives entries at or above its high-water mark (the
+        ``next_value`` it last acknowledged).  Safe because tag values
+        are never reused and ``apply_snapshot`` ignores entries already
+        present — a delta applies to exactly the same state as the full
+        snapshot would.  Also invalidates every parent-side label
+        dictionary (the epoch guard), since the frame may introduce tags
+        the peers' dictionaries predate."""
         epoch, next_value, entries = allocator.snapshot()
-        message = TagSync(epoch, next_value, entries)
-        return self.executor.submit_wave(
-            [(spec.shard_id, message) for spec in self.specs]
-        )
+        wave = []
+        for spec in self.specs:
+            hwm = self._tag_hwm.get(spec.shard_id, 0)
+            delta = tuple(e for e in entries if e[0] >= hwm)
+            wave.append((spec.shard_id, TagSync(epoch, next_value, delta)))
+        acks = self.executor.submit_wave(wave)
+        for ack in acks:
+            if ack.applied:
+                self._tag_hwm[ack.shard_id] = next_value
+        self.executor.bump_label_epoch()
+        return acks
 
     def sync_caps(self, principals) -> list:
-        """Broadcast principal security state — (name, LabelPair,
-        CapabilitySet) triples — to every shard.  Each applied frame bumps
-        the shard's ``fd_epoch``, orphaning pre-replication memos."""
+        """Ship principal security state — (name, LabelPair,
+        CapabilitySet) triples — to every shard, **delta-encoded**: a
+        principal whose state matches what the shard last applied is
+        omitted.  The frame itself is always sent (even empty): each
+        applied ``CapSync`` bumps the shard's ``fd_epoch``, orphaning
+        pre-replication memos, and that epoch discipline must not depend
+        on how much state happened to change."""
         self._sync_epoch += 1
-        message = CapSync(self._sync_epoch, tuple(principals))
-        return self.executor.submit_wave(
-            [(spec.shard_id, message) for spec in self.specs]
-        )
+        principals = tuple(principals)
+        wave = []
+        deltas: dict[int, tuple] = {}
+        for spec in self.specs:
+            sent = self._cap_sent.setdefault(spec.shard_id, {})
+            delta = tuple(
+                (name, labels, caps)
+                for name, labels, caps in principals
+                if sent.get(name) != (labels, caps)
+            )
+            deltas[spec.shard_id] = delta
+            wave.append((spec.shard_id, CapSync(self._sync_epoch, delta)))
+        acks = self.executor.submit_wave(wave)
+        for ack in acks:
+            if ack.applied:
+                sent = self._cap_sent[ack.shard_id]
+                for name, labels, caps in deltas[ack.shard_id]:
+                    sent[name] = (labels, caps)
+        return acks
 
     # -- observable merge ---------------------------------------------------
 
@@ -488,7 +635,12 @@ class Cluster:
 
     def worker_logs(self) -> list[TrafficLog]:
         """Rebuild each shard's traffic log from the stamped deltas in its
-        responses (ordered by global sequence, as shipped)."""
+        responses (ordered by global sequence, as shipped).  Cached per
+        response count, so repeated ``merged_traffic`` calls between
+        trace runs rebuild (and re-sort) nothing."""
+        cached = self._logs_cache
+        if cached is not None and cached[0] == len(self.responses):
+            return cached[1]
         logs: dict[int, TrafficLog] = {}
         for resp in sorted(self.responses, key=lambda r: r.seq):
             log = logs.setdefault(
@@ -496,10 +648,33 @@ class Cluster:
             )
             for stamp, payload in resp.traffic:
                 log.append_stamped(stamp, payload)
-        return [logs[sid] for sid in sorted(logs)]
+        result = [logs[sid] for sid in sorted(logs)]
+        self._logs_cache = (len(self.responses), result)
+        return result
 
     def merged_traffic(self) -> TrafficLog:
         return TrafficLog.merge(self.worker_logs())
+
+    def wire_stats(self) -> dict:
+        """Data-plane accounting: the parent-side codec dictionaries plus
+        this process's frame/byte counters (request direction; the reply
+        direction is counted worker-side and lands in ``aggregate()``).
+        Includes the coalescer's window statistics when a coalesced
+        ``run_trace`` ran."""
+        stats = self.executor.wire_stats()
+        stats["requests"] = len(self.responses)
+        counters = fastpath.counters
+        stats["bytes_on_wire"] = counters.bytes_on_wire
+        stats["frames"] = counters.frames
+        stats["label_dict_hits"] = counters.label_dict_hits
+        stats["label_dict_misses"] = counters.label_dict_misses
+        if self.responses:
+            stats["bytes_per_request"] = round(
+                counters.bytes_on_wire / len(self.responses), 2
+            )
+        if self.coalescer is not None:
+            stats["coalescing"] = self.coalescer.stats()
+        return stats
 
     # -- lifecycle / accounting ---------------------------------------------
 

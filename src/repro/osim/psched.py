@@ -56,8 +56,9 @@ from typing import Callable, Optional
 from ..core import fastpath
 from ..core.audit import AuditEntry, AuditKind
 from .kernel import Kernel
+from .lamwire import make_wire
 from .lsm import LaminarSecurityModule
-from .rpc import Shutdown, decode_frame, encode_frame, seed_worker_rng, worker_seed
+from .rpc import Shutdown, seed_worker_rng, worker_seed
 from .sched import DEFAULT_MAX_STEPS, Scheduler
 
 
@@ -148,7 +149,7 @@ def run_group(
         for e in audit_entries[audit_before:]
     )
     delta = log.total_messages - traffic_before
-    traffic = tuple(log.stamped()[-delta:]) if delta else ()
+    traffic = tuple(log.stamped_tail(delta)) if delta else ()
     return GroupResult(
         group=index,
         worker=worker,
@@ -181,22 +182,25 @@ def boot_world(world, *, worker_id: int = 0, defer_work: bool = False):
 
 
 def _psched_worker_main(
-    conn, worker_id, indices, world, defer_work, work_ns, seed, trace
+    conn, worker_id, indices, world, defer_work, work_ns, seed, trace,
+    wire: str = "binary",
 ) -> None:
     """Entry point of a forked scheduler worker: reseed deterministically,
     build the full world, signal readiness, wait for "go", run the
     assigned groups in global-index order, ship results, report."""
     wseed = seed_worker_rng(seed, worker_id)
+    codec = make_wire(wire)
     try:
         kernel, handles = boot_world(
             world, worker_id=worker_id, defer_work=defer_work
         )
+        codec.bind_allocator(kernel.tags)
         # The fork inherited the parent's process-global fastpath counter
         # state; zero it so the shutdown report covers only this worker's
         # assigned groups (reports sum cleanly across the pool).
         fastpath.counters.reset()
-        conn.send_bytes(encode_frame(("ready", worker_id)))
-        decode_frame(conn.recv_bytes())  # "go" — the timing barrier
+        conn.send_bytes(codec.encode(("ready", worker_id)))
+        codec.decode(conn.recv_bytes())  # "go" — the timing barrier
         results = []
         for index in indices:
             result = run_group(
@@ -205,15 +209,15 @@ def _psched_worker_main(
             if work_ns and result.deferred:
                 time.sleep(result.deferred * work_ns * 1e-9)
             results.append(result)
-        conn.send_bytes(encode_frame(("results", results)))
+        conn.send_bytes(codec.encode(("results", results)))
     except BaseException as exc:  # ship the failure; a silent EOF is opaque
-        conn.send_bytes(encode_frame(("error", repr(exc))))
+        conn.send_bytes(codec.encode(("error", repr(exc))))
         raise
     while True:
-        message, _ = decode_frame(conn.recv_bytes())
+        message, _ = codec.decode(conn.recv_bytes())
         if isinstance(message, Shutdown):
             conn.send_bytes(
-                encode_frame(
+                codec.encode(
                     PschedWorkerReport(
                         worker_id=worker_id,
                         seed=wseed,
@@ -256,6 +260,7 @@ class ParallelScheduler:
         work_ns: float = 0.0,
         seed: int = 0,
         trace: bool = False,
+        wire: str = "binary",
     ) -> None:
         if executor not in ("fork", "inline"):
             raise ValueError(f"unknown executor {executor!r}")
@@ -267,6 +272,12 @@ class ParallelScheduler:
         self.work_ns = work_ns
         self.seed = seed
         self.trace = trace
+        self.wire = wire
+        #: Parent-side codecs, one per worker pipe (wire dictionaries are
+        #: per-connection); ``_codec`` doubles as the inline round-trip
+        #: codec.
+        self._codecs: list = []
+        self._codec = make_wire(wire)
         self.group_count = groups
         #: group index -> worker id; a pure function of the trace.
         self.worker_of = {i: i % self.workers for i in range(groups)}
@@ -282,6 +293,7 @@ class ParallelScheduler:
             self._kernel, self._handles = boot_world(
                 world, defer_work=defer_work
             )
+            self._codec.bind_allocator(self._kernel.tags)
             # Inline shares the caller's process-global counters; report
             # the delta over this baseline so inline and fork reports
             # mean the same thing (this scheduler's groups only).
@@ -311,6 +323,7 @@ class ParallelScheduler:
                     self.work_ns,
                     self.seed,
                     self.trace,
+                    self.wire,
                 ),
                 daemon=True,
             )
@@ -318,8 +331,9 @@ class ParallelScheduler:
             child_conn.close()
             self._conns.append(parent_conn)
             self._procs.append(proc)
-        for conn in self._conns:
-            message, _ = decode_frame(conn.recv_bytes())
+            self._codecs.append(make_wire(self.wire))
+        for wid, conn in enumerate(self._conns):
+            message, _ = self._codecs[wid].decode(conn.recv_bytes())
             if message[0] != "ready":
                 raise RuntimeError(f"worker failed during boot: {message[1]}")
 
@@ -343,16 +357,16 @@ class ParallelScheduler:
                 )
                 if self.work_ns and result.deferred:
                     time.sleep(result.deferred * self.work_ns * 1e-9)
-                results.append(decode_frame(encode_frame(result))[0])
+                results.append(self._codec.decode(self._codec.encode(result))[0])
             self.elapsed = time.perf_counter() - start
             self.results = results
             return results
         start = time.perf_counter()
-        for conn in self._conns:
-            conn.send_bytes(encode_frame("go"))
+        for wid, conn in enumerate(self._conns):
+            conn.send_bytes(self._codecs[wid].encode("go"))
         by_group: dict[int, GroupResult] = {}
-        for conn in self._conns:
-            message, _ = decode_frame(conn.recv_bytes())
+        for wid, conn in enumerate(self._conns):
+            message, _ = self._codecs[wid].decode(conn.recv_bytes())
             if message[0] == "error":
                 raise RuntimeError(f"worker failed: {message[1]}")
             for result in message[1]:
@@ -376,10 +390,10 @@ class ParallelScheduler:
                 )
             ]
             return self.reports
-        for conn in self._conns:
-            conn.send_bytes(encode_frame(Shutdown()))
-        for conn in self._conns:
-            report, _ = decode_frame(conn.recv_bytes())
+        for wid, conn in enumerate(self._conns):
+            conn.send_bytes(self._codecs[wid].encode(Shutdown()))
+        for wid, conn in enumerate(self._conns):
+            report, _ = self._codecs[wid].decode(conn.recv_bytes())
             self.reports.append(report)
             conn.close()
         for proc in self._procs:

@@ -5,14 +5,17 @@ shards, each booted inside its own worker process, fronted by a
 label-aware router.  This module is everything that crosses a process
 boundary:
 
-* **One wire codec** — length-prefixed pickle frames
-  (:func:`encode_frame` / :func:`decode_frame`).  Labels, label pairs,
-  and capability sets serialize through their constructor-based
-  ``__reduce__``, so a label that crosses the wire *re-interns* on the
-  receiving side: identity fast paths (``is``-based subset checks, the
-  flow-verdict cache, the persistent submit memo) keep hitting after the
-  hop.  The same-process executor routes its messages through this codec
-  too, so serialization behavior is exercised deterministically in tests.
+* **Two wire codecs** — the legacy length-prefixed pickle frames
+  (:func:`encode_frame` / :func:`decode_frame`), where labels, label
+  pairs, and capability sets serialize through their constructor-based
+  ``__reduce__`` and *re-intern* on the receiving side, and the binary
+  lamwire data plane (:mod:`repro.osim.lamwire`), which eliminates both
+  the label bytes and the re-interning via per-connection dictionaries.
+  :func:`worker_serve` speaks either, selected by the cluster's
+  ``wire=`` mode; pickle stays as the differential-testing fallback.
+  The same-process executor routes its messages through the selected
+  codec too, so serialization behavior is exercised deterministically in
+  tests.
 * **The RPC framing is the batch path** — a :class:`ShardRequest` carries
   a tuple of :class:`~repro.osim.kernel.Sqe` and a shard answers with the
   :class:`~repro.osim.kernel.Cqe` list from one ``sys_submit`` call.
@@ -295,7 +298,7 @@ class ShardServer:
             for e in audit_entries[audit_before:]
         )
         delta = log.total_messages - traffic_before
-        traffic = tuple(log.stamped()[-delta:]) if delta else ()
+        traffic = tuple(log.stamped_tail(delta)) if delta else ()
         deferred = kernel.drain_deferred_work()
         if self.work_ns and deferred:
             time.sleep(deferred * self.work_ns * 1e-9)
@@ -347,7 +350,12 @@ class ShardServer:
 
 
 def worker_serve(
-    conn, worker_id: int, servers: "dict[int, ShardServer]", seed: int = 0
+    conn,
+    worker_id: int,
+    servers: "dict[int, ShardServer]",
+    seed: int = 0,
+    wire: str = "pickle",
+    codec=None,
 ) -> None:
     """Serve wire frames on a ``multiprocessing`` connection until a
     :class:`Shutdown` frame (or EOF) arrives.
@@ -356,13 +364,25 @@ def worker_serve(
     pairs; the reply frame is the list of responses in the same order.
     Waves amortize the IPC round trip the way ``sys_submit`` amortizes
     the user→kernel crossing — the RPC layer makes the same batching
-    argument one level up."""
+    argument one level up.
+
+    ``wire`` selects the codec (see :func:`repro.osim.lamwire.make_wire`);
+    a pre-built ``codec`` wins over ``wire``.  The codec is bound to every
+    hosted shard's tag allocator so its label dictionary invalidates when
+    replication advances the tag-namespace epoch."""
+    if codec is None:
+        from .lamwire import make_wire
+
+        codec = make_wire(wire)
+    for server in servers.values():
+        codec.bind_allocator(server.kernel.tags)
+    decode, encode = codec.decode, codec.encode
     while True:
         try:
             frame = conn.recv_bytes()
         except (EOFError, OSError):
             break
-        message, _ = decode_frame(frame)
+        message, _ = decode(frame)
         if isinstance(message, Shutdown):
             report = WorkerReport(
                 worker_id=worker_id,
@@ -372,8 +392,8 @@ def worker_serve(
                 ),
                 seed=seed,
             )
-            conn.send_bytes(encode_frame(report))
+            conn.send_bytes(encode(report))
             break
         replies = [servers[shard_id].handle(msg) for shard_id, msg in message]
-        conn.send_bytes(encode_frame(replies))
+        conn.send_bytes(encode(replies))
     conn.close()

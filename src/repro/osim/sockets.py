@@ -22,7 +22,9 @@ pattern ever depending on a label verdict.
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
+from operator import itemgetter
 from typing import TYPE_CHECKING, Optional
 
 from ..core import LabelPair
@@ -37,6 +39,8 @@ if TYPE_CHECKING:
 #: Default retention bound for :class:`TrafficLog` (messages kept for the
 #: omniscient observer; totals keep counting past it).
 DEFAULT_TRAFFIC_LOG_CAP = 4096
+
+_stamp_key = itemgetter(0)
 
 
 class TrafficLog(list):
@@ -76,6 +80,13 @@ class TrafficLog(list):
         #: Per-entry (stamp, worker_id, local_seq), parallel to the
         #: retained payloads and trimmed with them.
         self.stamps: list[tuple[int, int, int]] = []
+        #: Cached stamp-sorted view (see :meth:`sorted_stamped`):
+        #: invalidated by every mutation, so however many merges read
+        #: this log between appends, the sort runs once per mutation
+        #: epoch.  ``sort_count`` counts the actual sorts (the regression
+        #: test's probe).
+        self._sorted: Optional[list] = None
+        self.sort_count = 0
 
     def append(self, payload) -> None:  # type: ignore[override]
         self.append_stamped(
@@ -96,6 +107,7 @@ class TrafficLog(list):
             excess = list.__len__(self) - self.cap
             del self[:excess]
             del self.stamps[:excess]
+        self._sorted = None
 
     def reset(self) -> None:
         """Drop retained payloads and zero the totals (benchmark arms)."""
@@ -103,10 +115,36 @@ class TrafficLog(list):
         self.stamps.clear()
         self.total_messages = 0
         self.total_bytes = 0
+        self._sorted = None
 
     def stamped(self) -> list[tuple[tuple[int, int, int], object]]:
         """Retained entries with their stamps (merge-ready form)."""
         return list(zip(self.stamps, list(self)))
+
+    def stamped_tail(
+        self, delta: int
+    ) -> list[tuple[tuple[int, int, int], object]]:
+        """The last ``delta`` retained entries with stamps — O(delta),
+        unlike ``stamped()[-delta:]``, which materialized the whole log
+        on every per-request delta ship."""
+        if delta <= 0:
+            return []
+        return list(zip(self.stamps[-delta:], self[-delta:]))
+
+    def sorted_stamped(self) -> list[tuple[tuple[int, int, int], object]]:
+        """Stamp-sorted retained entries, cached until the next mutation.
+
+        :meth:`merge` used to re-sort every input log on every call —
+        O(n log n) per merge even when nothing changed between merges.
+        The sorted view is computed at most once per mutation epoch and
+        shared by every merge that reads it."""
+        cached = self._sorted
+        if cached is None:
+            cached = self.stamped()
+            cached.sort(key=_stamp_key)
+            self.sort_count += 1
+            self._sorted = cached
+        return cached
 
     @classmethod
     def merge(cls, logs: "list[TrafficLog]", cap: int = DEFAULT_TRAFFIC_LOG_CAP) -> "TrafficLog":
@@ -115,13 +153,15 @@ class TrafficLog(list):
         Canonical order: by (global stamp, worker_id, local sequence).
         The result is independent of the order ``logs`` are given in and
         of how requests interleaved across workers in wall-clock time —
-        two runs of the same routed trace merge identically."""
-        entries = []
-        for log in logs:
-            entries.extend(log.stamped())
-        entries.sort(key=lambda item: item[0])
+        two runs of the same routed trace merge identically.  Inputs are
+        consumed through their cached sorted views, so repeated merges of
+        unchanged logs do no sorting at all — just an O(total) heap merge
+        (ties resolved toward earlier inputs, exactly like the stable
+        concatenate-and-sort this replaces)."""
         merged = cls(cap=cap)
-        for _, payload in entries:
+        for _, payload in heapq.merge(
+            *(log.sorted_stamped() for log in logs), key=_stamp_key
+        ):
             merged.append(payload)
         # The merged view reports the union totals, not its own appends
         # (retention trimming on the inputs must not change the totals).

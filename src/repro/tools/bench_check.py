@@ -154,6 +154,35 @@ SPECS: tuple[BenchSpec, ...] = (
         ),
     ),
     BenchSpec(
+        file="BENCH_wire_throughput.json",
+        # Codec speedup and bytes-per-request ratio are same-machine,
+        # same-run interleaved comparisons (binary vs pickle alternate
+        # rep by rep), so they resist scheduler noise; still widen the
+        # band because per-call ns on shared runners wobbles.  The
+        # acceptance floors (>=2x combined encode+decode, >=3x fewer
+        # bytes) are asserted by the benchmark itself.  Parity of the
+        # merged security record across wire modes and worker counts is
+        # the invariant: exact, both wires, 1/4/8 workers.
+        ratio_fields=("speedup_encode_decode", "bytes_ratio"),
+        exact_fields=(
+            "parity.workers_1.binary.audit_parity",
+            "parity.workers_1.binary.traffic_parity",
+            "parity.workers_1.pickle.audit_parity",
+            "parity.workers_1.pickle.traffic_parity",
+            "parity.workers_4.binary.audit_parity",
+            "parity.workers_4.binary.traffic_parity",
+            "parity.workers_4.pickle.audit_parity",
+            "parity.workers_4.pickle.traffic_parity",
+            "parity.workers_8.binary.audit_parity",
+            "parity.workers_8.binary.traffic_parity",
+            "parity.workers_8.pickle.audit_parity",
+            "parity.workers_8.pickle.traffic_parity",
+            "parity.cross_wire_identical",
+            "dictionary.epoch_resend_ok",
+        ),
+        tolerance=0.30,
+    ),
+    BenchSpec(
         file="BENCH_jit_tier.json",
         ratio_fields=(
             "geomean_fig8_tier2_vs_interp",

@@ -389,6 +389,7 @@ def cmd_cluster(args: argparse.Namespace, out) -> int:
         defer_work=True,
         work_ns=args.work_ns,
         seed=args.seed,
+        wire=args.wire,
     )
     # Pre-filter with a throwaway router (routing is a pure function of
     # (principal, labels)): requests no tier can hold fail closed at the
@@ -402,9 +403,17 @@ def cmd_cluster(args: argparse.Namespace, out) -> int:
             refused += 1
         else:
             routable.append(req)
+    run_kwargs = {}
+    if args.coalesce_rate:
+        from ..bench.loadgen import coalesced_plan
+
+        run_kwargs = coalesced_plan(
+            routable, args.coalesce_rate, seed=args.seed
+        )
     start = time.perf_counter()
-    responses = cluster.run_trace(routable)
+    responses = cluster.run_trace(routable, **run_kwargs)
     seconds = time.perf_counter() - start
+    wire_stats = cluster.wire_stats()
     merged = cluster.merged_audit()
     single, _ = replay_single(world, routable)
     parity = merged == render_audit(single.kernel.audit)
@@ -430,6 +439,7 @@ def cmd_cluster(args: argparse.Namespace, out) -> int:
                 "denials": sum(agg["denials"].values()),
                 "audit_entries": len(merged),
                 "audit_parity": parity,
+                "wire": wire_stats,
             },
             out,
             indent=2,
@@ -459,6 +469,20 @@ def cmd_cluster(args: argparse.Namespace, out) -> int:
             f"parity {'ok' if parity else 'MISMATCH'}",
             file=out,
         )
+        wire_line = (
+            f"wire:     {wire_stats['wire']}, "
+            f"{wire_stats['frames']} frames, "
+            f"{wire_stats.get('bytes_per_request', 0)} B/req, "
+            f"label dict {wire_stats['label_dict_hits']} hits / "
+            f"{wire_stats['label_dict_misses']} misses"
+        )
+        coalescing = wire_stats.get("coalescing")
+        if coalescing:
+            wire_line += (
+                f", {coalescing['coalesced_waves']}/{coalescing['waves']} "
+                f"waves coalesced"
+            )
+        print(wire_line, file=out)
     cluster.shutdown()
     return 0 if parity else 1
 
@@ -646,6 +670,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_cluster.add_argument("--work-ns", type=float, default=0.0,
                            help="nanoseconds slept per deferred work unit "
                                 "(default: 0)")
+    p_cluster.add_argument("--wire", choices=("binary", "pickle"),
+                           default="binary",
+                           help="data-plane codec: the zero-copy binary "
+                                "lamwire protocol or the legacy pickle "
+                                "frames kept for differential testing "
+                                "(default: binary)")
+    p_cluster.add_argument("--coalesce-rate", type=float, default=0.0,
+                           metavar="RPS",
+                           help="dispatch through the adaptive coalescer "
+                                "against a Poisson arrival schedule at "
+                                "this rate (requests/sec; default: off, "
+                                "one wave for the whole trace)")
     p_cluster.add_argument("--json", action="store_true",
                            help="emit the run summary as JSON")
     p_cluster.set_defaults(fn=cmd_cluster)

@@ -1,11 +1,22 @@
-"""The cluster wire codec and the cross-process interning contract.
+"""The cluster wire codecs: interning, framing, and binary/pickle parity.
 
-The property that makes labels cheap cluster-wide: a Label (or LabelPair,
+Two contracts live here.  First, the cross-process interning property
+that makes labels cheap cluster-wide: a Label (or LabelPair,
 CapabilitySet, Sqe, Cqe) that crosses the wire re-enters through its
 constructor on the receiving side, so with interning on, a
 pickled-and-returned Label is *the same object* — identity-based fast
 paths (``is``-subset checks, the verdict AVC, the persistent submit
 memo's ``is``-revalidation) keep working after an RPC hop.
+
+Second, the lamwire binary data plane must be *observably identical* to
+the legacy pickle wire: hypothesis drives both codecs over random
+labels, capability sets, sqes/cqes, messages, and executor wave shapes
+(including re-sends through the per-connection dictionaries and
+tag-allocator epoch bumps that force label-definition re-sends), and a
+sharded cluster run must produce byte-identical merged audit/traffic on
+either ``--wire`` mode.  Delta replication (TagSync high-water marks,
+CapSync unchanged-principal omission) and the TrafficLog merge-sort
+cache regressions ride along.
 """
 
 from __future__ import annotations
@@ -16,16 +27,29 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import CapabilitySet, Label, LabelPair
+from repro.bench.loadgen import UserWorld, build_trace, coalesced_plan
+from repro.core import Capability, CapabilitySet, CapType, Label, LabelPair
+from repro.core import fastpath
 from repro.core.fastpath import counters, flags
-from repro.core.tags import Tag
-from repro.osim import Cqe, Sqe
+from repro.core.tags import Tag, TagAllocator
+from repro.osim import (
+    AdaptiveCoalescer,
+    Cluster,
+    Cqe,
+    Sqe,
+    TrafficLog,
+    WIRE_MODES,
+    make_wire,
+)
 from repro.osim.rpc import (
     CapSync,
     HEADER,
     ShardRequest,
     ShardResponse,
+    Shutdown,
+    SyncAck,
     TagSync,
+    WorkerReport,
     decode_frame,
     encode_frame,
 )
@@ -122,3 +146,394 @@ class TestFraming:
             clone, rest = decode_frame(encode_frame(msg))
             assert clone == msg
             assert rest == b""
+
+
+# ----------------------------------------------------- lamwire strategies
+
+TAG_POOL = [Tag(i, f"t{i}") for i in range(1, 9)]
+
+labels = st.builds(
+    Label, st.lists(st.sampled_from(TAG_POOL), max_size=4).map(tuple)
+)
+pairs = st.builds(LabelPair, labels, labels)
+capsets = st.builds(
+    CapabilitySet,
+    st.lists(
+        st.builds(
+            Capability,
+            st.sampled_from(TAG_POOL),
+            st.sampled_from([CapType.PLUS, CapType.MINUS]),
+        ),
+        max_size=6,
+    ),
+)
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-(2**40), 2**40),
+    st.floats(allow_nan=False),
+    st.text(max_size=12),
+    st.binary(max_size=48),
+)
+op_names = st.sampled_from(
+    ["read", "write", "lseek", "socket", "send", "recv", "transmit", "close"]
+)
+sqes = st.builds(
+    lambda op, args: Sqe(op, *args),
+    op_names,
+    st.lists(st.one_of(scalars, pairs, labels), max_size=3),
+)
+cqes = st.builds(Cqe, op_names, scalars, st.integers(0, 40))
+# Negative sequence numbers are protocol-invalid for the fixed layouts —
+# they must survive anyway, via the schema guard's pickle fallback.
+requests = st.builds(
+    ShardRequest,
+    st.integers(-3, 2**20),
+    st.text(min_size=1, max_size=8),
+    st.lists(sqes, max_size=6).map(tuple),
+)
+responses = st.builds(
+    lambda seq, sid, cq, audit, traffic, deferred: ShardResponse(
+        seq=seq,
+        shard_id=sid,
+        cqes=cq,
+        audit=audit,
+        traffic=traffic,
+        deferred=deferred,
+    ),
+    st.integers(0, 2**20),
+    st.integers(0, 64),
+    st.lists(cqes, max_size=6).map(tuple),
+    st.lists(st.text(max_size=20), max_size=3).map(tuple),
+    st.lists(
+        st.tuples(
+            st.tuples(
+                st.integers(0, 2**16), st.integers(0, 16), st.integers(0, 256)
+            ),
+            st.binary(max_size=24),
+        ),
+        max_size=3,
+    ).map(tuple),
+    st.integers(0, 2**20),
+)
+messages = st.one_of(
+    requests,
+    responses,
+    st.builds(
+        TagSync,
+        st.integers(0, 100),
+        st.integers(0, 2**32),
+        st.lists(
+            st.tuples(st.integers(0, 2**32), st.text(max_size=8)), max_size=4
+        ).map(tuple),
+    ),
+    st.builds(
+        CapSync,
+        st.integers(0, 100),
+        st.lists(
+            st.tuples(st.text(min_size=1, max_size=6), pairs, capsets),
+            max_size=3,
+        ).map(tuple),
+    ),
+    st.builds(SyncAck, st.integers(0, 16), st.booleans(), st.integers(0, 100)),
+    st.builds(Shutdown),
+    st.builds(
+        WorkerReport,
+        st.integers(0, 16),
+        st.dictionaries(st.text(max_size=6), st.integers(0, 2**20), max_size=4),
+        st.lists(st.integers(0, 16), max_size=3).map(tuple),
+        st.integers(0, 2**32),
+    ),
+    # The executor wave shapes (vectorized T_WAVE / T_RWAVE encodings).
+    st.lists(st.tuples(st.integers(0, 64), requests), max_size=4),
+    st.lists(responses, max_size=4),
+)
+
+
+# ------------------------------------------------------ codec equivalence
+
+
+class TestCodecEquivalence:
+    @given(st.lists(messages, min_size=1, max_size=4))
+    @settings(max_examples=120, deadline=None)
+    def test_binary_equals_pickle_round_trip(self, msgs):
+        b_enc, b_dec = make_wire("binary"), make_wire("binary")
+        p_enc, p_dec = make_wire("pickle"), make_wire("pickle")
+        # Two passes over the same stream: the first defines dictionary
+        # entries, the second exercises the REF paths.
+        for msg in msgs + msgs:
+            b_out, _ = b_dec.decode(b_enc.encode(msg))
+            p_out, _ = p_dec.decode(p_enc.encode(msg))
+            assert b_out == msg
+            assert p_out == msg
+            assert b_out == p_out
+
+    @given(
+        st.lists(
+            st.one_of(st.integers(0, 3), st.just("bump")),
+            min_size=1,
+            max_size=24,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_label_dictionary_survives_epoch_bumps(self, script):
+        """Interleave label-bearing sends with allocator epoch bumps:
+        every decode must equal the encoded wave regardless of where the
+        bumps land (stale entries are re-sent under their existing id)."""
+        allocator = TagAllocator(first=500)
+        pool = [
+            LabelPair(Label.of(allocator.alloc(f"z{i}"))) for i in range(4)
+        ]
+        enc, dec = make_wire("binary"), make_wire("binary")
+        enc.bind_allocator(allocator)
+        salt = 0
+        for step in script:
+            if step == "bump":
+                allocator.alloc(f"fresh{salt}")
+                salt += 1
+                continue
+            # The salt keeps each batch tuple distinct so the encode
+            # reaches the label encoder instead of the batch dictionary.
+            wave = (Sqe("socket", pool[step], salt),)
+            salt += 1
+            out, _ = dec.decode(enc.encode(wave))
+            assert out == wave
+
+    def test_epoch_bump_forces_definition_resend(self):
+        allocator = TagAllocator(first=500)
+        pool = [
+            LabelPair(Label.of(allocator.alloc(f"z{i}"))) for i in range(3)
+        ]
+        enc, dec = make_wire("binary"), make_wire("binary")
+        enc.bind_allocator(allocator)
+        waves = [
+            tuple(Sqe("socket", p, salt) for p in pool) for salt in range(3)
+        ]
+        m0 = counters.label_dict_misses
+        dec.decode(enc.encode(waves[0]))
+        assert counters.label_dict_misses - m0 == len(pool)
+        h0 = counters.label_dict_hits
+        dec.decode(enc.encode(waves[1]))
+        assert counters.label_dict_hits - h0 == len(pool)
+        allocator.alloc("bump")
+        m1 = counters.label_dict_misses
+        out, _ = dec.decode(enc.encode(waves[2]))
+        assert counters.label_dict_misses - m1 == len(pool)
+        assert out == waves[2]
+        # One allocator epoch change arrived since bind.
+        assert enc.stats()["label_epoch"] == 1
+
+    def test_wire_interface_parity(self):
+        binary, legacy = make_wire("binary"), make_wire("pickle")
+        assert set(WIRE_MODES) == {"binary", "pickle"}
+        assert binary.stats().keys() == legacy.stats().keys()
+        # bind_allocator is part of the wire interface on both codecs.
+        legacy.bind_allocator(TagAllocator(first=900))
+        with pytest.raises(ValueError):
+            make_wire("carrier-pigeon")
+
+    def test_counters_count_frames_and_bytes_on_both_wires(self):
+        msg = ShardRequest(1, "gw0", (Sqe("read", 3, 16),))
+        for wire in WIRE_MODES:
+            codec = make_wire(wire)
+            f0, b0 = counters.frames, counters.bytes_on_wire
+            frame = codec.encode(msg)
+            assert counters.frames - f0 == 1
+            # Payload bytes are counted; any fixed frame header is not.
+            assert 0 < counters.bytes_on_wire - b0 <= len(frame)
+
+    def test_counter_snapshot_has_wire_fields(self):
+        snap = counters.snapshot()
+        for key in (
+            "bytes_on_wire",
+            "frames",
+            "label_dict_hits",
+            "label_dict_misses",
+            "coalesced_waves",
+        ):
+            assert key in snap
+
+
+# ------------------------------------------------------- delta replication
+
+
+def _spy_executor(cluster):
+    """Record every wave handed to the executor, pass-through otherwise."""
+    sent: list = []
+    original = cluster.executor.submit_wave
+
+    def spy(wave):
+        sent.append(wave)
+        return original(wave)
+
+    cluster.executor.submit_wave = spy
+    return sent
+
+
+class TestDeltaReplication:
+    def test_tag_sync_ships_only_past_high_water_mark(self):
+        world = UserWorld(gateways=4, keys=4)
+        cluster = Cluster(world, shards=2, wire="binary")
+        sent = _spy_executor(cluster)
+        # The coordinator's allocator must be strictly ahead of every
+        # shard's boot-time epoch for the first sync to apply.
+        shard_epoch = cluster.servers[0].kernel.tags.epoch
+        allocator = TagAllocator()
+        for i in range(shard_epoch + 1):
+            allocator.alloc(f"zone{i}")
+        acks = cluster.sync_tags(allocator)
+        assert all(a.applied for a in acks)
+        first = [msg for _, msg in sent[-1]]
+        assert all(len(m.entries) == shard_epoch + 1 for m in first)
+        next_value = allocator.snapshot()[1]
+        assert cluster._tag_hwm == {
+            spec.shard_id: next_value for spec in cluster.specs
+        }
+        # Second sync after one more alloc: only the new entry ships.
+        hot1 = allocator.alloc("hot1")
+        acks = cluster.sync_tags(allocator)
+        assert all(a.applied for a in acks)
+        second = [msg for _, msg in sent[-1]]
+        assert all(m.entries == ((hot1.value, "hot1"),) for m in second)
+
+    def test_cap_sync_omits_unchanged_principals_but_always_sends(self):
+        world = UserWorld(gateways=4, keys=4)
+        world.ensure_built()
+        cluster = Cluster(world, shards=2, wire="binary")
+        sent = _spy_executor(cluster)
+        taint = LabelPair(Label.of(Tag(world.tag_values[0], "zone0")))
+        triples = (("gw0", taint, CapabilitySet.EMPTY),)
+        acks = cluster.sync_caps(triples)
+        assert all(a.applied for a in acks)
+        assert all(len(msg.principals) == 1 for _, msg in sent[-1])
+        # Same state again: the frame still goes out (fd-epoch bump),
+        # with an empty principal delta.
+        acks = cluster.sync_caps(triples)
+        assert all(a.applied for a in acks)
+        assert all(msg.principals == () for _, msg in sent[-1])
+        # Changed state for the same principal: shipped again.
+        acks = cluster.sync_caps(
+            (("gw0", LabelPair.EMPTY, CapabilitySet.EMPTY),)
+        )
+        assert all(a.applied for a in acks)
+        assert all(len(msg.principals) == 1 for _, msg in sent[-1])
+
+
+# --------------------------------------------------- cross-wire cluster
+
+
+class TestClusterWireParity:
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_merged_observables_identical_across_wires(self, shards):
+        world = UserWorld(gateways=4, keys=4)
+        trace = build_trace(
+            world,
+            24,
+            users=1_000,
+            seed=5,
+            write_fraction=0.3,
+            tainted_fraction=0.25,
+        )
+        taint = LabelPair(Label.of(Tag(world.tag_values[0], "zone0")))
+        merged = {}
+        for wire in WIRE_MODES:
+            cluster = Cluster(world, shards=shards, wire=wire)
+            acks = cluster.sync_caps((("gw0", taint, CapabilitySet.EMPTY),))
+            assert all(a.applied for a in acks)
+            responses = cluster.run_trace(trace, wave_size=8)
+            merged[wire] = (
+                cluster.merged_audit(),
+                list(cluster.merged_traffic()),
+                sorted((r.seq, r.cqes) for r in responses),
+            )
+        assert merged["binary"] == merged["pickle"]
+
+    def test_wire_stats_and_coalescing(self):
+        world = UserWorld(gateways=4, keys=4)
+        trace = build_trace(world, 32, users=1_000, seed=9)
+        flat = Cluster(world, shards=2, wire="binary")
+        flat.run_trace(trace)
+        flat_audit = flat.merged_audit()
+        stats = flat.wire_stats()
+        assert stats["wire"] == "binary"
+        assert stats["requests"] == len(trace)
+        assert "coalescing" not in stats
+
+        coalesced = Cluster(world, shards=2, wire="binary")
+        coalesced.run_trace(trace, **coalesced_plan(trace, rate=100_000.0))
+        assert coalesced.merged_audit() == flat_audit
+        stats = coalesced.wire_stats()
+        co = stats["coalescing"]
+        assert co["requests"] == len(trace)
+        assert co["waves"] >= 1
+
+    def test_run_trace_rejects_bad_coalescer_arguments(self):
+        world = UserWorld(gateways=4, keys=4)
+        trace = build_trace(world, 8, users=1_000, seed=3)
+        cluster = Cluster(world, shards=2)
+        coalescer = AdaptiveCoalescer()
+        with pytest.raises(ValueError):
+            cluster.run_trace(trace, wave_size=4, coalescer=coalescer)
+        with pytest.raises(ValueError):
+            cluster.run_trace(trace, coalescer=coalescer)  # no arrivals
+        with pytest.raises(ValueError):
+            cluster.run_trace(
+                trace, coalescer=coalescer, arrivals=[0.0]
+            )  # length mismatch
+
+
+# ------------------------------------------------------ TrafficLog merge
+
+
+class TestTrafficLogMerge:
+    def _logs(self):
+        logs = []
+        for wid in range(3):
+            log = TrafficLog()
+            for i in range(5):
+                # Interleaved stamps across workers.
+                log.append_stamped(
+                    (i * 3 + wid, wid, i), f"p{wid}{i}".encode()
+                )
+            logs.append(log)
+        return logs
+
+    def test_merge_is_stamp_ordered_with_union_totals(self):
+        logs = self._logs()
+        merged = TrafficLog.merge(logs)
+        expected = [
+            payload
+            for _, payload in sorted(
+                pair for log in logs for pair in log.stamped_tail(len(log))
+            )
+        ]
+        assert list(merged) == expected
+        assert merged.total_messages == sum(
+            log.total_messages for log in logs
+        )
+
+    def test_one_sort_per_merge_epoch(self):
+        """The regression the cache exists for: merging k logs twice
+        without mutation sorts each log exactly once, not once per
+        merge."""
+        logs = self._logs()
+        assert [log.sort_count for log in logs] == [0, 0, 0]
+        first = TrafficLog.merge(logs)
+        assert [log.sort_count for log in logs] == [1, 1, 1]
+        second = TrafficLog.merge(logs)
+        assert [log.sort_count for log in logs] == [1, 1, 1]
+        assert list(first) == list(second)
+        # Mutation opens a new epoch for that log only.
+        logs[0].append_stamped((99, 0, 99), b"late")
+        TrafficLog.merge(logs)
+        assert [log.sort_count for log in logs] == [2, 1, 1]
+
+    def test_stamped_tail_returns_last_delta_in_append_order(self):
+        log = TrafficLog()
+        for i in range(6):
+            log.append_stamped((i, 1, i), f"m{i}".encode())
+        assert log.stamped_tail(2) == [
+            ((4, 1, 4), b"m4"),
+            ((5, 1, 5), b"m5"),
+        ]
+        assert log.stamped_tail(0) == []

@@ -396,6 +396,53 @@ class TestCluster:
         assert len(payload["shards"]) == 2
         assert sum(s["requests"] for s in payload["shards"]) == 16
 
+    def test_cluster_wire_modes_both_reach_parity(self):
+        for wire in ("binary", "pickle"):
+            code, text = run_cli(
+                "cluster", "--shards", "2", "--requests", "16",
+                "--wire", wire,
+            )
+            assert code == 0
+            assert "parity ok" in text
+            (line,) = [l for l in text.splitlines() if l.startswith("wire:")]
+            assert wire in line
+            assert "B/req" in line
+
+    def test_cluster_json_wire_block(self):
+        code, text = run_cli(
+            "cluster", "--shards", "2", "--requests", "16", "--json",
+            "--wire", "binary",
+        )
+        assert code == 0
+        payload = json.loads(text)
+        wire = payload["wire"]
+        assert wire["wire"] == "binary"
+        assert wire["requests"] == 16
+        assert wire["frames"] > 0
+        assert wire["bytes_on_wire"] > 0
+        assert wire["bytes_per_request"] > 0
+        assert "label_dict_hits" in wire
+        assert "label_dict_misses" in wire
+        assert "coalescing" not in wire
+
+    def test_cluster_coalesce_rate_reports_window_stats(self):
+        code, text = run_cli(
+            "cluster", "--shards", "2", "--requests", "32", "--json",
+            "--coalesce-rate", "100000",
+        )
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["audit_parity"] is True
+        co = payload["wire"]["coalescing"]
+        assert co["requests"] == 32
+        assert co["waves"] >= 1
+        code, text = run_cli(
+            "cluster", "--shards", "2", "--requests", "32",
+            "--coalesce-rate", "100000",
+        )
+        assert code == 0
+        assert "waves coalesced" in text
+
     def test_cluster_refuses_unroutable_taint(self):
         """A central-only topology cannot hold tainted requests: they are
         refused at the router, and the rest still reach parity."""
